@@ -1,0 +1,108 @@
+// Ablation of the §6 replication direction: unique answers live at the
+// far end of a line overlay; each "replication round" pushes copies one
+// overlay hop closer to the base. Reports time-to-first-answer and
+// completion as replicas spread, with answer dedup keeping the result
+// set constant.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/node.h"
+#include "core/search_agent.h"
+#include "sim/simulator.h"
+
+using namespace bestpeer;
+using namespace bestpeer::bench;
+
+namespace {
+
+struct Outcome {
+  double first_ms;
+  double completion_ms;
+  size_t unique_answers;
+  size_t raw_answers;
+};
+
+Outcome RunWithReplicationRounds(size_t rounds) {
+  const size_t kNodes = 10;
+  const size_t kMatches = 5;
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  core::SharedInfra infra;
+  core::BestPeerConfig config;
+  config.max_direct_peers = 4;
+  config.default_ttl = 32;
+
+  std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
+  workload::CorpusGenerator corpus({1024, 500, 0.8}, 7);
+  for (size_t i = 0; i < kNodes; ++i) {
+    auto node = core::BestPeerNode::Create(&network, network.AddNode(),
+                                           &infra, config)
+                    .value();
+    node->InitStorage({}).ok();
+    infra.code_cache.Load(node->node(), core::kSearchAgentClass);
+    size_t objects = FastMode() ? 50 : 200;
+    for (size_t o = 0; o < objects; ++o) {
+      bool match = i == kNodes - 1 && o < kMatches;
+      node->ShareObject((static_cast<uint64_t>(i) << 24) | o,
+                        corpus.MakeObject(match))
+          .ok();
+    }
+    nodes.push_back(std::move(node));
+  }
+  for (size_t i = 0; i + 1 < kNodes; ++i) {
+    nodes[i]->AddDirectPeerLocal(nodes[i + 1]->node());
+    nodes[i + 1]->AddDirectPeerLocal(nodes[i]->node());
+  }
+
+  // Replication rounds: the holder pushes to its peers; each round moves
+  // copies one hop closer to the base.
+  std::vector<storm::ObjectId> ids;
+  for (size_t m = 0; m < kMatches; ++m) {
+    ids.push_back((static_cast<uint64_t>(kNodes - 1) << 24) | m);
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    size_t holder = kNodes - 1 - r;
+    if (holder == 0) break;
+    nodes[holder]->ReplicateObjects(ids).ok();
+    simulator.RunUntilIdle();
+  }
+
+  uint64_t query = nodes[0]->IssueSearch(
+      workload::CorpusGenerator::kNeedle).value();
+  simulator.RunUntilIdle();
+  const core::QuerySession* session = nodes[0]->FindSession(query);
+  Outcome out;
+  out.first_ms =
+      session->responses().empty()
+          ? 0
+          : ToMillis(session->responses().front().time -
+                     session->start_time());
+  out.completion_ms = ToMillis(session->completion_time());
+  out.unique_answers = session->unique_answers();
+  out.raw_answers = session->total_answers();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "Replication toward the requester (10-node line, answers at the "
+      "far end) — copies move one hop per round");
+  PrintRowHeader({"rounds", "first ms", "complete ms", "unique", "raw"});
+  for (size_t rounds : {0, 1, 2, 4, 6, 8}) {
+    Outcome out = RunWithReplicationRounds(rounds);
+    PrintRow(std::to_string(rounds),
+             {out.first_ms, out.completion_ms,
+              static_cast<double>(out.unique_answers),
+              static_cast<double>(out.raw_answers)});
+  }
+  std::printf(
+      "\nExpected: first-answer time falls as replicas approach the "
+      "base; unique answers stay constant while raw answers grow "
+      "(dedup absorbs the redundancy).\n");
+  return 0;
+}

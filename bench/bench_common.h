@@ -1,0 +1,114 @@
+#ifndef BESTPEER_BENCH_BENCH_COMMON_H_
+#define BESTPEER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/experiment.h"
+#include "workload/topology.h"
+
+namespace bestpeer::bench {
+
+/// Paper-scale experiment defaults (§4.2): 1000 objects of 1 KB per node,
+/// the same query issued 4 times, results averaged over >= 3 seeds.
+/// Set BP_BENCH_FAST=1 to run a scaled-down sweep (same shapes, smaller
+/// stores, single seed) for quick iteration.
+struct BenchScale {
+  size_t objects_per_node = 1000;
+  size_t files_per_node = 1000;
+  std::vector<uint64_t> seeds = {1, 2, 3};
+  size_t queries = 4;
+};
+
+inline bool FastMode() {
+  const char* env = std::getenv("BP_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline BenchScale Scale() {
+  BenchScale s;
+  if (FastMode()) {
+    s.objects_per_node = 200;
+    s.files_per_node = 200;
+    s.seeds = {1};
+  }
+  return s;
+}
+
+inline workload::ExperimentOptions PaperOptions(workload::Topology topology,
+                                                workload::Scheme scheme) {
+  const BenchScale scale = Scale();
+  workload::ExperimentOptions o;
+  o.topology = std::move(topology);
+  o.scheme = scheme;
+  o.objects_per_node = scale.objects_per_node;
+  o.files_per_node = scale.files_per_node;
+  o.object_size = 1024;
+  o.matches_per_node = 10;
+  o.queries = scale.queries;
+  o.max_direct_peers = 8;
+  // The paper's controlled environment searches every node; a TTL above
+  // any overlay diameter used here guarantees full coverage.
+  o.ttl = 64;
+  return o;
+}
+
+/// Options for the *search phase* experiments (Figs. 5-7): the StorM
+/// agent returns its array of matching results (small descriptors), and
+/// CS servers return the equivalent result lists; object download is a
+/// separate out-of-network step in BestPeer and is not part of the
+/// measured search. Both schemes therefore ship descriptors here.
+inline workload::ExperimentOptions SearchPhaseOptions(
+    workload::Topology topology, workload::Scheme scheme) {
+  workload::ExperimentOptions o =
+      PaperOptions(std::move(topology), scheme);
+  o.answer_mode = core::AnswerMode::kIndicate;
+  o.auto_fetch = false;
+  return o;
+}
+
+/// Runs with seed averaging and returns the merged result; dies loudly on
+/// error (benches are not expected to fail).
+inline workload::ExperimentResult MustRun(
+    const workload::ExperimentOptions& options) {
+  auto result = workload::RunAveraged(options, Scale().seeds);
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n## %s\n\n", title.c_str());
+}
+
+inline void PrintRowHeader(const std::vector<std::string>& columns) {
+  std::printf("| %-14s", columns.empty() ? "" : columns[0].c_str());
+  for (size_t i = 1; i < columns.size(); ++i) {
+    std::printf(" | %12s", columns[i].c_str());
+  }
+  std::printf(" |\n|%s", std::string(16, '-').c_str());
+  for (size_t i = 1; i < columns.size(); ++i) {
+    std::printf("|%s", std::string(14, '-').c_str());
+  }
+  std::printf("|\n");
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values,
+                     const char* fmt = "%12.2f") {
+  std::printf("| %-14s", label.c_str());
+  for (double v : values) {
+    std::printf(" | ");
+    std::printf(fmt, v);
+  }
+  std::printf(" |\n");
+}
+
+}  // namespace bestpeer::bench
+
+#endif  // BESTPEER_BENCH_BENCH_COMMON_H_

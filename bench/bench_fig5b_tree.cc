@@ -1,0 +1,39 @@
+// Regenerates Figure 5(b): completion time vs tree depth (levels 1-5,
+// fanout 2, 48 nodes at level 5 as in the paper) for CS (= MCS), BPS and
+// BPR (paper §4.3).
+//
+// Paper shape: CS wins at level 1 (a star), then degenerates with depth
+// because answers are relayed along the query path; BPR < BPS.
+
+#include "bench/bench_common.h"
+
+using namespace bestpeer;
+using namespace bestpeer::bench;
+using namespace bestpeer::workload;
+
+int main() {
+  PrintTitle(
+      "Figure 5(b): Tree topology — completion time (ms) vs levels "
+      "(fanout 2; level 5 truncated to 48 nodes)");
+  const std::vector<Scheme> schemes = {Scheme::kMcs, Scheme::kBps,
+                                       Scheme::kBpr};
+  std::vector<std::string> header = {"levels(nodes)"};
+  for (auto s : schemes)
+    header.push_back(s == Scheme::kMcs ? "CS" : SchemeName(s));
+  PrintRowHeader(header);
+  for (size_t levels = 1; levels <= 5; ++levels) {
+    size_t nodes = TreeNodeCount(levels, 2);
+    if (levels == 5) nodes = 48;  // The paper used 48 nodes at level 5.
+    std::vector<double> row;
+    for (Scheme scheme : schemes) {
+      auto result = MustRun(SearchPhaseOptions(MakeTree(nodes, 2), scheme));
+      row.push_back(result.MeanCompletionMs());
+    }
+    PrintRow(std::to_string(levels) + " (" + std::to_string(nodes) + ")",
+             row);
+  }
+  std::printf(
+      "\nExpected shape: CS best at level 1, degrades with depth; BPR < "
+      "BPS throughout.\n");
+  return 0;
+}

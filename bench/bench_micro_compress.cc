@@ -1,0 +1,73 @@
+// Micro-benchmarks of the LZSS codec (the paper's GZIP substitute):
+// compression/decompression throughput and achieved ratio on the kinds
+// of payloads BestPeer ships (agent state, 1 KB text objects, result
+// batches, incompressible data).
+
+#include <benchmark/benchmark.h>
+
+#include "compress/lzss_codec.h"
+#include "util/rng.h"
+#include "workload/corpus.h"
+
+namespace {
+
+using bestpeer::Bytes;
+using bestpeer::LzssCodec;
+using bestpeer::Rng;
+
+Bytes TextPayload(size_t size) {
+  bestpeer::workload::CorpusGenerator corpus({size, 500, 0.8}, 7);
+  return corpus.MakeObject(false);
+}
+
+Bytes RandomPayload(size_t size) {
+  Rng rng(7);
+  Bytes b(size);
+  for (auto& x : b) x = static_cast<uint8_t>(rng.NextBounded(256));
+  return b;
+}
+
+void BM_LzssCompressText(benchmark::State& state) {
+  LzssCodec codec;
+  Bytes data = TextPayload(static_cast<size_t>(state.range(0)));
+  size_t compressed_size = 0;
+  for (auto _ : state) {
+    auto out = codec.Compress(data);
+    compressed_size = out.value().size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+  state.counters["ratio"] =
+      static_cast<double>(compressed_size) / static_cast<double>(data.size());
+}
+BENCHMARK(BM_LzssCompressText)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_LzssCompressRandom(benchmark::State& state) {
+  LzssCodec codec;
+  Bytes data = RandomPayload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto out = codec.Compress(data);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzssCompressRandom)->Arg(16384);
+
+void BM_LzssDecompressText(benchmark::State& state) {
+  LzssCodec codec;
+  Bytes data = TextPayload(static_cast<size_t>(state.range(0)));
+  Bytes compressed = codec.Compress(data).value();
+  for (auto _ : state) {
+    auto out = codec.Decompress(compressed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzssDecompressText)->Arg(1024)->Arg(16384)->Arg(262144);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Micro-benchmarks of the discrete-event kernel: event queue throughput
+// and end-to-end message rate through the simulated network. These bound
+// how large an overlay the harness can simulate per wall-clock second.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace bestpeer::sim;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    for (size_t i = 0; i < batch; ++i) {
+      q.Push(static_cast<bestpeer::SimTime>((i * 2654435761u) % 100000),
+             []() {});
+    }
+    while (!q.empty()) {
+      benchmark::DoNotOptimize(q.Pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_SimulatorEventCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 100000;
+    std::function<void()> chain = [&]() {
+      if (--remaining > 0) sim.ScheduleAfter(1, chain);
+    };
+    sim.ScheduleAfter(1, chain);
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_SimulatorEventCascade);
+
+void BM_NetworkMessageThroughput(benchmark::State& state) {
+  const int kMessages = 10000;
+  for (auto _ : state) {
+    Simulator sim;
+    SimNetwork net(&sim, NetworkOptions{});
+    NodeId a = net.AddNode();
+    NodeId b = net.AddNode();
+    int received = 0;
+    net.SetHandler(b, [&](const SimMessage&) { ++received; });
+    for (int i = 0; i < kMessages; ++i) {
+      net.Send(a, b, 1, bestpeer::Bytes(64, 0));
+    }
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          kMessages);
+}
+BENCHMARK(BM_NetworkMessageThroughput);
+
+void BM_CpuModelSubmit(benchmark::State& state) {
+  const int kTasks = 100000;
+  for (auto _ : state) {
+    Simulator sim;
+    CpuModel cpu(&sim, 4);
+    for (int i = 0; i < kTasks; ++i) cpu.Submit(10, []() {});
+    sim.RunUntilIdle();
+    benchmark::DoNotOptimize(cpu.tasks_submitted());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kTasks);
+}
+BENCHMARK(BM_CpuModelSubmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Flooding-cost study: coverage vs TTL for the two flooding protocols in
+// this repository — BestPeer's agent cloning and Gnutella's Query flood.
+// Both use TTL/Hops expiry with duplicate dropping (§3.1), so the
+// trade-off is the classic one: higher TTL reaches more of the overlay
+// but multiplies redundant transmissions on cyclic topologies.
+
+#include <cstdio>
+#include <memory>
+
+#include "baseline/gnutella.h"
+#include "bench/bench_common.h"
+#include "core/node.h"
+#include "core/search_agent.h"
+#include "sim/simulator.h"
+
+using namespace bestpeer;
+using namespace bestpeer::bench;
+
+namespace {
+
+struct FloodOutcome {
+  size_t responders;   // Distinct nodes whose answers arrived.
+  uint64_t messages;   // Total messages on the wire.
+  double coverage;     // responders / (nodes - 1).
+};
+
+FloodOutcome BpFlood(const workload::Topology& topo, uint16_t ttl) {
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  core::SharedInfra infra;
+  core::BestPeerConfig config;
+  config.max_direct_peers = 16;
+  config.default_ttl = ttl;
+  config.answer_mode = core::AnswerMode::kIndicate;
+  config.auto_fetch = false;
+
+  std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
+  for (size_t i = 0; i < topo.node_count; ++i) {
+    auto node = core::BestPeerNode::Create(&network, network.AddNode(),
+                                           &infra, config)
+                    .value();
+    node->InitStorage({}).ok();
+    infra.code_cache.Load(node->node(), core::kSearchAgentClass);
+    // One matching object everywhere so every reached node answers.
+    std::string text = "needle marker";
+    Bytes content(text.begin(), text.end());
+    content.resize(128, ' ');
+    node->ShareObject(static_cast<storm::ObjectId>(i), content).ok();
+    nodes.push_back(std::move(node));
+  }
+  for (const auto& [a, b] : topo.edges) {
+    nodes[a]->AddDirectPeerLocal(nodes[b]->node());
+    nodes[b]->AddDirectPeerLocal(nodes[a]->node());
+  }
+  uint64_t query = nodes[topo.base]->IssueSearch("needle").value();
+  simulator.RunUntilIdle();
+  const core::QuerySession* session = nodes[topo.base]->FindSession(query);
+  FloodOutcome out;
+  out.responders = session->responder_count();
+  out.messages = network.messages_sent();
+  out.coverage = static_cast<double>(out.responders) /
+                 static_cast<double>(topo.node_count - 1);
+  return out;
+}
+
+FloodOutcome GnutellaFlood(const workload::Topology& topo, uint8_t ttl) {
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  baseline::GnutellaConfig config;
+  config.default_ttl = ttl;
+
+  std::vector<std::unique_ptr<baseline::GnutellaNode>> nodes;
+  for (size_t i = 0; i < topo.node_count; ++i) {
+    nodes.push_back(
+        baseline::GnutellaNode::Create(&network, network.AddNode(), config)
+            .value());
+    nodes.back()->ShareFile("needle-" + std::to_string(i) + ".txt");
+  }
+  for (const auto& [a, b] : topo.edges) {
+    nodes[a]->AddNeighborLocal(nodes[b]->node());
+    nodes[b]->AddNeighborLocal(nodes[a]->node());
+  }
+  uint64_t key = nodes[topo.base]->IssueQuery("needle").value();
+  simulator.RunUntilIdle();
+  const baseline::GnutellaSession* session =
+      nodes[topo.base]->FindSession(key);
+  FloodOutcome out;
+  out.responders = session->responder_count();
+  out.messages = network.messages_sent();
+  out.coverage = static_cast<double>(out.responders) /
+                 static_cast<double>(topo.node_count - 1);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(77);
+  workload::Topology topo = workload::MakeRandom(32, 4, rng);
+  PrintTitle(
+      "Coverage and message cost vs TTL (32 nodes, random overlay, "
+      "degree <= 4)");
+  PrintRowHeader({"TTL", "BP coverage", "BP msgs", "Gnut coverage",
+                  "Gnut msgs"});
+  for (uint16_t ttl = 1; ttl <= 8; ++ttl) {
+    auto bp = BpFlood(topo, ttl);
+    auto gnut = GnutellaFlood(topo, static_cast<uint8_t>(ttl));
+    PrintRow(std::to_string(ttl),
+             {bp.coverage, static_cast<double>(bp.messages), gnut.coverage,
+              static_cast<double>(gnut.messages)});
+  }
+  std::printf(
+      "\nExpected: coverage saturates near the overlay diameter while "
+      "message cost keeps growing — the flooding overhead both systems "
+      "pay, and the reason BestPeer pulls good peers close instead of "
+      "searching deeper.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// LIGLO in action (§2, §3.4): peers with *temporary* network addresses
+// stay recognizable across sessions. A laptop node disconnects, comes
+// back with a different IP, and its peer still finds it by BPID through
+// the rejoin protocol. A silently vanished peer is detected by the LIGLO
+// server's periodic validity sweep.
+//
+//   ./build/examples/liglo_dynamic_ips
+
+#include <cstdio>
+
+#include "core/node.h"
+#include "liglo/liglo_server.h"
+#include "sim/simulator.h"
+
+using namespace bestpeer;
+
+int main() {
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  core::SharedInfra infra;
+
+  // A LIGLO server on a machine with a fixed, well-known address.
+  sim::NodeId server_id = network.AddNode();
+  sim::Dispatcher server_dispatcher(&network, server_id);
+  liglo::LigloServerOptions server_options;
+  server_options.sweep_interval = Millis(200);
+  server_options.ping_timeout = Millis(20);
+  liglo::LigloServer liglo_server(&network, &server_dispatcher, server_id,
+                                  &infra.ip_directory, server_options);
+
+  core::BestPeerConfig config;
+  auto desktop = core::BestPeerNode::Create(&network, network.AddNode(),
+                                            &infra, config)
+                     .value();
+  auto laptop = core::BestPeerNode::Create(&network, network.AddNode(),
+                                           &infra, config)
+                    .value();
+  desktop->InitStorage({});
+  laptop->InitStorage({});
+
+  // Both register; the laptop gets the desktop as a starter peer.
+  liglo::IpAddress desktop_ip = infra.ip_directory.AssignFresh(desktop->node());
+  desktop->JoinNetwork(server_id, desktop_ip, nullptr);
+  simulator.RunUntilIdle();
+  liglo::IpAddress laptop_ip = infra.ip_directory.AssignFresh(laptop->node());
+  laptop->JoinNetwork(server_id, laptop_ip, nullptr);
+  simulator.RunUntilIdle();
+
+  std::printf("desktop BPID=%s  laptop BPID=%s\n",
+              desktop->bpid().ToString().c_str(),
+              laptop->bpid().ToString().c_str());
+  std::printf("laptop's starter peers: %zu (desktop adopted: %s)\n",
+              laptop->peers().size(),
+              laptop->peers().Contains(desktop->node()) ? "yes" : "no");
+
+  // --- The laptop disconnects and returns with a NEW address. ---------
+  network.SetOnline(laptop->node(), false);
+  simulator.RunUntil(simulator.now() + Millis(100));
+  network.SetOnline(laptop->node(), true);
+  liglo::IpAddress new_ip = infra.ip_directory.AssignFresh(laptop->node());
+  std::printf("\nlaptop reconnected: ip %u -> %u (BPID unchanged)\n",
+              laptop_ip, new_ip);
+  laptop->RejoinNetwork(new_ip, [](auto) {});
+  simulator.RunUntilIdle();
+
+  // The desktop re-resolves its peer by BPID via the laptop's LIGLO.
+  desktop->liglo_client().Resolve(
+      laptop->bpid(), [&](Result<liglo::LigloClient::ResolveOutcome> r) {
+        if (r.ok() && r->state == liglo::PeerState::kOnline) {
+          std::printf("desktop resolved laptop's new address: %u\n", r->ip);
+        } else {
+          std::printf("desktop could not resolve laptop\n");
+        }
+      });
+  simulator.RunUntilIdle();
+
+  // --- The desktop vanishes silently; the sweep notices. --------------
+  std::printf("\ndesktop loses power (no goodbye)...\n");
+  network.SetOnline(desktop->node(), false);
+  liglo_server.StartSweep();
+  simulator.RunUntil(simulator.now() + Seconds(1));
+  liglo_server.StopSweep();
+  simulator.RunUntilIdle();
+  auto state = liglo_server.MemberState(desktop->bpid());
+  std::printf("LIGLO's view of the desktop after the validity sweep: %s\n",
+              state.ok() && state.value() == liglo::PeerState::kOffline
+                  ? "offline"
+                  : "online");
+  std::printf("members online at the LIGLO server: %zu of %zu\n",
+              liglo_server.online_count(), liglo_server.member_count());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Surviving churn: a sparse BestPeer overlay under continuous member
+// turnover. Nodes silently vanish, others return with fresh addresses via
+// the rejoin protocol, the LIGLO sweep keeps the membership view honest,
+// isolated nodes replenish their peer lists, and the querying node
+// reconfigures after every search. Watch recall stay high while ~25% of
+// the network churns every round.
+//
+//   ./build/examples/network_churn
+
+#include <cstdio>
+
+#include "workload/churn.h"
+
+using namespace bestpeer;
+using namespace bestpeer::workload;
+
+int main() {
+  ChurnOptions options;
+  options.node_count = 20;
+  options.starter_peers = 2;  // Sparse: churn actually threatens recall.
+  options.objects_per_node = 100;
+  options.matches_per_node = 4;
+  options.rounds = 10;
+  options.leave_fraction = 0.25;
+  options.rejoin_fraction = 0.6;
+  options.reconfigure = true;
+  options.seed = 7;
+
+  auto result = RunChurnExperiment(options).value();
+
+  std::printf("round | online | answers available | found | recall\n");
+  std::printf("------+--------+-------------------+-------+-------\n");
+  for (size_t i = 0; i < result.rounds.size(); ++i) {
+    const auto& r = result.rounds[i];
+    std::printf("%5zu | %6zu | %17zu | %5zu | %5.2f\n", i + 1,
+                r.online_nodes, r.available_answers, r.received_answers,
+                r.Recall());
+  }
+  std::printf("\nmean recall %.2f, worst round %.2f\n", result.MeanRecall(),
+              result.MinRecall());
+  std::printf(
+      "Departures are silent (no goodbye); recall holds because (a) the "
+      "LIGLO sweep detects the dead, (b) rejoiners re-resolve their peers "
+      "by BPID and replace the missing ones, and (c) the base node "
+      "re-adopts whoever actually answers.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+#ifndef BESTPEER_AGENT_AGENT_H_
+#define BESTPEER_AGENT_AGENT_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/network.h"
+#include "storm/storm.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::agent {
+
+/// The environment an agent can touch while executing at a node. The core
+/// library's node type implements this; concrete agents that need more
+/// than storage may downcast to the host type they were designed for.
+class AgentHost {
+ public:
+  virtual ~AgentHost() = default;
+
+  /// The node's storage manager; may be null on storage-less nodes.
+  virtual storm::Storm* storage() = 0;
+
+  /// The physical id of the hosting node.
+  virtual sim::NodeId host_node() const = 0;
+};
+
+/// Collects the externally visible effects of one agent execution.
+/// The runtime charges the CPU cost first and only then performs the
+/// sends, so results leave the node when the simulated work is done.
+class AgentContext {
+ public:
+  struct Send {
+    sim::NodeId dst;
+    uint32_t type;
+    Bytes payload;
+  };
+
+  AgentContext(AgentHost* host, sim::NodeId current, sim::NodeId origin,
+               uint16_t hops, uint16_t ttl)
+      : host_(host),
+        current_(current),
+        origin_(origin),
+        hops_(hops),
+        ttl_(ttl) {}
+
+  /// The hosting environment.
+  AgentHost* host() { return host_; }
+
+  /// Node the agent is executing on.
+  sim::NodeId current_node() const { return current_; }
+
+  /// Node that launched the agent (the paper's "base node").
+  sim::NodeId origin_node() const { return origin_; }
+
+  /// Overlay hops travelled from the base node to here.
+  uint16_t hops() const { return hops_; }
+
+  /// Remaining time-to-live.
+  uint16_t ttl() const { return ttl_; }
+
+  /// Adds simulated CPU time consumed by the execution.
+  void ChargeCpu(SimTime cost) { cpu_cost_ += cost; }
+
+  /// Queues a message to be sent when the execution's CPU cost elapses.
+  void SendMessage(sim::NodeId dst, uint32_t type, Bytes payload) {
+    sends_.push_back(Send{dst, type, std::move(payload)});
+  }
+
+  SimTime cpu_cost() const { return cpu_cost_; }
+  const std::vector<Send>& sends() const { return sends_; }
+  std::vector<Send>& mutable_sends() { return sends_; }
+
+ private:
+  AgentHost* host_;
+  sim::NodeId current_;
+  sim::NodeId origin_;
+  uint16_t hops_;
+  uint16_t ttl_;
+  SimTime cpu_cost_ = 0;
+  std::vector<Send> sends_;
+};
+
+/// A mobile agent: serializable state plus behaviour executed at each node
+/// it visits. In the paper agents are Java objects whose class and state
+/// ship between peers; here state genuinely serializes through
+/// SaveState/LoadState and "code" is a factory registered by class name
+/// (see AgentRegistry) whose byte size is charged to the wire.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// The registered class name; identifies the factory and code size.
+  virtual std::string_view class_name() const = 0;
+
+  /// Serializes mutable state for shipment.
+  virtual void SaveState(BinaryWriter& writer) const = 0;
+
+  /// Restores state at the destination engine.
+  virtual Status LoadState(BinaryReader& reader) = 0;
+
+  /// Runs at the current node. Report CPU via ctx.ChargeCpu and outputs
+  /// via ctx.SendMessage; both are applied by the runtime.
+  virtual Status Execute(AgentContext& ctx) = 0;
+};
+
+}  // namespace bestpeer::agent
+
+#endif  // BESTPEER_AGENT_AGENT_H_

@@ -1,0 +1,31 @@
+#include "agent/agent_message.h"
+
+namespace bestpeer::agent {
+
+Bytes AgentMessage::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(agent_id);
+  w.WriteString(class_name);
+  w.WriteU32(origin);
+  w.WriteU16(ttl);
+  w.WriteU16(hops);
+  w.WriteBytes(state);
+  return w.Take();
+}
+
+Result<AgentMessage> AgentMessage::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  AgentMessage m;
+  BP_ASSIGN_OR_RETURN(m.agent_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(m.class_name, r.ReadString());
+  BP_ASSIGN_OR_RETURN(m.origin, r.ReadU32());
+  BP_ASSIGN_OR_RETURN(m.ttl, r.ReadU16());
+  BP_ASSIGN_OR_RETURN(m.hops, r.ReadU16());
+  BP_ASSIGN_OR_RETURN(m.state, r.ReadBytes());
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes in agent message");
+  }
+  return m;
+}
+
+}  // namespace bestpeer::agent

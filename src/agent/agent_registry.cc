@@ -1,0 +1,56 @@
+#include "agent/agent_registry.h"
+
+#include <set>
+
+namespace bestpeer::agent {
+
+Status AgentRegistry::Register(std::string_view class_name,
+                               size_t code_size_bytes, Factory factory) {
+  if (classes_.find(class_name) != classes_.end()) {
+    return Status::AlreadyExists("agent class " + std::string(class_name));
+  }
+  classes_.emplace(std::string(class_name),
+                   Entry{code_size_bytes, std::move(factory)});
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Agent>> AgentRegistry::Create(
+    std::string_view class_name) const {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) {
+    return Status::NotFound("agent class " + std::string(class_name));
+  }
+  return it->second.factory();
+}
+
+Result<size_t> AgentRegistry::CodeSize(std::string_view class_name) const {
+  auto it = classes_.find(class_name);
+  if (it == classes_.end()) {
+    return Status::NotFound("agent class " + std::string(class_name));
+  }
+  return it->second.code_size;
+}
+
+bool AgentRegistry::Contains(std::string_view class_name) const {
+  return classes_.find(class_name) != classes_.end();
+}
+
+bool CodeCache::Has(sim::NodeId node, std::string_view class_name) const {
+  auto it = loaded_.find(node);
+  if (it == loaded_.end()) return false;
+  return it->second.find(class_name) != it->second.end();
+}
+
+void CodeCache::Load(sim::NodeId node, std::string_view class_name) {
+  loaded_[node].insert(std::string(class_name));
+}
+
+void CodeCache::EvictNode(sim::NodeId node) { loaded_.erase(node); }
+
+size_t CodeCache::total_loaded() const {
+  size_t n = 0;
+  for (const auto& [node, classes] : loaded_) n += classes.size();
+  return n;
+}
+
+}  // namespace bestpeer::agent

@@ -1,0 +1,70 @@
+#ifndef BESTPEER_AGENT_AGENT_REGISTRY_H_
+#define BESTPEER_AGENT_AGENT_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "agent/agent.h"
+#include "util/result.h"
+
+namespace bestpeer::agent {
+
+/// Maps agent class names to factories — the safe C++ stand-in for Java
+/// class loading. The registered code_size_bytes is what the simulation
+/// ships over the wire the first time a class reaches a node.
+class AgentRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Agent>()>;
+
+  /// Registers a class. Fails with AlreadyExists on duplicate names.
+  Status Register(std::string_view class_name, size_t code_size_bytes,
+                  Factory factory);
+
+  /// Instantiates a fresh (state-less) agent of the named class.
+  Result<std::unique_ptr<Agent>> Create(std::string_view class_name) const;
+
+  /// Code size shipped when the class first travels to a node.
+  Result<size_t> CodeSize(std::string_view class_name) const;
+
+  /// True iff the class is registered.
+  bool Contains(std::string_view class_name) const;
+
+  size_t class_count() const { return classes_.size(); }
+
+ private:
+  struct Entry {
+    size_t code_size;
+    Factory factory;
+  };
+  std::map<std::string, Entry, std::less<>> classes_;
+};
+
+/// Tracks which simulated nodes have which agent classes loaded. Shared by
+/// all runtimes on one network so the sender can know whether to ship the
+/// class bytes along with the agent (mirroring Java's on-demand class
+/// transfer without a second round trip in the model).
+class CodeCache {
+ public:
+  /// True iff `node` already has `class_name`.
+  bool Has(sim::NodeId node, std::string_view class_name) const;
+
+  /// Marks the class as present at the node.
+  void Load(sim::NodeId node, std::string_view class_name);
+
+  /// Drops everything cached at a node (e.g., node restart).
+  void EvictNode(sim::NodeId node);
+
+  /// Total (node, class) residencies.
+  size_t total_loaded() const;
+
+ private:
+  std::map<sim::NodeId, std::set<std::string, std::less<>>> loaded_;
+};
+
+}  // namespace bestpeer::agent
+
+#endif  // BESTPEER_AGENT_AGENT_REGISTRY_H_

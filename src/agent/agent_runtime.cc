@@ -1,0 +1,181 @@
+#include "agent/agent_runtime.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bestpeer::agent {
+
+AgentRuntime::AgentRuntime(sim::SimNetwork* network, sim::NodeId node,
+                           const AgentRegistry* registry,
+                           CodeCache* code_cache, AgentHost* host,
+                           NeighborFn neighbors, AgentRuntimeOptions options)
+    : network_(network),
+      node_(node),
+      registry_(registry),
+      code_cache_(code_cache),
+      host_(host),
+      neighbors_(std::move(neighbors)),
+      options_(std::move(options)) {
+  // The launching node always has its own classes "loaded".
+}
+
+Status AgentRuntime::SendAgentTo(sim::NodeId dst, const AgentMessage& msg) {
+  Bytes encoded = msg.Encode();
+  BP_ASSIGN_OR_RETURN(Bytes compressed, options_.codec->Compress(encoded));
+  size_t extra = 0;
+  if (!code_cache_->Has(dst, msg.class_name)) {
+    BP_ASSIGN_OR_RETURN(extra, registry_->CodeSize(msg.class_name));
+  }
+  network_->Send(node_, dst, kAgentTransferType, std::move(compressed),
+                 extra);
+  ++clones_sent_;
+  return Status::OK();
+}
+
+void AgentRuntime::Forward(const AgentMessage& msg, sim::NodeId skip) {
+  if (msg.ttl == 0) return;
+  AgentMessage clone = msg;
+  clone.ttl = static_cast<uint16_t>(msg.ttl - 1);
+  clone.hops = static_cast<uint16_t>(msg.hops + 1);
+  for (sim::NodeId n : neighbors_()) {
+    if (n == skip || n == node_ || n == msg.origin) continue;
+    // Per-clone handling cost, then the clone hits the wire.
+    network_->Cpu(node_).Submit(options_.forward_cost, [this, n, clone]() {
+      Status s = SendAgentTo(n, clone);
+      if (!s.ok()) {
+        BP_LOG(Warn) << "forward to " << n << " failed: " << s.ToString();
+      }
+    });
+  }
+}
+
+Status AgentRuntime::ExecuteIncoming(const AgentMessage& msg) {
+  BP_ASSIGN_OR_RETURN(auto agent, registry_->Create(msg.class_name));
+  BinaryReader reader(msg.state);
+  BP_RETURN_IF_ERROR(agent->LoadState(reader));
+
+  SimTime setup = options_.reconstruct_cost;
+  if (!code_cache_->Has(node_, msg.class_name)) {
+    setup += options_.class_load_cost;
+    code_cache_->Load(node_, msg.class_name);
+  }
+
+  AgentContext ctx(host_, node_, msg.origin, msg.hops, msg.ttl);
+  BP_RETURN_IF_ERROR(agent->Execute(ctx));
+  ++agents_executed_;
+
+  SimTime total = setup + ctx.cpu_cost();
+  auto sends = std::move(ctx.mutable_sends());
+  auto codec = options_.codec;
+  sim::SimNetwork* network = network_;
+  sim::NodeId self = node_;
+  network_->Cpu(node_).Submit(total, [network, codec, self,
+                                      sends = std::move(sends)]() {
+    for (const auto& send : sends) {
+      auto compressed = codec->Compress(send.payload);
+      if (!compressed.ok()) continue;
+      network->Send(self, send.dst, send.type,
+                    std::move(compressed).value());
+    }
+  });
+  return Status::OK();
+}
+
+Status AgentRuntime::LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
+                              const std::vector<sim::NodeId>& targets) {
+  if (!registry_->Contains(agent.class_name())) {
+    return Status::FailedPrecondition("agent class not registered: " +
+                                      std::string(agent.class_name()));
+  }
+  if (ttl == 0) {
+    return Status::InvalidArgument("targeted launch needs ttl >= 1");
+  }
+  code_cache_->Load(node_, agent.class_name());
+  seen_.insert(agent_id);
+
+  AgentMessage msg;
+  msg.agent_id = agent_id;
+  msg.class_name = std::string(agent.class_name());
+  msg.origin = node_;
+  msg.ttl = static_cast<uint16_t>(ttl - 1);
+  msg.hops = 1;
+  BinaryWriter writer;
+  agent.SaveState(writer);
+  msg.state = writer.Take();
+
+  for (sim::NodeId target : targets) {
+    if (target == node_) continue;
+    BP_RETURN_IF_ERROR(SendAgentTo(target, msg));
+  }
+  return Status::OK();
+}
+
+Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
+                            bool execute_locally) {
+  if (!registry_->Contains(agent.class_name())) {
+    return Status::FailedPrecondition("agent class not registered: " +
+                                      std::string(agent.class_name()));
+  }
+  code_cache_->Load(node_, agent.class_name());
+  seen_.insert(agent_id);
+
+  AgentMessage msg;
+  msg.agent_id = agent_id;
+  msg.class_name = std::string(agent.class_name());
+  msg.origin = node_;
+  msg.ttl = ttl;
+  msg.hops = 0;
+  BinaryWriter writer;
+  agent.SaveState(writer);
+  msg.state = writer.Take();
+
+  if (ttl > 0) {
+    AgentMessage clone = msg;
+    clone.ttl = static_cast<uint16_t>(ttl - 1);
+    clone.hops = 1;
+    for (sim::NodeId n : neighbors_()) {
+      if (n == node_) continue;
+      BP_RETURN_IF_ERROR(SendAgentTo(n, clone));
+    }
+  }
+
+  if (execute_locally) {
+    // Local execution: the class is local and no reconstruction happens.
+    AgentContext ctx(host_, node_, node_, 0, ttl);
+    BP_RETURN_IF_ERROR(agent.Execute(ctx));
+    ++agents_executed_;
+    auto sends = std::move(ctx.mutable_sends());
+    auto codec = options_.codec;
+    sim::SimNetwork* network = network_;
+    sim::NodeId self = node_;
+    network_->Cpu(node_).Submit(
+        ctx.cpu_cost(), [network, codec, self, sends = std::move(sends)]() {
+          for (const auto& send : sends) {
+            auto compressed = codec->Compress(send.payload);
+            if (!compressed.ok()) continue;
+            network->Send(self, send.dst, send.type,
+                          std::move(compressed).value());
+          }
+        });
+  }
+  return Status::OK();
+}
+
+Status AgentRuntime::OnMessage(const sim::SimMessage& msg) {
+  if (msg.type != kAgentTransferType) {
+    return Status::InvalidArgument("not an agent transfer");
+  }
+  BP_ASSIGN_OR_RETURN(Bytes decoded, options_.codec->Decompress(msg.payload));
+  BP_ASSIGN_OR_RETURN(AgentMessage agent_msg, AgentMessage::Decode(decoded));
+  ++agents_received_;
+
+  if (!seen_.insert(agent_msg.agent_id).second) {
+    ++duplicates_dropped_;
+    return Status::OK();
+  }
+  Forward(agent_msg, msg.src);
+  return ExecuteIncoming(agent_msg);
+}
+
+}  // namespace bestpeer::agent

@@ -1,0 +1,112 @@
+#ifndef BESTPEER_AGENT_AGENT_RUNTIME_H_
+#define BESTPEER_AGENT_AGENT_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "agent/agent.h"
+#include "agent/agent_message.h"
+#include "agent/agent_registry.h"
+#include "compress/codec.h"
+#include "sim/network.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::agent {
+
+/// Message-type tag used for agent transfers on the simulated wire.
+constexpr uint32_t kAgentTransferType = 0x41474E54;  // "AGNT"
+
+/// Cost model and behaviour knobs of a node's agent engine.
+struct AgentRuntimeOptions {
+  /// CPU to rebuild an agent from its serialized state at a peer
+  /// (the paper's "overhead of reconstructing the agent at the peer site").
+  SimTime reconstruct_cost = Millis(4);
+  /// Extra CPU the first time a class is loaded at a node.
+  SimTime class_load_cost = Millis(8);
+  /// CPU to clone-and-forward the agent to one neighbour.
+  SimTime forward_cost = Micros(300);
+  /// Transport codec applied to agent messages (the paper's GZIP layer).
+  std::shared_ptr<const Codec> codec = std::make_shared<NullCodec>();
+};
+
+/// Per-node mobile-agent engine (the "environment in which (mobile) agents
+/// can reside and perform their tasks", §2).
+///
+/// Receipt pipeline, following §3.1:
+///  1. Duplicate drop: an agent id seen before is discarded.
+///  2. If TTL > 0, the agent is cloned and forwarded to every current
+///     overlay neighbour except the arrival link (TTL-1, Hops+1). The
+///     agent's path is fully transparent to the agent developer.
+///  3. The agent is reconstructed (CPU cost; plus class-load cost on the
+///     first visit of this class) and executed on a fresh thread of the
+///     node's CPU; its queued sends fire when the work completes.
+class AgentRuntime {
+ public:
+  /// Returns the node's *current* direct overlay neighbours — evaluated at
+  /// forward time, so self-reconfiguration is picked up immediately.
+  using NeighborFn = std::function<std::vector<sim::NodeId>()>;
+
+  /// All pointers must outlive the runtime. `host` provides the services
+  /// agents touch; `code_cache` is shared network-wide.
+  AgentRuntime(sim::SimNetwork* network, sim::NodeId node,
+               const AgentRegistry* registry, CodeCache* code_cache,
+               AgentHost* host, NeighborFn neighbors,
+               AgentRuntimeOptions options);
+
+  AgentRuntime(const AgentRuntime&) = delete;
+  AgentRuntime& operator=(const AgentRuntime&) = delete;
+
+  /// Launches an agent from this node to all current neighbours; the
+  /// launching node also executes the agent locally (so local resources
+  /// participate in the search). `agent_id` must be globally unique.
+  Status Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
+                bool execute_locally = true);
+
+  /// Launches an agent to an explicit set of destinations only (used by
+  /// the adaptive shipping layer to interrogate selected peers). The
+  /// agent still clones onward from the targets if ttl > 1.
+  Status LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
+                  const std::vector<sim::NodeId>& targets);
+
+  /// Feeds a raw transport message into the engine (core nodes call this
+  /// from their network handler for kAgentTransferType messages).
+  Status OnMessage(const sim::SimMessage& msg);
+
+  /// Statistics.
+  uint64_t agents_received() const { return agents_received_; }
+  uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  uint64_t agents_executed() const { return agents_executed_; }
+  uint64_t clones_sent() const { return clones_sent_; }
+
+  sim::NodeId node() const { return node_; }
+
+ private:
+  /// Clones `msg` to all neighbours except `skip` (TTL-1, Hops+1).
+  void Forward(const AgentMessage& msg, sim::NodeId skip);
+
+  /// Reconstructs and executes the agent carried by `msg`.
+  Status ExecuteIncoming(const AgentMessage& msg);
+
+  /// Sends one agent message to `dst`, shipping class bytes if needed.
+  Status SendAgentTo(sim::NodeId dst, const AgentMessage& msg);
+
+  sim::SimNetwork* network_;
+  sim::NodeId node_;
+  const AgentRegistry* registry_;
+  CodeCache* code_cache_;
+  AgentHost* host_;
+  NeighborFn neighbors_;
+  AgentRuntimeOptions options_;
+
+  std::set<uint64_t> seen_;
+  uint64_t agents_received_ = 0;
+  uint64_t duplicates_dropped_ = 0;
+  uint64_t agents_executed_ = 0;
+  uint64_t clones_sent_ = 0;
+};
+
+}  // namespace bestpeer::agent
+
+#endif  // BESTPEER_AGENT_AGENT_RUNTIME_H_

@@ -1,0 +1,353 @@
+#include "baseline/cs_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bestpeer::baseline {
+
+namespace {
+
+// ---- wire formats ----------------------------------------------------
+
+struct QueryMessage {
+  uint64_t query_id = 0;
+  std::string keyword;
+
+  Bytes Encode() const {
+    BinaryWriter w;
+    w.WriteU64(query_id);
+    w.WriteString(keyword);
+    return w.Take();
+  }
+  static Result<QueryMessage> Decode(const Bytes& data) {
+    BinaryReader r(data);
+    QueryMessage m;
+    BP_ASSIGN_OR_RETURN(m.query_id, r.ReadU64());
+    BP_ASSIGN_OR_RETURN(m.keyword, r.ReadString());
+    return m;
+  }
+};
+
+struct AnswerMessage {
+  uint64_t query_id = 0;
+  sim::NodeId origin = sim::kInvalidNode;
+  std::vector<core::ResultItem> items;
+
+  Bytes Encode() const {
+    BinaryWriter w;
+    w.WriteU64(query_id);
+    w.WriteU32(origin);
+    w.WriteVarint(items.size());
+    for (const auto& item : items) {
+      w.WriteU64(item.id);
+      w.WriteString(item.name);
+      w.WriteBytes(item.content);
+    }
+    return w.Take();
+  }
+  static Result<AnswerMessage> Decode(const Bytes& data) {
+    BinaryReader r(data);
+    AnswerMessage m;
+    BP_ASSIGN_OR_RETURN(m.query_id, r.ReadU64());
+    BP_ASSIGN_OR_RETURN(m.origin, r.ReadU32());
+    BP_ASSIGN_OR_RETURN(uint64_t n, r.ReadVarint());
+    m.items.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      core::ResultItem item;
+      BP_ASSIGN_OR_RETURN(item.id, r.ReadU64());
+      BP_ASSIGN_OR_RETURN(item.name, r.ReadString());
+      BP_ASSIGN_OR_RETURN(item.content, r.ReadBytes());
+      m.items.push_back(std::move(item));
+    }
+    return m;
+  }
+};
+
+struct DoneMessage {
+  uint64_t query_id = 0;
+
+  Bytes Encode() const {
+    BinaryWriter w;
+    w.WriteU64(query_id);
+    return w.Take();
+  }
+  static Result<DoneMessage> Decode(const Bytes& data) {
+    BinaryReader r(data);
+    DoneMessage m;
+    BP_ASSIGN_OR_RETURN(m.query_id, r.ReadU64());
+    return m;
+  }
+};
+
+}  // namespace
+
+size_t CsSession::total_answers() const {
+  size_t n = 0;
+  for (const auto& e : answers_) n += e.answers;
+  return n;
+}
+
+size_t CsSession::responder_count() const {
+  std::set<sim::NodeId> seen;
+  for (const auto& e : answers_) seen.insert(e.node);
+  return seen.size();
+}
+
+SimTime CsSession::last_answer_time() const {
+  SimTime last = start_;
+  for (const auto& e : answers_) last = std::max(last, e.time);
+  return last - start_;
+}
+
+SimTime CsSession::completion_time() const {
+  return std::max(complete_time_ - start_, last_answer_time());
+}
+
+CsNode::CsNode(sim::SimNetwork* network, sim::NodeId node, CsConfig config)
+    : network_(network), node_(node), config_(std::move(config)) {}
+
+Result<std::unique_ptr<CsNode>> CsNode::Create(sim::SimNetwork* network,
+                                               sim::NodeId node,
+                                               CsConfig config) {
+  auto owned = std::unique_ptr<CsNode>(
+      new CsNode(network, node, std::move(config)));
+  BP_RETURN_IF_ERROR(owned->Init());
+  return owned;
+}
+
+Status CsNode::Init() {
+  BP_ASSIGN_OR_RETURN(codec_, MakeCodec(config_.codec));
+  dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
+  dispatcher_->Register(
+      kCsQueryType, [this](const sim::SimMessage& m) { OnQuery(m); });
+  dispatcher_->Register(
+      kCsAnswerType, [this](const sim::SimMessage& m) { OnAnswer(m); });
+  dispatcher_->Register(kCsDoneType,
+                        [this](const sim::SimMessage& m) { OnDone(m); });
+  return Status::OK();
+}
+
+Status CsNode::InitStorage(const storm::StormOptions& options) {
+  BP_ASSIGN_OR_RETURN(storage_, storm::Storm::Open(options));
+  return Status::OK();
+}
+
+Status CsNode::ShareObject(storm::ObjectId id, const Bytes& content) {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition("storage not initialized");
+  }
+  return storage_->Put(id, content);
+}
+
+void CsNode::AddNeighborLocal(sim::NodeId peer) { neighbors_.insert(peer); }
+
+std::vector<sim::NodeId> CsNode::Neighbors() const {
+  return std::vector<sim::NodeId>(neighbors_.begin(), neighbors_.end());
+}
+
+void CsNode::SendCompressed(sim::NodeId dst, uint32_t type,
+                            const Bytes& payload) {
+  auto compressed = codec_->Compress(payload);
+  if (!compressed.ok()) return;
+  network_->Send(node_, dst, type, std::move(compressed).value());
+}
+
+Result<uint64_t> CsNode::IssueQuery(const std::string& keyword) {
+  uint64_t query_id = (static_cast<uint64_t>(node_) << 32) | ++query_counter_;
+  sessions_.emplace(query_id,
+                    CsSession(query_id, network_->simulator().now()));
+
+  RelayState state;
+  state.is_base = true;
+  state.parent = sim::kInvalidNode;
+  state.children.assign(neighbors_.begin(), neighbors_.end());
+  state.keyword = keyword;
+  state.local_done = true;  // The base does not scan its own store.
+  relays_[query_id] = std::move(state);
+
+  AdvanceForwarding(query_id);
+  MaybeFinish(query_id);
+  return query_id;
+}
+
+void CsNode::AdvanceForwarding(uint64_t query_id) {
+  auto it = relays_.find(query_id);
+  if (it == relays_.end()) return;
+  RelayState& state = it->second;
+
+  QueryMessage query;
+  query.query_id = query_id;
+  query.keyword = state.keyword;
+  Bytes encoded = query.Encode();
+
+  if (config_.single_thread) {
+    // SCS: one outstanding child connection at a time.
+    if (state.next_child < state.children.size()) {
+      SendCompressed(state.children[state.next_child], kCsQueryType, encoded);
+      ++state.next_child;
+    }
+  } else {
+    // MCS: all children in parallel.
+    while (state.next_child < state.children.size()) {
+      SendCompressed(state.children[state.next_child], kCsQueryType, encoded);
+      ++state.next_child;
+    }
+  }
+}
+
+void CsNode::OnQuery(const sim::SimMessage& msg) {
+  auto payload = codec_->Decompress(msg.payload);
+  if (!payload.ok()) return;
+  auto query = QueryMessage::Decode(payload.value());
+  if (!query.ok()) return;
+
+  if (relays_.count(query->query_id) != 0) {
+    // Already participating (cyclic overlay): unblock the sender at once.
+    DoneMessage done;
+    done.query_id = query->query_id;
+    SendCompressed(msg.src, kCsDoneType, done.Encode());
+    return;
+  }
+
+  RelayState state;
+  state.parent = msg.src;
+  state.keyword = query->keyword;
+  for (sim::NodeId n : neighbors_) {
+    if (n != msg.src) state.children.push_back(n);
+  }
+  relays_[query->query_id] = std::move(state);
+
+  uint64_t query_id = query->query_id;
+  network_->Cpu(node_).Submit(config_.query_handling_cost,
+                              [this, query_id]() {
+                                AdvanceForwarding(query_id);
+                                StartLocalScan(query_id);
+                              });
+}
+
+void CsNode::StartLocalScan(uint64_t query_id) {
+  auto it = relays_.find(query_id);
+  if (it == relays_.end()) return;
+  RelayState& state = it->second;
+
+  if (storage_ == nullptr) {
+    state.local_done = true;
+    MaybeFinish(query_id);
+    return;
+  }
+  auto scan = storage_->ScanSearch(state.keyword);
+  if (!scan.ok()) {
+    state.local_done = true;
+    MaybeFinish(query_id);
+    return;
+  }
+  SimTime cost = static_cast<SimTime>(scan->objects_scanned) *
+                 config_.per_object_match_cost;
+  auto matches = std::move(scan->matches);
+  network_->Cpu(node_).Submit(cost, [this, query_id,
+                                     matches = std::move(matches)]() {
+    auto relay_it = relays_.find(query_id);
+    if (relay_it == relays_.end()) return;
+    RelayState& relay = relay_it->second;
+    if (!matches.empty()) {
+      AnswerMessage answer;
+      answer.query_id = query_id;
+      answer.origin = node_;
+      for (storm::ObjectId id : matches) {
+        core::ResultItem item;
+        item.id = id;
+        item.name = "obj-" + std::to_string(id);
+        if (config_.ship_content) {
+          auto content = storage_->Get(id);
+          if (content.ok()) item.content = std::move(content).value();
+        } else if (item.name.size() < config_.descriptor_bytes) {
+          item.name.resize(config_.descriptor_bytes, ' ');
+        }
+        answer.items.push_back(std::move(item));
+      }
+      // Answers go to the parent: back along the query path.
+      SendCompressed(relay.parent, kCsAnswerType, answer.Encode());
+    }
+    relay.local_done = true;
+    MaybeFinish(query_id);
+  });
+}
+
+void CsNode::OnAnswer(const sim::SimMessage& msg) {
+  auto payload = codec_->Decompress(msg.payload);
+  if (!payload.ok()) return;
+  auto answer = AnswerMessage::Decode(payload.value());
+  if (!answer.ok()) return;
+
+  auto it = relays_.find(answer->query_id);
+  if (it == relays_.end()) return;
+  RelayState& state = it->second;
+
+  if (state.is_base) {
+    auto session_it = sessions_.find(answer->query_id);
+    if (session_it == sessions_.end()) return;
+    core::ResponseEvent event;
+    event.time = network_->simulator().now();
+    event.node = answer->origin;
+    event.hops = 0;
+    event.answers = answer->items.size();
+    session_it->second.RecordAnswer(event);
+    return;
+  }
+  // Intermediate: relay immediately toward the base (implementation 2).
+  ++relayed_answers_;
+  sim::NodeId parent = state.parent;
+  Bytes reencoded = answer->Encode();
+  SimTime cost =
+      config_.relay_cost +
+      static_cast<SimTime>(static_cast<double>(reencoded.size()) *
+                           config_.relay_per_byte_cost_us);
+  network_->Cpu(node_).Submit(
+      cost, [this, parent, reencoded = std::move(reencoded)]() {
+        SendCompressed(parent, kCsAnswerType, reencoded);
+      });
+}
+
+void CsNode::OnDone(const sim::SimMessage& msg) {
+  auto payload = codec_->Decompress(msg.payload);
+  if (!payload.ok()) return;
+  auto done = DoneMessage::Decode(payload.value());
+  if (!done.ok()) return;
+
+  auto it = relays_.find(done->query_id);
+  if (it == relays_.end()) return;
+  RelayState& state = it->second;
+  ++state.children_done;
+  if (config_.single_thread) AdvanceForwarding(done->query_id);
+  MaybeFinish(done->query_id);
+}
+
+void CsNode::MaybeFinish(uint64_t query_id) {
+  auto it = relays_.find(query_id);
+  if (it == relays_.end()) return;
+  RelayState& state = it->second;
+  if (state.done_sent) return;
+  if (!state.local_done) return;
+  if (state.children_done < state.children.size()) return;
+
+  state.done_sent = true;
+  if (state.is_base) {
+    auto session_it = sessions_.find(query_id);
+    if (session_it != sessions_.end()) {
+      session_it->second.MarkComplete(network_->simulator().now());
+    }
+    return;
+  }
+  DoneMessage done;
+  done.query_id = query_id;
+  SendCompressed(state.parent, kCsDoneType, done.Encode());
+}
+
+const CsSession* CsNode::FindSession(uint64_t query_id) const {
+  auto it = sessions_.find(query_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bestpeer::baseline

@@ -1,0 +1,168 @@
+#ifndef BESTPEER_BASELINE_CS_NODE_H_
+#define BESTPEER_BASELINE_CS_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "core/messages.h"
+#include "core/session.h"
+#include "sim/dispatcher.h"
+#include "sim/network.h"
+#include "storm/storm.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::baseline {
+
+/// Client/server wire message types.
+constexpr uint32_t kCsQueryType = 0x43530001;
+constexpr uint32_t kCsAnswerType = 0x43530002;
+constexpr uint32_t kCsDoneType = 0x43530003;
+
+/// Client/server baseline configuration.
+struct CsConfig {
+  /// Single-thread CS (SCS): a node queries its children one at a time,
+  /// waiting for each subtree to complete before contacting the next.
+  /// Multi-thread CS (MCS) fans out to all children in parallel.
+  bool single_thread = false;
+  SimTime per_object_match_cost = Micros(15);
+  /// Fixed CPU to relay one answer message one hop toward the base node.
+  SimTime relay_cost = Micros(500);
+  /// Additional relay CPU per payload byte (store-and-forward copy
+  /// through the server's I/O stack; deep paths pay this repeatedly —
+  /// the §4.3 CS degradation).
+  double relay_per_byte_cost_us = 0.5;
+  /// Ship full object contents in answers (the counterpart of BestPeer's
+  /// answer mode 1); false returns fixed-size match descriptors, the
+  /// counterpart of mode 2 and of the paper's search-result lists.
+  bool ship_content = true;
+  /// Descriptor size when ship_content is false.
+  size_t descriptor_bytes = 64;
+  /// CPU to accept/parse one query at a server.
+  SimTime query_handling_cost = Micros(200);
+  std::string codec = "lzss";
+};
+
+/// Completion-tracked query state at the base node.
+class CsSession {
+ public:
+  CsSession() = default;
+  CsSession(uint64_t query_id, SimTime start)
+      : query_id_(query_id), start_(start) {}
+
+  void RecordAnswer(const core::ResponseEvent& event) {
+    answers_.push_back(event);
+  }
+  void MarkComplete(SimTime t) {
+    complete_ = true;
+    complete_time_ = t;
+  }
+
+  uint64_t query_id() const { return query_id_; }
+  SimTime start_time() const { return start_; }
+  bool complete() const { return complete_; }
+  const std::vector<core::ResponseEvent>& answers() const { return answers_; }
+
+  size_t total_answers() const;
+  size_t responder_count() const;
+
+  /// Completion: when all answers have been received and the Done wave
+  /// closed (relayed answers can trail the Done wave slightly, so take
+  /// the later of the two).
+  SimTime completion_time() const;
+
+  /// Time until the last answer arrived.
+  SimTime last_answer_time() const;
+
+ private:
+  uint64_t query_id_ = 0;
+  SimTime start_ = 0;
+  bool complete_ = false;
+  SimTime complete_time_ = 0;
+  std::vector<core::ResponseEvent> answers_;
+};
+
+/// The paper's Client/Server comparison model (§4): processes can be both
+/// client and server, but *answers must return along the query path* —
+/// each intermediate relays its subtree's answers toward the base node
+/// (footnote 3, implementation 2: relay immediately). Queries are plain
+/// messages (no code shipping), so CS wins on shallow topologies and
+/// degrades with depth, exactly the Fig. 5 trade-off.
+class CsNode {
+ public:
+  static Result<std::unique_ptr<CsNode>> Create(sim::SimNetwork* network,
+                                                sim::NodeId node,
+                                                CsConfig config);
+
+  CsNode(const CsNode&) = delete;
+  CsNode& operator=(const CsNode&) = delete;
+
+  /// Opens this node's storage.
+  Status InitStorage(const storm::StormOptions& options);
+  Status ShareObject(storm::ObjectId id, const Bytes& content);
+
+  /// Wires a neighbour locally (call on both endpoints).
+  void AddNeighborLocal(sim::NodeId peer);
+  std::vector<sim::NodeId> Neighbors() const;
+
+  /// Starts a query from this node (it becomes the base).
+  Result<uint64_t> IssueQuery(const std::string& keyword);
+
+  const CsSession* FindSession(uint64_t query_id) const;
+
+  sim::NodeId node() const { return node_; }
+  storm::Storm* storage() { return storage_.get(); }
+  uint64_t relayed_answers() const { return relayed_answers_; }
+
+ private:
+  /// Per-query relay state at intermediates.
+  struct RelayState {
+    sim::NodeId parent = sim::kInvalidNode;
+    std::vector<sim::NodeId> children;
+    size_t next_child = 0;      // SCS forwarding cursor.
+    size_t children_done = 0;
+    bool local_done = false;
+    bool done_sent = false;
+    bool is_base = false;
+    std::string keyword;
+  };
+
+  CsNode(sim::SimNetwork* network, sim::NodeId node, CsConfig config);
+  Status Init();
+
+  void OnQuery(const sim::SimMessage& msg);
+  void OnAnswer(const sim::SimMessage& msg);
+  void OnDone(const sim::SimMessage& msg);
+
+  /// Runs the local scan, then reports answers to the parent (or session).
+  void StartLocalScan(uint64_t query_id);
+
+  /// SCS: forward to the next unqueried child; MCS: to all children.
+  void AdvanceForwarding(uint64_t query_id);
+
+  /// Sends Done upstream once the local scan and all children completed.
+  void MaybeFinish(uint64_t query_id);
+
+  void SendCompressed(sim::NodeId dst, uint32_t type, const Bytes& payload);
+
+  sim::SimNetwork* network_;
+  sim::NodeId node_;
+  CsConfig config_;
+  std::shared_ptr<const Codec> codec_;
+  std::unique_ptr<sim::Dispatcher> dispatcher_;
+  std::unique_ptr<storm::Storm> storage_;
+
+  std::set<sim::NodeId> neighbors_;
+  std::map<uint64_t, RelayState> relays_;
+  std::map<uint64_t, CsSession> sessions_;
+  uint32_t query_counter_ = 0;
+  uint64_t relayed_answers_ = 0;
+};
+
+}  // namespace bestpeer::baseline
+
+#endif  // BESTPEER_BASELINE_CS_NODE_H_

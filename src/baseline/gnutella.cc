@@ -1,0 +1,461 @@
+#include "baseline/gnutella.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace bestpeer::baseline {
+
+// ---- wire formats -----------------------------------------------------
+
+Bytes GnutellaDescriptor::Encode() const {
+  BinaryWriter w;
+  w.WriteRaw(guid.data(), guid.size());
+  w.WriteU8(static_cast<uint8_t>(function));
+  w.WriteU8(ttl);
+  w.WriteU8(hops);
+  w.WriteBytes(payload);
+  return w.Take();
+}
+
+Result<GnutellaDescriptor> GnutellaDescriptor::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  GnutellaDescriptor d;
+  BP_ASSIGN_OR_RETURN(Bytes guid, r.ReadRaw(16));
+  std::copy(guid.begin(), guid.end(), d.guid.begin());
+  BP_ASSIGN_OR_RETURN(uint8_t fn, r.ReadU8());
+  switch (fn) {
+    case 0x00:
+      d.function = GnutellaFunction::kPing;
+      break;
+    case 0x01:
+      d.function = GnutellaFunction::kPong;
+      break;
+    case 0x40:
+      d.function = GnutellaFunction::kPush;
+      break;
+    case 0x80:
+      d.function = GnutellaFunction::kQuery;
+      break;
+    case 0x81:
+      d.function = GnutellaFunction::kQueryHit;
+      break;
+    default:
+      return Status::Corruption("unknown gnutella function");
+  }
+  BP_ASSIGN_OR_RETURN(d.ttl, r.ReadU8());
+  BP_ASSIGN_OR_RETURN(d.hops, r.ReadU8());
+  BP_ASSIGN_OR_RETURN(d.payload, r.ReadBytes());
+  return d;
+}
+
+Bytes GnutellaQuery::Encode() const {
+  BinaryWriter w;
+  w.WriteU16(min_speed);
+  w.WriteString(keywords);
+  return w.Take();
+}
+
+Result<GnutellaQuery> GnutellaQuery::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  GnutellaQuery q;
+  BP_ASSIGN_OR_RETURN(q.min_speed, r.ReadU16());
+  BP_ASSIGN_OR_RETURN(q.keywords, r.ReadString());
+  return q;
+}
+
+Bytes GnutellaPush::Encode() const {
+  BinaryWriter w;
+  w.WriteU32(target_servent);
+  w.WriteU32(requester);
+  w.WriteU32(file_index);
+  return w.Take();
+}
+
+Result<GnutellaPush> GnutellaPush::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  GnutellaPush p;
+  BP_ASSIGN_OR_RETURN(p.target_servent, r.ReadU32());
+  BP_ASSIGN_OR_RETURN(p.requester, r.ReadU32());
+  BP_ASSIGN_OR_RETURN(p.file_index, r.ReadU32());
+  return p;
+}
+
+Bytes GnutellaQueryHit::Encode() const {
+  BinaryWriter w;
+  w.WriteU32(responder);
+  w.WriteVarint(files.size());
+  for (const auto& f : files) {
+    w.WriteU32(f.index);
+    w.WriteU32(f.size);
+    w.WriteString(f.name);
+  }
+  return w.Take();
+}
+
+Result<GnutellaQueryHit> GnutellaQueryHit::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  GnutellaQueryHit h;
+  BP_ASSIGN_OR_RETURN(h.responder, r.ReadU32());
+  BP_ASSIGN_OR_RETURN(uint64_t n, r.ReadVarint());
+  h.files.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    FileEntry f;
+    BP_ASSIGN_OR_RETURN(f.index, r.ReadU32());
+    BP_ASSIGN_OR_RETURN(f.size, r.ReadU32());
+    BP_ASSIGN_OR_RETURN(f.name, r.ReadString());
+    h.files.push_back(std::move(f));
+  }
+  return h;
+}
+
+// ---- sessions ----------------------------------------------------------
+
+size_t GnutellaSession::total_files() const {
+  size_t n = 0;
+  for (const auto& h : hits_) n += h.answers;
+  return n;
+}
+
+size_t GnutellaSession::responder_count() const {
+  std::set<sim::NodeId> seen;
+  for (const auto& h : hits_) seen.insert(h.node);
+  return seen.size();
+}
+
+SimTime GnutellaSession::completion_time() const {
+  SimTime last = start_;
+  for (const auto& h : hits_) last = std::max(last, h.time);
+  return last - start_;
+}
+
+// ---- servant -----------------------------------------------------------
+
+GnutellaNode::GnutellaNode(sim::SimNetwork* network, sim::NodeId node,
+                           GnutellaConfig config)
+    : network_(network), node_(node), config_(config) {}
+
+Result<std::unique_ptr<GnutellaNode>> GnutellaNode::Create(
+    sim::SimNetwork* network, sim::NodeId node, GnutellaConfig config) {
+  auto owned = std::unique_ptr<GnutellaNode>(
+      new GnutellaNode(network, node, config));
+  BP_RETURN_IF_ERROR(owned->Init());
+  return owned;
+}
+
+Status GnutellaNode::Init() {
+  dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
+  dispatcher_->Register(
+      kGnutellaDescriptorType,
+      [this](const sim::SimMessage& m) { OnDescriptor(m); });
+  dispatcher_->Register(kGnutellaPushOpenType,
+                        [this](const sim::SimMessage&) {
+                          ++push_opens_received_;
+                        });
+  return Status::OK();
+}
+
+void GnutellaNode::AddNeighborLocal(sim::NodeId peer) {
+  neighbors_.insert(peer);
+}
+
+std::vector<sim::NodeId> GnutellaNode::Neighbors() const {
+  return std::vector<sim::NodeId>(neighbors_.begin(), neighbors_.end());
+}
+
+void GnutellaNode::ShareFile(const std::string& name, uint32_t size_bytes) {
+  files_.emplace_back(name, size_bytes);
+}
+
+Guid GnutellaNode::MakeGuid() {
+  Guid guid = {};
+  uint64_t a = Mix64((static_cast<uint64_t>(node_) << 32) | ++guid_counter_);
+  uint64_t b = Mix64(a ^ 0x9E3779B97F4A7C15ULL);
+  std::memcpy(guid.data(), &a, 8);
+  std::memcpy(guid.data() + 8, &b, 8);
+  return guid;
+}
+
+uint64_t GnutellaNode::GuidKey(const Guid& guid) {
+  uint64_t key;
+  std::memcpy(&key, guid.data(), 8);
+  return key;
+}
+
+Result<uint64_t> GnutellaNode::IssueQuery(const std::string& keywords,
+                                          uint8_t ttl) {
+  if (ttl == 0) ttl = config_.default_ttl;
+  GnutellaDescriptor desc;
+  desc.guid = MakeGuid();
+  desc.function = GnutellaFunction::kQuery;
+  desc.ttl = ttl;
+  desc.hops = 0;
+  GnutellaQuery query;
+  query.keywords = keywords;
+  desc.payload = query.Encode();
+
+  uint64_t key = GuidKey(desc.guid);
+  seen_.insert(key);
+  sessions_.emplace(key, GnutellaSession(network_->simulator().now()));
+  Flood(desc, /*skip=*/node_);
+  return key;
+}
+
+void GnutellaNode::SendPing() {
+  GnutellaDescriptor desc;
+  desc.guid = MakeGuid();
+  desc.function = GnutellaFunction::kPing;
+  desc.ttl = config_.default_ttl;
+  desc.hops = 0;
+  seen_.insert(GuidKey(desc.guid));
+  Flood(desc, node_);
+}
+
+void GnutellaNode::Flood(GnutellaDescriptor desc, sim::NodeId skip) {
+  for (sim::NodeId n : neighbors_) {
+    if (n == skip) continue;
+    GnutellaDescriptor copy = desc;
+    network_->Cpu(node_).Submit(config_.route_cost, [this, n, copy]() {
+      network_->Send(node_, n, kGnutellaDescriptorType, copy.Encode());
+    });
+  }
+}
+
+void GnutellaNode::OnDescriptor(const sim::SimMessage& msg) {
+  auto desc = GnutellaDescriptor::Decode(msg.payload);
+  if (!desc.ok()) return;
+  switch (desc->function) {
+    case GnutellaFunction::kQuery:
+      HandleQuery(desc.value(), msg.src);
+      break;
+    case GnutellaFunction::kQueryHit:
+      HandleQueryHit(desc.value(), msg.src);
+      break;
+    case GnutellaFunction::kPing:
+      HandlePing(desc.value(), msg.src);
+      break;
+    case GnutellaFunction::kPong:
+      HandlePong(desc.value(), msg.src);
+      break;
+    case GnutellaFunction::kPush:
+      HandlePush(desc.value(), msg.src);
+      break;
+  }
+}
+
+void GnutellaNode::HandleQuery(const GnutellaDescriptor& desc,
+                               sim::NodeId from) {
+  uint64_t key = GuidKey(desc.guid);
+  if (!seen_.insert(key).second) {
+    ++duplicates_dropped_;
+    return;
+  }
+  // Remember the reverse route for QueryHits.
+  query_routes_[key] = from;
+
+  // Forward the query (TTL permitting).
+  if (desc.ttl > 1) {
+    GnutellaDescriptor fwd = desc;
+    fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
+    fwd.hops = static_cast<uint8_t>(desc.hops + 1);
+    Flood(fwd, from);
+    ++descriptors_routed_;
+  }
+
+  // Match against the local file names.
+  auto query = GnutellaQuery::Decode(desc.payload);
+  if (!query.ok()) return;
+  GnutellaQueryHit hit;
+  hit.responder = node_;
+  uint32_t index = 0;
+  for (const auto& [name, size] : files_) {
+    if (ContainsKeyword(name, query->keywords)) {
+      GnutellaQueryHit::FileEntry entry;
+      entry.index = index;
+      entry.size = size;
+      entry.name = name;
+      // Pad names to the modelled per-entry wire size.
+      if (entry.name.size() < config_.file_entry_bytes) {
+        entry.name.resize(config_.file_entry_bytes, ' ');
+      }
+      hit.files.push_back(std::move(entry));
+    }
+    ++index;
+  }
+  SimTime scan_cost = static_cast<SimTime>(files_.size()) *
+                      config_.per_file_match_cost;
+  if (hit.files.empty()) {
+    // Still charge the scan.
+    network_->Cpu(node_).Submit(scan_cost, []() {});
+    return;
+  }
+  GnutellaDescriptor reply;
+  reply.guid = desc.guid;
+  reply.function = GnutellaFunction::kQueryHit;
+  reply.ttl = static_cast<uint8_t>(desc.hops + 1);
+  reply.hops = 0;
+  reply.payload = hit.Encode();
+  // QueryHit goes back the way the Query came: to `from`.
+  network_->Cpu(node_).Submit(scan_cost, [this, from, reply]() {
+    network_->Send(node_, from, kGnutellaDescriptorType, reply.Encode());
+  });
+}
+
+void GnutellaNode::HandleQueryHit(const GnutellaDescriptor& desc,
+                                  sim::NodeId from) {
+  uint64_t key = GuidKey(desc.guid);
+  // Remember which neighbour can reach the responder (Push routing).
+  {
+    auto hit = GnutellaQueryHit::Decode(desc.payload);
+    if (hit.ok()) push_routes_[hit->responder] = from;
+  }
+  auto session_it = sessions_.find(key);
+  if (session_it != sessions_.end()) {
+    // We initiated this query: consume the hit.
+    auto hit = GnutellaQueryHit::Decode(desc.payload);
+    if (!hit.ok()) return;
+    core::ResponseEvent event;
+    event.time = network_->simulator().now();
+    event.node = hit->responder;
+    event.hops = desc.hops;
+    event.answers = hit->files.size();
+    session_it->second.RecordHit(event);
+    return;
+  }
+  // Route back along the reverse path.
+  auto route = query_routes_.find(key);
+  if (route == query_routes_.end()) return;  // No route: drop.
+  if (desc.ttl == 0) return;
+  GnutellaDescriptor fwd = desc;
+  fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
+  fwd.hops = static_cast<uint8_t>(desc.hops + 1);
+  sim::NodeId next = route->second;
+  ++descriptors_routed_;
+  SimTime cost =
+      config_.route_cost +
+      static_cast<SimTime>(static_cast<double>(desc.payload.size()) *
+                           config_.relay_per_byte_cost_us);
+  network_->Cpu(node_).Submit(cost, [this, next, fwd]() {
+    network_->Send(node_, next, kGnutellaDescriptorType, fwd.Encode());
+  });
+}
+
+void GnutellaNode::HandlePing(const GnutellaDescriptor& desc,
+                              sim::NodeId from) {
+  uint64_t key = GuidKey(desc.guid);
+  if (!seen_.insert(key).second) {
+    ++duplicates_dropped_;
+    return;
+  }
+  ping_routes_[key] = from;
+  if (desc.ttl > 1) {
+    GnutellaDescriptor fwd = desc;
+    fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
+    fwd.hops = static_cast<uint8_t>(desc.hops + 1);
+    Flood(fwd, from);
+  }
+  // Answer with a Pong carrying our file count (as servants do).
+  GnutellaDescriptor pong;
+  pong.guid = desc.guid;
+  pong.function = GnutellaFunction::kPong;
+  pong.ttl = static_cast<uint8_t>(desc.hops + 1);
+  pong.hops = 0;
+  BinaryWriter w;
+  w.WriteU32(node_);
+  w.WriteU32(static_cast<uint32_t>(files_.size()));
+  pong.payload = w.Take();
+  network_->Cpu(node_).Submit(config_.route_cost, [this, from, pong]() {
+    network_->Send(node_, from, kGnutellaDescriptorType, pong.Encode());
+  });
+}
+
+void GnutellaNode::HandlePong(const GnutellaDescriptor& desc,
+                              sim::NodeId from) {
+  (void)from;
+  uint64_t key = GuidKey(desc.guid);
+  if (sessions_.count(key) != 0 || ping_routes_.count(key) == 0) {
+    ++pongs_received_;
+    return;
+  }
+  auto route = ping_routes_.find(key);
+  if (desc.ttl == 0) return;
+  GnutellaDescriptor fwd = desc;
+  fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
+  fwd.hops = static_cast<uint8_t>(desc.hops + 1);
+  sim::NodeId next = route->second;
+  network_->Cpu(node_).Submit(config_.route_cost, [this, next, fwd]() {
+    network_->Send(node_, next, kGnutellaDescriptorType, fwd.Encode());
+  });
+}
+
+Status GnutellaNode::SendPush(uint64_t query_key, sim::NodeId target_servent,
+                              uint32_t file_index) {
+  if (sessions_.count(query_key) == 0) {
+    return Status::NotFound("not the initiator of that query");
+  }
+  auto route = push_routes_.find(target_servent);
+  if (route == push_routes_.end()) {
+    return Status::NotFound("no QueryHit route to servent " +
+                            std::to_string(target_servent));
+  }
+  GnutellaDescriptor desc;
+  desc.guid = MakeGuid();
+  desc.function = GnutellaFunction::kPush;
+  desc.ttl = config_.default_ttl;
+  desc.hops = 0;
+  GnutellaPush push;
+  push.target_servent = target_servent;
+  push.requester = node_;
+  push.file_index = file_index;
+  desc.payload = push.Encode();
+  sim::NodeId next = route->second;
+  network_->Cpu(node_).Submit(config_.route_cost, [this, next, desc]() {
+    network_->Send(node_, next, kGnutellaDescriptorType, desc.Encode());
+  });
+  return Status::OK();
+}
+
+void GnutellaNode::HandlePush(const GnutellaDescriptor& desc,
+                              sim::NodeId from) {
+  (void)from;
+  auto push = GnutellaPush::Decode(desc.payload);
+  if (!push.ok()) return;
+  if (push->target_servent == node_) {
+    // We are being pushed: open the data connection to the requester
+    // ourselves (modelled as one out-of-band message carrying the file).
+    ++pushes_served_;
+    uint32_t size = 1024;
+    if (push->file_index < files_.size()) {
+      size = files_[push->file_index].second;
+    }
+    sim::NodeId requester = push->requester;
+    network_->Cpu(node_).Submit(
+        config_.route_cost, [this, requester, size]() {
+          network_->Send(node_, requester, kGnutellaPushOpenType,
+                         Bytes(size, 0));
+        });
+    return;
+  }
+  // Forward along the recorded QueryHit path.
+  if (desc.ttl == 0) return;
+  auto route = push_routes_.find(push->target_servent);
+  if (route == push_routes_.end()) return;
+  GnutellaDescriptor fwd = desc;
+  fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
+  fwd.hops = static_cast<uint8_t>(desc.hops + 1);
+  sim::NodeId next = route->second;
+  ++descriptors_routed_;
+  network_->Cpu(node_).Submit(config_.route_cost, [this, next, fwd]() {
+    network_->Send(node_, next, kGnutellaDescriptorType, fwd.Encode());
+  });
+}
+
+const GnutellaSession* GnutellaNode::FindSession(uint64_t query_key) const {
+  auto it = sessions_.find(query_key);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace bestpeer::baseline

@@ -1,0 +1,17 @@
+#include "compress/codec.h"
+
+#include "compress/lzss_codec.h"
+
+namespace bestpeer {
+
+Result<std::shared_ptr<const Codec>> MakeCodec(std::string_view name) {
+  if (name == "null") {
+    return std::shared_ptr<const Codec>(std::make_shared<NullCodec>());
+  }
+  if (name == "lzss") {
+    return std::shared_ptr<const Codec>(std::make_shared<LzssCodec>());
+  }
+  return Status::InvalidArgument("unknown codec: " + std::string(name));
+}
+
+}  // namespace bestpeer

@@ -1,0 +1,48 @@
+#ifndef BESTPEER_COMPRESS_CODEC_H_
+#define BESTPEER_COMPRESS_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace bestpeer {
+
+/// Lossless byte-stream codec interface.
+///
+/// The paper (Section 4.2) compresses every agent and message with GZIP,
+/// transparently to application code. BestPeer's transport applies a Codec
+/// to each payload before it is charged to the simulated wire, so smaller
+/// payloads genuinely reduce transmission time.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// The codec's registered name ("null", "lzss").
+  virtual std::string_view name() const = 0;
+
+  /// Compresses `input`; the output must round-trip through Decompress.
+  virtual Result<Bytes> Compress(const Bytes& input) const = 0;
+
+  /// Decompresses a buffer produced by Compress.
+  virtual Result<Bytes> Decompress(const Bytes& input) const = 0;
+};
+
+/// Identity codec (compression disabled).
+class NullCodec : public Codec {
+ public:
+  std::string_view name() const override { return "null"; }
+  Result<Bytes> Compress(const Bytes& input) const override { return input; }
+  Result<Bytes> Decompress(const Bytes& input) const override {
+    return input;
+  }
+};
+
+/// Returns a codec by name ("null", "lzss"), or InvalidArgument.
+Result<std::shared_ptr<const Codec>> MakeCodec(std::string_view name);
+
+}  // namespace bestpeer
+
+#endif  // BESTPEER_COMPRESS_CODEC_H_

@@ -1,0 +1,150 @@
+#include "compress/lzss_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace bestpeer {
+
+namespace {
+
+// Hash of a 3-byte prefix, used to index candidate match positions.
+inline uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> 19;  // 13-bit hash.
+}
+
+constexpr size_t kHashSlots = 1 << 13;
+constexpr int kChainProbes = 16;
+
+}  // namespace
+
+Result<Bytes> LzssCodec::Compress(const Bytes& input) const {
+  BinaryWriter header;
+  header.WriteVarint(input.size());
+  Bytes out = header.Take();
+  if (input.empty()) return out;
+
+  // head[h]: most recent position whose 3-byte prefix hashed to h.
+  // prev[i % window]: previous position in the same hash chain.
+  std::vector<int64_t> head(kHashSlots, -1);
+  std::vector<int64_t> prev(kWindowSize, -1);
+
+  const uint8_t* data = input.data();
+  const size_t n = input.size();
+
+  size_t pos = 0;
+  size_t flag_at = 0;  // Offset of the pending flag byte in `out`.
+  int tokens_in_group = 0;
+
+  auto begin_group = [&]() {
+    flag_at = out.size();
+    out.push_back(0);
+    tokens_in_group = 0;
+  };
+  begin_group();
+
+  auto insert_pos = [&](size_t p) {
+    if (p + kMinMatch > n) return;
+    uint32_t h = Hash3(data + p);
+    prev[p % kWindowSize] = head[h];
+    head[h] = static_cast<int64_t>(p);
+  };
+
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+
+    if (pos + kMinMatch <= n) {
+      uint32_t h = Hash3(data + pos);
+      int64_t cand = head[h];
+      int probes = kChainProbes;
+      while (cand >= 0 && probes-- > 0) {
+        size_t dist = pos - static_cast<size_t>(cand);
+        if (dist == 0 || dist > kWindowSize) break;
+        size_t limit = std::min(kMaxMatch, n - pos);
+        size_t len = 0;
+        const uint8_t* a = data + cand;
+        const uint8_t* b = data + pos;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == kMaxMatch) break;
+        }
+        int64_t nxt = prev[cand % kWindowSize];
+        // Chains can wrap once positions fall out of the window; stop if
+        // the link no longer points strictly backwards.
+        if (nxt >= cand) break;
+        cand = nxt;
+      }
+    }
+
+    if (tokens_in_group == 8) begin_group();
+
+    if (best_len >= kMinMatch) {
+      // Match token: set flag bit; pack distance-1 (12 bits) and
+      // length-kMinMatch (4 bits) into 2 bytes.
+      out[flag_at] |= static_cast<uint8_t>(1u << tokens_in_group);
+      uint16_t packed = static_cast<uint16_t>(
+          ((best_dist - 1) << 4) | (best_len - kMinMatch));
+      out.push_back(static_cast<uint8_t>(packed & 0xFF));
+      out.push_back(static_cast<uint8_t>(packed >> 8));
+      for (size_t i = 0; i < best_len; ++i) insert_pos(pos + i);
+      pos += best_len;
+    } else {
+      out.push_back(data[pos]);
+      insert_pos(pos);
+      pos += 1;
+    }
+    ++tokens_in_group;
+  }
+  return out;
+}
+
+Result<Bytes> LzssCodec::Decompress(const Bytes& input) const {
+  BinaryReader reader(input);
+  BP_ASSIGN_OR_RETURN(uint64_t raw_len, reader.ReadVarint());
+  // The format cannot expand a token stream by more than ~9x (a 17-byte
+  // group of 8 match tokens decodes to at most 144 bytes). A declared
+  // length beyond that bound is corrupt — and must be rejected *before*
+  // reserving memory, or hostile input could force huge allocations.
+  if (raw_len > (input.size() + 1) * 16) {
+    return Status::Corruption("lzss: declared length implausibly large");
+  }
+  Bytes out;
+  out.reserve(raw_len);
+
+  while (out.size() < raw_len) {
+    BP_ASSIGN_OR_RETURN(uint8_t flags, reader.ReadU8());
+    for (int bit = 0; bit < 8 && out.size() < raw_len; ++bit) {
+      if (flags & (1u << bit)) {
+        BP_ASSIGN_OR_RETURN(uint8_t lo, reader.ReadU8());
+        BP_ASSIGN_OR_RETURN(uint8_t hi, reader.ReadU8());
+        uint16_t packed =
+            static_cast<uint16_t>(lo) | (static_cast<uint16_t>(hi) << 8);
+        size_t dist = static_cast<size_t>(packed >> 4) + 1;
+        size_t len = static_cast<size_t>(packed & 0x0F) + kMinMatch;
+        if (dist > out.size()) {
+          return Status::Corruption("lzss: match distance exceeds output");
+        }
+        if (out.size() + len > raw_len) {
+          return Status::Corruption("lzss: match overruns declared length");
+        }
+        size_t src = out.size() - dist;
+        for (size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+      } else {
+        BP_ASSIGN_OR_RETURN(uint8_t b, reader.ReadU8());
+        out.push_back(b);
+      }
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("lzss: trailing bytes after declared length");
+  }
+  return out;
+}
+
+}  // namespace bestpeer

@@ -1,0 +1,28 @@
+#ifndef BESTPEER_COMPRESS_LZSS_CODEC_H_
+#define BESTPEER_COMPRESS_LZSS_CODEC_H_
+
+#include "compress/codec.h"
+
+namespace bestpeer {
+
+/// LZSS compressor: LZ77-family sliding-window codec, the core transform
+/// inside gzip/DEFLATE. Stands in for the paper's GZIP layer.
+///
+/// Format: [varint raw_len] then a token stream. Each group of up to 8
+/// tokens is preceded by a flag byte (bit i set = token i is a match).
+/// Literal tokens are 1 raw byte; match tokens are 2 bytes packing a
+/// 12-bit distance (1..4096) and 4-bit length (3..18).
+class LzssCodec : public Codec {
+ public:
+  static constexpr size_t kWindowSize = 4096;
+  static constexpr size_t kMinMatch = 3;
+  static constexpr size_t kMaxMatch = 18;
+
+  std::string_view name() const override { return "lzss"; }
+  Result<Bytes> Compress(const Bytes& input) const override;
+  Result<Bytes> Decompress(const Bytes& input) const override;
+};
+
+}  // namespace bestpeer
+
+#endif  // BESTPEER_COMPRESS_LZSS_CODEC_H_

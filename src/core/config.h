@@ -1,0 +1,94 @@
+#ifndef BESTPEER_CORE_CONFIG_H_
+#define BESTPEER_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.h"
+
+namespace bestpeer::core {
+
+/// How answers travel back to the query initiator (paper §2).
+enum class AnswerMode : uint8_t {
+  /// Mode 1: matching nodes return the answers (object contents) directly.
+  kDirect = 1,
+  /// Mode 2: matching nodes return match descriptors only; the initiator
+  /// then fetches the content it wants (out-of-network download).
+  kIndicate = 2,
+};
+
+/// Per-node BestPeer configuration.
+struct BestPeerConfig {
+  /// Maximum direct peers (the paper's k; "every BestPeer node has its
+  /// own control over the maximum number of direct peers it can have").
+  size_t max_direct_peers = 4;
+
+  /// Reconfiguration strategy: "maxcount", "minhops" or "none" (= BPS).
+  std::string strategy = "maxcount";
+
+  /// Answer return mode.
+  AnswerMode answer_mode = AnswerMode::kDirect;
+
+  /// Default agent TTL for searches.
+  uint16_t default_ttl = 7;
+
+  /// Transport codec ("lzss" reproduces the paper's GZIP layer; "null"
+  /// turns compression off).
+  std::string codec = "lzss";
+
+  /// Whether IssueSearch also runs the agent on the local store.
+  bool search_local_store = false;
+
+  /// In mode 2, automatically fetch content for every descriptor received.
+  bool auto_fetch = true;
+
+  /// Inbound connection cap: a node accepts peer-connect notices only
+  /// while its total peer count is below this. 0 means 2x
+  /// max_direct_peers (outgoing adoption is always bounded by k; the
+  /// overflow headroom is for inbound links, like a servent's separate
+  /// incoming-connection limit).
+  size_t max_accepted_peers = 0;
+
+  /// Effective inbound acceptance cap.
+  size_t AcceptCap() const {
+    return max_accepted_peers != 0 ? max_accepted_peers
+                                   : 2 * max_direct_peers;
+  }
+
+  /// Weight of accumulated answer history when reconfiguring: the score
+  /// fed to the strategy is answers + history_weight * previous_score,
+  /// and unobserved nodes decay by the same factor. 0 (default) ranks by
+  /// the last query only, as in the paper; values near 1 make the peer
+  /// set sticky against one-off outliers.
+  double history_weight = 0.0;
+
+  // --- cost model -------------------------------------------------------
+
+  /// CPU per object examined by a StorM search agent.
+  SimTime per_object_match_cost = Micros(15);
+
+  /// CPU to handle one incoming result message at the initiator.
+  SimTime result_handling_cost = Micros(200);
+
+  /// CPU for a responder to serve one fetched object (mode 2).
+  SimTime fetch_per_object_cost = Micros(50);
+
+  /// Modelled size of one mode-2 match descriptor on the wire.
+  size_t answer_descriptor_bytes = 64;
+
+  /// CPU to rebuild an agent at a peer site.
+  SimTime agent_reconstruct_cost = Millis(4);
+
+  /// CPU to load an agent class on first arrival at a node.
+  SimTime agent_class_load_cost = Millis(8);
+
+  /// CPU to clone-and-forward an agent to one neighbour.
+  SimTime agent_forward_cost = Micros(300);
+
+  /// Registered byte size of the StorM search agent class.
+  size_t search_agent_code_bytes = 16 * 1024;
+};
+
+}  // namespace bestpeer::core
+
+#endif  // BESTPEER_CORE_CONFIG_H_

@@ -1,0 +1,142 @@
+#ifndef BESTPEER_CORE_MESSAGES_H_
+#define BESTPEER_CORE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "storm/object_store.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace bestpeer::core {
+
+/// BestPeer wire message types (agent transfers use
+/// agent::kAgentTransferType).
+constexpr uint32_t kSearchResultType = 0x42500001;
+constexpr uint32_t kFetchReqType = 0x42500002;
+constexpr uint32_t kFetchRespType = 0x42500003;
+constexpr uint32_t kActiveObjReqType = 0x42500004;
+constexpr uint32_t kActiveObjRespType = 0x42500005;
+constexpr uint32_t kPeerConnectType = 0x42500006;
+constexpr uint32_t kPeerDisconnectType = 0x42500007;
+constexpr uint32_t kDataShipReqType = 0x42500008;
+constexpr uint32_t kDataShipRespType = 0x42500009;
+constexpr uint32_t kReplicatePushType = 0x4250000A;
+constexpr uint32_t kWatchReqType = 0x4250000B;
+constexpr uint32_t kUpdateNotifyType = 0x4250000C;
+
+/// One matched object inside a result or fetch response. Mode-1 results
+/// and fetch responses carry content; mode-2 results carry name only.
+struct ResultItem {
+  storm::ObjectId id = 0;
+  std::string name;
+  Bytes content;
+};
+
+/// A search result sent *directly* to the base node by a peer whose store
+/// matched the query (out-of-network return, paper §2). Carries the Hops
+/// value piggybacked for the MinHops strategy (§3.3).
+struct SearchResultMessage {
+  uint64_t query_id = 0;
+  uint16_t hops = 0;
+  uint8_t mode = 1;
+  /// Size of the responder's shared store (objects scanned); the
+  /// initiator uses it as the store-size hint for adaptive shipping.
+  uint32_t responder_object_count = 0;
+  std::vector<ResultItem> items;
+
+  Bytes Encode() const;
+  static Result<SearchResultMessage> Decode(const Bytes& data);
+};
+
+/// Data-shipping request (§6 future work): pull the peer's entire shared
+/// store so the requester can scan it locally.
+struct DataShipRequest {
+  uint64_t query_id = 0;
+
+  Bytes Encode() const;
+  static Result<DataShipRequest> Decode(const Bytes& data);
+};
+
+/// The peer's store contents, shipped back for local processing.
+struct DataShipResponse {
+  uint64_t query_id = 0;
+  std::vector<ResultItem> items;
+
+  Bytes Encode() const;
+  static Result<DataShipResponse> Decode(const Bytes& data);
+};
+
+/// Mode-2 follow-up: the initiator asks a responder for object contents.
+struct FetchRequestMessage {
+  uint64_t query_id = 0;
+  std::vector<storm::ObjectId> ids;
+
+  Bytes Encode() const;
+  static Result<FetchRequestMessage> Decode(const Bytes& data);
+};
+
+/// Contents served for a FetchRequestMessage.
+struct FetchResponseMessage {
+  uint64_t query_id = 0;
+  std::vector<ResultItem> items;
+
+  Bytes Encode() const;
+  static Result<FetchResponseMessage> Decode(const Bytes& data);
+};
+
+/// Replica push: the owner copies objects to a peer so they can be
+/// answered closer to future requesters (the paper's §6 replication
+/// direction). Receivers store copies under the same global ids.
+struct ReplicatePushMessage {
+  std::vector<ResultItem> items;
+
+  Bytes Encode() const;
+  static Result<ReplicatePushMessage> Decode(const Bytes& data);
+};
+
+/// Watch subscription: the sender wants kUpdateNotifyType messages when
+/// the receiver's shared store changes (§3.4: "a node may particularly
+/// be interested in monitoring the updates of a set of peers").
+struct WatchRequest {
+  bool subscribe = true;  // false = unsubscribe.
+
+  Bytes Encode() const;
+  static Result<WatchRequest> Decode(const Bytes& data);
+};
+
+/// Pushed to watchers when a shared object is added/updated/removed.
+struct UpdateNotifyMessage {
+  enum class Kind : uint8_t { kAdded = 0, kUpdated = 1, kRemoved = 2 };
+  Kind kind = Kind::kAdded;
+  storm::ObjectId object_id = 0;
+
+  Bytes Encode() const;
+  static Result<UpdateNotifyMessage> Decode(const Bytes& data);
+};
+
+/// Request to render a named active object at `level` access.
+struct ActiveObjectRequest {
+  uint64_t request_id = 0;
+  std::string object_name;
+  uint8_t access_level = 0;
+
+  Bytes Encode() const;
+  static Result<ActiveObjectRequest> Decode(const Bytes& data);
+};
+
+/// Rendered active-object content (or an error flag).
+struct ActiveObjectResponse {
+  uint64_t request_id = 0;
+  bool ok = false;
+  Bytes content;
+
+  Bytes Encode() const;
+  static Result<ActiveObjectResponse> Decode(const Bytes& data);
+};
+
+}  // namespace bestpeer::core
+
+#endif  // BESTPEER_CORE_MESSAGES_H_

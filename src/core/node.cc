@@ -1,0 +1,792 @@
+#include "core/node.h"
+
+#include <utility>
+
+#include "core/search_agent.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace bestpeer::core {
+
+Status RegisterBuiltinAgents(agent::AgentRegistry* registry,
+                             const BestPeerConfig& config) {
+  if (!registry->Contains(kSearchAgentClass)) {
+    BP_RETURN_IF_ERROR(registry->Register(
+        kSearchAgentClass, config.search_agent_code_bytes,
+        []() { return std::make_unique<SearchAgent>(); }));
+  }
+  if (!registry->Contains(kComputeAgentClass)) {
+    BP_RETURN_IF_ERROR(registry->Register(
+        kComputeAgentClass, config.search_agent_code_bytes,
+        []() { return std::make_unique<ComputeAgent>(); }));
+  }
+  return Status::OK();
+}
+
+BestPeerNode::BestPeerNode(sim::SimNetwork* network, sim::NodeId node,
+                           SharedInfra* infra, BestPeerConfig config)
+    : network_(network),
+      node_(node),
+      infra_(infra),
+      config_(std::move(config)),
+      peers_(config_.max_direct_peers),
+      next_file_object_id_((static_cast<uint64_t>(node) << 32) |
+                           0x80000000ULL) {}
+
+Result<std::unique_ptr<BestPeerNode>> BestPeerNode::Create(
+    sim::SimNetwork* network, sim::NodeId node, SharedInfra* infra,
+    BestPeerConfig config) {
+  auto owned = std::unique_ptr<BestPeerNode>(
+      new BestPeerNode(network, node, infra, std::move(config)));
+  BP_RETURN_IF_ERROR(owned->Init());
+  return owned;
+}
+
+Status BestPeerNode::Init() {
+  BP_ASSIGN_OR_RETURN(codec_, MakeCodec(config_.codec));
+  BP_ASSIGN_OR_RETURN(strategy_, MakeReconfigStrategy(config_.strategy));
+  BP_RETURN_IF_ERROR(RegisterBuiltinAgents(&infra_->agent_registry, config_));
+
+  dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
+  liglo_ = std::make_unique<liglo::LigloClient>(
+      network_, dispatcher_.get(), node_, &infra_->ip_directory);
+
+  agent::AgentRuntimeOptions agent_options;
+  agent_options.reconstruct_cost = config_.agent_reconstruct_cost;
+  agent_options.class_load_cost = config_.agent_class_load_cost;
+  agent_options.forward_cost = config_.agent_forward_cost;
+  agent_options.codec = codec_;
+  runtime_ = std::make_unique<agent::AgentRuntime>(
+      network_, node_, &infra_->agent_registry, &infra_->code_cache, this,
+      [this]() { return peers_.Nodes(); }, agent_options);
+
+  dispatcher_->Register(agent::kAgentTransferType,
+                        [this](const sim::SimMessage& m) {
+                          Status s = runtime_->OnMessage(m);
+                          if (!s.ok()) {
+                            BP_LOG(Warn) << "agent transfer failed at node "
+                                         << node_ << ": " << s.ToString();
+                          }
+                        });
+  dispatcher_->Register(kSearchResultType, [this](const sim::SimMessage& m) {
+    OnSearchResult(m);
+  });
+  dispatcher_->Register(kFetchReqType, [this](const sim::SimMessage& m) {
+    OnFetchRequest(m);
+  });
+  dispatcher_->Register(kFetchRespType, [this](const sim::SimMessage& m) {
+    OnFetchResponse(m);
+  });
+  dispatcher_->Register(kActiveObjReqType, [this](const sim::SimMessage& m) {
+    OnActiveObjectRequest(m);
+  });
+  dispatcher_->Register(kActiveObjRespType, [this](const sim::SimMessage& m) {
+    OnActiveObjectResponse(m);
+  });
+  dispatcher_->Register(kDataShipReqType, [this](const sim::SimMessage& m) {
+    OnDataShipRequest(m);
+  });
+  dispatcher_->Register(kReplicatePushType,
+                        [this](const sim::SimMessage& m) {
+                          OnReplicatePush(m);
+                        });
+  dispatcher_->Register(kWatchReqType, [this](const sim::SimMessage& m) {
+    OnWatchRequest(m);
+  });
+  dispatcher_->Register(kUpdateNotifyType,
+                        [this](const sim::SimMessage& m) {
+                          OnUpdateNotify(m);
+                        });
+  dispatcher_->Register(kDataShipRespType,
+                        [this](const sim::SimMessage& m) {
+                          OnDataShipResponse(m);
+                        });
+  dispatcher_->Register(kPeerConnectType, [this](const sim::SimMessage& m) {
+    OnPeerConnect(m);
+  });
+  dispatcher_->Register(kPeerDisconnectType,
+                        [this](const sim::SimMessage& m) {
+                          OnPeerDisconnect(m);
+                        });
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- storage
+
+Status BestPeerNode::InitStorage(const storm::StormOptions& options) {
+  BP_ASSIGN_OR_RETURN(storage_, storm::Storm::Open(options));
+  return Status::OK();
+}
+
+Status BestPeerNode::ShareObject(storm::ObjectId id, const Bytes& content) {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition("storage not initialized");
+  }
+  BP_RETURN_IF_ERROR(storage_->Put(id, content));
+  NotifyWatchers(UpdateNotifyMessage::Kind::kAdded, id);
+  return Status::OK();
+}
+
+Status BestPeerNode::UnshareObject(storm::ObjectId id) {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition("storage not initialized");
+  }
+  BP_RETURN_IF_ERROR(storage_->Delete(id));
+  NotifyWatchers(UpdateNotifyMessage::Kind::kRemoved, id);
+  return Status::OK();
+}
+
+Status BestPeerNode::UpdateObject(storm::ObjectId id, const Bytes& content) {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition("storage not initialized");
+  }
+  BP_RETURN_IF_ERROR(storage_->Update(id, content));
+  NotifyWatchers(UpdateNotifyMessage::Kind::kUpdated, id);
+  return Status::OK();
+}
+
+void BestPeerNode::NotifyWatchers(UpdateNotifyMessage::Kind kind,
+                                  storm::ObjectId id) {
+  if (watchers_.empty()) return;
+  UpdateNotifyMessage notify;
+  notify.kind = kind;
+  notify.object_id = id;
+  Bytes encoded = notify.Encode();
+  for (sim::NodeId watcher : watchers_) {
+    SendCompressed(watcher, kUpdateNotifyType, encoded);
+  }
+}
+
+void BestPeerNode::WatchPeer(sim::NodeId provider, UpdateCallback callback) {
+  watching_[provider] = std::move(callback);
+  WatchRequest req;
+  req.subscribe = true;
+  SendCompressed(provider, kWatchReqType, req.Encode());
+}
+
+void BestPeerNode::UnwatchPeer(sim::NodeId provider) {
+  watching_.erase(provider);
+  WatchRequest req;
+  req.subscribe = false;
+  SendCompressed(provider, kWatchReqType, req.Encode());
+}
+
+void BestPeerNode::OnWatchRequest(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto req = WatchRequest::Decode(payload.value());
+  if (!req.ok()) return;
+  if (req->subscribe) {
+    watchers_.insert(msg.src);
+  } else {
+    watchers_.erase(msg.src);
+  }
+}
+
+void BestPeerNode::OnUpdateNotify(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto notify = UpdateNotifyMessage::Decode(payload.value());
+  if (!notify.ok()) return;
+  auto it = watching_.find(msg.src);
+  if (it == watching_.end() || !it->second) return;
+  it->second(msg.src, notify->kind, notify->object_id);
+}
+
+Status BestPeerNode::ShareFile(const std::string& name,
+                               const Bytes& content) {
+  if (shared_files_.count(name) != 0) {
+    return Status::AlreadyExists("file " + name);
+  }
+  storm::ObjectId id = next_file_object_id_++;
+  BP_RETURN_IF_ERROR(ShareObject(id, content));
+  shared_files_[name] = id;
+  return Status::OK();
+}
+
+Result<storm::ObjectId> BestPeerNode::LookupFile(
+    const std::string& name) const {
+  auto it = shared_files_.find(name);
+  if (it == shared_files_.end()) {
+    return Status::NotFound("file " + name);
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------- LIGLO
+
+void BestPeerNode::JoinNetwork(sim::NodeId liglo_server, liglo::IpAddress ip,
+                               JoinCallback callback) {
+  infra_->ip_directory.Assign(ip, node_).ok();
+  liglo_->Register(
+      liglo_server, ip,
+      [this, callback = std::move(callback)](
+          Result<liglo::LigloClient::RegisterOutcome> outcome) {
+        if (outcome.ok()) {
+          // Adopt the starter peers (paper §2: the registration response
+          // carries (BPID, IP) pairs of nodes we may talk to directly).
+          for (const auto& entry : outcome->peers) {
+            if (peers_.size() >= config_.max_direct_peers) break;
+            auto peer_node = infra_->ip_directory.Resolve(entry.ip);
+            if (!peer_node.ok()) continue;  // Stale address; skip.
+            PeerInfo info;
+            info.node = peer_node.value();
+            info.bpid = entry.bpid;
+            info.ip = entry.ip;
+            if (peers_.Add(info)) {
+              SendCompressed(info.node, kPeerConnectType, Bytes{});
+            }
+          }
+        }
+        if (callback) callback(std::move(outcome));
+      });
+}
+
+void BestPeerNode::RejoinNetwork(liglo::IpAddress ip,
+                                 RejoinCallback callback) {
+  infra_->ip_directory.Assign(ip, node_).ok();
+  // Collect the BPIDs of peers we know globally.
+  std::vector<liglo::Bpid> bpids;
+  std::vector<sim::NodeId> owners;
+  for (const auto& info : peers_.Snapshot()) {
+    if (info.bpid.IsValid()) {
+      bpids.push_back(info.bpid);
+      owners.push_back(info.node);
+    }
+  }
+  liglo_->Rejoin(
+      ip, bpids,
+      [this, owners, callback = std::move(callback)](
+          Result<liglo::LigloClient::RejoinOutcome> outcome) {
+        if (outcome.ok()) {
+          for (size_t i = 0; i < outcome->peers.size(); ++i) {
+            const auto& res = outcome->peers[i];
+            PeerInfo* info = peers_.Find(owners[i]);
+            if (info == nullptr) continue;
+            if (res.state == liglo::PeerState::kOnline) {
+              info->ip = res.ip;
+              auto where = infra_->ip_directory.Resolve(res.ip);
+              if (where.ok()) info->node = where.value();
+            } else {
+              // Offline or unknown: drop; new peers will be adopted as
+              // they are encountered (paper §2).
+              peers_.Remove(owners[i]);
+            }
+          }
+          // Replace dropped peers with fresh ones from the LIGLO.
+          ReplenishPeersIfIsolated();
+        }
+        if (callback) callback(std::move(outcome));
+      });
+}
+
+// ---------------------------------------------------------------- peers
+
+void BestPeerNode::AddDirectPeerLocal(sim::NodeId peer) {
+  PeerInfo info;
+  info.node = peer;
+  peers_.Add(info, /*enforce_capacity=*/false);
+}
+
+void BestPeerNode::RemoveDirectPeerLocal(sim::NodeId peer) {
+  peers_.Remove(peer);
+}
+
+void BestPeerNode::OnPeerConnect(const sim::SimMessage& msg) {
+  if (!peers_.Contains(msg.src) && peers_.size() >= config_.AcceptCap()) {
+    // At the inbound cap: refuse so the other side drops the link too.
+    SendCompressed(msg.src, kPeerDisconnectType, Bytes{});
+    return;
+  }
+  PeerInfo info;
+  info.node = msg.src;
+  peers_.Add(info, /*enforce_capacity=*/false);
+}
+
+void BestPeerNode::OnPeerDisconnect(const sim::SimMessage& msg) {
+  peers_.Remove(msg.src);
+  ReplenishPeersIfIsolated();
+}
+
+void BestPeerNode::ReplenishPeersIfIsolated() {
+  // A node whose last peer vanished (or refused the link) replaces it
+  // with new peers from its LIGLO (§2: "it can simply replace those
+  // peers by new peers that it encounters").
+  if (!peers_.Nodes().empty() || !liglo_->registered() ||
+      replenish_in_flight_) {
+    return;
+  }
+  replenish_in_flight_ = true;
+  liglo_->DiscoverPeers(
+      [this](Result<std::vector<liglo::PeerEntry>> peers) {
+        replenish_in_flight_ = false;
+        if (!peers.ok()) return;
+        for (const auto& entry : peers.value()) {
+          if (peers_.size() >= config_.max_direct_peers) break;
+          auto peer_node = infra_->ip_directory.Resolve(entry.ip);
+          if (!peer_node.ok() || peer_node.value() == node_) continue;
+          PeerInfo info;
+          info.node = peer_node.value();
+          info.bpid = entry.bpid;
+          info.ip = entry.ip;
+          if (peers_.Add(info)) {
+            SendCompressed(info.node, kPeerConnectType, Bytes{});
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------- querying
+
+uint64_t BestPeerNode::NextQueryId() {
+  return (static_cast<uint64_t>(node_) << 32) | ++query_counter_;
+}
+
+Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
+                                           uint64_t query_id,
+                                           const std::string& keyword,
+                                           uint16_t ttl) {
+  if (ttl == 0) ttl = config_.default_ttl;
+  sessions_.emplace(
+      query_id, QuerySession(query_id, keyword, config_.answer_mode,
+                             network_->simulator().now()));
+  BP_RETURN_IF_ERROR(runtime_->Launch(query_id, agent, ttl,
+                                      config_.search_local_store));
+  return query_id;
+}
+
+Result<uint64_t> BestPeerNode::IssueSearch(const std::string& keyword,
+                                           uint16_t ttl) {
+  uint64_t query_id = NextQueryId();
+  SearchAgent agent(query_id, keyword, config_.answer_mode,
+                    config_.per_object_match_cost,
+                    config_.answer_descriptor_bytes);
+  return LaunchAgent(agent, query_id, keyword, ttl);
+}
+
+Result<uint64_t> BestPeerNode::IssueCompute(const std::string& filter_name,
+                                            const Bytes& params,
+                                            uint16_t ttl) {
+  uint64_t query_id = NextQueryId();
+  ComputeAgent agent(query_id, filter_name, params,
+                     config_.per_object_match_cost * 2);
+  return LaunchAgent(agent, query_id, filter_name, ttl);
+}
+
+size_t BestPeerNode::StoreSizeHint(sim::NodeId node) const {
+  auto it = store_size_hints_.find(node);
+  return it == store_size_hints_.end() ? 0 : it->second;
+}
+
+Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
+                                                 ShippingMode mode) {
+  uint64_t query_id = NextQueryId();
+  sessions_.emplace(
+      query_id, QuerySession(query_id, keyword, AnswerMode::kIndicate,
+                             network_->simulator().now()));
+
+  std::vector<sim::NodeId> code_targets;
+  std::vector<sim::NodeId> data_targets;
+  for (sim::NodeId peer : peers_.Nodes()) {
+    ShippingStrategy strategy = ShippingStrategy::kCodeShipping;
+    switch (mode) {
+      case ShippingMode::kAlwaysCode:
+        break;
+      case ShippingMode::kAlwaysData:
+        strategy = ShippingStrategy::kDataShipping;
+        break;
+      case ShippingMode::kAdaptive: {
+        ShippingCostInputs inputs;
+        inputs.remote_objects = StoreSizeHint(peer);
+        inputs.class_cached =
+            infra_->code_cache.Has(peer, kSearchAgentClass);
+        strategy =
+            ChooseShippingStrategy(inputs, config_, network_->options());
+        break;
+      }
+    }
+    if (strategy == ShippingStrategy::kDataShipping) {
+      data_targets.push_back(peer);
+    } else {
+      code_targets.push_back(peer);
+    }
+  }
+
+  if (!code_targets.empty()) {
+    SearchAgent agent(query_id, keyword, AnswerMode::kIndicate,
+                      config_.per_object_match_cost,
+                      config_.answer_descriptor_bytes);
+    BP_RETURN_IF_ERROR(
+        runtime_->LaunchTo(query_id, agent, /*ttl=*/1, code_targets));
+  }
+  for (sim::NodeId peer : data_targets) {
+    DataShipRequest req;
+    req.query_id = query_id;
+    SendCompressed(peer, kDataShipReqType, req.Encode());
+  }
+  return query_id;
+}
+
+void BestPeerNode::OnDataShipRequest(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto req = DataShipRequest::Decode(payload.value());
+  if (!req.ok()) return;
+  if (storage_ == nullptr) return;
+
+  auto response = std::make_shared<DataShipResponse>();
+  response->query_id = req->query_id;
+  SimTime cost = 0;
+  for (storm::ObjectId id : storage_->ListIds()) {
+    auto content = storage_->Get(id);
+    if (!content.ok()) continue;
+    ResultItem item;
+    item.id = id;
+    item.name = "obj-" + std::to_string(id);
+    item.content = std::move(content).value();
+    response->items.push_back(std::move(item));
+    cost += config_.fetch_per_object_cost;
+  }
+  sim::NodeId requester = msg.src;
+  network_->Cpu(node_).Submit(cost, [this, requester, response]() {
+    SendCompressed(requester, kDataShipRespType, response->Encode());
+  });
+}
+
+void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto resp = DataShipResponse::Decode(payload.value());
+  if (!resp.ok()) return;
+  auto it = sessions_.find(resp->query_id);
+  if (it == sessions_.end()) return;
+  store_size_hints_[msg.src] = resp->items.size();
+
+  // Scan the shipped store locally — this node paid for the data, now it
+  // spends its own cycles on the filtering.
+  size_t matches = 0;
+  const std::string& keyword = it->second.keyword();
+  for (const auto& item : resp->items) {
+    if (ContainsKeyword(ToString(item.content), keyword)) ++matches;
+  }
+  SimTime cost = static_cast<SimTime>(resp->items.size()) *
+                 config_.per_object_match_cost;
+  sim::NodeId responder = msg.src;
+  uint64_t query_id = resp->query_id;
+  network_->Cpu(node_).Submit(cost, [this, query_id, responder, matches]() {
+    auto session_it = sessions_.find(query_id);
+    if (session_it == sessions_.end()) return;
+    ResponseEvent event;
+    event.time = network_->simulator().now();
+    event.node = responder;
+    event.hops = 1;
+    event.answers = matches;
+    session_it->second.RecordResult(event);
+  });
+}
+
+Status BestPeerNode::ReplicateObjects(
+    const std::vector<storm::ObjectId>& ids) {
+  if (storage_ == nullptr) {
+    return Status::FailedPrecondition("storage not initialized");
+  }
+  ReplicatePushMessage push;
+  for (storm::ObjectId id : ids) {
+    BP_ASSIGN_OR_RETURN(Bytes content, storage_->Get(id));
+    ResultItem item;
+    item.id = id;
+    item.name = "obj-" + std::to_string(id);
+    item.content = std::move(content);
+    push.items.push_back(std::move(item));
+  }
+  Bytes encoded = push.Encode();
+  for (sim::NodeId peer : peers_.Nodes()) {
+    SendCompressed(peer, kReplicatePushType, encoded);
+  }
+  return Status::OK();
+}
+
+void BestPeerNode::OnReplicatePush(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto push = ReplicatePushMessage::Decode(payload.value());
+  if (!push.ok() || storage_ == nullptr) return;
+  SimTime cost = config_.fetch_per_object_cost *
+                 static_cast<SimTime>(push->items.size());
+  auto items = std::make_shared<std::vector<ResultItem>>(
+      std::move(push->items));
+  network_->Cpu(node_).Submit(cost, [this, items]() {
+    for (const auto& item : *items) {
+      // A replica we already hold (or the original) is simply kept.
+      Status s = storage_->Put(item.id, item.content);
+      if (s.ok()) ++replicas_stored_;
+    }
+  });
+}
+
+const QuerySession* BestPeerNode::FindSession(uint64_t query_id) const {
+  auto it = sessions_.find(query_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void BestPeerNode::SendCompressed(sim::NodeId dst, uint32_t type,
+                                  const Bytes& payload) {
+  auto compressed = codec_->Compress(payload);
+  if (!compressed.ok()) {
+    BP_LOG(Error) << "compress failed: " << compressed.status().ToString();
+    return;
+  }
+  network_->Send(node_, dst, type, std::move(compressed).value());
+}
+
+Result<Bytes> BestPeerNode::DecodePayload(const sim::SimMessage& msg) const {
+  return codec_->Decompress(msg.payload);
+}
+
+void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto result = SearchResultMessage::Decode(payload.value());
+  if (!result.ok()) {
+    BP_LOG(Warn) << "bad search result: " << result.status().ToString();
+    return;
+  }
+  auto it = sessions_.find(result->query_id);
+  if (it == sessions_.end()) return;  // Not ours (or long forgotten).
+  ++results_received_;
+  if (result->responder_object_count > 0) {
+    store_size_hints_[msg.src] = result->responder_object_count;
+  }
+
+  // Charge per-message handling at the base node, then record.
+  auto record = std::make_shared<SearchResultMessage>(std::move(*result));
+  sim::NodeId responder = msg.src;
+  network_->Cpu(node_).Submit(
+      config_.result_handling_cost, [this, record, responder]() {
+        auto session_it = sessions_.find(record->query_id);
+        if (session_it == sessions_.end()) return;
+        ResponseEvent event;
+        event.time = network_->simulator().now();
+        event.node = responder;
+        event.hops = record->hops;
+        event.answers = record->items.size();
+        std::vector<uint64_t> ids;
+        ids.reserve(record->items.size());
+        for (const auto& item : record->items) ids.push_back(item.id);
+        session_it->second.RecordResultWithIds(event, ids);
+
+        if (record->mode == static_cast<uint8_t>(AnswerMode::kIndicate) &&
+            config_.auto_fetch) {
+          std::vector<storm::ObjectId> ids;
+          ids.reserve(record->items.size());
+          for (const auto& item : record->items) ids.push_back(item.id);
+          FetchObjects(responder, record->query_id, ids);
+        }
+      });
+}
+
+void BestPeerNode::FetchObjects(sim::NodeId responder, uint64_t query_id,
+                                const std::vector<storm::ObjectId>& ids) {
+  FetchRequestMessage req;
+  req.query_id = query_id;
+  req.ids = ids;
+  SendCompressed(responder, kFetchReqType, req.Encode());
+}
+
+void BestPeerNode::OnFetchRequest(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto req = FetchRequestMessage::Decode(payload.value());
+  if (!req.ok()) return;
+  if (storage_ == nullptr) return;
+
+  auto response = std::make_shared<FetchResponseMessage>();
+  response->query_id = req->query_id;
+  for (storm::ObjectId id : req->ids) {
+    auto content = storage_->Get(id);
+    // It is possible that the target node "may have removed the desired
+    // content or updated it during the period of delay" (paper §2);
+    // missing objects are simply skipped.
+    if (!content.ok()) continue;
+    ResultItem item;
+    item.id = id;
+    item.name = "obj-" + std::to_string(id);
+    item.content = std::move(content).value();
+    response->items.push_back(std::move(item));
+  }
+  SimTime cost = config_.fetch_per_object_cost *
+                 static_cast<SimTime>(req->ids.size());
+  sim::NodeId requester = msg.src;
+  network_->Cpu(node_).Submit(cost, [this, requester, response]() {
+    SendCompressed(requester, kFetchRespType, response->Encode());
+  });
+}
+
+void BestPeerNode::OnFetchResponse(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto resp = FetchResponseMessage::Decode(payload.value());
+  if (!resp.ok()) return;
+  auto it = sessions_.find(resp->query_id);
+  if (it == sessions_.end()) return;
+  ResponseEvent event;
+  event.time = network_->simulator().now();
+  event.node = msg.src;
+  event.hops = 0;
+  event.answers = resp->items.size();
+  it->second.RecordFetch(event);
+}
+
+// ---------------------------------------------------------------- reconfig
+
+Status BestPeerNode::Reconfigure(uint64_t query_id) {
+  auto it = sessions_.find(query_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("unknown query " + std::to_string(query_id));
+  }
+  auto observations = it->second.Observations();
+
+  if (config_.history_weight > 0) {
+    // Blend this query's answers into the per-node EWMA scores and rank
+    // by the blended score instead of the raw last-query count.
+    std::map<sim::NodeId, bool> seen;
+    for (auto& obs : observations) {
+      double& score = answer_scores_[obs.node];
+      score = static_cast<double>(obs.answers) +
+              config_.history_weight * score;
+      obs.answers = static_cast<uint64_t>(score);
+      seen[obs.node] = true;
+    }
+    for (auto& [node, score] : answer_scores_) {
+      if (seen.count(node) != 0) continue;
+      score *= config_.history_weight;  // Stale favourites fade.
+      if (score < 0.5) continue;
+      PeerObservation ghost;
+      ghost.node = node;
+      ghost.answers = static_cast<uint64_t>(score);
+      ghost.hops = 1;
+      observations.push_back(ghost);
+    }
+  }
+
+  auto new_peers = strategy_->SelectPeers(observations, peers_.Nodes(),
+                                          config_.max_direct_peers);
+  ApplyPeerSet(new_peers, observations);
+  return Status::OK();
+}
+
+void BestPeerNode::ApplyPeerSet(
+    const std::vector<sim::NodeId>& new_peers,
+    const std::vector<PeerObservation>& observations) {
+  std::map<sim::NodeId, PeerObservation> by_node;
+  for (const auto& obs : observations) by_node[obs.node] = obs;
+
+  bool changed = false;
+  // Drop peers not selected.
+  for (sim::NodeId old_peer : peers_.Nodes()) {
+    bool keep = false;
+    for (sim::NodeId p : new_peers) {
+      if (p == old_peer) {
+        keep = true;
+        break;
+      }
+    }
+    if (!keep) {
+      peers_.Remove(old_peer);
+      SendCompressed(old_peer, kPeerDisconnectType, Bytes{});
+      changed = true;
+    }
+  }
+  // Adopt newly selected nodes.
+  for (sim::NodeId p : new_peers) {
+    if (p == node_ || peers_.Contains(p)) {
+      // Refresh stats on retained peers.
+      PeerInfo* info = peers_.Find(p);
+      auto obs_it = by_node.find(p);
+      if (info != nullptr && obs_it != by_node.end()) {
+        info->last_answers = obs_it->second.answers;
+        info->total_answers += obs_it->second.answers;
+        info->last_hops = obs_it->second.hops;
+        info->last_response_time = obs_it->second.first_response;
+      }
+      continue;
+    }
+    PeerInfo info;
+    info.node = p;
+    auto obs_it = by_node.find(p);
+    if (obs_it != by_node.end()) {
+      info.last_answers = obs_it->second.answers;
+      info.total_answers = obs_it->second.answers;
+      info.last_hops = obs_it->second.hops;
+      info.last_response_time = obs_it->second.first_response;
+    }
+    peers_.Add(info, /*enforce_capacity=*/false);
+    SendCompressed(p, kPeerConnectType, Bytes{});
+    changed = true;
+  }
+  if (changed) ++reconfigurations_;
+}
+
+// ---------------------------------------------------------------- active objects
+
+void BestPeerNode::ShareActiveObject(const std::string& name,
+                                     ActiveObject object) {
+  active_objects_[name] = std::move(object);
+}
+
+void BestPeerNode::RequestActiveObject(sim::NodeId provider,
+                                       const std::string& name,
+                                       AccessLevel level,
+                                       ContentCallback callback) {
+  uint64_t id = ++request_counter_;
+  pending_content_[id] = std::move(callback);
+  ActiveObjectRequest req;
+  req.request_id = id;
+  req.object_name = name;
+  req.access_level = static_cast<uint8_t>(level);
+  SendCompressed(provider, kActiveObjReqType, req.Encode());
+}
+
+void BestPeerNode::OnActiveObjectRequest(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto req = ActiveObjectRequest::Decode(payload.value());
+  if (!req.ok()) return;
+
+  auto response = std::make_shared<ActiveObjectResponse>();
+  response->request_id = req->request_id;
+  auto it = active_objects_.find(req->object_name);
+  if (it != active_objects_.end()) {
+    auto rendered = it->second.Render(
+        static_cast<AccessLevel>(req->access_level), active_nodes_);
+    if (rendered.ok()) {
+      response->ok = true;
+      response->content = std::move(rendered).value();
+    }
+  }
+  sim::NodeId requester = msg.src;
+  network_->Cpu(node_).Submit(config_.result_handling_cost,
+                              [this, requester, response]() {
+                                SendCompressed(requester, kActiveObjRespType,
+                                               response->Encode());
+                              });
+}
+
+void BestPeerNode::OnActiveObjectResponse(const sim::SimMessage& msg) {
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto resp = ActiveObjectResponse::Decode(payload.value());
+  if (!resp.ok()) return;
+  auto it = pending_content_.find(resp->request_id);
+  if (it == pending_content_.end()) return;
+  ContentCallback callback = std::move(it->second);
+  pending_content_.erase(it);
+  if (!callback) return;
+  if (resp->ok) {
+    callback(std::move(resp->content));
+  } else {
+    callback(Status::NotFound("active object unavailable"));
+  }
+}
+
+}  // namespace bestpeer::core

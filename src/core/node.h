@@ -1,0 +1,280 @@
+#ifndef BESTPEER_CORE_NODE_H_
+#define BESTPEER_CORE_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agent/agent_runtime.h"
+#include "core/active_object.h"
+#include "core/compute.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "core/peer_list.h"
+#include "core/reconfig_strategy.h"
+#include "core/session.h"
+#include "core/shipping.h"
+#include "liglo/liglo_client.h"
+#include "sim/dispatcher.h"
+#include "sim/network.h"
+#include "storm/storm.h"
+
+namespace bestpeer::core {
+
+/// Infrastructure shared by every BestPeer node on one simulated network:
+/// the agent class registry, the network-wide code cache and the LAN
+/// address plane. Construct one per experiment.
+struct SharedInfra {
+  agent::AgentRegistry agent_registry;
+  agent::CodeCache code_cache;
+  liglo::IpDirectory ip_directory;
+};
+
+/// Registers the built-in agent classes (StormSearchAgent, ComputeAgent)
+/// in `registry` with code sizes from `config`. Idempotent per registry.
+Status RegisterBuiltinAgents(agent::AgentRegistry* registry,
+                             const BestPeerConfig& config);
+
+/// A node running the BestPeer software: storage (StorM), an agent
+/// engine, a LIGLO client, a self-reconfiguring direct-peer list, and the
+/// resource-sharing services of §3.2 (static files, active objects,
+/// computational power).
+class BestPeerNode : public agent::AgentHost, public ComputeHost {
+ public:
+  using FetchCallback = std::function<void(const FetchResponseMessage&)>;
+  using ContentCallback = std::function<void(Result<Bytes>)>;
+  using JoinCallback =
+      std::function<void(Result<liglo::LigloClient::RegisterOutcome>)>;
+  using RejoinCallback =
+      std::function<void(Result<liglo::LigloClient::RejoinOutcome>)>;
+
+  /// Creates a node at physical node `node`. `infra` and `network` must
+  /// outlive it. Fails on unknown strategy/codec names.
+  static Result<std::unique_ptr<BestPeerNode>> Create(
+      sim::SimNetwork* network, sim::NodeId node, SharedInfra* infra,
+      BestPeerConfig config);
+
+  ~BestPeerNode() override = default;
+  BestPeerNode(const BestPeerNode&) = delete;
+  BestPeerNode& operator=(const BestPeerNode&) = delete;
+
+  // --- AgentHost / ComputeHost ------------------------------------------
+
+  storm::Storm* storage() override { return storage_.get(); }
+  sim::NodeId host_node() const override { return node_; }
+  const FilterRegistry& filters() const override { return filters_; }
+
+  // --- storage ------------------------------------------------------------
+
+  /// Opens this node's StorM instance (in-memory unless options.path set).
+  Status InitStorage(const storm::StormOptions& options);
+
+  /// Stores `content` as a shared object.
+  Status ShareObject(storm::ObjectId id, const Bytes& content);
+
+  /// Stores a named shared file (content searchable like any object).
+  Status ShareFile(const std::string& name, const Bytes& content);
+
+  /// Object id behind a shared file name.
+  Result<storm::ObjectId> LookupFile(const std::string& name) const;
+
+  // --- membership (LIGLO, §2) ----------------------------------------------
+
+  /// Registers with a LIGLO server, announcing `ip`, and adopts up to k
+  /// of the returned (BPID, IP) entries as direct peers.
+  void JoinNetwork(sim::NodeId liglo_server, liglo::IpAddress ip,
+                   JoinCallback callback);
+
+  /// Rejoin protocol of §2: report the (new) ip to the home LIGLO, then
+  /// re-resolve every direct peer via its home LIGLO; peers reported
+  /// offline are dropped, changed addresses are refreshed.
+  void RejoinNetwork(liglo::IpAddress ip, RejoinCallback callback);
+
+  /// This node's BPID (invalid until joined).
+  const liglo::Bpid& bpid() const { return liglo_->bpid(); }
+
+  // --- direct peers ---------------------------------------------------------
+
+  /// Wires a direct peer locally without any message exchange (used by
+  /// topology builders; call on both endpoints for a bidirectional link).
+  void AddDirectPeerLocal(sim::NodeId peer);
+
+  /// Drops a peer locally.
+  void RemoveDirectPeerLocal(sim::NodeId peer);
+
+  const PeerList& peers() const { return peers_; }
+  std::vector<sim::NodeId> DirectPeerNodes() const { return peers_.Nodes(); }
+
+  // --- querying (§2, §4.2) --------------------------------------------------
+
+  /// Launches a StorM search agent through the overlay. Returns the query
+  /// id; progress lands in the query's session.
+  Result<uint64_t> IssueSearch(const std::string& keyword, uint16_t ttl = 0);
+
+  /// Launches a compute agent carrying filter `filter_name` + `params`
+  /// (computational-power sharing, §3.2.3).
+  Result<uint64_t> IssueCompute(const std::string& filter_name,
+                                const Bytes& params, uint16_t ttl = 0);
+
+  /// One-hop search over the direct peers, choosing per peer between
+  /// code shipping (send the agent) and data shipping (pull the store
+  /// and scan locally) — the §6 future-work strategy selector. Adaptive
+  /// mode uses each peer's last known store size (learned from earlier
+  /// search results); unknown peers default to code shipping.
+  Result<uint64_t> IssueDirectSearch(const std::string& keyword,
+                                     ShippingMode mode);
+
+  /// Last known shared-store size of `node` (0 = unknown).
+  size_t StoreSizeHint(sim::NodeId node) const;
+
+  // --- replication (§6 future work) -----------------------------------------
+
+  /// Pushes replicas of the given local objects to every direct peer.
+  /// Receivers store the copies under the same global ids; sessions
+  /// deduplicate answers via QuerySession::unique_answers().
+  Status ReplicateObjects(const std::vector<storm::ObjectId>& ids);
+
+  /// Replicas this node has accepted from peers.
+  uint64_t replicas_stored() const { return replicas_stored_; }
+
+  // --- peer monitoring (§3.4) ------------------------------------------------
+
+  /// Fires at a watcher for every store change at a watched provider.
+  using UpdateCallback = std::function<void(
+      sim::NodeId provider, UpdateNotifyMessage::Kind kind,
+      storm::ObjectId object_id)>;
+
+  /// Subscribes to `provider`'s shared-store changes; notifications call
+  /// `callback`. This is what BPIDs make possible: the watched peer stays
+  /// the same logical peer across address changes.
+  void WatchPeer(sim::NodeId provider, UpdateCallback callback);
+
+  /// Cancels a subscription.
+  void UnwatchPeer(sim::NodeId provider);
+
+  /// Subscribers currently watching this node.
+  size_t watcher_count() const { return watchers_.size(); }
+
+  /// Removes a shared object and notifies watchers.
+  Status UnshareObject(storm::ObjectId id);
+
+  /// Replaces a shared object's content and notifies watchers.
+  Status UpdateObject(storm::ObjectId id, const Bytes& content);
+
+  /// The session of a query issued by this node (nullptr if unknown).
+  const QuerySession* FindSession(uint64_t query_id) const;
+
+  /// Explicit mode-2 content fetch from `responder` (auto_fetch does this
+  /// automatically on descriptor arrival).
+  void FetchObjects(sim::NodeId responder, uint64_t query_id,
+                    const std::vector<storm::ObjectId>& ids);
+
+  // --- self-reconfiguration (§3.3) -------------------------------------------
+
+  /// Applies the configured strategy to the query's observations: adopts
+  /// the chosen nodes as direct peers (connect messages go out) and drops
+  /// the rest. Call when the query is considered complete.
+  Status Reconfigure(uint64_t query_id);
+
+  /// Number of times Reconfigure changed the peer set.
+  uint64_t reconfigurations() const { return reconfigurations_; }
+
+  // --- active objects (§3.2.2) -----------------------------------------------
+
+  ActiveNodeRegistry& active_nodes() { return active_nodes_; }
+  FilterRegistry& mutable_filters() { return filters_; }
+
+  /// Shares an active object under `name`.
+  void ShareActiveObject(const std::string& name, ActiveObject object);
+
+  /// Requests the rendering of `provider`'s active object for `level`.
+  void RequestActiveObject(sim::NodeId provider, const std::string& name,
+                           AccessLevel level, ContentCallback callback);
+
+  // --- misc -------------------------------------------------------------------
+
+  sim::NodeId node() const { return node_; }
+  const BestPeerConfig& config() const { return config_; }
+  agent::AgentRuntime& agent_runtime() { return *runtime_; }
+  liglo::LigloClient& liglo_client() { return *liglo_; }
+  uint64_t results_received() const { return results_received_; }
+
+ private:
+  BestPeerNode(sim::SimNetwork* network, sim::NodeId node,
+               SharedInfra* infra, BestPeerConfig config);
+
+  Status Init();
+
+  uint64_t NextQueryId();
+  Result<uint64_t> LaunchAgent(agent::Agent& agent, uint64_t query_id,
+                               const std::string& keyword, uint16_t ttl);
+
+  /// Replaces the direct-peer set; sends connect/disconnect notices.
+  void ApplyPeerSet(const std::vector<sim::NodeId>& new_peers,
+                    const std::vector<PeerObservation>& observations);
+
+  void OnSearchResult(const sim::SimMessage& msg);
+  void OnFetchRequest(const sim::SimMessage& msg);
+  void OnFetchResponse(const sim::SimMessage& msg);
+  void OnDataShipRequest(const sim::SimMessage& msg);
+  void OnDataShipResponse(const sim::SimMessage& msg);
+  void OnReplicatePush(const sim::SimMessage& msg);
+  void OnWatchRequest(const sim::SimMessage& msg);
+  void OnUpdateNotify(const sim::SimMessage& msg);
+
+  /// Sends an update notification to every watcher.
+  void NotifyWatchers(UpdateNotifyMessage::Kind kind, storm::ObjectId id);
+  void OnActiveObjectRequest(const sim::SimMessage& msg);
+  void OnActiveObjectResponse(const sim::SimMessage& msg);
+  void OnPeerConnect(const sim::SimMessage& msg);
+  void OnPeerDisconnect(const sim::SimMessage& msg);
+
+  /// Fetches replacement peers from the home LIGLO when the direct-peer
+  /// list becomes empty.
+  void ReplenishPeersIfIsolated();
+
+  void SendCompressed(sim::NodeId dst, uint32_t type, const Bytes& payload);
+  Result<Bytes> DecodePayload(const sim::SimMessage& msg) const;
+
+  sim::SimNetwork* network_;
+  sim::NodeId node_;
+  SharedInfra* infra_;
+  BestPeerConfig config_;
+
+  std::shared_ptr<const Codec> codec_;
+  std::unique_ptr<sim::Dispatcher> dispatcher_;
+  std::unique_ptr<liglo::LigloClient> liglo_;
+  std::unique_ptr<agent::AgentRuntime> runtime_;
+  std::unique_ptr<storm::Storm> storage_;
+  std::unique_ptr<ReconfigStrategy> strategy_;
+
+  PeerList peers_;
+  FilterRegistry filters_;
+  ActiveNodeRegistry active_nodes_;
+  std::map<std::string, ActiveObject> active_objects_;
+  std::map<std::string, storm::ObjectId> shared_files_;
+
+  std::map<uint64_t, QuerySession> sessions_;
+  std::map<uint64_t, ContentCallback> pending_content_;
+  /// Last known store size per node, learned from search results.
+  std::map<sim::NodeId, size_t> store_size_hints_;
+  /// EWMA answer score per node (used when history_weight > 0).
+  std::map<sim::NodeId, double> answer_scores_;
+  uint32_t query_counter_ = 0;
+  uint64_t request_counter_ = 0;
+  uint64_t results_received_ = 0;
+  uint64_t reconfigurations_ = 0;
+  bool replenish_in_flight_ = false;
+  uint64_t replicas_stored_ = 0;
+  std::set<sim::NodeId> watchers_;
+  std::map<sim::NodeId, UpdateCallback> watching_;
+  storm::ObjectId next_file_object_id_;
+};
+
+}  // namespace bestpeer::core
+
+#endif  // BESTPEER_CORE_NODE_H_

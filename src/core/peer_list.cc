@@ -1,0 +1,44 @@
+#include "core/peer_list.h"
+
+namespace bestpeer::core {
+
+bool PeerList::Add(const PeerInfo& peer, bool enforce_capacity) {
+  auto it = peers_.find(peer.node);
+  if (it != peers_.end()) {
+    // Refresh identity/address but keep accumulated statistics.
+    it->second.bpid = peer.bpid;
+    it->second.ip = peer.ip;
+    return true;
+  }
+  if (enforce_capacity && peers_.size() >= capacity_) return false;
+  peers_[peer.node] = peer;
+  return true;
+}
+
+bool PeerList::Remove(sim::NodeId node) { return peers_.erase(node) > 0; }
+
+PeerInfo* PeerList::Find(sim::NodeId node) {
+  auto it = peers_.find(node);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+const PeerInfo* PeerList::Find(sim::NodeId node) const {
+  auto it = peers_.find(node);
+  return it == peers_.end() ? nullptr : &it->second;
+}
+
+std::vector<sim::NodeId> PeerList::Nodes() const {
+  std::vector<sim::NodeId> nodes;
+  nodes.reserve(peers_.size());
+  for (const auto& [node, info] : peers_) nodes.push_back(node);
+  return nodes;
+}
+
+std::vector<PeerInfo> PeerList::Snapshot() const {
+  std::vector<PeerInfo> out;
+  out.reserve(peers_.size());
+  for (const auto& [node, info] : peers_) out.push_back(info);
+  return out;
+}
+
+}  // namespace bestpeer::core

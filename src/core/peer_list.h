@@ -1,0 +1,68 @@
+#ifndef BESTPEER_CORE_PEER_LIST_H_
+#define BESTPEER_CORE_PEER_LIST_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "liglo/bpid.h"
+#include "sim/network.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::core {
+
+/// What a node knows about one directly connected peer.
+struct PeerInfo {
+  sim::NodeId node = sim::kInvalidNode;
+  /// Global identity, when known (peers adopted via LIGLO carry one).
+  liglo::Bpid bpid;
+  /// Last known address.
+  liglo::IpAddress ip = liglo::kInvalidIp;
+  /// Answers received from this peer over all queries / the last query.
+  uint64_t total_answers = 0;
+  uint64_t last_answers = 0;
+  /// Hops value piggybacked with the peer's last answers.
+  uint16_t last_hops = 0;
+  /// When the peer last responded.
+  SimTime last_response_time = 0;
+};
+
+/// A node's direct-peer set. Outgoing capacity is bounded by `capacity`
+/// (the paper's k); incoming connections from reconfiguring peers are
+/// accepted beyond it, mirroring servents that accept inbound links up to
+/// a separate limit.
+class PeerList {
+ public:
+  explicit PeerList(size_t capacity) : capacity_(capacity) {}
+
+  /// Adds (or refreshes) a peer. `enforce_capacity` rejects the add when
+  /// the list is full (used for outgoing adoption, not inbound accepts).
+  bool Add(const PeerInfo& peer, bool enforce_capacity = true);
+
+  /// Removes a peer; returns whether it was present.
+  bool Remove(sim::NodeId node);
+
+  bool Contains(sim::NodeId node) const { return peers_.count(node) != 0; }
+
+  /// Mutable access to a peer's record (nullptr if absent).
+  PeerInfo* Find(sim::NodeId node);
+  const PeerInfo* Find(sim::NodeId node) const;
+
+  /// Node ids of all direct peers (ascending).
+  std::vector<sim::NodeId> Nodes() const;
+
+  /// All records.
+  std::vector<PeerInfo> Snapshot() const;
+
+  size_t size() const { return peers_.size(); }
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+ private:
+  size_t capacity_;
+  std::map<sim::NodeId, PeerInfo> peers_;
+};
+
+}  // namespace bestpeer::core
+
+#endif  // BESTPEER_CORE_PEER_LIST_H_

@@ -1,0 +1,123 @@
+#include "core/reconfig_strategy.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+namespace bestpeer::core {
+
+namespace {
+
+/// Merges observations with non-responding current peers into one
+/// candidate table (current peers default to answers=0, hops=1).
+std::vector<PeerObservation> BuildCandidates(
+    const std::vector<PeerObservation>& observations,
+    const std::vector<sim::NodeId>& current_peers) {
+  std::map<sim::NodeId, PeerObservation> table;
+  for (sim::NodeId peer : current_peers) {
+    PeerObservation obs;
+    obs.node = peer;
+    obs.answers = 0;
+    obs.hops = 1;
+    table[peer] = obs;
+  }
+  for (const auto& obs : observations) {
+    auto it = table.find(obs.node);
+    if (it == table.end() || it->second.answers < obs.answers) {
+      table[obs.node] = obs;
+    }
+  }
+  std::vector<PeerObservation> out;
+  out.reserve(table.size());
+  for (const auto& [node, obs] : table) out.push_back(obs);
+  return out;
+}
+
+std::vector<sim::NodeId> TakeTop(std::vector<PeerObservation> candidates,
+                                 size_t capacity) {
+  if (candidates.size() > capacity) candidates.resize(capacity);
+  std::vector<sim::NodeId> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) out.push_back(c.node);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<sim::NodeId> MaxCountStrategy::SelectPeers(
+    const std::vector<PeerObservation>& observations,
+    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+  auto candidates = BuildCandidates(observations, current_peers);
+  // Most answers first; ties broken deterministically by node id.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const PeerObservation& a, const PeerObservation& b) {
+                     if (a.answers != b.answers) return a.answers > b.answers;
+                     return a.node < b.node;
+                   });
+  return TakeTop(std::move(candidates), capacity);
+}
+
+std::vector<sim::NodeId> MinHopsStrategy::SelectPeers(
+    const std::vector<PeerObservation>& observations,
+    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+  auto candidates = BuildCandidates(observations, current_peers);
+  // Larger hops first ("keep nodes that are further away"); ties prefer
+  // more answers, then node id.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const PeerObservation& a, const PeerObservation& b) {
+                     if (a.hops != b.hops) return a.hops > b.hops;
+                     if (a.answers != b.answers) return a.answers > b.answers;
+                     return a.node < b.node;
+                   });
+  return TakeTop(std::move(candidates), capacity);
+}
+
+std::vector<sim::NodeId> FastestResponseStrategy::SelectPeers(
+    const std::vector<PeerObservation>& observations,
+    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+  auto candidates = BuildCandidates(observations, current_peers);
+  // Nodes that actually responded come first, earliest first; silent
+  // current peers (first_response == 0, answers == 0) rank last.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const PeerObservation& a, const PeerObservation& b) {
+                     bool a_responded = a.answers > 0;
+                     bool b_responded = b.answers > 0;
+                     if (a_responded != b_responded) return a_responded;
+                     if (a.first_response != b.first_response) {
+                       return a.first_response < b.first_response;
+                     }
+                     if (a.answers != b.answers) return a.answers > b.answers;
+                     return a.node < b.node;
+                   });
+  return TakeTop(std::move(candidates), capacity);
+}
+
+std::vector<sim::NodeId> NoReconfigStrategy::SelectPeers(
+    const std::vector<PeerObservation>& observations,
+    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+  (void)observations;
+  std::vector<sim::NodeId> out = current_peers;
+  if (out.size() > capacity) out.resize(capacity);
+  return out;
+}
+
+Result<std::unique_ptr<ReconfigStrategy>> MakeReconfigStrategy(
+    std::string_view name) {
+  if (name == "maxcount") {
+    return std::unique_ptr<ReconfigStrategy>(new MaxCountStrategy);
+  }
+  if (name == "minhops") {
+    return std::unique_ptr<ReconfigStrategy>(new MinHopsStrategy);
+  }
+  if (name == "fastest") {
+    return std::unique_ptr<ReconfigStrategy>(new FastestResponseStrategy);
+  }
+  if (name == "none") {
+    return std::unique_ptr<ReconfigStrategy>(new NoReconfigStrategy);
+  }
+  return Status::InvalidArgument("unknown reconfiguration strategy: " +
+                                 std::string(name));
+}
+
+}  // namespace bestpeer::core

@@ -1,0 +1,99 @@
+#ifndef BESTPEER_CORE_RECONFIG_STRATEGY_H_
+#define BESTPEER_CORE_RECONFIG_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/network.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::core {
+
+/// What one query taught the base node about a responding node.
+struct PeerObservation {
+  sim::NodeId node = sim::kInvalidNode;
+  /// Answers the node returned for the query.
+  uint64_t answers = 0;
+  /// Hops value piggybacked with the answers (distance from the base).
+  uint16_t hops = 0;
+  /// Arrival time of the node's first result message.
+  SimTime first_response = 0;
+};
+
+/// Self-reconfiguration policy (paper §3.3): after a query, choose which
+/// nodes to keep as direct peers. Implementations are pure functions of
+/// the observations and the current peer set, so strategies are trivially
+/// testable and nodes stay autonomous (no peer-to-peer negotiation).
+class ReconfigStrategy {
+ public:
+  virtual ~ReconfigStrategy() = default;
+
+  /// Registered name ("maxcount", "minhops", "fastest", "none").
+  virtual std::string_view name() const = 0;
+
+  /// Returns the new direct-peer set, at most `capacity` nodes, drawn
+  /// from the observed responders and the current peers. Current peers
+  /// that did not respond are treated as answers=0, hops=1 candidates.
+  virtual std::vector<sim::NodeId> SelectPeers(
+      const std::vector<PeerObservation>& observations,
+      const std::vector<sim::NodeId>& current_peers,
+      size_t capacity) const = 0;
+};
+
+/// MaxCount: keep the k nodes that returned the most answers; a peer that
+/// answers a lot is assumed likely to satisfy future queries.
+class MaxCountStrategy : public ReconfigStrategy {
+ public:
+  std::string_view name() const override { return "maxcount"; }
+  std::vector<sim::NodeId> SelectPeers(
+      const std::vector<PeerObservation>& observations,
+      const std::vector<sim::NodeId>& current_peers,
+      size_t capacity) const override;
+};
+
+/// MinHops: keep the k nodes with the *largest* Hops values (answers
+/// break ties). Nearby answerers remain reachable through not-too-distant
+/// paths, so pulling far answerers close minimizes total hops to reach
+/// all answers.
+class MinHopsStrategy : public ReconfigStrategy {
+ public:
+  std::string_view name() const override { return "minhops"; }
+  std::vector<sim::NodeId> SelectPeers(
+      const std::vector<PeerObservation>& observations,
+      const std::vector<sim::NodeId>& current_peers,
+      size_t capacity) const override;
+};
+
+/// FastestResponse: keep the k nodes whose first answers arrived
+/// earliest (ties prefer more answers). A latency-oriented alternative
+/// to the paper's two strategies: it optimizes time-to-first-answer
+/// rather than answer volume or hop count.
+class FastestResponseStrategy : public ReconfigStrategy {
+ public:
+  std::string_view name() const override { return "fastest"; }
+  std::vector<sim::NodeId> SelectPeers(
+      const std::vector<PeerObservation>& observations,
+      const std::vector<sim::NodeId>& current_peers,
+      size_t capacity) const override;
+};
+
+/// No reconfiguration: always keep the current peers (BPS).
+class NoReconfigStrategy : public ReconfigStrategy {
+ public:
+  std::string_view name() const override { return "none"; }
+  std::vector<sim::NodeId> SelectPeers(
+      const std::vector<PeerObservation>& observations,
+      const std::vector<sim::NodeId>& current_peers,
+      size_t capacity) const override;
+};
+
+/// Creates a strategy by name; InvalidArgument for unknown names.
+Result<std::unique_ptr<ReconfigStrategy>> MakeReconfigStrategy(
+    std::string_view name);
+
+}  // namespace bestpeer::core
+
+#endif  // BESTPEER_CORE_RECONFIG_STRATEGY_H_

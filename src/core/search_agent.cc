@@ -1,0 +1,63 @@
+#include "core/search_agent.h"
+
+#include "storm/storm.h"
+
+namespace bestpeer::core {
+
+void SearchAgent::SaveState(BinaryWriter& writer) const {
+  writer.WriteU64(query_id_);
+  writer.WriteString(keyword_);
+  writer.WriteU8(static_cast<uint8_t>(mode_));
+  writer.WriteI64(per_object_cost_);
+  writer.WriteVarint(descriptor_bytes_);
+}
+
+Status SearchAgent::LoadState(BinaryReader& reader) {
+  BP_ASSIGN_OR_RETURN(query_id_, reader.ReadU64());
+  BP_ASSIGN_OR_RETURN(keyword_, reader.ReadString());
+  BP_ASSIGN_OR_RETURN(uint8_t mode, reader.ReadU8());
+  if (mode != 1 && mode != 2) return Status::Corruption("bad answer mode");
+  mode_ = static_cast<AnswerMode>(mode);
+  BP_ASSIGN_OR_RETURN(per_object_cost_, reader.ReadI64());
+  BP_ASSIGN_OR_RETURN(uint64_t descr, reader.ReadVarint());
+  descriptor_bytes_ = descr;
+  return Status::OK();
+}
+
+Status SearchAgent::Execute(agent::AgentContext& ctx) {
+  storm::Storm* storage = ctx.host()->storage();
+  if (storage == nullptr) return Status::OK();  // Nothing shared here.
+
+  // "The agent makes a comparison for each object stored in the
+  // Shared-StorM database with its query."
+  BP_ASSIGN_OR_RETURN(storm::Storm::ScanResult scan,
+                      storage->ScanSearch(keyword_));
+  ctx.ChargeCpu(static_cast<SimTime>(scan.objects_scanned) *
+                per_object_cost_);
+  if (scan.matches.empty()) return Status::OK();
+
+  SearchResultMessage result;
+  result.query_id = query_id_;
+  result.hops = ctx.hops();
+  result.mode = static_cast<uint8_t>(mode_);
+  result.responder_object_count =
+      static_cast<uint32_t>(scan.objects_scanned);
+  result.items.reserve(scan.matches.size());
+  for (storm::ObjectId id : scan.matches) {
+    ResultItem item;
+    item.id = id;
+    item.name = "obj-" + std::to_string(id);
+    if (mode_ == AnswerMode::kDirect) {
+      BP_ASSIGN_OR_RETURN(item.content, storage->Get(id));
+    } else {
+      // Mode 2: ship a fixed-size descriptor instead of the content.
+      item.name.resize(descriptor_bytes_, ' ');
+    }
+    result.items.push_back(std::move(item));
+  }
+  // Results go directly to the base node, never along the query path.
+  ctx.SendMessage(ctx.origin_node(), kSearchResultType, result.Encode());
+  return Status::OK();
+}
+
+}  // namespace bestpeer::core

@@ -1,0 +1,51 @@
+#ifndef BESTPEER_CORE_SEARCH_AGENT_H_
+#define BESTPEER_CORE_SEARCH_AGENT_H_
+
+#include <string>
+
+#include "agent/agent.h"
+#include "core/config.h"
+#include "core/messages.h"
+
+namespace bestpeer::core {
+
+/// Registered class name of the StorM search agent.
+inline constexpr std::string_view kSearchAgentClass = "StormSearchAgent";
+
+/// The paper's StorM agent (§4.2): at each visited node it compares every
+/// object in the shared StorM database against the query keyword, then
+/// sends the matches straight back to the base node (out-of-network).
+///
+/// Carried state: query id, keyword, answer mode and the cost constants
+/// (an agent's code knows its own costs, so remote nodes need no
+/// coordination about them).
+class SearchAgent : public agent::Agent {
+ public:
+  SearchAgent() = default;
+  SearchAgent(uint64_t query_id, std::string keyword, AnswerMode mode,
+              SimTime per_object_cost, size_t descriptor_bytes)
+      : query_id_(query_id),
+        keyword_(std::move(keyword)),
+        mode_(mode),
+        per_object_cost_(per_object_cost),
+        descriptor_bytes_(descriptor_bytes) {}
+
+  std::string_view class_name() const override { return kSearchAgentClass; }
+  void SaveState(BinaryWriter& writer) const override;
+  Status LoadState(BinaryReader& reader) override;
+  Status Execute(agent::AgentContext& ctx) override;
+
+  uint64_t query_id() const { return query_id_; }
+  const std::string& keyword() const { return keyword_; }
+
+ private:
+  uint64_t query_id_ = 0;
+  std::string keyword_;
+  AnswerMode mode_ = AnswerMode::kDirect;
+  SimTime per_object_cost_ = Micros(15);
+  size_t descriptor_bytes_ = 64;
+};
+
+}  // namespace bestpeer::core
+
+#endif  // BESTPEER_CORE_SEARCH_AGENT_H_

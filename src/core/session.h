@@ -1,0 +1,96 @@
+#ifndef BESTPEER_CORE_SESSION_H_
+#define BESTPEER_CORE_SESSION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/reconfig_strategy.h"
+#include "sim/network.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::core {
+
+/// One response-related event observed by the query initiator.
+struct ResponseEvent {
+  SimTime time = 0;
+  sim::NodeId node = sim::kInvalidNode;
+  uint16_t hops = 0;
+  size_t answers = 0;
+};
+
+/// Book-keeping for one query issued by a node: when which peer responded
+/// with how many answers. The evaluation metrics of §4 (completion time,
+/// response rate, answers-over-time) and the reconfiguration observations
+/// of §3.3 all read from here.
+class QuerySession {
+ public:
+  QuerySession() = default;
+  QuerySession(uint64_t query_id, std::string keyword, AnswerMode mode,
+               SimTime start_time)
+      : query_id_(query_id),
+        keyword_(std::move(keyword)),
+        mode_(mode),
+        start_time_(start_time) {}
+
+  /// Records a result message (mode 1: content; mode 2: descriptors).
+  void RecordResult(const ResponseEvent& event) {
+    responses_.push_back(event);
+  }
+
+  /// Records a result message together with the matched object ids, so
+  /// answers can be deduplicated across replicas of the same object.
+  void RecordResultWithIds(const ResponseEvent& event,
+                           const std::vector<uint64_t>& object_ids) {
+    responses_.push_back(event);
+    for (uint64_t id : object_ids) unique_objects_.insert(id);
+  }
+
+  /// Distinct objects reported across all responses (replicas of one
+  /// object count once). Zero when responders did not report ids.
+  size_t unique_answers() const { return unique_objects_.size(); }
+
+  /// Records a completed mode-2 content fetch.
+  void RecordFetch(const ResponseEvent& event) { fetches_.push_back(event); }
+
+  uint64_t query_id() const { return query_id_; }
+  const std::string& keyword() const { return keyword_; }
+  AnswerMode mode() const { return mode_; }
+  SimTime start_time() const { return start_time_; }
+
+  const std::vector<ResponseEvent>& responses() const { return responses_; }
+  const std::vector<ResponseEvent>& fetches() const { return fetches_; }
+
+  /// Total answers *received* (mode 1: result items; mode 2: fetched
+  /// contents).
+  size_t total_answers() const;
+
+  /// Total matches indicated by responders (counts result items in both
+  /// modes).
+  size_t total_indicated() const;
+
+  /// Distinct responding nodes.
+  size_t responder_count() const;
+
+  /// Time from issue to the last relevant event (0 if nothing arrived) —
+  /// the paper's completion time, "when all answers have been received".
+  SimTime completion_time() const;
+
+  /// Per-responder observations feeding the reconfiguration strategy.
+  std::vector<PeerObservation> Observations() const;
+
+ private:
+  uint64_t query_id_ = 0;
+  std::string keyword_;
+  AnswerMode mode_ = AnswerMode::kDirect;
+  SimTime start_time_ = 0;
+  std::vector<ResponseEvent> responses_;
+  std::vector<ResponseEvent> fetches_;
+  std::set<uint64_t> unique_objects_;
+};
+
+}  // namespace bestpeer::core
+
+#endif  // BESTPEER_CORE_SESSION_H_

@@ -1,0 +1,79 @@
+#include "core/shipping.h"
+
+#include <cmath>
+
+namespace bestpeer::core {
+
+namespace {
+
+/// One-hop transfer time of `bytes` over the modelled LAN (uplink +
+/// propagation + downlink).
+SimTime TransferTime(size_t bytes, const sim::NetworkOptions& net) {
+  double per_nic = static_cast<double>(bytes) / net.bytes_per_us;
+  return static_cast<SimTime>(std::llround(2 * per_nic)) + net.latency;
+}
+
+}  // namespace
+
+SimTime EstimateCodeShippingCost(const ShippingCostInputs& inputs,
+                                 const BestPeerConfig& config,
+                                 const sim::NetworkOptions& net) {
+  size_t outbound = inputs.agent_bytes + net.header_overhead +
+                    (inputs.class_cached ? 0 : inputs.class_bytes);
+  SimTime cost = TransferTime(outbound, net);
+  cost += config.agent_reconstruct_cost;
+  if (!inputs.class_cached) cost += config.agent_class_load_cost;
+  cost += static_cast<SimTime>(inputs.remote_objects) *
+          config.per_object_match_cost;
+  // Results come back; assume the small-descriptor case for estimation.
+  cost += TransferTime(net.header_overhead + config.answer_descriptor_bytes,
+                       net);
+  return cost;
+}
+
+SimTime EstimateDataShippingCost(const ShippingCostInputs& inputs,
+                                 const BestPeerConfig& config,
+                                 const sim::NetworkOptions& net) {
+  size_t store_bytes = inputs.remote_objects * inputs.object_size;
+  SimTime cost = TransferTime(net.header_overhead + 64, net);  // Request.
+  cost += static_cast<SimTime>(inputs.remote_objects) *
+          config.fetch_per_object_cost;  // Remote read-out.
+  cost += TransferTime(store_bytes + net.header_overhead, net);
+  cost += static_cast<SimTime>(inputs.remote_objects) *
+          config.per_object_match_cost;  // Local scan.
+  return cost;
+}
+
+ShippingStrategy ChooseShippingStrategy(const ShippingCostInputs& inputs,
+                                        const BestPeerConfig& config,
+                                        const sim::NetworkOptions& net) {
+  if (inputs.remote_objects == 0) return ShippingStrategy::kCodeShipping;
+  SimTime code = EstimateCodeShippingCost(inputs, config, net);
+  SimTime data = EstimateDataShippingCost(inputs, config, net);
+  return data < code ? ShippingStrategy::kDataShipping
+                     : ShippingStrategy::kCodeShipping;
+}
+
+std::string_view ShippingStrategyName(ShippingStrategy strategy) {
+  switch (strategy) {
+    case ShippingStrategy::kCodeShipping:
+      return "code";
+    case ShippingStrategy::kDataShipping:
+      return "data";
+  }
+  return "?";
+}
+
+std::string_view ShippingModeName(ShippingMode mode) {
+  switch (mode) {
+    case ShippingMode::kAlwaysCode:
+      return "always-code";
+    case ShippingMode::kAlwaysData:
+      return "always-data";
+    case ShippingMode::kAdaptive:
+      return "adaptive";
+  }
+  return "?";
+}
+
+}  // namespace bestpeer::core

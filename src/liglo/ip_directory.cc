@@ -1,0 +1,46 @@
+#include "liglo/ip_directory.h"
+
+namespace bestpeer::liglo {
+
+Status IpDirectory::Assign(IpAddress ip, sim::NodeId node) {
+  if (ip == kInvalidIp) {
+    return Status::InvalidArgument("cannot assign the invalid address");
+  }
+  auto it = by_ip_.find(ip);
+  if (it != by_ip_.end() && it->second != node) {
+    return Status::AlreadyExists("ip already assigned to node " +
+                                 std::to_string(it->second));
+  }
+  Release(node);
+  by_ip_[ip] = node;
+  by_node_[node] = ip;
+  return Status::OK();
+}
+
+void IpDirectory::Release(sim::NodeId node) {
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) return;
+  by_ip_.erase(it->second);
+  by_node_.erase(it);
+}
+
+Result<sim::NodeId> IpDirectory::Resolve(IpAddress ip) const {
+  auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) {
+    return Status::NotFound("no node holds ip " + std::to_string(ip));
+  }
+  return it->second;
+}
+
+IpAddress IpDirectory::AddressOf(sim::NodeId node) const {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? kInvalidIp : it->second;
+}
+
+IpAddress IpDirectory::AssignFresh(sim::NodeId node) {
+  IpAddress ip = next_ip_++;
+  Assign(ip, node).ok();
+  return ip;
+}
+
+}  // namespace bestpeer::liglo

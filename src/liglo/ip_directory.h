@@ -1,0 +1,42 @@
+#ifndef BESTPEER_LIGLO_IP_DIRECTORY_H_
+#define BESTPEER_LIGLO_IP_DIRECTORY_H_
+
+#include <map>
+
+#include "liglo/bpid.h"
+#include "sim/network.h"
+#include "util/result.h"
+
+namespace bestpeer::liglo {
+
+/// The LAN's address plane: maps the currently assigned IpAddress of each
+/// machine to its physical sim::NodeId so protocol layers can "dial an
+/// IP". The experiment harness reassigns addresses between sessions to
+/// simulate the temporary-address churn the paper targets.
+class IpDirectory {
+ public:
+  /// Assigns `ip` to `node`, releasing the node's previous address.
+  /// Fails with AlreadyExists if the ip belongs to another node.
+  Status Assign(IpAddress ip, sim::NodeId node);
+
+  /// Releases whatever address the node holds.
+  void Release(sim::NodeId node);
+
+  /// Physical node currently holding `ip`.
+  Result<sim::NodeId> Resolve(IpAddress ip) const;
+
+  /// Current address of `node` (kInvalidIp if none).
+  IpAddress AddressOf(sim::NodeId node) const;
+
+  /// Allocates a fresh unused address and assigns it to `node`.
+  IpAddress AssignFresh(sim::NodeId node);
+
+ private:
+  std::map<IpAddress, sim::NodeId> by_ip_;
+  std::map<sim::NodeId, IpAddress> by_node_;
+  IpAddress next_ip_ = 0x0A000001;  // 10.0.0.1
+};
+
+}  // namespace bestpeer::liglo
+
+#endif  // BESTPEER_LIGLO_IP_DIRECTORY_H_

@@ -1,0 +1,268 @@
+#include "liglo/liglo_client.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bestpeer::liglo {
+
+LigloClient::LigloClient(sim::SimNetwork* network,
+                         sim::Dispatcher* dispatcher, sim::NodeId node,
+                         IpDirectory* ips, LigloClientOptions options)
+    : network_(network), node_(node), ips_(ips), options_(options) {
+  dispatcher->Register(kLigloRegisterResp, [this](const sim::SimMessage& m) {
+    OnRegisterResp(m);
+  });
+  dispatcher->Register(kLigloUpdateResp, [this](const sim::SimMessage& m) {
+    OnUpdateResp(m);
+  });
+  dispatcher->Register(kLigloResolveResp, [this](const sim::SimMessage& m) {
+    OnResolveResp(m);
+  });
+  dispatcher->Register(kLigloPeersResp, [this](const sim::SimMessage& m) {
+    OnPeersResp(m);
+  });
+  dispatcher->Register(kLigloPing,
+                       [this](const sim::SimMessage& m) { OnPing(m); });
+}
+
+LigloClient::Pending LigloClient::TakePending(uint64_t id, bool* found) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    *found = false;
+    return Pending{};
+  }
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  *found = true;
+  return p;
+}
+
+void LigloClient::ArmTimeout(uint64_t id) {
+  network_->simulator().ScheduleAfter(options_.request_timeout, [this, id]() {
+    bool found = false;
+    Pending p = TakePending(id, &found);
+    if (!found) return;  // Already answered.
+    ++timeouts_;
+    Status timeout = Status::Unavailable("LIGLO request timed out");
+    switch (p.kind) {
+      case PendingKind::kRegister:
+        if (p.on_register) p.on_register(timeout);
+        break;
+      case PendingKind::kUpdate:
+        if (p.on_status) p.on_status(timeout);
+        break;
+      case PendingKind::kResolve:
+        if (p.on_resolve) p.on_resolve(timeout);
+        break;
+      case PendingKind::kPeers:
+        if (p.on_peers) p.on_peers(timeout);
+        break;
+    }
+  });
+}
+
+Status LigloClient::SendToServer(sim::NodeId server, uint32_t type,
+                                 Bytes payload, uint64_t id) {
+  if (!network_->IsOnline(server)) {
+    // The message would be dropped anyway; we still send so the timeout
+    // path exercises realistically, but short-circuit is avoided on
+    // purpose: a client cannot know the server is down.
+  }
+  network_->Send(node_, server, type, std::move(payload));
+  ArmTimeout(id);
+  return Status::OK();
+}
+
+void LigloClient::Register(sim::NodeId liglo_server, IpAddress my_ip,
+                           RegisterCallback callback) {
+  uint64_t id = next_request_id_++;
+  Pending p;
+  p.kind = PendingKind::kRegister;
+  p.on_register = std::move(callback);
+  pending_[id] = std::move(p);
+  home_server_ = liglo_server;
+  current_ip_ = my_ip;
+
+  RegisterRequest req;
+  req.request_id = id;
+  req.ip = my_ip;
+  SendToServer(liglo_server, kLigloRegisterReq, req.Encode(), id).ok();
+}
+
+void LigloClient::RegisterWithFallback(
+    const std::vector<sim::NodeId>& servers, IpAddress my_ip,
+    RegisterCallback callback) {
+  if (servers.empty()) {
+    if (callback) {
+      callback(Status::InvalidArgument("no LIGLO servers to try"));
+    }
+    return;
+  }
+  auto remaining =
+      std::make_shared<std::vector<sim::NodeId>>(servers.begin() + 1,
+                                                 servers.end());
+  Register(servers.front(), my_ip,
+           [this, my_ip, remaining, callback](
+               Result<RegisterOutcome> outcome) {
+             if (outcome.ok() || remaining->empty()) {
+               if (callback) callback(std::move(outcome));
+               return;
+             }
+             RegisterWithFallback(*remaining, my_ip, callback);
+           });
+}
+
+void LigloClient::UpdateAddress(IpAddress my_ip, bool online,
+                                StatusCallback callback) {
+  if (!registered()) {
+    if (callback) {
+      callback(Status::FailedPrecondition("not registered with a LIGLO"));
+    }
+    return;
+  }
+  uint64_t id = next_request_id_++;
+  Pending p;
+  p.kind = PendingKind::kUpdate;
+  p.on_status = std::move(callback);
+  pending_[id] = std::move(p);
+  current_ip_ = my_ip;
+
+  UpdateRequest req;
+  req.request_id = id;
+  req.bpid = bpid_;
+  req.ip = my_ip;
+  req.online = online;
+  SendToServer(home_server_, kLigloUpdateReq, req.Encode(), id).ok();
+}
+
+void LigloClient::Resolve(const Bpid& peer, ResolveCallback callback) {
+  uint64_t id = next_request_id_++;
+  Pending p;
+  p.kind = PendingKind::kResolve;
+  p.on_resolve = std::move(callback);
+  pending_[id] = std::move(p);
+
+  ResolveRequest req;
+  req.request_id = id;
+  req.bpid = peer;
+  // The peer's home LIGLO has a fixed address: its liglo_id is the node.
+  SendToServer(static_cast<sim::NodeId>(peer.liglo_id), kLigloResolveReq,
+               req.Encode(), id)
+      .ok();
+}
+
+void LigloClient::Rejoin(IpAddress my_ip, const std::vector<Bpid>& peers,
+                         RejoinCallback callback) {
+  // Step 1: push our (possibly new) IP to our home LIGLO.
+  UpdateAddress(my_ip, /*online=*/true, [this, peers,
+                                         callback](Status status) {
+    if (!status.ok()) {
+      if (callback) callback(status);
+      return;
+    }
+    // Step 2: resolve each peer through its registered LIGLO.
+    auto outcome = std::make_shared<RejoinOutcome>();
+    outcome->peers.resize(peers.size());
+    auto remaining = std::make_shared<size_t>(peers.size());
+    if (peers.empty()) {
+      if (callback) callback(*outcome);
+      return;
+    }
+    for (size_t i = 0; i < peers.size(); ++i) {
+      Resolve(peers[i], [i, outcome, remaining,
+                         callback](Result<ResolveOutcome> result) {
+        if (result.ok()) {
+          outcome->peers[i] = result.value();
+        } else {
+          outcome->peers[i] =
+              ResolveOutcome{PeerState::kUnknown, kInvalidIp};
+        }
+        if (--*remaining == 0 && callback) callback(*outcome);
+      });
+    }
+  });
+}
+
+void LigloClient::DiscoverPeers(PeersCallback callback) {
+  if (!registered()) {
+    if (callback) {
+      callback(Status::FailedPrecondition("not registered with a LIGLO"));
+    }
+    return;
+  }
+  uint64_t id = next_request_id_++;
+  Pending p;
+  p.kind = PendingKind::kPeers;
+  p.on_peers = std::move(callback);
+  pending_[id] = std::move(p);
+
+  PeersRequest req;
+  req.request_id = id;
+  req.requester = bpid_;
+  SendToServer(home_server_, kLigloPeersReq, req.Encode(), id).ok();
+}
+
+void LigloClient::OnPeersResp(const sim::SimMessage& msg) {
+  auto resp = PeersResponse::Decode(msg.payload);
+  if (!resp.ok()) return;
+  bool found = false;
+  Pending p = TakePending(resp->request_id, &found);
+  if (!found || p.kind != PendingKind::kPeers) return;
+  if (p.on_peers) p.on_peers(std::move(resp->peers));
+}
+
+void LigloClient::OnRegisterResp(const sim::SimMessage& msg) {
+  auto resp = RegisterResponse::Decode(msg.payload);
+  if (!resp.ok()) return;
+  bool found = false;
+  Pending p = TakePending(resp->request_id, &found);
+  if (!found || p.kind != PendingKind::kRegister) return;
+  if (!resp->accepted) {
+    if (p.on_register) {
+      p.on_register(
+          Status::ResourceExhausted("LIGLO server at capacity"));
+    }
+    return;
+  }
+  bpid_ = resp->bpid;
+  if (p.on_register) {
+    p.on_register(RegisterOutcome{resp->bpid, resp->peers});
+  }
+}
+
+void LigloClient::OnUpdateResp(const sim::SimMessage& msg) {
+  auto resp = UpdateResponse::Decode(msg.payload);
+  if (!resp.ok()) return;
+  bool found = false;
+  Pending p = TakePending(resp->request_id, &found);
+  if (!found || p.kind != PendingKind::kUpdate) return;
+  if (p.on_status) {
+    p.on_status(resp->ok ? Status::OK()
+                         : Status::NotFound("LIGLO does not know us"));
+  }
+}
+
+void LigloClient::OnResolveResp(const sim::SimMessage& msg) {
+  auto resp = ResolveResponse::Decode(msg.payload);
+  if (!resp.ok()) return;
+  bool found = false;
+  Pending p = TakePending(resp->request_id, &found);
+  if (!found || p.kind != PendingKind::kResolve) return;
+  if (p.on_resolve) {
+    p.on_resolve(ResolveOutcome{resp->state, resp->ip});
+  }
+}
+
+void LigloClient::OnPing(const sim::SimMessage& msg) {
+  auto ping = PingMessage::Decode(msg.payload);
+  if (!ping.ok()) return;
+  PongMessage pong;
+  pong.nonce = ping->nonce;
+  pong.bpid = bpid_;
+  pong.ip = current_ip_;
+  network_->Send(node_, msg.src, kLigloPong, pong.Encode());
+}
+
+}  // namespace bestpeer::liglo

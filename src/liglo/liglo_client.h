@@ -1,0 +1,133 @@
+#ifndef BESTPEER_LIGLO_LIGLO_CLIENT_H_
+#define BESTPEER_LIGLO_LIGLO_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "liglo/bpid.h"
+#include "liglo/ip_directory.h"
+#include "liglo/liglo_protocol.h"
+#include "sim/dispatcher.h"
+#include "sim/network.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::liglo {
+
+/// Client-side knobs.
+struct LigloClientOptions {
+  /// Requests with no response within this window fail as Unavailable
+  /// (covers LIGLO-server failure: peers keep working, paper §3.4).
+  SimTime request_timeout = Seconds(2);
+};
+
+/// Node-side LIGLO stub: registration, address updates, BPID resolution,
+/// and the rejoin protocol of §2. Also answers the server's liveness
+/// pings. All calls are asynchronous; callbacks fire from the simulator.
+class LigloClient {
+ public:
+  struct RegisterOutcome {
+    Bpid bpid;
+    std::vector<PeerEntry> peers;
+  };
+  struct ResolveOutcome {
+    PeerState state = PeerState::kUnknown;
+    IpAddress ip = kInvalidIp;
+  };
+  /// One rejoin result per queried peer, in query order.
+  struct RejoinOutcome {
+    std::vector<ResolveOutcome> peers;
+  };
+
+  using RegisterCallback = std::function<void(Result<RegisterOutcome>)>;
+  using StatusCallback = std::function<void(Status)>;
+  using ResolveCallback = std::function<void(Result<ResolveOutcome>)>;
+  using RejoinCallback = std::function<void(Result<RejoinOutcome>)>;
+
+  /// `dispatcher` must be this node's dispatcher. `ips` is used to dial
+  /// LIGLO servers (their ids are fixed node ids) and answered pings.
+  LigloClient(sim::SimNetwork* network, sim::Dispatcher* dispatcher,
+              sim::NodeId node, IpDirectory* ips,
+              LigloClientOptions options = {});
+
+  LigloClient(const LigloClient&) = delete;
+  LigloClient& operator=(const LigloClient&) = delete;
+
+  /// Registers with the LIGLO server at node `liglo_server`, announcing
+  /// `my_ip`. On success the client remembers its BPID and home server.
+  void Register(sim::NodeId liglo_server, IpAddress my_ip,
+                RegisterCallback callback);
+
+  /// Tries each server in order until one accepts (paper §3.4: a full
+  /// LIGLO rejects new registrations and "the node has to seek another
+  /// LIGLO"). Fails with ResourceExhausted when every server rejects, or
+  /// with the last error when all are unreachable.
+  void RegisterWithFallback(const std::vector<sim::NodeId>& servers,
+                            IpAddress my_ip, RegisterCallback callback);
+
+  /// Reports the current address (and online state) to the home LIGLO.
+  void UpdateAddress(IpAddress my_ip, bool online, StatusCallback callback);
+
+  /// Resolves a peer's current address via the peer's home LIGLO
+  /// (identified by bpid.liglo_id, a fixed address).
+  void Resolve(const Bpid& peer, ResolveCallback callback);
+
+  using PeersCallback =
+      std::function<void(Result<std::vector<PeerEntry>>)>;
+
+  /// Asks the home LIGLO for a fresh sample of online members — used to
+  /// replace departed or refusing peers. Requires prior registration.
+  void DiscoverPeers(PeersCallback callback);
+
+  /// The full rejoin protocol of §2: push our new IP to our home LIGLO,
+  /// then resolve each peer in `peers` via its own home LIGLO.
+  void Rejoin(IpAddress my_ip, const std::vector<Bpid>& peers,
+              RejoinCallback callback);
+
+  /// Our assigned BPID (invalid before successful registration).
+  const Bpid& bpid() const { return bpid_; }
+  bool registered() const { return bpid_.IsValid(); }
+
+  uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  enum class PendingKind { kRegister, kUpdate, kResolve, kPeers };
+  struct Pending {
+    PendingKind kind;
+    RegisterCallback on_register;
+    StatusCallback on_status;
+    ResolveCallback on_resolve;
+    PeersCallback on_peers;
+  };
+
+  void OnRegisterResp(const sim::SimMessage& msg);
+  void OnUpdateResp(const sim::SimMessage& msg);
+  void OnResolveResp(const sim::SimMessage& msg);
+  void OnPeersResp(const sim::SimMessage& msg);
+  void OnPing(const sim::SimMessage& msg);
+
+  /// Sends `payload` to the node currently holding the server's address;
+  /// arms the timeout for request `id`.
+  Status SendToServer(sim::NodeId server, uint32_t type, Bytes payload,
+                      uint64_t id);
+  void ArmTimeout(uint64_t id);
+  Pending TakePending(uint64_t id, bool* found);
+
+  sim::SimNetwork* network_;
+  sim::NodeId node_;
+  IpDirectory* ips_;
+  LigloClientOptions options_;
+
+  Bpid bpid_;
+  sim::NodeId home_server_ = sim::kInvalidNode;
+  IpAddress current_ip_ = kInvalidIp;
+
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, Pending> pending_;
+  uint64_t timeouts_ = 0;
+};
+
+}  // namespace bestpeer::liglo
+
+#endif  // BESTPEER_LIGLO_LIGLO_CLIENT_H_

@@ -1,0 +1,192 @@
+#include "liglo/liglo_protocol.h"
+
+namespace bestpeer::liglo {
+
+Bytes RegisterRequest::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  w.WriteU32(ip);
+  return w.Take();
+}
+
+Result<RegisterRequest> RegisterRequest::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  RegisterRequest m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(m.ip, r.ReadU32());
+  return m;
+}
+
+Bytes RegisterResponse::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  w.WriteU8(accepted ? 1 : 0);
+  bpid.EncodeTo(w);
+  w.WriteVarint(peers.size());
+  for (const auto& peer : peers) {
+    peer.bpid.EncodeTo(w);
+    w.WriteU32(peer.ip);
+  }
+  return w.Take();
+}
+
+Result<RegisterResponse> RegisterResponse::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  RegisterResponse m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(uint8_t accepted, r.ReadU8());
+  m.accepted = accepted != 0;
+  BP_ASSIGN_OR_RETURN(m.bpid, Bpid::DecodeFrom(r));
+  BP_ASSIGN_OR_RETURN(uint64_t n, r.ReadVarint());
+  m.peers.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PeerEntry entry;
+    BP_ASSIGN_OR_RETURN(entry.bpid, Bpid::DecodeFrom(r));
+    BP_ASSIGN_OR_RETURN(entry.ip, r.ReadU32());
+    m.peers.push_back(entry);
+  }
+  return m;
+}
+
+Bytes UpdateRequest::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  bpid.EncodeTo(w);
+  w.WriteU32(ip);
+  w.WriteU8(online ? 1 : 0);
+  return w.Take();
+}
+
+Result<UpdateRequest> UpdateRequest::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  UpdateRequest m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(m.bpid, Bpid::DecodeFrom(r));
+  BP_ASSIGN_OR_RETURN(m.ip, r.ReadU32());
+  BP_ASSIGN_OR_RETURN(uint8_t online, r.ReadU8());
+  m.online = online != 0;
+  return m;
+}
+
+Bytes UpdateResponse::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  w.WriteU8(ok ? 1 : 0);
+  return w.Take();
+}
+
+Result<UpdateResponse> UpdateResponse::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  UpdateResponse m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(uint8_t ok, r.ReadU8());
+  m.ok = ok != 0;
+  return m;
+}
+
+Bytes ResolveRequest::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  bpid.EncodeTo(w);
+  return w.Take();
+}
+
+Result<ResolveRequest> ResolveRequest::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  ResolveRequest m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(m.bpid, Bpid::DecodeFrom(r));
+  return m;
+}
+
+Bytes ResolveResponse::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  w.WriteU8(static_cast<uint8_t>(state));
+  w.WriteU32(ip);
+  return w.Take();
+}
+
+Result<ResolveResponse> ResolveResponse::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  ResolveResponse m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(uint8_t state, r.ReadU8());
+  if (state > 2) return Status::Corruption("bad peer state");
+  m.state = static_cast<PeerState>(state);
+  BP_ASSIGN_OR_RETURN(m.ip, r.ReadU32());
+  return m;
+}
+
+Bytes PeersRequest::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  requester.EncodeTo(w);
+  return w.Take();
+}
+
+Result<PeersRequest> PeersRequest::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  PeersRequest m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(m.requester, Bpid::DecodeFrom(r));
+  return m;
+}
+
+Bytes PeersResponse::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(request_id);
+  w.WriteVarint(peers.size());
+  for (const auto& peer : peers) {
+    peer.bpid.EncodeTo(w);
+    w.WriteU32(peer.ip);
+  }
+  return w.Take();
+}
+
+Result<PeersResponse> PeersResponse::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  PeersResponse m;
+  BP_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(uint64_t n, r.ReadVarint());
+  m.peers.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    PeerEntry entry;
+    BP_ASSIGN_OR_RETURN(entry.bpid, Bpid::DecodeFrom(r));
+    BP_ASSIGN_OR_RETURN(entry.ip, r.ReadU32());
+    m.peers.push_back(entry);
+  }
+  return m;
+}
+
+Bytes PingMessage::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(nonce);
+  return w.Take();
+}
+
+Result<PingMessage> PingMessage::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  PingMessage m;
+  BP_ASSIGN_OR_RETURN(m.nonce, r.ReadU64());
+  return m;
+}
+
+Bytes PongMessage::Encode() const {
+  BinaryWriter w;
+  w.WriteU64(nonce);
+  bpid.EncodeTo(w);
+  w.WriteU32(ip);
+  return w.Take();
+}
+
+Result<PongMessage> PongMessage::Decode(const Bytes& data) {
+  BinaryReader r(data);
+  PongMessage m;
+  BP_ASSIGN_OR_RETURN(m.nonce, r.ReadU64());
+  BP_ASSIGN_OR_RETURN(m.bpid, Bpid::DecodeFrom(r));
+  BP_ASSIGN_OR_RETURN(m.ip, r.ReadU32());
+  return m;
+}
+
+}  // namespace bestpeer::liglo

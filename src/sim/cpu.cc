@@ -1,0 +1,30 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bestpeer::sim {
+
+CpuModel::CpuModel(Simulator* sim, int threads) : sim_(sim) {
+  assert(threads >= 1);
+  free_at_.assign(static_cast<size_t>(threads), 0);
+}
+
+void CpuModel::Submit(SimTime service, EventFn done) {
+  assert(service >= 0);
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  SimTime start = std::max(sim_->now(), *it);
+  SimTime end = start + service;
+  *it = end;
+  total_busy_ += service;
+  ++tasks_submitted_;
+  sim_->ScheduleAt(end, std::move(done));
+}
+
+SimTime CpuModel::EarliestFree() const {
+  SimTime t = *std::min_element(free_at_.begin(), free_at_.end());
+  return std::max(t, sim_->now());
+}
+
+}  // namespace bestpeer::sim

@@ -1,0 +1,49 @@
+#ifndef BESTPEER_SIM_CPU_H_
+#define BESTPEER_SIM_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::sim {
+
+/// Models a node's processor as `threads` identical servers with a shared
+/// FIFO queue. Submitting a task charges its service time to the earliest
+/// free server; the completion callback fires when the task finishes.
+///
+/// This is how per-node work — StorM scans, agent reconstruction, message
+/// relaying — consumes simulated time and creates queueing when a node is
+/// hit by many requests at once (e.g., the base node collecting answers).
+class CpuModel {
+ public:
+  /// `sim` must outlive this model. threads >= 1.
+  CpuModel(Simulator* sim, int threads = 1);
+
+  /// Enqueues a task taking `service` microseconds; `done` fires at its
+  /// completion time.
+  void Submit(SimTime service, EventFn done);
+
+  /// Time at which the earliest server becomes free (>= now).
+  SimTime EarliestFree() const;
+
+  /// Total busy time accumulated across servers.
+  SimTime total_busy() const { return total_busy_; }
+
+  /// Number of tasks submitted.
+  uint64_t tasks_submitted() const { return tasks_submitted_; }
+
+  int threads() const { return static_cast<int>(free_at_.size()); }
+
+ private:
+  Simulator* sim_;
+  std::vector<SimTime> free_at_;
+  SimTime total_busy_ = 0;
+  uint64_t tasks_submitted_ = 0;
+};
+
+}  // namespace bestpeer::sim
+
+#endif  // BESTPEER_SIM_CPU_H_

@@ -1,0 +1,37 @@
+#include "sim/dispatcher.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bestpeer::sim {
+
+Dispatcher::Dispatcher(SimNetwork* network, NodeId node) : node_(node) {
+  network->SetHandler(node,
+                      [this](const SimMessage& msg) { Dispatch(msg); });
+}
+
+void Dispatcher::Register(uint32_t type, SimNetwork::Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void Dispatcher::RegisterDefault(SimNetwork::Handler handler) {
+  default_handler_ = std::move(handler);
+}
+
+void Dispatcher::Dispatch(const SimMessage& msg) {
+  auto it = handlers_.find(msg.type);
+  if (it != handlers_.end()) {
+    it->second(msg);
+    return;
+  }
+  if (default_handler_) {
+    default_handler_(msg);
+    return;
+  }
+  ++unhandled_;
+  BP_LOG(Debug) << "node " << node_ << ": unhandled message type 0x"
+                << std::hex << msg.type;
+}
+
+}  // namespace bestpeer::sim

@@ -1,0 +1,41 @@
+#ifndef BESTPEER_SIM_DISPATCHER_H_
+#define BESTPEER_SIM_DISPATCHER_H_
+
+#include <map>
+
+#include "sim/network.h"
+
+namespace bestpeer::sim {
+
+/// Routes a node's incoming messages to per-type handlers, so several
+/// protocol layers (agent engine, LIGLO client, query protocol, ...) can
+/// share one node. Installing the dispatcher claims the node's handler
+/// slot on the network.
+class Dispatcher {
+ public:
+  /// Claims `node`'s handler on `network` (both must outlive this).
+  Dispatcher(SimNetwork* network, NodeId node);
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Registers the handler for one message type (replaces any previous).
+  void Register(uint32_t type, SimNetwork::Handler handler);
+
+  /// Handler for messages whose type has no registered handler.
+  void RegisterDefault(SimNetwork::Handler handler);
+
+  NodeId node() const { return node_; }
+  uint64_t unhandled_count() const { return unhandled_; }
+
+ private:
+  void Dispatch(const SimMessage& msg);
+
+  NodeId node_;
+  std::map<uint32_t, SimNetwork::Handler> handlers_;
+  SimNetwork::Handler default_handler_;
+  uint64_t unhandled_ = 0;
+};
+
+}  // namespace bestpeer::sim
+
+#endif  // BESTPEER_SIM_DISPATCHER_H_

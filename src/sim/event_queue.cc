@@ -1,0 +1,22 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace bestpeer::sim {
+
+uint64_t EventQueue::Push(SimTime time, EventFn fn) {
+  uint64_t seq = next_seq_++;
+  heap_.push(Event{time, seq, std::move(fn)});
+  return seq;
+}
+
+Event EventQueue::Pop() {
+  // priority_queue::top() returns const&; the function object must be moved
+  // out before pop. const_cast is safe because the element is removed
+  // immediately and never re-compared.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace bestpeer::sim

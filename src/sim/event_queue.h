@@ -1,0 +1,56 @@
+#ifndef BESTPEER_SIM_EVENT_QUEUE_H_
+#define BESTPEER_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace bestpeer::sim {
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// A scheduled event. Events with equal times fire in scheduling order
+/// (FIFO by sequence number), which keeps simulations deterministic.
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  EventFn fn;
+};
+
+/// Min-priority queue of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Enqueues an event at `time`; returns its sequence number.
+  uint64_t Push(SimTime time, EventFn fn);
+
+  /// True iff no events are pending.
+  bool empty() const { return heap_.empty(); }
+
+  /// Number of pending events.
+  size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must be non-empty.
+  SimTime PeekTime() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event; queue must be non-empty.
+  Event Pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace bestpeer::sim
+
+#endif  // BESTPEER_SIM_EVENT_QUEUE_H_

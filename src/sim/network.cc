@@ -1,0 +1,108 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace bestpeer::sim {
+
+SimNetwork::SimNetwork(Simulator* sim, NetworkOptions options)
+    : sim_(sim), options_(options) {
+  assert(options_.bytes_per_us > 0);
+}
+
+NodeId SimNetwork::AddNode(int cpu_threads) {
+  Node node;
+  int threads = cpu_threads > 0 ? cpu_threads : options_.cpu_threads;
+  node.cpu = std::make_unique<CpuModel>(sim_, threads);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void SimNetwork::SetHandler(NodeId node, Handler handler) {
+  assert(node < nodes_.size());
+  nodes_[node].handler = std::move(handler);
+}
+
+SimTime SimNetwork::TxTime(size_t bytes) const {
+  return static_cast<SimTime>(
+      std::llround(static_cast<double>(bytes) / options_.bytes_per_us));
+}
+
+void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
+                      size_t extra_wire_bytes) {
+  assert(src < nodes_.size() && dst < nodes_.size());
+  auto msg = std::make_shared<SimMessage>();
+  msg->src = src;
+  msg->dst = dst;
+  msg->type = type;
+  msg->wire_size =
+      payload.size() + options_.header_overhead + extra_wire_bytes;
+  msg->payload = std::move(payload);
+  msg->id = next_message_id_++;
+
+  Node& sender = nodes_[src];
+  const SimTime tx = TxTime(msg->wire_size);
+  const SimTime send_time = sim_->now();
+
+  // Serialize on the sender's uplink (FIFO).
+  SimTime up_start = std::max(send_time, sender.uplink_free_at);
+  SimTime up_done = up_start + tx;
+  sender.uplink_free_at = up_done;
+  sender.bytes_sent += msg->wire_size;
+  ++messages_sent_;
+  total_wire_bytes_ += msg->wire_size;
+
+  // Propagate, then serialize on the receiver's downlink. The downlink
+  // reservation must happen at arrival time (other packets may arrive in
+  // between), so it is done inside the arrival event.
+  SimTime arrival = up_done + options_.latency;
+  sim_->ScheduleAt(arrival, [this, msg, tx, send_time]() {
+    Node& receiver = nodes_[msg->dst];
+    if (!receiver.online) {
+      ++messages_dropped_;
+      return;
+    }
+    SimTime rx_start = std::max(sim_->now(), receiver.downlink_free_at);
+    SimTime rx_done = rx_start + tx;
+    receiver.downlink_free_at = rx_done;
+    sim_->ScheduleAt(rx_done, [this, msg, send_time]() {
+      Node& node = nodes_[msg->dst];
+      if (!node.online) {
+        ++messages_dropped_;
+        return;
+      }
+      node.bytes_received += msg->wire_size;
+      if (trace_) trace_(*msg, send_time, sim_->now());
+      if (node.handler) node.handler(*msg);
+    });
+  });
+}
+
+void SimNetwork::SetOnline(NodeId node, bool online) {
+  assert(node < nodes_.size());
+  nodes_[node].online = online;
+}
+
+bool SimNetwork::IsOnline(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].online;
+}
+
+CpuModel& SimNetwork::Cpu(NodeId node) {
+  assert(node < nodes_.size());
+  return *nodes_[node].cpu;
+}
+
+uint64_t SimNetwork::node_bytes_sent(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].bytes_sent;
+}
+
+uint64_t SimNetwork::node_bytes_received(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].bytes_received;
+}
+
+}  // namespace bestpeer::sim

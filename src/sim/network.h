@@ -1,0 +1,134 @@
+#ifndef BESTPEER_SIM_NETWORK_H_
+#define BESTPEER_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "util/bytes.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::sim {
+
+/// Index of a physical machine on the simulated LAN.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+/// A datagram on the simulated LAN.
+struct SimMessage {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Protocol-defined tag; each stack defines its own message-type enum.
+  uint32_t type = 0;
+  /// Application payload (already compressed if the protocol compresses).
+  Bytes payload;
+  /// Bytes charged to the wire (payload + header + any modelled extras
+  /// such as shipped agent classes).
+  size_t wire_size = 0;
+  /// Unique id, assigned by the network at send time.
+  uint64_t id = 0;
+};
+
+/// Cost parameters of the simulated LAN; see DESIGN.md section 4.
+struct NetworkOptions {
+  /// One-way propagation latency per physical hop.
+  SimTime latency = Micros(500);
+  /// NIC bandwidth in bytes per microsecond (12.5 == 100 Mbit/s, the
+  /// class of switched lab Ethernet behind the paper's cluster).
+  double bytes_per_us = 12.5;
+  /// Fixed per-message framing overhead added to wire_size.
+  size_t header_overhead = 64;
+  /// CPU threads per node (the MCS/SCS distinction is made at the
+  /// protocol layer; nodes default to enough threads to overlap work).
+  int cpu_threads = 4;
+};
+
+/// The physical network: a fully connected LAN of nodes, each with an
+/// uplink NIC, a downlink NIC and a CPU. Overlay topologies (who is whose
+/// *peer*) are a protocol-level concept layered on top — exactly as in the
+/// paper, where all 32 PCs share a LAN but BestPeer imposes a logical
+/// topology (paper footnote 1: "this is only a logical 'connection'").
+///
+/// Transmission model (store-and-forward NIC): a message serializes at the
+/// sender's uplink, propagates with fixed latency, then serializes at the
+/// receiver's downlink. Both NICs are FIFO, so concurrent transfers queue —
+/// this is what makes 31 answers converging on one base node take longer
+/// than one answer, and it penalizes path-relaying schemes (CS, Gnutella)
+/// on every intermediate hop.
+class SimNetwork {
+ public:
+  using Handler = std::function<void(const SimMessage&)>;
+  /// (message, time sent, time delivered) — fires on each delivery.
+  using TraceFn =
+      std::function<void(const SimMessage&, SimTime, SimTime)>;
+
+  SimNetwork(Simulator* sim, NetworkOptions options);
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Adds a node; returns its id. cpu_threads <= 0 uses the default.
+  NodeId AddNode(int cpu_threads = 0);
+
+  /// Registers the message handler for `node` (replaces any previous one).
+  void SetHandler(NodeId node, Handler handler);
+
+  /// Sends a message; it is delivered to the destination handler after
+  /// NIC serialization + latency. `extra_wire_bytes` adds modelled bytes
+  /// (e.g. a shipped agent class) without materializing them.
+  /// Messages to offline nodes are silently dropped (counted).
+  void Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
+            size_t extra_wire_bytes = 0);
+
+  /// Marks a node online/offline. Offline nodes drop incoming messages.
+  void SetOnline(NodeId node, bool online);
+  bool IsOnline(NodeId node) const;
+
+  /// The node's CPU (submit work to consume simulated time).
+  CpuModel& Cpu(NodeId node);
+
+  /// Installs a delivery trace hook (pass nullptr to remove).
+  void SetTrace(TraceFn trace) { trace_ = std::move(trace); }
+
+  Simulator& simulator() { return *sim_; }
+  const NetworkOptions& options() const { return options_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  /// Aggregate counters.
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t total_wire_bytes() const { return total_wire_bytes_; }
+  uint64_t node_bytes_sent(NodeId node) const;
+  uint64_t node_bytes_received(NodeId node) const;
+
+  /// Transmission time of `bytes` through one NIC.
+  SimTime TxTime(size_t bytes) const;
+
+ private:
+  struct Node {
+    SimTime uplink_free_at = 0;
+    SimTime downlink_free_at = 0;
+    std::unique_ptr<CpuModel> cpu;
+    Handler handler;
+    bool online = true;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+  };
+
+  Simulator* sim_;
+  NetworkOptions options_;
+  std::vector<Node> nodes_;
+  TraceFn trace_;
+  uint64_t next_message_id_ = 1;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+  uint64_t total_wire_bytes_ = 0;
+};
+
+}  // namespace bestpeer::sim
+
+#endif  // BESTPEER_SIM_NETWORK_H_

@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bestpeer::sim {
+
+void Simulator::ScheduleAt(SimTime t, EventFn fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  queue_.Push(t < now_ ? now_ : t, std::move(fn));
+}
+
+void Simulator::ScheduleAfter(SimTime delay, EventFn fn) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.Pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+size_t Simulator::RunUntilIdle(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && Step()) ++n;
+  return n;
+}
+
+size_t Simulator::RunUntil(SimTime deadline) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.PeekTime() <= deadline) {
+    Step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace bestpeer::sim

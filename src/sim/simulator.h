@@ -1,0 +1,57 @@
+#ifndef BESTPEER_SIM_SIMULATOR_H_
+#define BESTPEER_SIM_SIMULATOR_H_
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::sim {
+
+/// Discrete-event simulation kernel: a virtual clock plus an event queue.
+///
+/// All BestPeer experiments run on one Simulator. The clock only advances
+/// when events fire, so results are bit-for-bit reproducible and independent
+/// of host speed — the property that lets a laptop stand in for the paper's
+/// 32-PC cluster.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`; `t` must be >= now().
+  void ScheduleAt(SimTime t, EventFn fn);
+
+  /// Schedules `fn` `delay` microseconds from now; delay must be >= 0.
+  void ScheduleAfter(SimTime delay, EventFn fn);
+
+  /// Fires the earliest event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Runs until no events remain (or `max_events` fired). Returns the
+  /// number of events processed.
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX);
+
+  /// Runs events with time <= `deadline`; the clock ends at `deadline`
+  /// if the queue drains early. Returns events processed.
+  size_t RunUntil(SimTime deadline);
+
+  /// Number of events processed since construction.
+  uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of pending events.
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace bestpeer::sim
+
+#endif  // BESTPEER_SIM_SIMULATOR_H_

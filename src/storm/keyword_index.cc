@@ -1,0 +1,35 @@
+#include "storm/keyword_index.h"
+
+#include "util/strings.h"
+
+namespace bestpeer::storm {
+
+void KeywordIndex::Add(ObjectId id, std::string_view text) {
+  for (const auto& tok : TokenizeKeywords(text)) {
+    postings_[tok].insert(id);
+  }
+}
+
+void KeywordIndex::Remove(ObjectId id, std::string_view text) {
+  for (const auto& tok : TokenizeKeywords(text)) {
+    auto it = postings_.find(tok);
+    if (it == postings_.end()) continue;
+    it->second.erase(id);
+    if (it->second.empty()) postings_.erase(it);
+  }
+}
+
+std::vector<ObjectId> KeywordIndex::Search(std::string_view keyword) const {
+  std::vector<ObjectId> out;
+  auto it = postings_.find(ToLower(keyword));
+  if (it == postings_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  return out;
+}
+
+size_t KeywordIndex::PostingCount(std::string_view keyword) const {
+  auto it = postings_.find(ToLower(keyword));
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+}  // namespace bestpeer::storm

@@ -1,0 +1,42 @@
+#ifndef BESTPEER_STORM_KEYWORD_INDEX_H_
+#define BESTPEER_STORM_KEYWORD_INDEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/object_store.h"
+
+namespace bestpeer::storm {
+
+/// In-memory inverted index: keyword -> object ids. Maintained by the
+/// Storm facade as objects are added/removed; gives the fast search path
+/// next to the full-scan path the paper's StorM agent uses.
+class KeywordIndex {
+ public:
+  /// Indexes the tokens of `text` under `id`.
+  void Add(ObjectId id, std::string_view text);
+
+  /// Removes `id`'s postings for the tokens of `text`.
+  void Remove(ObjectId id, std::string_view text);
+
+  /// Ids of objects containing `keyword` (ascending).
+  std::vector<ObjectId> Search(std::string_view keyword) const;
+
+  /// Number of distinct indexed keywords.
+  size_t keyword_count() const { return postings_.size(); }
+
+  /// Number of postings for one keyword.
+  size_t PostingCount(std::string_view keyword) const;
+
+  void Clear() { postings_.clear(); }
+
+ private:
+  std::map<std::string, std::set<ObjectId>, std::less<>> postings_;
+};
+
+}  // namespace bestpeer::storm
+
+#endif  // BESTPEER_STORM_KEYWORD_INDEX_H_

@@ -1,0 +1,153 @@
+#include "storm/page.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace bestpeer::storm {
+
+uint16_t Page::ReadU16(size_t off) const {
+  uint16_t v;
+  std::memcpy(&v, data_ + off, sizeof(v));
+  return v;
+}
+uint32_t Page::ReadU32(size_t off) const {
+  uint32_t v;
+  std::memcpy(&v, data_ + off, sizeof(v));
+  return v;
+}
+uint64_t Page::ReadU64(size_t off) const {
+  uint64_t v;
+  std::memcpy(&v, data_ + off, sizeof(v));
+  return v;
+}
+void Page::WriteU16(size_t off, uint16_t v) {
+  std::memcpy(data_ + off, &v, sizeof(v));
+}
+void Page::WriteU32(size_t off, uint32_t v) {
+  std::memcpy(data_ + off, &v, sizeof(v));
+}
+void Page::WriteU64(size_t off, uint64_t v) {
+  std::memcpy(data_ + off, &v, sizeof(v));
+}
+
+void Page::Init(uint32_t page_id) {
+  std::memset(data_, 0, kPageSize);
+  WriteU32(0, kMagic);
+  WriteU32(4, page_id);
+  set_slot_count(0);
+  set_free_off(static_cast<uint16_t>(kHeaderSize));
+}
+
+size_t Page::FreeSpace() const {
+  size_t dir_start = kPageSize - kSlotEntrySize * slot_count();
+  size_t gap = dir_start - free_off();
+  // A fresh insert may need a new slot entry unless a tombstone is free.
+  bool have_tombstone = false;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) == kTombstone) {
+      have_tombstone = true;
+      break;
+    }
+  }
+  if (!have_tombstone) {
+    if (gap < kSlotEntrySize) return 0;
+    gap -= kSlotEntrySize;
+  }
+  return gap;
+}
+
+size_t Page::FragmentedSpace() const {
+  size_t live = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) != kTombstone) live += SlotLen(s);
+  }
+  size_t used = free_off() - kHeaderSize;
+  return used - live;
+}
+
+void Page::SetSlot(uint16_t slot, uint16_t offset, uint16_t len) {
+  WriteU16(SlotDirPos(slot), offset);
+  WriteU16(SlotDirPos(slot) + 2, len);
+}
+
+Result<uint16_t> Page::Insert(const uint8_t* data, uint16_t len) {
+  // Find a reusable tombstone slot, if any.
+  uint16_t slot = slot_count();
+  bool reuse = false;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) == kTombstone) {
+      slot = s;
+      reuse = true;
+      break;
+    }
+  }
+  size_t dir_start =
+      kPageSize - kSlotEntrySize * (slot_count() + (reuse ? 0 : 1));
+  if (free_off() + static_cast<size_t>(len) > dir_start) {
+    return Status::ResourceExhausted("page full");
+  }
+  uint16_t off = free_off();
+  std::memcpy(data_ + off, data, len);
+  set_free_off(static_cast<uint16_t>(off + len));
+  if (!reuse) set_slot_count(static_cast<uint16_t>(slot_count() + 1));
+  SetSlot(slot, off, len);
+  return slot;
+}
+
+Result<std::pair<const uint8_t*, uint16_t>> Page::Read(uint16_t slot) const {
+  if (slot >= slot_count()) {
+    return Status::OutOfRange("slot " + std::to_string(slot) +
+                              " out of range");
+  }
+  if (SlotOffset(slot) == kTombstone) {
+    return Status::NotFound("slot " + std::to_string(slot) + " deleted");
+  }
+  return std::make_pair(data_ + SlotOffset(slot), SlotLen(slot));
+}
+
+Status Page::Delete(uint16_t slot) {
+  if (slot >= slot_count()) {
+    return Status::OutOfRange("slot " + std::to_string(slot) +
+                              " out of range");
+  }
+  if (SlotOffset(slot) == kTombstone) {
+    return Status::NotFound("slot " + std::to_string(slot) +
+                            " already deleted");
+  }
+  SetSlot(slot, kTombstone, 0);
+  return Status::OK();
+}
+
+bool Page::SlotLive(uint16_t slot) const {
+  return slot < slot_count() && SlotOffset(slot) != kTombstone;
+}
+
+void Page::Compact() {
+  std::vector<uint8_t> scratch(kPageSize);
+  uint16_t write_off = kHeaderSize;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) == kTombstone) continue;
+    uint16_t len = SlotLen(s);
+    std::memcpy(scratch.data() + write_off, data_ + SlotOffset(s), len);
+    SetSlot(s, write_off, len);
+    write_off = static_cast<uint16_t>(write_off + len);
+  }
+  std::memcpy(data_ + kHeaderSize, scratch.data() + kHeaderSize,
+              write_off - kHeaderSize);
+  set_free_off(write_off);
+}
+
+uint64_t Page::ComputeChecksum() const {
+  // Checksum covers everything except the checksum field itself.
+  uint64_t h = Fnv1a64(data_, 16);
+  h ^= Fnv1a64(data_ + kHeaderSize, kPageSize - kHeaderSize);
+  return h;
+}
+
+void Page::UpdateChecksum() { WriteU64(16, ComputeChecksum()); }
+
+bool Page::VerifyChecksum() const { return ReadU64(16) == ComputeChecksum(); }
+
+}  // namespace bestpeer::storm

@@ -1,0 +1,120 @@
+#include "storm/pager.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace bestpeer::storm {
+
+Result<PageId> MemPager::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPager::Read(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) + " not allocated");
+  }
+  ++reads_;
+  std::memcpy(out->raw(), pages_[id]->raw(), Page::kPageSize);
+  if (out->IsFormatted() && !out->VerifyChecksum()) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status MemPager::Write(PageId id, Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("page " + std::to_string(id) + " not allocated");
+  }
+  ++writes_;
+  page.UpdateChecksum();
+  std::memcpy(pages_[id]->raw(), page.raw(), Page::kPageSize);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FilePager>> FilePager::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    f = std::fopen(path.c_str(), "w+b");
+  }
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError("seek failed on " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0 || size % static_cast<long>(Page::kPageSize) != 0) {
+    std::fclose(f);
+    return Status::Corruption(path + " is not page-aligned");
+  }
+  PageId count = static_cast<PageId>(size / Page::kPageSize);
+  return std::unique_ptr<FilePager>(new FilePager(f, count, path));
+}
+
+FilePager::~FilePager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<PageId> FilePager::Allocate() {
+  Page zero;
+  if (std::fseek(file_, static_cast<long>(page_count_) *
+                            static_cast<long>(Page::kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed on " + path_);
+  }
+  if (std::fwrite(zero.raw(), Page::kPageSize, 1, file_) != 1) {
+    return Status::IoError("append failed on " + path_);
+  }
+  ++writes_;
+  return page_count_++;
+}
+
+Status FilePager::Read(PageId id, Page* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " not allocated");
+  }
+  if (std::fseek(file_,
+                 static_cast<long>(id) * static_cast<long>(Page::kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed on " + path_);
+  }
+  if (std::fread(out->raw(), Page::kPageSize, 1, file_) != 1) {
+    return Status::IoError("read failed on " + path_);
+  }
+  ++reads_;
+  if (out->IsFormatted() && !out->VerifyChecksum()) {
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FilePager::Write(PageId id, Page& page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) + " not allocated");
+  }
+  page.UpdateChecksum();
+  if (std::fseek(file_,
+                 static_cast<long>(id) * static_cast<long>(Page::kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed on " + path_);
+  }
+  if (std::fwrite(page.raw(), Page::kPageSize, 1, file_) != 1) {
+    return Status::IoError("write failed on " + path_);
+  }
+  ++writes_;
+  return Status::OK();
+}
+
+Status FilePager::Sync() {
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed on " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace bestpeer::storm

@@ -1,0 +1,91 @@
+#ifndef BESTPEER_STORM_PAGER_H_
+#define BESTPEER_STORM_PAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storm/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bestpeer::storm {
+
+/// Identifier of a page within a pager.
+using PageId = uint32_t;
+
+/// Backing store for pages. Two implementations: MemPager (volatile, used
+/// in simulations) and FilePager (persistent, page-aligned file I/O).
+class Pager {
+ public:
+  virtual ~Pager() = default;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Reads page `id` into `*out`; verifies the checksum of formatted pages.
+  virtual Status Read(PageId id, Page* out) = 0;
+
+  /// Writes `page` (checksum is refreshed first) to page `id`.
+  virtual Status Write(PageId id, Page& page) = 0;
+
+  /// Number of allocated pages.
+  virtual PageId page_count() const = 0;
+
+  /// Flushes to durable storage where applicable.
+  virtual Status Sync() = 0;
+
+  /// I/O counters (for tests and micro-benchmarks).
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+
+ protected:
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// In-memory pager.
+class MemPager : public Pager {
+ public:
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, Page& page) override;
+  PageId page_count() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+};
+
+/// File-backed pager; pages live at offset id * kPageSize.
+class FilePager : public Pager {
+ public:
+  /// Opens (or creates) the file at `path`.
+  static Result<std::unique_ptr<FilePager>> Open(const std::string& path);
+
+  ~FilePager() override;
+  FilePager(const FilePager&) = delete;
+  FilePager& operator=(const FilePager&) = delete;
+
+  Result<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, Page& page) override;
+  PageId page_count() const override { return page_count_; }
+  Status Sync() override;
+
+ private:
+  FilePager(std::FILE* file, PageId page_count, std::string path)
+      : file_(file), page_count_(page_count), path_(std::move(path)) {}
+
+  std::FILE* file_;
+  PageId page_count_;
+  std::string path_;
+};
+
+}  // namespace bestpeer::storm
+
+#endif  // BESTPEER_STORM_PAGER_H_

@@ -1,0 +1,61 @@
+#include "storm/query_expr.h"
+
+#include "util/strings.h"
+
+namespace bestpeer::storm {
+
+Result<QueryExpr> QueryExpr::Parse(std::string_view text) {
+  QueryExpr expr;
+  std::vector<std::string> current;
+  for (const std::string& raw : Split(text, ' ')) {
+    if (raw.empty()) continue;
+    if (raw == "OR") {
+      if (current.empty()) {
+        return Status::InvalidArgument("empty OR branch in query: " +
+                                       std::string(text));
+      }
+      expr.dnf_.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(ToLower(raw));
+  }
+  if (current.empty()) {
+    return Status::InvalidArgument(
+        expr.dnf_.empty() ? "empty query"
+                          : "empty OR branch in query: " + std::string(text));
+  }
+  expr.dnf_.push_back(std::move(current));
+  return expr;
+}
+
+bool QueryExpr::Matches(std::string_view content) const {
+  for (const auto& branch : dnf_) {
+    bool all = true;
+    for (const auto& term : branch) {
+      if (!ContainsKeyword(content, term)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+size_t QueryExpr::term_count() const {
+  size_t n = 0;
+  for (const auto& branch : dnf_) n += branch.size();
+  return n;
+}
+
+std::string QueryExpr::ToString() const {
+  std::string out;
+  for (size_t b = 0; b < dnf_.size(); ++b) {
+    if (b > 0) out += " OR ";
+    out += Join(dnf_[b], " ");
+  }
+  return out;
+}
+
+}  // namespace bestpeer::storm

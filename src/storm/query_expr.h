@@ -1,0 +1,47 @@
+#ifndef BESTPEER_STORM_QUERY_EXPR_H_
+#define BESTPEER_STORM_QUERY_EXPR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bestpeer::storm {
+
+/// A keyword query in disjunctive normal form: space-separated terms are
+/// AND-ed, the word OR separates conjunctions. Examples:
+///   "needle"                  -> needle
+///   "peer agents"             -> peer AND agents
+///   "mp3 beatles OR flac"     -> (mp3 AND beatles) OR flac
+/// Terms match whole tokens, case-insensitively (see ContainsKeyword).
+class QueryExpr {
+ public:
+  QueryExpr() = default;
+
+  /// Parses the query text; fails on empty queries or empty OR branches
+  /// ("a OR", "OR b").
+  static Result<QueryExpr> Parse(std::string_view text);
+
+  /// True iff `content` satisfies the expression.
+  bool Matches(std::string_view content) const;
+
+  /// Total number of terms across all branches.
+  size_t term_count() const;
+
+  /// Number of OR branches.
+  size_t branch_count() const { return dnf_.size(); }
+
+  /// The DNF: one vector of AND-ed (lower-cased) terms per OR branch.
+  const std::vector<std::vector<std::string>>& dnf() const { return dnf_; }
+
+  /// Canonical text form ("a b OR c").
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<std::string>> dnf_;
+};
+
+}  // namespace bestpeer::storm
+
+#endif  // BESTPEER_STORM_QUERY_EXPR_H_

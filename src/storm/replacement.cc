@@ -1,0 +1,154 @@
+#include "storm/replacement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace bestpeer::storm {
+
+// ---------------------------------------------------------------- LRU
+
+void LruPolicy::OnEvictable(FrameId frame) {
+  auto it = where_.find(frame);
+  if (it != where_.end()) order_.erase(it->second);
+  order_.push_back(frame);
+  where_[frame] = std::prev(order_.end());
+}
+
+void LruPolicy::OnPinned(FrameId frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+std::optional<FrameId> LruPolicy::ChooseVictim() {
+  if (order_.empty()) return std::nullopt;
+  FrameId victim = order_.front();
+  order_.pop_front();
+  where_.erase(victim);
+  return victim;
+}
+
+// ---------------------------------------------------------------- FIFO
+
+void FifoPolicy::OnEvictable(FrameId frame) {
+  if (where_.count(frame) != 0) return;  // Keep original queue position.
+  order_.push_back(frame);
+  where_[frame] = std::prev(order_.end());
+}
+
+void FifoPolicy::OnPinned(FrameId frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+std::optional<FrameId> FifoPolicy::ChooseVictim() {
+  if (order_.empty()) return std::nullopt;
+  FrameId victim = order_.front();
+  order_.pop_front();
+  where_.erase(victim);
+  return victim;
+}
+
+// ---------------------------------------------------------------- Clock
+
+void ClockPolicy::OnEvictable(FrameId frame) {
+  auto it = where_.find(frame);
+  if (it != where_.end()) {
+    it->second->referenced = true;
+    return;
+  }
+  // Insert just before the hand so the new entry is visited last.
+  auto pos = hand_ == ring_.end() ? ring_.end() : hand_;
+  auto inserted = ring_.insert(pos, Entry{frame, true});
+  where_[frame] = inserted;
+  if (hand_ == ring_.end()) hand_ = inserted;
+}
+
+void ClockPolicy::OnPinned(FrameId frame) {
+  auto it = where_.find(frame);
+  if (it == where_.end()) return;
+  if (hand_ == it->second) {
+    ++hand_;
+    if (hand_ == ring_.end()) hand_ = ring_.begin();
+  }
+  ring_.erase(it->second);
+  where_.erase(it);
+  if (ring_.empty()) hand_ = ring_.end();
+}
+
+std::optional<FrameId> ClockPolicy::ChooseVictim() {
+  if (ring_.empty()) return std::nullopt;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+  for (;;) {
+    if (hand_->referenced) {
+      hand_->referenced = false;
+      ++hand_;
+      if (hand_ == ring_.end()) hand_ = ring_.begin();
+    } else {
+      FrameId victim = hand_->frame;
+      auto dead = hand_;
+      ++hand_;
+      if (hand_ == ring_.end() && ring_.size() > 1) hand_ = ring_.begin();
+      ring_.erase(dead);
+      where_.erase(victim);
+      if (ring_.empty()) hand_ = ring_.end();
+      return victim;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- LFU
+
+void LfuPolicy::OnEvictable(FrameId frame) {
+  Info& info = info_[frame];
+  if (info.evictable) return;
+  info.evictable = true;
+  info.uses += 1;
+  info.last_tick = ++tick_;
+  ++evictable_;
+}
+
+void LfuPolicy::OnPinned(FrameId frame) {
+  auto it = info_.find(frame);
+  if (it == info_.end() || !it->second.evictable) return;
+  it->second.evictable = false;
+  --evictable_;
+}
+
+std::optional<FrameId> LfuPolicy::ChooseVictim() {
+  if (evictable_ == 0) return std::nullopt;
+  const Info* best = nullptr;
+  FrameId best_frame = 0;
+  for (const auto& [frame, info] : info_) {
+    if (!info.evictable) continue;
+    if (best == nullptr || info.uses < best->uses ||
+        (info.uses == best->uses && info.last_tick < best->last_tick)) {
+      best = &info;
+      best_frame = frame;
+    }
+  }
+  assert(best != nullptr);
+  info_.erase(best_frame);
+  --evictable_;
+  return best_frame;
+}
+
+Result<std::unique_ptr<ReplacementPolicy>> MakeReplacementPolicy(
+    std::string_view name) {
+  if (name == "lru") return std::unique_ptr<ReplacementPolicy>(new LruPolicy);
+  if (name == "fifo") {
+    return std::unique_ptr<ReplacementPolicy>(new FifoPolicy);
+  }
+  if (name == "clock") {
+    return std::unique_ptr<ReplacementPolicy>(new ClockPolicy);
+  }
+  if (name == "lfu") return std::unique_ptr<ReplacementPolicy>(new LfuPolicy);
+  return Status::InvalidArgument("unknown replacement policy: " +
+                                 std::string(name));
+}
+
+}  // namespace bestpeer::storm

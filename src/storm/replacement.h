@@ -1,0 +1,125 @@
+#ifndef BESTPEER_STORM_REPLACEMENT_H_
+#define BESTPEER_STORM_REPLACEMENT_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace bestpeer::storm {
+
+/// Buffer-frame index.
+using FrameId = size_t;
+
+/// Pluggable page-replacement policy — the extensibility hook the StorM
+/// papers (Bressan/Goh/Ooi/Tan, SIGMOD'99) are built around.
+///
+/// The policy tracks the set of *evictable* frames (unpinned). The buffer
+/// pool calls:
+///  - OnEvictable(f)  when a frame's pin count drops to zero,
+///  - OnPinned(f)     when an evictable frame is pinned again,
+///  - ChooseVictim()  to pick and remove the next frame to evict.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// The policy's registered name ("lru", "fifo", "clock", "lfu").
+  virtual std::string_view name() const = 0;
+
+  /// Frame became evictable (pin count hit zero).
+  virtual void OnEvictable(FrameId frame) = 0;
+
+  /// Frame is no longer evictable (pinned again).
+  virtual void OnPinned(FrameId frame) = 0;
+
+  /// Picks the next victim, removes it from the evictable set and returns
+  /// it; std::nullopt when no frame is evictable.
+  virtual std::optional<FrameId> ChooseVictim() = 0;
+
+  /// Number of evictable frames currently tracked.
+  virtual size_t evictable_count() const = 0;
+};
+
+/// Least-recently-unpinned eviction.
+class LruPolicy : public ReplacementPolicy {
+ public:
+  std::string_view name() const override { return "lru"; }
+  void OnEvictable(FrameId frame) override;
+  void OnPinned(FrameId frame) override;
+  std::optional<FrameId> ChooseVictim() override;
+  size_t evictable_count() const override { return order_.size(); }
+
+ private:
+  std::list<FrameId> order_;  // Front = least recently unpinned.
+  std::unordered_map<FrameId, std::list<FrameId>::iterator> where_;
+};
+
+/// First-in-first-out: evicts in the order frames first became evictable;
+/// re-pinning does not refresh position on re-entry.
+class FifoPolicy : public ReplacementPolicy {
+ public:
+  std::string_view name() const override { return "fifo"; }
+  void OnEvictable(FrameId frame) override;
+  void OnPinned(FrameId frame) override;
+  std::optional<FrameId> ChooseVictim() override;
+  size_t evictable_count() const override { return order_.size(); }
+
+ private:
+  std::list<FrameId> order_;
+  std::unordered_map<FrameId, std::list<FrameId>::iterator> where_;
+};
+
+/// Second-chance clock: a ring of evictable frames with reference bits;
+/// re-entering the evictable set sets the reference bit.
+class ClockPolicy : public ReplacementPolicy {
+ public:
+  std::string_view name() const override { return "clock"; }
+  void OnEvictable(FrameId frame) override;
+  void OnPinned(FrameId frame) override;
+  std::optional<FrameId> ChooseVictim() override;
+  size_t evictable_count() const override { return ring_.size(); }
+
+ private:
+  struct Entry {
+    FrameId frame;
+    bool referenced;
+  };
+  std::list<Entry> ring_;
+  std::list<Entry>::iterator hand_ = ring_.end();
+  std::unordered_map<FrameId, std::list<Entry>::iterator> where_;
+};
+
+/// Least-frequently-used: evicts the evictable frame with the fewest
+/// lifetime uses (a use = one evictable->pinned->evictable round trip);
+/// ties broken by least recent use.
+class LfuPolicy : public ReplacementPolicy {
+ public:
+  std::string_view name() const override { return "lfu"; }
+  void OnEvictable(FrameId frame) override;
+  void OnPinned(FrameId frame) override;
+  std::optional<FrameId> ChooseVictim() override;
+  size_t evictable_count() const override { return evictable_; }
+
+ private:
+  struct Info {
+    uint64_t uses = 0;
+    uint64_t last_tick = 0;
+    bool evictable = false;
+  };
+  std::unordered_map<FrameId, Info> info_;
+  size_t evictable_ = 0;
+  uint64_t tick_ = 0;
+};
+
+/// Creates a policy by name; InvalidArgument for unknown names.
+Result<std::unique_ptr<ReplacementPolicy>> MakeReplacementPolicy(
+    std::string_view name);
+
+}  // namespace bestpeer::storm
+
+#endif  // BESTPEER_STORM_REPLACEMENT_H_

@@ -1,0 +1,187 @@
+#include "storm/storm.h"
+
+#include <algorithm>
+#include <set>
+
+#include "storm/query_expr.h"
+#include "util/strings.h"
+
+namespace bestpeer::storm {
+
+Result<std::unique_ptr<Storm>> Storm::Open(const StormOptions& options) {
+  auto storm = std::unique_ptr<Storm>(new Storm());
+  storm->options_ = options;
+  if (options.path.empty()) {
+    storm->pager_ = std::make_unique<MemPager>();
+  } else {
+    BP_ASSIGN_OR_RETURN(auto fp, FilePager::Open(options.path));
+    storm->pager_ = std::move(fp);
+  }
+  BufferPoolOptions pool_options;
+  pool_options.frames = options.buffer_frames;
+  pool_options.policy = options.replacement;
+  BP_ASSIGN_OR_RETURN(storm->pool_,
+                      BufferPool::Create(storm->pager_.get(), pool_options));
+  BP_ASSIGN_OR_RETURN(storm->objects_, ObjectStore::Open(storm->pool_.get()));
+  if (options.build_index) {
+    BP_RETURN_IF_ERROR(storm->objects_->ForEach(
+        [&storm](ObjectId id, const Bytes& data) {
+          storm->index_.Add(id, ToString(data));
+          return Status::OK();
+        }));
+  }
+  if (!options.wal_path.empty()) {
+    BP_ASSIGN_OR_RETURN(storm->wal_, WriteAheadLog::Open(options.wal_path));
+    // Crash recovery: re-apply every intact logged operation that is not
+    // yet reflected in the base store. Replay is idempotent.
+    BP_RETURN_IF_ERROR(
+        storm->wal_
+            ->Replay([&storm](const WriteAheadLog::Record& record) {
+              switch (record.type) {
+                case WriteAheadLog::RecordType::kPut:
+                  if (!storm->objects_->Contains(record.object_id)) {
+                    BP_RETURN_IF_ERROR(storm->objects_->Put(
+                        record.object_id, record.content));
+                    if (storm->options_.build_index) {
+                      storm->index_.Add(record.object_id,
+                                        ToString(record.content));
+                    }
+                  }
+                  break;
+                case WriteAheadLog::RecordType::kDelete:
+                  if (storm->objects_->Contains(record.object_id)) {
+                    if (storm->options_.build_index) {
+                      auto data = storm->objects_->Get(record.object_id);
+                      if (data.ok()) {
+                        storm->index_.Remove(record.object_id,
+                                             ToString(data.value()));
+                      }
+                    }
+                    BP_RETURN_IF_ERROR(
+                        storm->objects_->Delete(record.object_id));
+                  }
+                  break;
+                case WriteAheadLog::RecordType::kCheckpoint:
+                  break;
+              }
+              return Status::OK();
+            })
+            .status());
+  }
+  return storm;
+}
+
+Status Storm::Put(ObjectId id, const Bytes& data) {
+  if (objects_->Contains(id)) {
+    return Status::AlreadyExists("object " + std::to_string(id));
+  }
+  // Log before apply: a crash after the append replays the Put on open.
+  if (wal_ != nullptr) BP_RETURN_IF_ERROR(wal_->AppendPut(id, data));
+  BP_RETURN_IF_ERROR(objects_->Put(id, data));
+  if (options_.build_index) index_.Add(id, ToString(data));
+  ++mutation_epoch_;
+  return Status::OK();
+}
+
+Result<Bytes> Storm::Get(ObjectId id) { return objects_->Get(id); }
+
+Status Storm::Delete(ObjectId id) {
+  if (!objects_->Contains(id)) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  if (wal_ != nullptr) BP_RETURN_IF_ERROR(wal_->AppendDelete(id));
+  if (options_.build_index) {
+    auto data = objects_->Get(id);
+    if (data.ok()) index_.Remove(id, ToString(data.value()));
+  }
+  BP_RETURN_IF_ERROR(objects_->Delete(id));
+  ++mutation_epoch_;
+  return Status::OK();
+}
+
+Status Storm::Update(ObjectId id, const Bytes& data) {
+  if (!objects_->Contains(id)) {
+    return Status::NotFound("object " + std::to_string(id));
+  }
+  BP_RETURN_IF_ERROR(Delete(id));
+  return Put(id, data);
+}
+
+Result<Storm::ScanResult> Storm::ScanSearch(std::string_view query) {
+  BP_ASSIGN_OR_RETURN(QueryExpr expr, QueryExpr::Parse(query));
+  const std::string canonical = expr.ToString();
+
+  if (options_.enable_query_cache) {
+    auto it = query_cache_.find(canonical);
+    if (it != query_cache_.end() && it->second.epoch == mutation_epoch_) {
+      ++cache_hits_;
+      it->second.last_used = ++cache_clock_;
+      ScanResult cached;
+      cached.matches = it->second.matches;
+      cached.objects_scanned = 0;
+      cached.from_cache = true;
+      return cached;
+    }
+    ++cache_misses_;
+  }
+
+  ScanResult result;
+  BP_RETURN_IF_ERROR(
+      objects_->ForEach([&result, &expr](ObjectId id, const Bytes& data) {
+        ++result.objects_scanned;
+        if (expr.Matches(ToString(data))) {
+          result.matches.push_back(id);
+        }
+        return Status::OK();
+      }));
+
+  if (options_.enable_query_cache) {
+    if (query_cache_.size() >= options_.query_cache_entries &&
+        query_cache_.find(canonical) == query_cache_.end()) {
+      // Evict the least recently used entry.
+      auto victim = query_cache_.begin();
+      for (auto it = query_cache_.begin(); it != query_cache_.end(); ++it) {
+        if (it->second.last_used < victim->second.last_used) victim = it;
+      }
+      query_cache_.erase(victim);
+    }
+    CachedQuery entry;
+    entry.epoch = mutation_epoch_;
+    entry.matches = result.matches;
+    entry.last_used = ++cache_clock_;
+    query_cache_[canonical] = std::move(entry);
+  }
+  return result;
+}
+
+Result<std::vector<ObjectId>> Storm::IndexSearch(
+    std::string_view query) const {
+  if (!options_.build_index) {
+    return Status::FailedPrecondition("keyword index disabled");
+  }
+  BP_ASSIGN_OR_RETURN(QueryExpr expr, QueryExpr::Parse(query));
+  std::set<ObjectId> results;
+  for (const auto& branch : expr.dnf()) {
+    // Intersect the postings of every AND term.
+    std::vector<ObjectId> acc = index_.Search(branch.front());
+    for (size_t t = 1; t < branch.size() && !acc.empty(); ++t) {
+      std::vector<ObjectId> postings = index_.Search(branch[t]);
+      std::vector<ObjectId> merged;
+      std::set_intersection(acc.begin(), acc.end(), postings.begin(),
+                            postings.end(), std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+    results.insert(acc.begin(), acc.end());
+  }
+  return std::vector<ObjectId>(results.begin(), results.end());
+}
+
+Status Storm::Flush() { return pool_->FlushAll(); }
+
+Status Storm::Checkpoint() {
+  BP_RETURN_IF_ERROR(Flush());
+  if (wal_ != nullptr) BP_RETURN_IF_ERROR(wal_->Checkpoint());
+  return Status::OK();
+}
+
+}  // namespace bestpeer::storm

@@ -1,0 +1,138 @@
+#ifndef BESTPEER_STORM_STORM_H_
+#define BESTPEER_STORM_STORM_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storm/buffer_pool.h"
+#include "storm/keyword_index.h"
+#include "storm/object_store.h"
+#include "storm/pager.h"
+#include "storm/wal.h"
+#include "util/result.h"
+
+namespace bestpeer::storm {
+
+/// Storm facade configuration.
+struct StormOptions {
+  /// File path for persistence; empty runs fully in memory.
+  std::string path;
+  /// Buffer-pool frames.
+  size_t buffer_frames = 64;
+  /// Replacement policy: "lru", "fifo", "clock", "lfu".
+  std::string replacement = "lru";
+  /// Maintain the in-memory keyword index over object contents.
+  bool build_index = true;
+  /// Cache ScanSearch results per query text; invalidated by any Put or
+  /// Delete. Turns repeated identical searches into O(1) lookups.
+  bool enable_query_cache = false;
+  /// Maximum cached queries (LRU eviction).
+  size_t query_cache_entries = 64;
+  /// Write-ahead log path; empty disables the WAL. With a WAL, every
+  /// Put/Delete is durable the moment it returns — even over an
+  /// in-memory pager (the log alone reconstructs the store on reopen).
+  std::string wal_path;
+};
+
+/// The storage manager each BestPeer node runs (the paper's "StorM, a
+/// 100% Java persistent storage manager"; here a C++ engine with the same
+/// role). Stores shared objects and serves the keyword searches issued by
+/// StorM agents.
+class Storm {
+ public:
+  /// Result of a full-scan keyword search.
+  struct ScanResult {
+    std::vector<ObjectId> matches;
+    /// Objects examined — the quantity the simulation charges CPU for.
+    /// Zero when the result was served from the query cache.
+    size_t objects_scanned = 0;
+    /// True iff the result came from the query cache.
+    bool from_cache = false;
+  };
+
+  /// Opens (or creates) a store.
+  static Result<std::unique_ptr<Storm>> Open(const StormOptions& options);
+
+  Storm(const Storm&) = delete;
+  Storm& operator=(const Storm&) = delete;
+
+  /// Stores a new object whose payload is `data` (text payloads are
+  /// indexed when build_index is on).
+  Status Put(ObjectId id, const Bytes& data);
+
+  /// Reads an object.
+  Result<Bytes> Get(ObjectId id);
+
+  /// Deletes an object.
+  Status Delete(ObjectId id);
+
+  /// Replaces an existing object's content (delete + put, WAL-logged as
+  /// both). NotFound if the object does not exist.
+  Status Update(ObjectId id, const Bytes& data);
+
+  /// True iff the object exists.
+  bool Contains(ObjectId id) const { return objects_->Contains(id); }
+
+  /// Full-scan search: examines every object's content against `query`,
+  /// a QueryExpr ("a b OR c": whole-token, case-insensitive terms).
+  /// This is the code path the paper's StorM agent runs ("makes a
+  /// comparison for each object stored in the Shared-StorM database with
+  /// its query"). With enable_query_cache, repeated identical queries
+  /// are answered from cache until the store mutates.
+  Result<ScanResult> ScanSearch(std::string_view query);
+
+  /// Index-backed search (fast path; requires build_index). Evaluates
+  /// the same query language via posting intersections/unions.
+  Result<std::vector<ObjectId>> IndexSearch(std::string_view query) const;
+
+  /// Monotone counter bumped by every Put/Delete (cache validity token).
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
+  /// Query-cache statistics.
+  uint64_t query_cache_hits() const { return cache_hits_; }
+  uint64_t query_cache_misses() const { return cache_misses_; }
+
+  /// Writes all dirty state back to the pager.
+  Status Flush();
+
+  /// Flushes everything and truncates the WAL (no-op without a WAL).
+  /// After a checkpoint, recovery starts from the flushed pages.
+  Status Checkpoint();
+
+  /// The WAL, if configured (for stats/tests).
+  WriteAheadLog* wal() { return wal_.get(); }
+
+  size_t object_count() const { return objects_->object_count(); }
+  std::vector<ObjectId> ListIds() const { return objects_->ListIds(); }
+  BufferPool& buffer_pool() { return *pool_; }
+  const KeywordIndex& index() const { return index_; }
+
+ private:
+  Storm() = default;
+
+  struct CachedQuery {
+    uint64_t epoch = 0;
+    std::vector<ObjectId> matches;
+    uint64_t last_used = 0;
+  };
+
+  StormOptions options_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<ObjectStore> objects_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  KeywordIndex index_;
+  std::map<std::string, CachedQuery, std::less<>> query_cache_;
+  uint64_t mutation_epoch_ = 0;
+  uint64_t cache_clock_ = 0;
+  uint64_t cache_hits_ = 0;
+  uint64_t cache_misses_ = 0;
+};
+
+}  // namespace bestpeer::storm
+
+#endif  // BESTPEER_STORM_STORM_H_

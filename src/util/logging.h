@@ -1,0 +1,55 @@
+#ifndef BESTPEER_UTIL_LOGGING_H_
+#define BESTPEER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace bestpeer {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+/// Global minimum severity; messages below it are dropped. Default kWarn so
+/// tests and benchmarks stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style message builder; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream when the message is below the active level.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define BP_LOG(level)                                                  \
+  if (::bestpeer::LogLevel::k##level < ::bestpeer::GetLogLevel()) {    \
+  } else                                                               \
+    ::bestpeer::internal_logging::LogMessage(                          \
+        ::bestpeer::LogLevel::k##level, __FILE__, __LINE__)            \
+        .stream()
+
+}  // namespace bestpeer
+
+#endif  // BESTPEER_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+#ifndef BESTPEER_UTIL_RESULT_H_
+#define BESTPEER_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace bestpeer {
+
+/// A value-or-error type: holds either a T or a non-OK Status.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs a failed result; `status` must not be OK.
+  Result(Status status)  // NOLINT: implicit by design
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The held value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ present.
+};
+
+/// Propagates an error Result to the caller; otherwise binds the value.
+#define BP_CONCAT_INNER(a, b) a##b
+#define BP_CONCAT(a, b) BP_CONCAT_INNER(a, b)
+#define BP_ASSIGN_OR_RETURN(lhs, expr) \
+  BP_ASSIGN_OR_RETURN_IMPL(BP_CONCAT(_bp_result_, __LINE__), lhs, expr)
+#define BP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+}  // namespace bestpeer
+
+#endif  // BESTPEER_UTIL_RESULT_H_

@@ -1,0 +1,19 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace bestpeer {
+
+std::string FormatSimTime(SimTime t) {
+  char buf[32];
+  if (t < Millis(1)) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  } else if (t < Seconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ToMillis(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(t));
+  }
+  return buf;
+}
+
+}  // namespace bestpeer

@@ -1,0 +1,27 @@
+#ifndef BESTPEER_UTIL_SIM_TIME_H_
+#define BESTPEER_UTIL_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bestpeer {
+
+/// Simulated time, in integer microseconds since simulation start.
+/// Integer time keeps the discrete-event simulator exactly deterministic.
+using SimTime = int64_t;
+
+/// Unit constructors.
+constexpr SimTime Micros(int64_t us) { return us; }
+constexpr SimTime Millis(int64_t ms) { return ms * 1000; }
+constexpr SimTime Seconds(int64_t s) { return s * 1000000; }
+
+/// Conversions to floating-point units for reporting.
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Formats a time as a short human-readable string ("12.5ms", "3.20s").
+std::string FormatSimTime(SimTime t);
+
+}  // namespace bestpeer
+
+#endif  // BESTPEER_UTIL_SIM_TIME_H_

@@ -1,0 +1,93 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace bestpeer {
+
+void Summary::Add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+}
+
+void Summary::Merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  p = std::clamp(p, 0.0, 100.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+std::string Summary::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "mean=%.3f min=%.3f max=%.3f sd=%.3f n=%zu",
+                mean(), min(), max(), stddev(), count());
+  return buf;
+}
+
+Histogram::Histogram(double limit, size_t buckets)
+    : limit_(limit),
+      width_(limit / static_cast<double>(buckets)),
+      counts_(buckets + 1, 0) {
+  assert(limit > 0 && buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  size_t idx;
+  if (x < 0) {
+    idx = 0;
+  } else if (x >= limit_) {
+    idx = counts_.size() - 1;  // Overflow bucket.
+  } else {
+    idx = static_cast<size_t>(x / width_);
+  }
+  counts_[idx]++;
+  total_++;
+}
+
+double Histogram::BucketLow(size_t i) const {
+  return width_ * static_cast<double>(i);
+}
+
+uint64_t Histogram::CumulativeAt(size_t i) const {
+  uint64_t acc = 0;
+  for (size_t j = 0; j <= i && j < counts_.size(); ++j) acc += counts_[j];
+  return acc;
+}
+
+}  // namespace bestpeer

@@ -1,0 +1,66 @@
+#ifndef BESTPEER_UTIL_STATS_H_
+#define BESTPEER_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bestpeer {
+
+/// Online accumulator for scalar samples: count/mean/min/max/stddev plus
+/// exact percentiles (samples are retained). Used by the benchmark harness
+/// to average experiment repetitions the way the paper averaged >= 3 runs.
+class Summary {
+ public:
+  /// Adds one sample.
+  void Add(double x);
+
+  /// Merges another summary's samples into this one.
+  void Merge(const Summary& other);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample standard deviation; 0 for fewer than 2 samples.
+  double stddev() const;
+  /// Exact percentile via nearest-rank on the sorted samples; p in [0,100].
+  double Percentile(double p) const;
+
+  /// "mean=.. min=.. max=.. n=.." one-liner for logs.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+};
+
+/// Fixed-bucket histogram over [0, limit) with uniform bucket width.
+/// Used for response-time distributions (Fig. 6 style curves).
+class Histogram {
+ public:
+  /// `buckets` uniform buckets covering [0, limit); out-of-range samples
+  /// land in the final overflow bucket.
+  Histogram(double limit, size_t buckets);
+
+  void Add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  /// Inclusive lower bound of bucket i.
+  double BucketLow(size_t i) const;
+  uint64_t total() const { return total_; }
+
+  /// Cumulative count at or below the upper edge of bucket i.
+  uint64_t CumulativeAt(size_t i) const;
+
+ private:
+  double limit_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace bestpeer
+
+#endif  // BESTPEER_UTIL_STATS_H_

@@ -1,0 +1,146 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/node.h"
+#include "core/search_agent.h"
+#include "liglo/liglo_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/corpus.h"
+
+namespace bestpeer::workload {
+
+double ChurnResult::MeanRecall() const {
+  if (rounds.empty()) return 1.0;
+  double sum = 0;
+  for (const auto& r : rounds) sum += r.Recall();
+  return sum / static_cast<double>(rounds.size());
+}
+
+double ChurnResult::MinRecall() const {
+  double min = 1.0;
+  for (const auto& r : rounds) min = std::min(min, r.Recall());
+  return min;
+}
+
+Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
+  if (options.node_count < 2) {
+    return Status::InvalidArgument("need at least a base and one peer");
+  }
+  Rng rng(options.seed);
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  core::SharedInfra infra;
+
+  // LIGLO server on its own machine.
+  sim::NodeId server_id = network.AddNode();
+  sim::Dispatcher server_dispatcher(&network, server_id);
+  liglo::LigloServerOptions server_options;
+  server_options.initial_peer_count = options.starter_peers;
+  server_options.sweep_interval = Millis(100);
+  server_options.ping_timeout = Millis(20);
+  server_options.sample_seed = options.seed ^ 0x5EED;
+  liglo::LigloServer liglo_server(&network, &server_dispatcher, server_id,
+                                  &infra.ip_directory, server_options);
+
+  core::BestPeerConfig config;
+  config.max_direct_peers = options.starter_peers + 2;
+  config.strategy = options.reconfigure ? "maxcount" : "none";
+  config.default_ttl = static_cast<uint16_t>(options.ttl);
+
+  CorpusGenerator corpus({512, 300, 0.8}, options.seed);
+  std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
+  std::vector<bool> online(options.node_count, true);
+  for (size_t i = 0; i < options.node_count; ++i) {
+    BP_ASSIGN_OR_RETURN(
+        auto node, core::BestPeerNode::Create(&network, network.AddNode(),
+                                              &infra, config));
+    BP_RETURN_IF_ERROR(node->InitStorage({}));
+    for (size_t o = 0; o < options.objects_per_node; ++o) {
+      bool match = i != 0 && o < options.matches_per_node;
+      BP_RETURN_IF_ERROR(node->ShareObject(
+          (static_cast<uint64_t>(i) << 24) | o, corpus.MakeObject(match)));
+    }
+    infra.code_cache.Load(node->node(), core::kSearchAgentClass);
+    nodes.push_back(std::move(node));
+  }
+  // Everyone joins through the LIGLO server (builds the overlay).
+  for (auto& node : nodes) {
+    liglo::IpAddress ip = infra.ip_directory.AssignFresh(node->node());
+    node->JoinNetwork(server_id, ip, nullptr);
+    simulator.RunUntilIdle();
+  }
+
+  core::BestPeerNode& base = *nodes[0];
+  ChurnResult result;
+  for (size_t round = 0; round < options.rounds; ++round) {
+    // --- churn step (skipped before the first round) -------------------
+    if (round > 0) {
+      // Departures: silent — no LIGLO notice, no peer notice.
+      std::vector<size_t> online_now;
+      for (size_t i = 1; i < options.node_count; ++i) {
+        if (online[i]) online_now.push_back(i);
+      }
+      rng.Shuffle(online_now);
+      size_t leave = static_cast<size_t>(
+          static_cast<double>(online_now.size()) * options.leave_fraction);
+      for (size_t k = 0; k < leave; ++k) {
+        size_t victim = online_now[k];
+        online[victim] = false;
+        network.SetOnline(nodes[victim]->node(), false);
+      }
+      // Returns: new address + the §2 rejoin protocol.
+      std::vector<size_t> offline_now;
+      for (size_t i = 1; i < options.node_count; ++i) {
+        if (!online[i]) offline_now.push_back(i);
+      }
+      rng.Shuffle(offline_now);
+      size_t rejoin = static_cast<size_t>(
+          static_cast<double>(offline_now.size()) *
+          options.rejoin_fraction);
+      // The LIGLO validity sweep notices silent departures, so the
+      // rejoiners below get live peers from DiscoverPeers.
+      liglo_server.StartSweep();
+      simulator.RunUntil(simulator.now() + Millis(300));
+      liglo_server.StopSweep();
+      simulator.RunUntilIdle();
+
+      for (size_t k = 0; k < rejoin; ++k) {
+        size_t comer = offline_now[k];
+        online[comer] = true;
+        network.SetOnline(nodes[comer]->node(), true);
+        liglo::IpAddress ip =
+            infra.ip_directory.AssignFresh(nodes[comer]->node());
+        nodes[comer]->RejoinNetwork(ip, nullptr);
+        simulator.RunUntilIdle();
+      }
+    }
+
+    // --- query round ----------------------------------------------------
+    ChurnRound metrics;
+    for (size_t i = 1; i < options.node_count; ++i) {
+      if (online[i]) {
+        ++metrics.online_nodes;
+        metrics.available_answers += options.matches_per_node;
+      }
+    }
+    BP_ASSIGN_OR_RETURN(uint64_t query_id,
+                        base.IssueSearch(CorpusGenerator::kNeedle));
+    simulator.RunUntilIdle();
+    const core::QuerySession* session = base.FindSession(query_id);
+    if (session == nullptr) return Status::Internal("session lost");
+    metrics.received_answers = session->total_answers();
+    metrics.completion = session->completion_time();
+    result.rounds.push_back(metrics);
+
+    if (options.reconfigure) {
+      BP_RETURN_IF_ERROR(base.Reconfigure(query_id));
+      simulator.RunUntilIdle();
+    }
+  }
+  return result;
+}
+
+}  // namespace bestpeer::workload

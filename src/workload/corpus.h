@@ -1,0 +1,53 @@
+#ifndef BESTPEER_WORKLOAD_CORPUS_H_
+#define BESTPEER_WORKLOAD_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace bestpeer::workload {
+
+/// Synthetic data generator for the experiments of §4.2: each node stores
+/// 1000 objects of 1 KB; keywords are drawn from a Zipf-skewed synthetic
+/// vocabulary. The query keyword is a reserved token ("needle") that only
+/// designated matching objects contain, so experiments control exactly
+/// which nodes answer and with how many objects.
+struct CorpusOptions {
+  size_t object_size = 1024;
+  size_t vocabulary = 500;
+  double zipf_skew = 0.8;
+};
+
+class CorpusGenerator {
+ public:
+  /// The reserved query keyword.
+  static constexpr const char* kNeedle = "needle";
+
+  CorpusGenerator(const CorpusOptions& options, uint64_t seed);
+
+  /// Generates one object's text content. When `match` is true the
+  /// content contains kNeedle as a whole token; otherwise it is
+  /// guaranteed not to. Content is padded/truncated to object_size.
+  Bytes MakeObject(bool match);
+
+  /// Generates a shareable text-file name ("w42-w17-doc3.txt"); matching
+  /// names contain kNeedle.
+  std::string MakeFileName(bool match, size_t serial);
+
+  /// A random (non-needle) vocabulary word.
+  std::string RandomWord();
+
+  const CorpusOptions& options() const { return options_; }
+
+ private:
+  CorpusOptions options_;
+  Rng rng_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace bestpeer::workload
+
+#endif  // BESTPEER_WORKLOAD_CORPUS_H_

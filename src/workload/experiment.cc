@@ -1,0 +1,339 @@
+#include "workload/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "baseline/cs_node.h"
+#include "baseline/gnutella.h"
+#include "core/node.h"
+#include "core/search_agent.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+
+namespace bestpeer::workload {
+
+std::string SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kScs:
+      return "SCS";
+    case Scheme::kMcs:
+      return "MCS";
+    case Scheme::kBps:
+      return "BPS";
+    case Scheme::kBpr:
+      return "BPR";
+    case Scheme::kGnutella:
+      return "Gnutella";
+  }
+  return "?";
+}
+
+double ExperimentResult::MeanCompletionMs() const {
+  if (queries.empty()) return 0;
+  double sum = 0;
+  for (const auto& q : queries) sum += ToMillis(q.completion);
+  return sum / static_cast<double>(queries.size());
+}
+
+double ExperimentResult::CompletionMs(size_t query_index) const {
+  if (query_index >= queries.size()) return 0;
+  return ToMillis(queries[query_index].completion);
+}
+
+double ExperimentResult::LastCompletionMs() const {
+  if (queries.empty()) return 0;
+  return ToMillis(queries.back().completion);
+}
+
+size_t ExperimentResult::TotalAnswers() const {
+  size_t n = 0;
+  for (const auto& q : queries) n += q.total_answers;
+  return n;
+}
+
+std::vector<size_t> FarHotPlacement(const Topology& topology,
+                                    size_t hot_count, size_t matches_each) {
+  std::vector<size_t> matches(topology.node_count, 0);
+  auto dist = topology.Distances(topology.base);
+  std::vector<size_t> order(topology.node_count);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&dist](size_t a, size_t b) {
+    return dist[a] > dist[b];
+  });
+  size_t placed = 0;
+  for (size_t node : order) {
+    if (node == topology.base) continue;
+    matches[node] = matches_each;
+    if (++placed >= hot_count) break;
+  }
+  return matches;
+}
+
+namespace {
+
+storm::ObjectId GlobalObjectId(size_t node, size_t i) {
+  return (static_cast<storm::ObjectId>(node) << 24) | i;
+}
+
+/// Populates one storm store with the experiment corpus.
+Status PopulateStore(const ExperimentOptions& options, size_t node,
+                     CorpusGenerator& corpus,
+                     const std::function<Status(storm::ObjectId,
+                                                const Bytes&)>& put) {
+  size_t matches = options.MatchesAt(node);
+  for (size_t i = 0; i < options.objects_per_node; ++i) {
+    bool match = i < matches;
+    BP_RETURN_IF_ERROR(put(GlobalObjectId(node, i), corpus.MakeObject(match)));
+  }
+  return Status::OK();
+}
+
+storm::StormOptions StoreOptions(const ExperimentOptions& options) {
+  storm::StormOptions s;
+  s.buffer_frames = 128;
+  s.replacement = "lru";
+  s.build_index = false;  // Experiments use the scan path (the StorM agent).
+  s.enable_query_cache = options.enable_query_cache;
+  return s;
+}
+
+// ------------------------------------------------------------------ BestPeer
+
+Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, options.net);
+  core::SharedInfra infra;
+
+  const Topology& topo = options.topology;
+  std::vector<sim::NodeId> ids;
+  ids.reserve(topo.node_count);
+  for (size_t i = 0; i < topo.node_count; ++i) ids.push_back(network.AddNode());
+
+  core::BestPeerConfig config;
+  config.max_direct_peers = options.max_direct_peers;
+  config.strategy =
+      options.scheme == Scheme::kBpr ? options.strategy : "none";
+  config.answer_mode = options.answer_mode;
+  config.auto_fetch = options.auto_fetch;
+  config.codec = options.codec;
+  config.default_ttl = options.ttl;
+
+  std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
+  nodes.reserve(topo.node_count);
+  CorpusGenerator corpus({options.object_size, 500, 0.8}, options.seed);
+  for (size_t i = 0; i < topo.node_count; ++i) {
+    BP_ASSIGN_OR_RETURN(auto node, core::BestPeerNode::Create(
+                                       &network, ids[i], &infra, config));
+    BP_RETURN_IF_ERROR(node->InitStorage(StoreOptions(options)));
+    BP_RETURN_IF_ERROR(PopulateStore(
+        options, i, corpus,
+        [&node](storm::ObjectId id, const Bytes& content) {
+          return node->ShareObject(id, content);
+        }));
+    nodes.push_back(std::move(node));
+  }
+  for (const auto& [a, b] : topo.edges) {
+    nodes[a]->AddDirectPeerLocal(ids[b]);
+    nodes[b]->AddDirectPeerLocal(ids[a]);
+  }
+  if (options.prewarm_code_cache) {
+    for (sim::NodeId id : ids) {
+      infra.code_cache.Load(id, core::kSearchAgentClass);
+      infra.code_cache.Load(id, core::kComputeAgentClass);
+    }
+  }
+
+  core::BestPeerNode& base = *nodes[topo.base];
+  ExperimentResult result;
+  for (size_t q = 0; q < options.queries; ++q) {
+    BP_ASSIGN_OR_RETURN(uint64_t query_id,
+                        base.IssueSearch(CorpusGenerator::kNeedle));
+    simulator.RunUntilIdle();
+    const core::QuerySession* session = base.FindSession(query_id);
+    if (session == nullptr) {
+      return Status::Internal("query session lost");
+    }
+    const bool content_fetched =
+        options.answer_mode != core::AnswerMode::kIndicate ||
+        options.auto_fetch;
+    QueryMetrics metrics;
+    metrics.completion = session->completion_time();
+    metrics.total_answers = content_fetched ? session->total_answers()
+                                            : session->total_indicated();
+    metrics.responders = session->responder_count();
+    metrics.responses = content_fetched &&
+                                options.answer_mode ==
+                                    core::AnswerMode::kIndicate
+                            ? session->fetches()
+                            : session->responses();
+    for (auto& e : metrics.responses) e.time -= session->start_time();
+    result.queries.push_back(std::move(metrics));
+
+    if (options.scheme == Scheme::kBpr) {
+      BP_RETURN_IF_ERROR(base.Reconfigure(query_id));
+      simulator.RunUntilIdle();  // Let connect/disconnect notices land.
+    }
+  }
+  result.wire_bytes = network.total_wire_bytes();
+  return result;
+}
+
+// ------------------------------------------------------------------ CS
+
+Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, options.net);
+
+  const Topology& topo = options.topology;
+  std::vector<sim::NodeId> ids;
+  for (size_t i = 0; i < topo.node_count; ++i) ids.push_back(network.AddNode());
+
+  baseline::CsConfig config;
+  config.single_thread = options.scheme == Scheme::kScs;
+  config.codec = options.codec;
+  config.ship_content = options.answer_mode == core::AnswerMode::kDirect;
+
+  std::vector<std::unique_ptr<baseline::CsNode>> nodes;
+  CorpusGenerator corpus({options.object_size, 500, 0.8}, options.seed);
+  for (size_t i = 0; i < topo.node_count; ++i) {
+    BP_ASSIGN_OR_RETURN(auto node,
+                        baseline::CsNode::Create(&network, ids[i], config));
+    BP_RETURN_IF_ERROR(node->InitStorage(StoreOptions(options)));
+    BP_RETURN_IF_ERROR(PopulateStore(
+        options, i, corpus,
+        [&node](storm::ObjectId id, const Bytes& content) {
+          return node->ShareObject(id, content);
+        }));
+    nodes.push_back(std::move(node));
+  }
+  for (const auto& [a, b] : topo.edges) {
+    nodes[a]->AddNeighborLocal(ids[b]);
+    nodes[b]->AddNeighborLocal(ids[a]);
+  }
+
+  baseline::CsNode& base = *nodes[topo.base];
+  ExperimentResult result;
+  for (size_t q = 0; q < options.queries; ++q) {
+    BP_ASSIGN_OR_RETURN(uint64_t query_id,
+                        base.IssueQuery(CorpusGenerator::kNeedle));
+    simulator.RunUntilIdle();
+    const baseline::CsSession* session = base.FindSession(query_id);
+    if (session == nullptr) return Status::Internal("cs session lost");
+    QueryMetrics metrics;
+    metrics.completion = session->completion_time();
+    metrics.total_answers = session->total_answers();
+    metrics.responders = session->responder_count();
+    metrics.responses = session->answers();
+    for (auto& e : metrics.responses) e.time -= session->start_time();
+    result.queries.push_back(std::move(metrics));
+  }
+  result.wire_bytes = network.total_wire_bytes();
+  return result;
+}
+
+// ------------------------------------------------------------------ Gnutella
+
+Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
+  sim::Simulator simulator;
+  sim::SimNetwork network(&simulator, options.net);
+
+  const Topology& topo = options.topology;
+  std::vector<sim::NodeId> ids;
+  for (size_t i = 0; i < topo.node_count; ++i) ids.push_back(network.AddNode());
+
+  baseline::GnutellaConfig config;
+  config.default_ttl = static_cast<uint8_t>(
+      std::min<uint16_t>(options.ttl, 255));
+
+  std::vector<std::unique_ptr<baseline::GnutellaNode>> nodes;
+  CorpusGenerator corpus({options.object_size, 500, 0.8}, options.seed);
+  for (size_t i = 0; i < topo.node_count; ++i) {
+    BP_ASSIGN_OR_RETURN(
+        auto node, baseline::GnutellaNode::Create(&network, ids[i], config));
+    size_t matches = options.MatchesAt(i);
+    for (size_t f = 0; f < options.files_per_node; ++f) {
+      node->ShareFile(corpus.MakeFileName(f < matches, f),
+                      static_cast<uint32_t>(options.object_size));
+    }
+    nodes.push_back(std::move(node));
+  }
+  for (const auto& [a, b] : topo.edges) {
+    nodes[a]->AddNeighborLocal(ids[b]);
+    nodes[b]->AddNeighborLocal(ids[a]);
+  }
+
+  baseline::GnutellaNode& base = *nodes[topo.base];
+  ExperimentResult result;
+  for (size_t q = 0; q < options.queries; ++q) {
+    BP_ASSIGN_OR_RETURN(uint64_t key,
+                        base.IssueQuery(CorpusGenerator::kNeedle));
+    simulator.RunUntilIdle();
+    const baseline::GnutellaSession* session = base.FindSession(key);
+    if (session == nullptr) return Status::Internal("gnutella session lost");
+    QueryMetrics metrics;
+    metrics.completion = session->completion_time();
+    metrics.total_answers = session->total_files();
+    metrics.responders = session->responder_count();
+    metrics.responses = session->hits();
+    for (auto& e : metrics.responses) e.time -= session->start_time();
+    result.queries.push_back(std::move(metrics));
+  }
+  result.wire_bytes = network.total_wire_bytes();
+  return result;
+}
+
+}  // namespace
+
+Result<ExperimentResult> RunExperiment(const ExperimentOptions& options) {
+  if (options.topology.node_count == 0) {
+    return Status::InvalidArgument("empty topology");
+  }
+  if (!options.matches_per_node_vec.empty() &&
+      options.matches_per_node_vec.size() != options.topology.node_count) {
+    return Status::InvalidArgument("placement size != node count");
+  }
+  switch (options.scheme) {
+    case Scheme::kScs:
+    case Scheme::kMcs:
+      return RunCs(options);
+    case Scheme::kBps:
+    case Scheme::kBpr:
+      return RunBestPeer(options);
+    case Scheme::kGnutella:
+      return RunGnutella(options);
+  }
+  return Status::InvalidArgument("unknown scheme");
+}
+
+Result<ExperimentResult> RunAveraged(ExperimentOptions options,
+                                     const std::vector<uint64_t>& seeds) {
+  if (seeds.empty()) return Status::InvalidArgument("no seeds");
+  ExperimentResult merged;
+  for (uint64_t seed : seeds) {
+    options.seed = seed;
+    BP_ASSIGN_OR_RETURN(ExperimentResult one, RunExperiment(options));
+    if (merged.queries.empty()) {
+      merged.queries.resize(one.queries.size());
+    }
+    merged.wire_bytes += one.wire_bytes;
+    for (size_t q = 0; q < one.queries.size(); ++q) {
+      merged.queries[q].completion += one.queries[q].completion;
+      merged.queries[q].total_answers += one.queries[q].total_answers;
+      merged.queries[q].responders += one.queries[q].responders;
+      // Response curves: keep the first seed's curve as representative.
+      if (merged.queries[q].responses.empty()) {
+        merged.queries[q].responses = one.queries[q].responses;
+      }
+    }
+  }
+  merged.wire_bytes /= seeds.size();
+  for (auto& q : merged.queries) {
+    q.completion /= static_cast<SimTime>(seeds.size());
+    q.total_answers /= seeds.size();
+    q.responders /= seeds.size();
+  }
+  return merged;
+}
+
+}  // namespace bestpeer::workload

@@ -1,0 +1,118 @@
+#ifndef BESTPEER_WORKLOAD_EXPERIMENT_H_
+#define BESTPEER_WORKLOAD_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/session.h"
+#include "sim/network.h"
+#include "util/result.h"
+#include "util/sim_time.h"
+#include "workload/corpus.h"
+#include "workload/topology.h"
+
+namespace bestpeer::workload {
+
+/// The schemes compared in §4.
+enum class Scheme {
+  kScs,      ///< Single-thread client/server.
+  kMcs,      ///< Multi-thread client/server.
+  kBps,      ///< Static BestPeer (reconfiguration off).
+  kBpr,      ///< Reconfigurable BestPeer.
+  kGnutella  ///< Gnutella protocol servants (FURI-like).
+};
+
+/// Scheme name for report rows ("SCS", "MCS", "BPS", "BPR", "Gnutella").
+std::string SchemeName(Scheme scheme);
+
+/// One run of one query.
+struct QueryMetrics {
+  /// Time until all answers were received.
+  SimTime completion = 0;
+  /// (time, node, answers) per result arrival at the base node.
+  std::vector<core::ResponseEvent> responses;
+  size_t total_answers = 0;
+  size_t responders = 0;
+};
+
+/// Full outcome of one experiment (same query repeated `queries` times).
+struct ExperimentResult {
+  std::vector<QueryMetrics> queries;
+  /// Total bytes that crossed the simulated wire over all queries.
+  uint64_t wire_bytes = 0;
+
+  double MeanCompletionMs() const;
+  double CompletionMs(size_t query_index) const;
+  double LastCompletionMs() const;
+  size_t TotalAnswers() const;
+};
+
+/// Configuration of one §4 experiment.
+struct ExperimentOptions {
+  Topology topology;
+  Scheme scheme = Scheme::kBpr;
+
+  /// Per-node store: `objects_per_node` objects of `object_size` bytes,
+  /// of which `matches_per_node[i]` (or the uniform `matches_per_node`
+  /// fallback) contain the query keyword at node i.
+  size_t objects_per_node = 1000;
+  size_t object_size = 1024;
+  size_t matches_per_node = 10;
+  std::vector<size_t> matches_per_node_vec;  // Optional override.
+
+  /// How many times the same query is issued (reconfiguration takes
+  /// effect between repetitions for BPR).
+  size_t queries = 4;
+
+  /// BestPeer-specific knobs.
+  core::AnswerMode answer_mode = core::AnswerMode::kDirect;
+  std::string strategy = "maxcount";  // BPR strategy.
+  size_t max_direct_peers = 8;        // k.
+  bool auto_fetch = true;             // Mode-2 content fetch.
+  std::string codec = "lzss";
+  uint16_t ttl = 16;
+
+  /// Gnutella-specific: files per node (matching counts reuse
+  /// matches_per_node / matches_per_node_vec).
+  size_t files_per_node = 1000;
+
+  /// Enable each node's StorM query cache: repeated identical queries
+  /// skip the store scan until the store mutates.
+  bool enable_query_cache = false;
+
+  /// Pre-load the standard agent classes at every node before measuring.
+  /// The StorM search agent ships with the BestPeer platform, so steady
+  /// state has it resident everywhere; set false to measure cold-cache
+  /// code-shipping cost (the ablation benches do).
+  bool prewarm_code_cache = true;
+
+  uint64_t seed = 42;
+  sim::NetworkOptions net;
+
+  /// Number of matches expected at node `i`.
+  size_t MatchesAt(size_t i) const {
+    if (!matches_per_node_vec.empty()) return matches_per_node_vec[i];
+    return matches_per_node;
+  }
+};
+
+/// Builds the network described by `options`, runs the repeated query and
+/// returns per-query metrics. Deterministic per (options, seed).
+Result<ExperimentResult> RunExperiment(const ExperimentOptions& options);
+
+/// Averages the same experiment over `seeds.size()` runs, like the
+/// paper's "average of at least three different executions".
+Result<ExperimentResult> RunAveraged(ExperimentOptions options,
+                                     const std::vector<uint64_t>& seeds);
+
+/// Places `hot_count` nodes with `matches_each` answers as far from the
+/// base as possible (everyone else has none) — the Fig. 8 setup where
+/// answers "come from only a few nodes".
+std::vector<size_t> FarHotPlacement(const Topology& topology,
+                                    size_t hot_count, size_t matches_each);
+
+}  // namespace bestpeer::workload
+
+#endif  // BESTPEER_WORKLOAD_EXPERIMENT_H_

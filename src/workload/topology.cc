@@ -1,0 +1,151 @@
+#include "workload/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace bestpeer::workload {
+
+std::vector<std::vector<size_t>> Topology::Adjacency() const {
+  std::vector<std::vector<size_t>> adj(node_count);
+  for (const auto& [a, b] : edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  for (auto& list : adj) std::sort(list.begin(), list.end());
+  return adj;
+}
+
+size_t Topology::Degree(size_t node) const {
+  size_t d = 0;
+  for (const auto& [a, b] : edges) {
+    if (a == node || b == node) ++d;
+  }
+  return d;
+}
+
+std::vector<size_t> Topology::Distances(size_t from) const {
+  auto adj = Adjacency();
+  std::vector<size_t> dist(node_count, std::numeric_limits<size_t>::max());
+  std::deque<size_t> queue;
+  dist[from] = 0;
+  queue.push_back(from);
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    for (size_t v : adj[u]) {
+      if (dist[v] == std::numeric_limits<size_t>::max()) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Topology::Connected() const {
+  if (node_count == 0) return true;
+  auto dist = Distances(base);
+  for (size_t d : dist) {
+    if (d == std::numeric_limits<size_t>::max()) return false;
+  }
+  return true;
+}
+
+Topology MakeStar(size_t node_count) {
+  assert(node_count >= 1);
+  Topology t;
+  t.name = "star";
+  t.node_count = node_count;
+  t.base = 0;
+  for (size_t i = 1; i < node_count; ++i) t.edges.emplace_back(0, i);
+  return t;
+}
+
+Topology MakeTree(size_t node_count, size_t fanout) {
+  assert(node_count >= 1 && fanout >= 1);
+  Topology t;
+  t.name = "tree";
+  t.node_count = node_count;
+  t.base = 0;
+  for (size_t i = 1; i < node_count; ++i) {
+    size_t parent = (i - 1) / fanout;
+    t.edges.emplace_back(parent, i);
+  }
+  return t;
+}
+
+size_t TreeNodeCount(size_t levels, size_t fanout) {
+  size_t total = 1;
+  size_t level_size = 1;
+  for (size_t l = 0; l < levels; ++l) {
+    level_size *= fanout;
+    total += level_size;
+  }
+  return total;
+}
+
+Topology MakeLine(size_t node_count) {
+  assert(node_count >= 1);
+  Topology t;
+  t.name = "line";
+  t.node_count = node_count;
+  t.base = 0;
+  for (size_t i = 0; i + 1 < node_count; ++i) t.edges.emplace_back(i, i + 1);
+  return t;
+}
+
+Topology MakeRandom(size_t node_count, size_t max_degree, Rng& rng) {
+  assert(node_count >= 1 && max_degree >= 1);
+  Topology t;
+  t.name = "random";
+  t.node_count = node_count;
+  t.base = 0;
+
+  std::vector<size_t> degree(node_count, 0);
+  auto has_edge = [&t](size_t a, size_t b) {
+    if (a > b) std::swap(a, b);
+    for (const auto& [x, y] : t.edges) {
+      if (x == a && y == b) return true;
+    }
+    return false;
+  };
+
+  // Spanning structure first (guarantees connectivity): attach each node
+  // to a random earlier node with spare degree.
+  for (size_t i = 1; i < node_count; ++i) {
+    // Collect earlier nodes with spare degree.
+    std::vector<size_t> candidates;
+    for (size_t j = 0; j < i; ++j) {
+      if (degree[j] < max_degree) candidates.push_back(j);
+    }
+    size_t parent;
+    if (candidates.empty()) {
+      // Everyone is full: attach anyway to a random earlier node (degree
+      // caps are soft for connectivity).
+      parent = rng.NextBounded(i);
+    } else {
+      parent = candidates[rng.NextBounded(candidates.size())];
+    }
+    t.edges.emplace_back(std::min(parent, i), std::max(parent, i));
+    ++degree[parent];
+    ++degree[i];
+  }
+
+  // Densify with extra random edges up to the degree cap.
+  size_t attempts = node_count * max_degree;
+  for (size_t a = 0; a < attempts; ++a) {
+    size_t u = rng.NextBounded(node_count);
+    size_t v = rng.NextBounded(node_count);
+    if (u == v) continue;
+    if (degree[u] >= max_degree || degree[v] >= max_degree) continue;
+    if (has_edge(u, v)) continue;
+    t.edges.emplace_back(std::min(u, v), std::max(u, v));
+    ++degree[u];
+    ++degree[v];
+  }
+  return t;
+}
+
+}  // namespace bestpeer::workload

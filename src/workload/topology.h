@@ -1,0 +1,57 @@
+#ifndef BESTPEER_WORKLOAD_TOPOLOGY_H_
+#define BESTPEER_WORKLOAD_TOPOLOGY_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bestpeer::workload {
+
+/// A logical overlay layout used in the evaluation (paper §4.3, Fig. 4):
+/// which node is whose peer, plus which node initiates queries.
+struct Topology {
+  std::string name;
+  size_t node_count = 0;
+  /// Index of the base node that issues the search query.
+  size_t base = 0;
+  /// Undirected overlay edges (a < b).
+  std::vector<std::pair<size_t, size_t>> edges;
+
+  /// Adjacency list view.
+  std::vector<std::vector<size_t>> Adjacency() const;
+
+  /// Degree of one node.
+  size_t Degree(size_t node) const;
+
+  /// BFS hop distance from `from` to every node (SIZE_MAX = unreachable).
+  std::vector<size_t> Distances(size_t from) const;
+
+  /// True iff every node is reachable from the base.
+  bool Connected() const;
+};
+
+/// Star: node 0 is the centre and the base; all others connect to it.
+Topology MakeStar(size_t node_count);
+
+/// Complete k-ary tree filled level by level with `node_count` nodes;
+/// node 0 is the root and the base.
+Topology MakeTree(size_t node_count, size_t fanout);
+
+/// Number of nodes in a complete k-ary tree with `levels` levels below
+/// the root (levels = 0 is just the root).
+size_t TreeNodeCount(size_t levels, size_t fanout);
+
+/// Line: 0 - 1 - 2 - ... - (n-1); node 0 (leftmost) is the base.
+Topology MakeLine(size_t node_count);
+
+/// Connected random graph where every node has at most `max_degree`
+/// neighbours (>= 1). Used for the Gnutella comparison ("each node has up
+/// to 8 directly connected peers").
+Topology MakeRandom(size_t node_count, size_t max_degree, Rng& rng);
+
+}  // namespace bestpeer::workload
+
+#endif  // BESTPEER_WORKLOAD_TOPOLOGY_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/cs_node.h"
+#include "sim/simulator.h"
+
+namespace bestpeer::baseline {
+namespace {
+
+class CsFixture : public ::testing::Test {
+ protected:
+  /// (Re)builds a CS network; callable multiple times per test.
+  void Build(size_t count,
+             const std::vector<std::pair<size_t, size_t>>& edges,
+             bool single_thread) {
+    nodes_.clear();
+    ids_.clear();
+    network_.reset();
+    sim_ = std::make_unique<sim::Simulator>();
+    network_ =
+        std::make_unique<sim::SimNetwork>(sim_.get(), sim::NetworkOptions{});
+    CsConfig config;
+    config.single_thread = single_thread;
+    for (size_t i = 0; i < count; ++i) ids_.push_back(network_->AddNode());
+    for (size_t i = 0; i < count; ++i) {
+      auto node = CsNode::Create(network_.get(), ids_[i], config).value();
+      ASSERT_TRUE(node->InitStorage({}).ok());
+      nodes_.push_back(std::move(node));
+    }
+    for (auto [a, b] : edges) {
+      nodes_[a]->AddNeighborLocal(ids_[b]);
+      nodes_[b]->AddNeighborLocal(ids_[a]);
+    }
+  }
+
+  void Fill(size_t idx, size_t count, size_t matches) {
+    for (size_t i = 0; i < count; ++i) {
+      std::string text =
+          i < matches ? "needle content" : "ordinary content";
+      Bytes content(text.begin(), text.end());
+      content.resize(256, ' ');
+      ASSERT_TRUE(nodes_[idx]
+                      ->ShareObject((static_cast<uint64_t>(idx) << 24) | i,
+                                    content)
+                      .ok());
+    }
+  }
+
+  SimTime RunQuery(size_t base, size_t* answers = nullptr,
+                   size_t* responders = nullptr) {
+    uint64_t qid = nodes_[base]->IssueQuery("needle").value();
+    sim_->RunUntilIdle();
+    const CsSession* session = nodes_[base]->FindSession(qid);
+    EXPECT_NE(session, nullptr);
+    EXPECT_TRUE(session->complete());
+    if (answers != nullptr) *answers = session->total_answers();
+    if (responders != nullptr) *responders = session->responder_count();
+    return session->completion_time();
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::SimNetwork> network_;
+  std::vector<sim::NodeId> ids_;
+  std::vector<std::unique_ptr<CsNode>> nodes_;
+};
+
+TEST_F(CsFixture, CollectsAnswersOnStar) {
+  Build(4, {{0, 1}, {0, 2}, {0, 3}}, /*single_thread=*/false);
+  Fill(1, 10, 2);
+  Fill(2, 10, 3);
+  Fill(3, 10, 0);
+  size_t answers = 0, responders = 0;
+  SimTime t = RunQuery(0, &answers, &responders);
+  EXPECT_EQ(answers, 5u);
+  EXPECT_EQ(responders, 2u);
+  EXPECT_GT(t, 0);
+}
+
+TEST_F(CsFixture, AnswersAreRelayedAlongPath) {
+  // Line 0-1-2: node 2's answers must pass through node 1.
+  Build(3, {{0, 1}, {1, 2}}, false);
+  Fill(2, 10, 3);
+  bool relay_carried_answer = false;
+  network_->SetTrace([&](const sim::SimMessage& m, SimTime, SimTime) {
+    if (m.type == kCsAnswerType && m.src == ids_[1] && m.dst == ids_[0]) {
+      relay_carried_answer = true;
+    }
+  });
+  size_t answers = 0;
+  RunQuery(0, &answers);
+  EXPECT_EQ(answers, 3u);
+  EXPECT_TRUE(relay_carried_answer)
+      << "CS must return answers along the query path";
+  EXPECT_EQ(nodes_[1]->relayed_answers(), 1u);
+}
+
+TEST_F(CsFixture, ScsSlowerThanMcsOnStar) {
+  std::vector<std::pair<size_t, size_t>> star = {
+      {0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}};
+  Build(6, star, /*single_thread=*/true);
+  for (size_t i = 1; i < 6; ++i) Fill(i, 50, 5);
+  SimTime scs_time = RunQuery(0);
+
+  Build(6, star, /*single_thread=*/false);
+  for (size_t i = 1; i < 6; ++i) Fill(i, 50, 5);
+  SimTime mcs_time = RunQuery(0);
+
+  EXPECT_GT(scs_time, mcs_time * 2)
+      << "sequential connections must dominate on a star";
+}
+
+TEST_F(CsFixture, DeepLineSlowerThanStarPerNode) {
+  Build(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}}, false);
+  for (size_t i = 1; i < 5; ++i) Fill(i, 20, 5);
+  SimTime star_time = RunQuery(0);
+
+  Build(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}, false);
+  for (size_t i = 1; i < 5; ++i) Fill(i, 20, 5);
+  SimTime line_time = RunQuery(0);
+  EXPECT_GT(line_time, star_time);
+}
+
+TEST_F(CsFixture, DuplicateQueryOnCycleResolves) {
+  // Triangle 0-1-2-0: done-wave must still close.
+  Build(3, {{0, 1}, {1, 2}, {0, 2}}, false);
+  Fill(1, 10, 1);
+  Fill(2, 10, 1);
+  size_t answers = 0;
+  SimTime t = RunQuery(0, &answers);
+  EXPECT_EQ(answers, 2u);
+  EXPECT_GT(t, 0);
+}
+
+TEST_F(CsFixture, RepeatedQueriesBehaveIdentically) {
+  Build(4, {{0, 1}, {1, 2}, {2, 3}}, false);
+  Fill(3, 20, 4);
+  SimTime t1 = RunQuery(0);
+  SimTime t2 = RunQuery(0);
+  // No reconfiguration in CS: same path, same time (up to a few bytes of
+  // codec jitter from the differing query ids).
+  EXPECT_NEAR(static_cast<double>(t1), static_cast<double>(t2), 100.0);
+}
+
+TEST_F(CsFixture, SingleNodeCompletesTrivially) {
+  Build(1, {}, false);
+  size_t answers = 0;
+  SimTime t = RunQuery(0, &answers);
+  EXPECT_EQ(answers, 0u);
+  EXPECT_EQ(t, 0);
+}
+
+TEST_F(CsFixture, ScsSerializesSubtreesOnLine) {
+  // On a line even SCS only has one child per node, so SCS == MCS.
+  Build(4, {{0, 1}, {1, 2}, {2, 3}}, true);
+  for (size_t i = 1; i < 4; ++i) Fill(i, 20, 2);
+  SimTime scs_time = RunQuery(0);
+  Build(4, {{0, 1}, {1, 2}, {2, 3}}, false);
+  for (size_t i = 1; i < 4; ++i) Fill(i, 20, 2);
+  SimTime mcs_time = RunQuery(0);
+  EXPECT_EQ(scs_time, mcs_time);
+}
+
+}  // namespace
+}  // namespace bestpeer::baseline

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baseline/gnutella.h"
+#include "sim/simulator.h"
+
+namespace bestpeer::baseline {
+namespace {
+
+TEST(GnutellaWireTest, DescriptorRoundTrip) {
+  GnutellaDescriptor d;
+  d.guid.fill(0xAB);
+  d.function = GnutellaFunction::kQuery;
+  d.ttl = 7;
+  d.hops = 2;
+  d.payload = Bytes{1, 2, 3};
+  auto back = GnutellaDescriptor::Decode(d.Encode()).value();
+  EXPECT_EQ(back.guid, d.guid);
+  EXPECT_EQ(back.function, GnutellaFunction::kQuery);
+  EXPECT_EQ(back.ttl, 7);
+  EXPECT_EQ(back.hops, 2);
+  EXPECT_EQ(back.payload, d.payload);
+}
+
+TEST(GnutellaWireTest, RejectsUnknownFunction) {
+  GnutellaDescriptor d;
+  Bytes encoded = d.Encode();
+  encoded[16] = 0x42;  // Function byte.
+  EXPECT_FALSE(GnutellaDescriptor::Decode(encoded).ok());
+}
+
+TEST(GnutellaWireTest, QueryAndHitRoundTrip) {
+  GnutellaQuery q;
+  q.min_speed = 56;
+  q.keywords = "needle";
+  auto qb = GnutellaQuery::Decode(q.Encode()).value();
+  EXPECT_EQ(qb.keywords, "needle");
+  EXPECT_EQ(qb.min_speed, 56);
+
+  GnutellaQueryHit h;
+  h.responder = 9;
+  h.files.push_back({1, 1024, "needle-1.txt"});
+  h.files.push_back({2, 2048, "needle-2.txt"});
+  auto hb = GnutellaQueryHit::Decode(h.Encode()).value();
+  EXPECT_EQ(hb.responder, 9u);
+  ASSERT_EQ(hb.files.size(), 2u);
+  EXPECT_EQ(hb.files[1].size, 2048u);
+}
+
+class GnutellaFixture : public ::testing::Test {
+ protected:
+  void Build(size_t count,
+             const std::vector<std::pair<size_t, size_t>>& edges,
+             GnutellaConfig config = {}) {
+    nodes_.clear();
+    ids_.clear();
+    network_.reset();
+    sim_ = std::make_unique<sim::Simulator>();
+    network_ =
+        std::make_unique<sim::SimNetwork>(sim_.get(), sim::NetworkOptions{});
+    for (size_t i = 0; i < count; ++i) ids_.push_back(network_->AddNode());
+    for (size_t i = 0; i < count; ++i) {
+      nodes_.push_back(
+          GnutellaNode::Create(network_.get(), ids_[i], config).value());
+    }
+    for (auto [a, b] : edges) {
+      nodes_[a]->AddNeighborLocal(ids_[b]);
+      nodes_[b]->AddNeighborLocal(ids_[a]);
+    }
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sim::SimNetwork> network_;
+  std::vector<sim::NodeId> ids_;
+  std::vector<std::unique_ptr<GnutellaNode>> nodes_;
+};
+
+TEST_F(GnutellaFixture, QueryFindsFilesByName) {
+  Build(3, {{0, 1}, {1, 2}});
+  nodes_[1]->ShareFile("needle-doc.txt");
+  nodes_[1]->ShareFile("other.txt");
+  nodes_[2]->ShareFile("needle-song.mp3.txt");
+  uint64_t key = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  const GnutellaSession* session = nodes_[0]->FindSession(key);
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->total_files(), 2u);
+  EXPECT_EQ(session->responder_count(), 2u);
+}
+
+TEST_F(GnutellaFixture, QueryHitsRouteAlongReversePath) {
+  Build(3, {{0, 1}, {1, 2}});
+  nodes_[2]->ShareFile("needle.txt");
+  bool hit_through_middle = false;
+  network_->SetTrace([&](const sim::SimMessage& m, SimTime, SimTime) {
+    if (m.type != kGnutellaDescriptorType) return;
+    auto d = GnutellaDescriptor::Decode(m.payload);
+    if (d.ok() && d->function == GnutellaFunction::kQueryHit &&
+        m.src == ids_[1] && m.dst == ids_[0]) {
+      hit_through_middle = true;
+    }
+  });
+  uint64_t key = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  EXPECT_EQ(nodes_[0]->FindSession(key)->total_files(), 1u);
+  EXPECT_TRUE(hit_through_middle)
+      << "QueryHit must be relayed hop-by-hop along the reverse path";
+  EXPECT_GE(nodes_[1]->descriptors_routed(), 1u);
+}
+
+TEST_F(GnutellaFixture, TtlLimitsFlood) {
+  GnutellaConfig config;
+  config.default_ttl = 2;
+  Build(4, {{0, 1}, {1, 2}, {2, 3}}, config);
+  for (size_t i = 1; i < 4; ++i) nodes_[i]->ShareFile("needle.txt");
+  uint64_t key = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  // TTL 2 reaches nodes 1 and 2 but not 3.
+  EXPECT_EQ(nodes_[0]->FindSession(key)->responder_count(), 2u);
+}
+
+TEST_F(GnutellaFixture, DuplicatesDroppedOnCycles) {
+  Build(3, {{0, 1}, {1, 2}, {0, 2}});
+  nodes_[1]->ShareFile("needle.txt");
+  nodes_[2]->ShareFile("needle.txt");
+  uint64_t key = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  // Each responder reports exactly once despite the cycle.
+  EXPECT_EQ(nodes_[0]->FindSession(key)->total_files(), 2u);
+  EXPECT_GE(nodes_[1]->duplicates_dropped() + nodes_[2]->duplicates_dropped(),
+            1u);
+}
+
+TEST_F(GnutellaFixture, RepeatedQueriesSamePathSameTime) {
+  Build(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  nodes_[4]->ShareFile("needle.txt");
+  for (size_t i = 0; i < 5; ++i) {
+    for (int f = 0; f < 50; ++f) {
+      nodes_[i]->ShareFile("junk-" + std::to_string(f) + ".txt");
+    }
+  }
+  uint64_t k1 = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  SimTime t1 = nodes_[0]->FindSession(k1)->completion_time();
+  uint64_t k2 = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  SimTime t2 = nodes_[0]->FindSession(k2)->completion_time();
+  // Fixed peers, same search path every run (paper §4.6).
+  EXPECT_EQ(t1, t2);
+}
+
+TEST_F(GnutellaFixture, PingPongDiscovery) {
+  Build(3, {{0, 1}, {1, 2}});
+  nodes_[1]->ShareFile("a.txt");
+  nodes_[2]->ShareFile("b.txt");
+  nodes_[0]->SendPing();
+  sim_->RunUntilIdle();
+  // Pongs from both reachable servants arrive at the initiator.
+  EXPECT_EQ(nodes_[0]->pongs_received(), 2u);
+}
+
+TEST_F(GnutellaFixture, PushRoutesAlongHitPathAndOpensUpload) {
+  // 0 - 1 - 2: the responder (2) is "firewalled"; 0 sends a Push that
+  // must be routed via 1, after which 2 opens the upload to 0 directly.
+  Build(3, {{0, 1}, {1, 2}});
+  nodes_[2]->ShareFile("needle.txt", 2048);
+  uint64_t key = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  ASSERT_EQ(nodes_[0]->FindSession(key)->total_files(), 1u);
+
+  ASSERT_TRUE(nodes_[0]->SendPush(key, ids_[2], 0).ok());
+  sim_->RunUntilIdle();
+  EXPECT_EQ(nodes_[2]->pushes_served(), 1u);
+  EXPECT_EQ(nodes_[0]->push_opens_received(), 1u);
+  EXPECT_GE(nodes_[1]->descriptors_routed(), 2u)
+      << "the middle servant routed both the hit and the push";
+}
+
+TEST_F(GnutellaFixture, PushWithoutHitRouteFails) {
+  Build(2, {{0, 1}});
+  nodes_[1]->ShareFile("other.txt");
+  uint64_t key = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  EXPECT_TRUE(nodes_[0]->SendPush(key, ids_[1], 0).IsNotFound())
+      << "no QueryHit was received from that servent";
+  EXPECT_TRUE(nodes_[0]->SendPush(9999, ids_[1], 0).IsNotFound())
+      << "unknown query key";
+}
+
+TEST_F(GnutellaFixture, NoMatchNoHits) {
+  Build(2, {{0, 1}});
+  nodes_[1]->ShareFile("nothing-here.txt");
+  uint64_t key = nodes_[0]->IssueQuery("needle").value();
+  sim_->RunUntilIdle();
+  EXPECT_EQ(nodes_[0]->FindSession(key)->total_files(), 0u);
+  EXPECT_EQ(nodes_[0]->FindSession(key)->completion_time(), 0);
+}
+
+}  // namespace
+}  // namespace bestpeer::baseline

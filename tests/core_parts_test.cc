@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "core/active_object.h"
+#include "core/messages.h"
+#include "core/peer_list.h"
+#include "core/session.h"
+
+namespace bestpeer::core {
+namespace {
+
+// ---------------------------------------------------------------- PeerList
+
+TEST(PeerListTest, CapacityEnforcedForOutgoingAdds) {
+  PeerList peers(2);
+  PeerInfo a;
+  a.node = 1;
+  PeerInfo b;
+  b.node = 2;
+  PeerInfo c;
+  c.node = 3;
+  EXPECT_TRUE(peers.Add(a));
+  EXPECT_TRUE(peers.Add(b));
+  EXPECT_FALSE(peers.Add(c)) << "outgoing adds respect capacity";
+  EXPECT_TRUE(peers.Add(c, /*enforce_capacity=*/false))
+      << "inbound accepts may exceed it";
+  EXPECT_EQ(peers.size(), 3u);
+}
+
+TEST(PeerListTest, ReAddRefreshesIdentityKeepsStats) {
+  PeerList peers(4);
+  PeerInfo info;
+  info.node = 7;
+  info.total_answers = 42;
+  peers.Add(info);
+  PeerInfo update;
+  update.node = 7;
+  update.ip = 999;
+  update.total_answers = 0;  // Must not clobber accumulated stats.
+  EXPECT_TRUE(peers.Add(update));
+  EXPECT_EQ(peers.size(), 1u);
+  EXPECT_EQ(peers.Find(7)->ip, 999u);
+  EXPECT_EQ(peers.Find(7)->total_answers, 42u);
+}
+
+TEST(PeerListTest, RemoveAndNodes) {
+  PeerList peers(4);
+  for (sim::NodeId n : {5, 3, 9}) {
+    PeerInfo info;
+    info.node = n;
+    peers.Add(info);
+  }
+  EXPECT_EQ(peers.Nodes(), (std::vector<sim::NodeId>{3, 5, 9}));
+  EXPECT_TRUE(peers.Remove(5));
+  EXPECT_FALSE(peers.Remove(5));
+  EXPECT_FALSE(peers.Contains(5));
+  EXPECT_EQ(peers.Snapshot().size(), 2u);
+}
+
+// ---------------------------------------------------------------- Session
+
+TEST(SessionTest, AnswerAccountingPerMode) {
+  QuerySession direct(1, "kw", AnswerMode::kDirect, 1000);
+  direct.RecordResult({2000, 5, 1, 10});
+  direct.RecordResult({3000, 6, 2, 7});
+  EXPECT_EQ(direct.total_answers(), 17u);
+  EXPECT_EQ(direct.total_indicated(), 17u);
+  EXPECT_EQ(direct.responder_count(), 2u);
+  EXPECT_EQ(direct.completion_time(), 2000);
+
+  QuerySession indicate(2, "kw", AnswerMode::kIndicate, 1000);
+  indicate.RecordResult({2000, 5, 1, 10});
+  indicate.RecordFetch({4000, 5, 0, 10});
+  EXPECT_EQ(indicate.total_indicated(), 10u);
+  EXPECT_EQ(indicate.total_answers(), 10u);  // From fetches.
+  EXPECT_EQ(indicate.completion_time(), 3000);
+}
+
+TEST(SessionTest, ObservationsMergeMultipleMessages) {
+  QuerySession session(1, "kw", AnswerMode::kDirect, 0);
+  session.RecordResult({100, 5, 3, 4});
+  session.RecordResult({200, 5, 2, 6});  // Same node answers again.
+  session.RecordResult({150, 9, 1, 2});
+  auto obs = session.Observations();
+  ASSERT_EQ(obs.size(), 2u);
+  EXPECT_EQ(obs[0].node, 5u);
+  EXPECT_EQ(obs[0].answers, 10u);
+  EXPECT_EQ(obs[0].hops, 2);  // Minimum hops observed.
+  EXPECT_EQ(obs[1].node, 9u);
+}
+
+TEST(SessionTest, EmptySessionIsZero) {
+  QuerySession session(1, "kw", AnswerMode::kDirect, 500);
+  EXPECT_EQ(session.total_answers(), 0u);
+  EXPECT_EQ(session.completion_time(), 0);
+  EXPECT_TRUE(session.Observations().empty());
+}
+
+// ---------------------------------------------------------------- messages
+
+TEST(MessagesTest, SearchResultRoundTrip) {
+  SearchResultMessage m;
+  m.query_id = 77;
+  m.hops = 3;
+  m.mode = 2;
+  m.responder_object_count = 1000;
+  m.items.push_back({42, "obj-42", ToBytes("payload")});
+  m.items.push_back({43, "obj-43", {}});
+  auto back = SearchResultMessage::Decode(m.Encode()).value();
+  EXPECT_EQ(back.query_id, 77u);
+  EXPECT_EQ(back.hops, 3);
+  EXPECT_EQ(back.mode, 2);
+  EXPECT_EQ(back.responder_object_count, 1000u);
+  ASSERT_EQ(back.items.size(), 2u);
+  EXPECT_EQ(back.items[0].name, "obj-42");
+  EXPECT_EQ(ToString(back.items[0].content), "payload");
+  EXPECT_TRUE(back.items[1].content.empty());
+}
+
+TEST(MessagesTest, FetchRoundTrip) {
+  FetchRequestMessage req;
+  req.query_id = 9;
+  req.ids = {1, 2, 3};
+  auto req_back = FetchRequestMessage::Decode(req.Encode()).value();
+  EXPECT_EQ(req_back.ids, req.ids);
+
+  FetchResponseMessage resp;
+  resp.query_id = 9;
+  resp.items.push_back({1, "a", ToBytes("x")});
+  auto resp_back = FetchResponseMessage::Decode(resp.Encode()).value();
+  EXPECT_EQ(resp_back.items.size(), 1u);
+}
+
+TEST(MessagesTest, DataShipRoundTrip) {
+  DataShipRequest req;
+  req.query_id = 11;
+  EXPECT_EQ(DataShipRequest::Decode(req.Encode()).value().query_id, 11u);
+
+  DataShipResponse resp;
+  resp.query_id = 11;
+  resp.items.push_back({5, "n", ToBytes("content")});
+  auto back = DataShipResponse::Decode(resp.Encode()).value();
+  EXPECT_EQ(back.query_id, 11u);
+  ASSERT_EQ(back.items.size(), 1u);
+}
+
+TEST(MessagesTest, ActiveObjectMessagesRoundTrip) {
+  ActiveObjectRequest req;
+  req.request_id = 4;
+  req.object_name = "report";
+  req.access_level = 2;
+  auto req_back = ActiveObjectRequest::Decode(req.Encode()).value();
+  EXPECT_EQ(req_back.object_name, "report");
+  EXPECT_EQ(req_back.access_level, 2);
+
+  ActiveObjectResponse resp;
+  resp.request_id = 4;
+  resp.ok = true;
+  resp.content = ToBytes("rendered");
+  auto resp_back = ActiveObjectResponse::Decode(resp.Encode()).value();
+  EXPECT_TRUE(resp_back.ok);
+  EXPECT_EQ(ToString(resp_back.content), "rendered");
+}
+
+TEST(MessagesTest, DecodeRejectsGarbage) {
+  Bytes junk{1, 2, 3};
+  EXPECT_FALSE(SearchResultMessage::Decode(junk).ok());
+  EXPECT_FALSE(FetchRequestMessage::Decode(junk).ok());
+  EXPECT_FALSE(ActiveObjectRequest::Decode(junk).ok());
+}
+
+// ---------------------------------------------------------------- ActiveObject
+
+TEST(ActiveObjectTest, RenderConcatenatesElements) {
+  ActiveNodeRegistry registry;
+  ActiveObject object;
+  object.AddDataElement(ToBytes("a"));
+  object.AddDataElement(ToBytes("b"));
+  EXPECT_EQ(ToString(object.Render(AccessLevel::kPublic, registry).value()),
+            "ab");
+}
+
+TEST(ActiveObjectTest, MissingActiveNodeFailsRender) {
+  ActiveNodeRegistry registry;
+  ActiveObject object;
+  object.AddActiveElement("ghost", ToBytes("x"));
+  EXPECT_TRUE(
+      object.Render(AccessLevel::kPublic, registry).status().IsNotFound());
+}
+
+TEST(ActiveObjectTest, SerializationRoundTrip) {
+  ActiveObject object;
+  object.AddDataElement(ToBytes("intro "));
+  object.AddActiveElement("redact-secrets",
+                          ToBytes("x [SECRET]y[/SECRET] z"));
+  auto back = ActiveObject::Decode(object.Encode()).value();
+  ASSERT_EQ(back.element_count(), 2u);
+  EXPECT_FALSE(back.elements()[0].active);
+  EXPECT_TRUE(back.elements()[1].active);
+  EXPECT_EQ(back.elements()[1].active_node, "redact-secrets");
+
+  // The decoded object renders identically.
+  ActiveNodeRegistry registry;
+  registry.Register("redact-secrets", RedactSecretsActiveNode).ok();
+  EXPECT_EQ(object.Render(AccessLevel::kPublic, registry).value(),
+            back.Render(AccessLevel::kPublic, registry).value());
+}
+
+TEST(ActiveObjectTest, DecodeRejectsTrailingBytes) {
+  ActiveObject object;
+  object.AddDataElement(ToBytes("a"));
+  Bytes encoded = object.Encode();
+  encoded.push_back(0);
+  EXPECT_FALSE(ActiveObject::Decode(encoded).ok());
+}
+
+TEST(RedactSecretsTest, EdgeCases) {
+  // Unterminated secret: everything from the marker is dropped.
+  auto r = RedactSecretsActiveNode(ToBytes("a [SECRET]b"),
+                                   AccessLevel::kPublic);
+  EXPECT_EQ(ToString(r.value()), "a ");
+  // Multiple secrets.
+  auto r2 = RedactSecretsActiveNode(
+      ToBytes("[SECRET]a[/SECRET]x[SECRET]b[/SECRET]"),
+      AccessLevel::kMember);
+  EXPECT_EQ(ToString(r2.value()), "[REDACTED]x[REDACTED]");
+  // Owner sees everything.
+  auto r3 = RedactSecretsActiveNode(ToBytes("[SECRET]a[/SECRET]"),
+                                    AccessLevel::kOwner);
+  EXPECT_EQ(ToString(r3.value()), "[SECRET]a[/SECRET]");
+}
+
+}  // namespace
+}  // namespace bestpeer::core

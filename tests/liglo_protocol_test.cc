@@ -1,0 +1,129 @@
+// Wire-format round trips and defensive decoding for every LIGLO
+// protocol message (the liglo_test suite covers the behavioural side).
+
+#include <gtest/gtest.h>
+
+#include "liglo/liglo_protocol.h"
+
+namespace bestpeer::liglo {
+namespace {
+
+TEST(LigloWireTest, RegisterRequestRoundTrip) {
+  RegisterRequest m;
+  m.request_id = 42;
+  m.ip = 0x0A000005;
+  auto back = RegisterRequest::Decode(m.Encode()).value();
+  EXPECT_EQ(back.request_id, 42u);
+  EXPECT_EQ(back.ip, 0x0A000005u);
+}
+
+TEST(LigloWireTest, RegisterResponseRoundTrip) {
+  RegisterResponse m;
+  m.request_id = 7;
+  m.accepted = true;
+  m.bpid = Bpid{3, 9};
+  m.peers.push_back(PeerEntry{Bpid{3, 1}, 100});
+  m.peers.push_back(PeerEntry{Bpid{3, 2}, 200});
+  auto back = RegisterResponse::Decode(m.Encode()).value();
+  EXPECT_TRUE(back.accepted);
+  EXPECT_EQ(back.bpid, (Bpid{3, 9}));
+  ASSERT_EQ(back.peers.size(), 2u);
+  EXPECT_EQ(back.peers[1].ip, 200u);
+}
+
+TEST(LigloWireTest, RejectionRoundTrip) {
+  RegisterResponse m;
+  m.request_id = 8;
+  m.accepted = false;
+  auto back = RegisterResponse::Decode(m.Encode()).value();
+  EXPECT_FALSE(back.accepted);
+  EXPECT_TRUE(back.peers.empty());
+}
+
+TEST(LigloWireTest, UpdateRoundTrip) {
+  UpdateRequest req;
+  req.request_id = 1;
+  req.bpid = Bpid{5, 6};
+  req.ip = 777;
+  req.online = false;
+  auto req_back = UpdateRequest::Decode(req.Encode()).value();
+  EXPECT_EQ(req_back.bpid, (Bpid{5, 6}));
+  EXPECT_FALSE(req_back.online);
+
+  UpdateResponse resp;
+  resp.request_id = 1;
+  resp.ok = true;
+  EXPECT_TRUE(UpdateResponse::Decode(resp.Encode()).value().ok);
+}
+
+TEST(LigloWireTest, ResolveRoundTrip) {
+  ResolveRequest req;
+  req.request_id = 2;
+  req.bpid = Bpid{1, 2};
+  EXPECT_EQ(ResolveRequest::Decode(req.Encode()).value().bpid, (Bpid{1, 2}));
+
+  ResolveResponse resp;
+  resp.request_id = 2;
+  resp.state = PeerState::kOffline;
+  resp.ip = 0;
+  auto back = ResolveResponse::Decode(resp.Encode()).value();
+  EXPECT_EQ(back.state, PeerState::kOffline);
+}
+
+TEST(LigloWireTest, ResolveResponseRejectsBadState) {
+  ResolveResponse resp;
+  Bytes encoded = resp.Encode();
+  encoded[8] = 9;  // State byte after the u64 request id.
+  EXPECT_FALSE(ResolveResponse::Decode(encoded).ok());
+}
+
+TEST(LigloWireTest, PingPongRoundTrip) {
+  PingMessage ping;
+  ping.nonce = 0xABCD;
+  EXPECT_EQ(PingMessage::Decode(ping.Encode()).value().nonce, 0xABCDu);
+
+  PongMessage pong;
+  pong.nonce = 0xABCD;
+  pong.bpid = Bpid{4, 4};
+  pong.ip = 44;
+  auto back = PongMessage::Decode(pong.Encode()).value();
+  EXPECT_EQ(back.nonce, 0xABCDu);
+  EXPECT_EQ(back.bpid, (Bpid{4, 4}));
+  EXPECT_EQ(back.ip, 44u);
+}
+
+TEST(LigloWireTest, PeersRoundTrip) {
+  PeersRequest req;
+  req.request_id = 3;
+  req.requester = Bpid{9, 1};
+  auto req_back = PeersRequest::Decode(req.Encode()).value();
+  EXPECT_EQ(req_back.requester, (Bpid{9, 1}));
+
+  PeersResponse resp;
+  resp.request_id = 3;
+  resp.peers.push_back(PeerEntry{Bpid{9, 2}, 22});
+  auto resp_back = PeersResponse::Decode(resp.Encode()).value();
+  ASSERT_EQ(resp_back.peers.size(), 1u);
+  EXPECT_EQ(resp_back.peers[0].ip, 22u);
+}
+
+TEST(LigloWireTest, AllDecodersRejectTruncation) {
+  RegisterResponse full;
+  full.request_id = 1;
+  full.accepted = true;
+  full.bpid = Bpid{1, 1};
+  full.peers.push_back(PeerEntry{Bpid{1, 2}, 3});
+  Bytes encoded = full.Encode();
+  for (size_t cut = 1; cut < encoded.size(); cut += 3) {
+    Bytes truncated(encoded.begin(), encoded.begin() + cut);
+    EXPECT_FALSE(RegisterResponse::Decode(truncated).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(UpdateRequest::Decode(Bytes{1, 2}).ok());
+  EXPECT_FALSE(ResolveRequest::Decode(Bytes{}).ok());
+  EXPECT_FALSE(PongMessage::Decode(Bytes{0}).ok());
+  EXPECT_FALSE(PeersRequest::Decode(Bytes{9}).ok());
+}
+
+}  // namespace
+}  // namespace bestpeer::liglo

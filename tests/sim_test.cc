@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/dispatcher.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace bestpeer::sim {
+namespace {
+
+// ---------------------------------------------------------------- EventQueue
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(30, [&]() { fired.push_back(3); });
+  q.Push(10, [&]() { fired.push_back(1); });
+  q.Push(20, [&]() { fired.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&fired, i]() { fired.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, PeekTime) {
+  EventQueue q;
+  q.Push(42, []() {});
+  EXPECT_EQ(q.PeekTime(), 42);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(100, [&]() { seen = sim.now(); });
+  EXPECT_EQ(sim.now(), 0);
+  sim.RunUntilIdle();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.ScheduleAt(50, [&]() {
+    sim.ScheduleAfter(25, [&]() { times.push_back(sim.now()); });
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 75);
+}
+
+TEST(SimulatorTest, EventsCanCascade) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) sim.ScheduleAfter(10, chain);
+  };
+  sim.ScheduleAfter(10, chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&]() { ++fired; });
+  sim.ScheduleAt(100, [&]() { ++fired; });
+  sim.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, MaxEventsBound) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.ScheduleAt(i, []() {});
+  size_t n = sim.RunUntilIdle(3);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(sim.pending(), 7u);
+}
+
+// ---------------------------------------------------------------- CpuModel
+
+TEST(CpuModelTest, SingleThreadSerializesTasks) {
+  Simulator sim;
+  CpuModel cpu(&sim, 1);
+  std::vector<SimTime> done;
+  cpu.Submit(100, [&]() { done.push_back(sim.now()); });
+  cpu.Submit(50, [&]() { done.push_back(sim.now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 100);
+  EXPECT_EQ(done[1], 150);  // Queued behind the first task.
+  EXPECT_EQ(cpu.total_busy(), 150);
+}
+
+TEST(CpuModelTest, MultiThreadOverlapsTasks) {
+  Simulator sim;
+  CpuModel cpu(&sim, 2);
+  std::vector<SimTime> done;
+  cpu.Submit(100, [&]() { done.push_back(sim.now()); });
+  cpu.Submit(100, [&]() { done.push_back(sim.now()); });
+  cpu.Submit(100, [&]() { done.push_back(sim.now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], 100);
+  EXPECT_EQ(done[1], 100);
+  EXPECT_EQ(done[2], 200);  // Third waits for a free thread.
+}
+
+TEST(CpuModelTest, LaterSubmissionStartsAtNow) {
+  Simulator sim;
+  CpuModel cpu(&sim, 1);
+  std::vector<SimTime> done;
+  sim.ScheduleAt(500, [&]() {
+    cpu.Submit(10, [&]() { done.push_back(sim.now()); });
+  });
+  sim.RunUntilIdle();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 510);
+}
+
+TEST(CpuModelTest, ZeroCostTaskCompletesImmediately) {
+  Simulator sim;
+  CpuModel cpu(&sim, 1);
+  bool ran = false;
+  cpu.Submit(0, [&]() { ran = true; });
+  sim.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+// ---------------------------------------------------------------- SimNetwork
+
+NetworkOptions FastNet() {
+  NetworkOptions o;
+  o.latency = Micros(500);
+  o.bytes_per_us = 1.25;
+  o.header_overhead = 0;
+  return o;
+}
+
+TEST(SimNetworkTest, DeliversWithLatencyAndBandwidth) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  SimTime delivered = -1;
+  net.SetHandler(b, [&](const SimMessage& m) {
+    EXPECT_EQ(m.src, a);
+    EXPECT_EQ(m.type, 7u);
+    delivered = sim.now();
+  });
+  net.Send(a, b, 7, Bytes(1250, 0));  // 1250 bytes = 1000us per NIC.
+  sim.RunUntilIdle();
+  // uplink 1000 + latency 500 + downlink 1000.
+  EXPECT_EQ(delivered, 2500);
+}
+
+TEST(SimNetworkTest, UplinkSerializesConcurrentSends) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  NodeId c = net.AddNode();
+  std::vector<SimTime> deliveries;
+  auto handler = [&](const SimMessage&) { deliveries.push_back(sim.now()); };
+  net.SetHandler(b, handler);
+  net.SetHandler(c, handler);
+  net.Send(a, b, 1, Bytes(1250, 0));
+  net.Send(a, c, 1, Bytes(1250, 0));
+  sim.RunUntilIdle();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 2500);
+  EXPECT_EQ(deliveries[1], 3500);  // Second waits for the uplink.
+}
+
+TEST(SimNetworkTest, DownlinkSerializesConcurrentReceives) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  NodeId c = net.AddNode();
+  std::vector<SimTime> deliveries;
+  net.SetHandler(c, [&](const SimMessage&) { deliveries.push_back(sim.now()); });
+  net.Send(a, c, 1, Bytes(1250, 0));
+  net.Send(b, c, 1, Bytes(1250, 0));
+  sim.RunUntilIdle();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 2500);
+  // Second arrives at c's NIC at 1500 but must wait until 2500 to start.
+  EXPECT_EQ(deliveries[1], 3500);
+}
+
+TEST(SimNetworkTest, ExtraWireBytesChargeTheWireOnly) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  size_t payload_seen = 0;
+  SimTime delivered = 0;
+  net.SetHandler(b, [&](const SimMessage& m) {
+    payload_seen = m.payload.size();
+    delivered = sim.now();
+  });
+  net.Send(a, b, 1, Bytes(125, 0), /*extra_wire_bytes=*/1125);
+  sim.RunUntilIdle();
+  EXPECT_EQ(payload_seen, 125u);
+  EXPECT_EQ(delivered, 2500);  // Charged as 1250 bytes.
+}
+
+TEST(SimNetworkTest, OfflineNodeDropsMessages) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  int received = 0;
+  net.SetHandler(b, [&](const SimMessage&) { ++received; });
+  net.SetOnline(b, false);
+  net.Send(a, b, 1, Bytes(10, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  net.SetOnline(b, true);
+  net.Send(a, b, 1, Bytes(10, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetworkTest, CountsBytes) {
+  Simulator sim;
+  NetworkOptions o = FastNet();
+  o.header_overhead = 64;
+  SimNetwork net(&sim, o);
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  net.SetHandler(b, [](const SimMessage&) {});
+  net.Send(a, b, 1, Bytes(100, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.node_bytes_sent(a), 164u);
+  EXPECT_EQ(net.node_bytes_received(b), 164u);
+  EXPECT_EQ(net.total_wire_bytes(), 164u);
+  EXPECT_EQ(net.messages_sent(), 1u);
+}
+
+TEST(SimNetworkTest, TraceHookFires) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  net.SetHandler(b, [](const SimMessage&) {});
+  int traces = 0;
+  net.SetTrace([&](const SimMessage& m, SimTime sent, SimTime delivered) {
+    EXPECT_EQ(m.src, a);
+    EXPECT_EQ(sent, 0);
+    EXPECT_GT(delivered, sent);
+    ++traces;
+  });
+  net.Send(a, b, 1, Bytes(10, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(traces, 1);
+}
+
+// ---------------------------------------------------------------- Dispatcher
+
+TEST(DispatcherTest, RoutesByType) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  Dispatcher dispatcher(&net, b);
+  int ones = 0, twos = 0, other = 0;
+  dispatcher.Register(1, [&](const SimMessage&) { ++ones; });
+  dispatcher.Register(2, [&](const SimMessage&) { ++twos; });
+  dispatcher.RegisterDefault([&](const SimMessage&) { ++other; });
+  net.Send(a, b, 1, Bytes{});
+  net.Send(a, b, 2, Bytes{});
+  net.Send(a, b, 3, Bytes{});
+  sim.RunUntilIdle();
+  EXPECT_EQ(ones, 1);
+  EXPECT_EQ(twos, 1);
+  EXPECT_EQ(other, 1);
+}
+
+TEST(DispatcherTest, CountsUnhandled) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  Dispatcher dispatcher(&net, b);
+  net.Send(a, b, 99, Bytes{});
+  sim.RunUntilIdle();
+  EXPECT_EQ(dispatcher.unhandled_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bestpeer::sim

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "storm/buffer_pool.h"
+#include "storm/pager.h"
+
+namespace bestpeer::storm {
+namespace {
+
+// Writes a marker byte into a page so identity survives eviction.
+void Mark(Page* page, uint8_t marker) { page->raw()[100] = marker; }
+uint8_t GetMark(const Page* page) { return page->raw()[100]; }
+
+TEST(BufferPoolTest, NewPinsAndFetchHits) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {4, "lru"}).value();
+  auto guard = pool->New().value();
+  PageId id = guard.id();
+  guard.Release();
+  auto again = pool->Fetch(id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(pool->hits(), 1u);
+  EXPECT_EQ(pool->misses(), 0u);
+}
+
+TEST(BufferPoolTest, ZeroFramesRejected) {
+  MemPager pager;
+  EXPECT_FALSE(BufferPool::Create(&pager, {0, "lru"}).ok());
+}
+
+TEST(BufferPoolTest, UnknownPolicyRejected) {
+  MemPager pager;
+  EXPECT_FALSE(BufferPool::Create(&pager, {4, "mystery"}).ok());
+}
+
+TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {2, "lru"}).value();
+  // Create 3 pages through a 2-frame pool; the first must be evicted.
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    auto guard = pool->New().value();
+    Mark(guard.page(), static_cast<uint8_t>(0x10 + i));
+    guard.MarkDirty();
+    ids[i] = guard.id();
+  }
+  EXPECT_GE(pool->evictions(), 1u);
+  EXPECT_GE(pool->writebacks(), 1u);
+  // Refetch the evicted page: data must have survived through the pager.
+  auto back = pool->Fetch(ids[0]).value();
+  EXPECT_EQ(GetMark(back.page()), 0x10);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {2, "lru"}).value();
+  auto g1 = pool->New().value();
+  auto g2 = pool->New().value();
+  // Both frames pinned: a third page cannot be brought in.
+  auto g3 = pool->New();
+  EXPECT_FALSE(g3.ok());
+  EXPECT_TRUE(g3.status().IsResourceExhausted());
+  g1.Release();
+  auto g4 = pool->New();
+  EXPECT_TRUE(g4.ok());
+}
+
+TEST(BufferPoolTest, MultiplePinsOnSamePage) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {2, "lru"}).value();
+  auto g1 = pool->New().value();
+  PageId id = g1.id();
+  auto g2 = pool->Fetch(id).value();
+  g1.Release();
+  // Still pinned once: cannot be evicted by filling the pool.
+  auto o1 = pool->New().value();
+  auto blocked = pool->New();
+  EXPECT_FALSE(blocked.ok());
+  g2.Release();
+  EXPECT_TRUE(pool->New().ok());
+  (void)o1;
+}
+
+TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {4, "lru"}).value();
+  auto guard = pool->New().value();
+  Mark(guard.page(), 0x55);
+  guard.MarkDirty();
+  PageId id = guard.id();
+  guard.Release();
+  ASSERT_TRUE(pool->FlushAll().ok());
+  // Read the page straight from the pager, bypassing the pool.
+  Page direct;
+  ASSERT_TRUE(pager.Read(id, &direct).ok());
+  EXPECT_EQ(GetMark(&direct), 0x55);
+}
+
+TEST(BufferPoolTest, FetchUnknownPageFails) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {4, "lru"}).value();
+  EXPECT_FALSE(pool->Fetch(42).ok());
+}
+
+TEST(BufferPoolTest, MoveGuardTransfersPin) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {1, "lru"}).value();
+  auto g1 = pool->New().value();
+  PageGuard g2 = std::move(g1);
+  EXPECT_FALSE(g1.valid());
+  EXPECT_TRUE(g2.valid());
+  g2.Release();
+  EXPECT_TRUE(pool->New().ok());  // Frame was freed exactly once.
+}
+
+// The same workload must behave correctly under every policy.
+class PolicyParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PolicyParamTest, WorkloadSurvivesEvictionChurn) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {4, GetParam()}).value();
+  EXPECT_EQ(pool->policy_name(), GetParam());
+  // 16 pages, each marked, through a 4-frame pool.
+  std::vector<PageId> ids;
+  for (int i = 0; i < 16; ++i) {
+    auto guard = pool->New().value();
+    Mark(guard.page(), static_cast<uint8_t>(i));
+    guard.MarkDirty();
+    ids.push_back(guard.id());
+  }
+  // Random-ish access pattern with rereads.
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < ids.size(); i += (round + 1)) {
+      auto guard = pool->Fetch(ids[i]).value();
+      ASSERT_EQ(GetMark(guard.page()), static_cast<uint8_t>(i))
+          << "policy " << GetParam();
+    }
+  }
+  EXPECT_GT(pool->evictions(), 0u);
+  ASSERT_TRUE(pool->FlushAll().ok());
+}
+
+TEST_P(PolicyParamTest, EvictionOrderRespectsPins) {
+  MemPager pager;
+  auto pool = BufferPool::Create(&pager, {3, GetParam()}).value();
+  auto pinned = pool->New().value();
+  Mark(pinned.page(), 0xEE);
+  PageId pinned_id = pinned.id();
+  for (int i = 0; i < 10; ++i) {
+    auto guard = pool->New().value();
+    guard.MarkDirty();
+  }
+  // The pinned page must still be resident with its data.
+  EXPECT_EQ(GetMark(pinned.page()), 0xEE);
+  pinned.Release();
+  auto back = pool->Fetch(pinned_id).value();
+  EXPECT_EQ(GetMark(back.page()), 0xEE);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyParamTest,
+                         ::testing::Values("lru", "fifo", "clock", "lfu"));
+
+// Policy-specific behavioural checks.
+TEST(LruPolicyTest, EvictsLeastRecentlyUnpinned) {
+  LruPolicy lru;
+  lru.OnEvictable(1);
+  lru.OnEvictable(2);
+  lru.OnEvictable(3);
+  // Touch 1 again: moves to the back.
+  lru.OnEvictable(1);
+  EXPECT_EQ(lru.ChooseVictim().value(), 2u);
+  EXPECT_EQ(lru.ChooseVictim().value(), 3u);
+  EXPECT_EQ(lru.ChooseVictim().value(), 1u);
+  EXPECT_FALSE(lru.ChooseVictim().has_value());
+}
+
+TEST(FifoPolicyTest, ReinsertKeepsOriginalOrder) {
+  FifoPolicy fifo;
+  fifo.OnEvictable(1);
+  fifo.OnEvictable(2);
+  fifo.OnEvictable(1);  // No-op: keeps queue position.
+  EXPECT_EQ(fifo.ChooseVictim().value(), 1u);
+  EXPECT_EQ(fifo.ChooseVictim().value(), 2u);
+}
+
+TEST(ClockPolicyTest, SecondChanceSparesReferencedFrames) {
+  ClockPolicy clock;
+  clock.OnEvictable(1);
+  clock.OnEvictable(2);
+  // Re-mark 1 as referenced.
+  clock.OnEvictable(1);
+  // Victim scan clears 1's bit (second chance) and takes 2 first... or
+  // takes whichever entered with a cleared bit first; either way both
+  // eventually come out exactly once.
+  auto v1 = clock.ChooseVictim();
+  auto v2 = clock.ChooseVictim();
+  ASSERT_TRUE(v1.has_value() && v2.has_value());
+  EXPECT_NE(v1.value(), v2.value());
+  EXPECT_FALSE(clock.ChooseVictim().has_value());
+}
+
+TEST(LfuPolicyTest, EvictsLeastFrequentlyUsed) {
+  LfuPolicy lfu;
+  // Frame 1: 3 uses; frame 2: 1 use.
+  lfu.OnEvictable(1);
+  lfu.OnPinned(1);
+  lfu.OnEvictable(1);
+  lfu.OnPinned(1);
+  lfu.OnEvictable(1);
+  lfu.OnEvictable(2);
+  EXPECT_EQ(lfu.ChooseVictim().value(), 2u);
+  EXPECT_EQ(lfu.ChooseVictim().value(), 1u);
+}
+
+TEST(PolicyRegistryTest, MakeByName) {
+  EXPECT_EQ(MakeReplacementPolicy("lru").value()->name(), "lru");
+  EXPECT_EQ(MakeReplacementPolicy("fifo").value()->name(), "fifo");
+  EXPECT_EQ(MakeReplacementPolicy("clock").value()->name(), "clock");
+  EXPECT_EQ(MakeReplacementPolicy("lfu").value()->name(), "lfu");
+  EXPECT_FALSE(MakeReplacementPolicy("arc").ok());
+}
+
+}  // namespace
+}  // namespace bestpeer::storm

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "storm/query_expr.h"
+#include "storm/storm.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace bestpeer::storm {
+namespace {
+
+Bytes Content(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---------------------------------------------------------------- parsing
+
+TEST(QueryExprTest, SingleTerm) {
+  auto expr = QueryExpr::Parse("needle").value();
+  EXPECT_EQ(expr.branch_count(), 1u);
+  EXPECT_EQ(expr.term_count(), 1u);
+  EXPECT_EQ(expr.ToString(), "needle");
+}
+
+TEST(QueryExprTest, ImplicitAnd) {
+  auto expr = QueryExpr::Parse("peer  agents").value();
+  EXPECT_EQ(expr.branch_count(), 1u);
+  EXPECT_EQ(expr.term_count(), 2u);
+  EXPECT_EQ(expr.ToString(), "peer agents");
+}
+
+TEST(QueryExprTest, OrBranches) {
+  auto expr = QueryExpr::Parse("mp3 beatles OR flac").value();
+  EXPECT_EQ(expr.branch_count(), 2u);
+  EXPECT_EQ(expr.term_count(), 3u);
+  EXPECT_EQ(expr.ToString(), "mp3 beatles OR flac");
+}
+
+TEST(QueryExprTest, TermsAreLowercased) {
+  auto expr = QueryExpr::Parse("NeedLe").value();
+  EXPECT_EQ(expr.dnf()[0][0], "needle");
+}
+
+TEST(QueryExprTest, RejectsEmptyAndDangling) {
+  EXPECT_FALSE(QueryExpr::Parse("").ok());
+  EXPECT_FALSE(QueryExpr::Parse("   ").ok());
+  EXPECT_FALSE(QueryExpr::Parse("a OR").ok());
+  EXPECT_FALSE(QueryExpr::Parse("OR b").ok());
+  EXPECT_FALSE(QueryExpr::Parse("a OR OR b").ok());
+}
+
+// ---------------------------------------------------------------- matching
+
+TEST(QueryExprTest, AndSemantics) {
+  auto expr = QueryExpr::Parse("peer agents").value();
+  EXPECT_TRUE(expr.Matches("mobile agents in peer networks"));
+  EXPECT_FALSE(expr.Matches("mobile agents only"));
+  EXPECT_FALSE(expr.Matches("peer networks only"));
+}
+
+TEST(QueryExprTest, OrSemantics) {
+  auto expr = QueryExpr::Parse("alpha beta OR gamma").value();
+  EXPECT_TRUE(expr.Matches("alpha and beta here"));
+  EXPECT_TRUE(expr.Matches("just gamma"));
+  EXPECT_FALSE(expr.Matches("alpha without the second"));
+}
+
+TEST(QueryExprTest, WholeTokenMatching) {
+  auto expr = QueryExpr::Parse("needle").value();
+  EXPECT_FALSE(expr.Matches("needles"));
+  EXPECT_TRUE(expr.Matches("a NEEDLE!"));
+}
+
+// ------------------------------------------------------- storm integration
+
+TEST(StormQueryTest, MultiKeywordScan) {
+  auto storm = Storm::Open({}).value();
+  storm->Put(1, Content("alpha beta gamma")).ok();
+  storm->Put(2, Content("alpha delta")).ok();
+  storm->Put(3, Content("gamma only")).ok();
+
+  auto both = storm->ScanSearch("alpha beta").value();
+  EXPECT_EQ(both.matches, (std::vector<ObjectId>{1}));
+  auto either = storm->ScanSearch("beta OR delta").value();
+  EXPECT_EQ(either.matches, (std::vector<ObjectId>{1, 2}));
+  EXPECT_FALSE(storm->ScanSearch("").ok());
+}
+
+TEST(StormQueryTest, IndexMatchesScanOnRandomQueries) {
+  StormOptions options;
+  options.build_index = true;
+  auto storm = Storm::Open(options).value();
+  bestpeer::Rng rng(5);
+  const char* words[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+  for (ObjectId id = 0; id < 60; ++id) {
+    std::string text;
+    for (int w = 0; w < 3; ++w) {
+      text += words[rng.NextBounded(5)];
+      text += ' ';
+    }
+    storm->Put(id, Content(text)).ok();
+  }
+  const char* queries[] = {"alpha",          "alpha beta",
+                           "alpha OR beta",  "gamma delta OR epsilon",
+                           "beta gamma",     "epsilon OR alpha beta"};
+  for (const char* q : queries) {
+    auto scan = storm->ScanSearch(q).value();
+    auto indexed = storm->IndexSearch(q).value();
+    EXPECT_EQ(scan.matches, indexed) << "query: " << q;
+  }
+}
+
+// ---------------------------------------------------------------- caching
+
+TEST(StormQueryTest, CacheHitsSkipTheScan) {
+  StormOptions options;
+  options.enable_query_cache = true;
+  auto storm = Storm::Open(options).value();
+  for (ObjectId id = 0; id < 20; ++id) {
+    storm->Put(id, Content(id % 4 == 0 ? "needle x" : "hay x")).ok();
+  }
+  auto first = storm->ScanSearch("needle").value();
+  EXPECT_FALSE(first.from_cache);
+  EXPECT_EQ(first.objects_scanned, 20u);
+  auto second = storm->ScanSearch("needle").value();
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.objects_scanned, 0u);
+  EXPECT_EQ(second.matches, first.matches);
+  EXPECT_EQ(storm->query_cache_hits(), 1u);
+  EXPECT_EQ(storm->query_cache_misses(), 1u);
+}
+
+TEST(StormQueryTest, MutationInvalidatesCache) {
+  StormOptions options;
+  options.enable_query_cache = true;
+  auto storm = Storm::Open(options).value();
+  storm->Put(1, Content("needle")).ok();
+  storm->ScanSearch("needle").value();
+  storm->Put(2, Content("another needle")).ok();
+  auto after = storm->ScanSearch("needle").value();
+  EXPECT_FALSE(after.from_cache) << "Put must invalidate";
+  EXPECT_EQ(after.matches.size(), 2u);
+  storm->Delete(1).ok();
+  auto after_delete = storm->ScanSearch("needle").value();
+  EXPECT_FALSE(after_delete.from_cache) << "Delete must invalidate";
+  EXPECT_EQ(after_delete.matches, (std::vector<ObjectId>{2}));
+}
+
+TEST(StormQueryTest, CacheNormalizesQueryText) {
+  StormOptions options;
+  options.enable_query_cache = true;
+  auto storm = Storm::Open(options).value();
+  storm->Put(1, Content("alpha beta")).ok();
+  storm->ScanSearch("Alpha  Beta").value();
+  auto second = storm->ScanSearch("alpha beta").value();
+  EXPECT_TRUE(second.from_cache)
+      << "case/spacing variants share one cache entry";
+}
+
+TEST(StormQueryTest, CacheEvictsLru) {
+  StormOptions options;
+  options.enable_query_cache = true;
+  options.query_cache_entries = 2;
+  auto storm = Storm::Open(options).value();
+  storm->Put(1, Content("a b c")).ok();
+  storm->ScanSearch("a").value();   // Cache: {a}
+  storm->ScanSearch("b").value();   // Cache: {a, b}
+  storm->ScanSearch("a").value();   // Touch a.
+  storm->ScanSearch("c").value();   // Evicts b.
+  EXPECT_TRUE(storm->ScanSearch("a").value().from_cache);
+  EXPECT_FALSE(storm->ScanSearch("b").value().from_cache);
+}
+
+TEST(StormQueryTest, CacheDisabledByDefault) {
+  auto storm = Storm::Open({}).value();
+  storm->Put(1, Content("needle")).ok();
+  storm->ScanSearch("needle").value();
+  auto second = storm->ScanSearch("needle").value();
+  EXPECT_FALSE(second.from_cache);
+  EXPECT_EQ(second.objects_scanned, 1u);
+}
+
+}  // namespace
+}  // namespace bestpeer::storm

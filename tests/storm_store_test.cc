@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storm/object_store.h"
+#include "storm/storm.h"
+#include "util/rng.h"
+
+namespace bestpeer::storm {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_("/tmp/bp_storm_test_" + tag + "_" +
+              std::to_string(::getpid()) + ".db") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Bytes Content(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::unique_ptr<ObjectStore> MakeStore(MemPager* pager, BufferPool** pool_out,
+                                       std::unique_ptr<BufferPool>* pool) {
+  *pool = BufferPool::Create(pager, {16, "lru"}).value();
+  *pool_out = pool->get();
+  return ObjectStore::Open(pool->get()).value();
+}
+
+TEST(ObjectStoreTest, PutGetDelete) {
+  MemPager pager;
+  std::unique_ptr<BufferPool> pool;
+  BufferPool* raw;
+  auto store = MakeStore(&pager, &raw, &pool);
+
+  ASSERT_TRUE(store->Put(1, Content("hello")).ok());
+  EXPECT_TRUE(store->Contains(1));
+  EXPECT_EQ(store->Get(1).value(), Content("hello"));
+  ASSERT_TRUE(store->Delete(1).ok());
+  EXPECT_FALSE(store->Contains(1));
+  EXPECT_TRUE(store->Get(1).status().IsNotFound());
+  EXPECT_TRUE(store->Delete(1).IsNotFound());
+}
+
+TEST(ObjectStoreTest, DuplicatePutRejected) {
+  MemPager pager;
+  std::unique_ptr<BufferPool> pool;
+  BufferPool* raw;
+  auto store = MakeStore(&pager, &raw, &pool);
+  ASSERT_TRUE(store->Put(1, Content("a")).ok());
+  EXPECT_TRUE(store->Put(1, Content("b")).IsAlreadyExists());
+}
+
+TEST(ObjectStoreTest, EmptyObject) {
+  MemPager pager;
+  std::unique_ptr<BufferPool> pool;
+  BufferPool* raw;
+  auto store = MakeStore(&pager, &raw, &pool);
+  ASSERT_TRUE(store->Put(5, Bytes{}).ok());
+  EXPECT_EQ(store->Get(5).value(), Bytes{});
+}
+
+TEST(ObjectStoreTest, LargeObjectSpansChunks) {
+  MemPager pager;
+  std::unique_ptr<BufferPool> pool;
+  BufferPool* raw;
+  auto store = MakeStore(&pager, &raw, &pool);
+  Rng rng(1);
+  Bytes big(ObjectStore::kChunkDataSize * 3 + 17);
+  for (auto& b : big) b = static_cast<uint8_t>(rng.NextBounded(256));
+  ASSERT_TRUE(store->Put(9, big).ok());
+  EXPECT_EQ(store->Get(9).value(), big);
+  ASSERT_TRUE(store->Delete(9).ok());
+  EXPECT_FALSE(store->Contains(9));
+}
+
+TEST(ObjectStoreTest, ListIdsSorted) {
+  MemPager pager;
+  std::unique_ptr<BufferPool> pool;
+  BufferPool* raw;
+  auto store = MakeStore(&pager, &raw, &pool);
+  for (ObjectId id : {5, 1, 9, 3}) {
+    ASSERT_TRUE(store->Put(id, Content("x")).ok());
+  }
+  EXPECT_EQ(store->ListIds(), (std::vector<ObjectId>{1, 3, 5, 9}));
+  EXPECT_EQ(store->object_count(), 4u);
+}
+
+TEST(ObjectStoreTest, SpaceReusedAfterDelete) {
+  MemPager pager;
+  std::unique_ptr<BufferPool> pool;
+  BufferPool* raw;
+  auto store = MakeStore(&pager, &raw, &pool);
+  Bytes obj(1024, 0xAB);
+  for (ObjectId id = 0; id < 50; ++id) {
+    ASSERT_TRUE(store->Put(id, obj).ok());
+  }
+  PageId pages_before = pager.page_count();
+  for (ObjectId id = 0; id < 50; ++id) {
+    ASSERT_TRUE(store->Delete(id).ok());
+  }
+  for (ObjectId id = 100; id < 150; ++id) {
+    ASSERT_TRUE(store->Put(id, obj).ok());
+  }
+  // Deleted space must be reused: no significant page growth.
+  EXPECT_LE(pager.page_count(), pages_before + 1);
+}
+
+TEST(ObjectStoreTest, DirectoryRebuiltOnReopen) {
+  MemPager pager;
+  {
+    auto pool = BufferPool::Create(&pager, {16, "lru"}).value();
+    auto store = ObjectStore::Open(pool.get()).value();
+    ASSERT_TRUE(store->Put(1, Content("persisted")).ok());
+    Bytes big(ObjectStore::kChunkDataSize * 2, 0x5A);
+    ASSERT_TRUE(store->Put(2, big).ok());
+    ASSERT_TRUE(pool->FlushAll().ok());
+  }
+  {
+    auto pool = BufferPool::Create(&pager, {16, "lru"}).value();
+    auto store = ObjectStore::Open(pool.get()).value();
+    EXPECT_EQ(store->object_count(), 2u);
+    EXPECT_EQ(store->Get(1).value(), Content("persisted"));
+    EXPECT_EQ(store->Get(2).value().size(), ObjectStore::kChunkDataSize * 2);
+  }
+}
+
+// ---------------------------------------------------------------- Storm
+
+TEST(StormTest, InMemoryBasics) {
+  StormOptions options;
+  auto storm = Storm::Open(options).value();
+  ASSERT_TRUE(storm->Put(1, Content("alpha needle beta")).ok());
+  ASSERT_TRUE(storm->Put(2, Content("gamma delta")).ok());
+  EXPECT_EQ(storm->object_count(), 2u);
+
+  auto scan = storm->ScanSearch("needle").value();
+  EXPECT_EQ(scan.objects_scanned, 2u);
+  EXPECT_EQ(scan.matches, (std::vector<ObjectId>{1}));
+
+  EXPECT_EQ(storm->IndexSearch("needle").value(),
+            (std::vector<ObjectId>{1}));
+  EXPECT_EQ(storm->IndexSearch("delta").value(),
+            (std::vector<ObjectId>{2}));
+  EXPECT_TRUE(storm->IndexSearch("nothing").value().empty());
+}
+
+TEST(StormTest, IndexTracksDeletes) {
+  StormOptions options;
+  auto storm = Storm::Open(options).value();
+  ASSERT_TRUE(storm->Put(1, Content("needle here")).ok());
+  ASSERT_TRUE(storm->Delete(1).ok());
+  EXPECT_TRUE(storm->IndexSearch("needle").value().empty());
+  EXPECT_TRUE(storm->ScanSearch("needle").value().matches.empty());
+}
+
+TEST(StormTest, IndexDisabled) {
+  StormOptions options;
+  options.build_index = false;
+  auto storm = Storm::Open(options).value();
+  ASSERT_TRUE(storm->Put(1, Content("needle")).ok());
+  EXPECT_TRUE(storm->IndexSearch("needle").status().IsFailedPrecondition());
+  EXPECT_EQ(storm->ScanSearch("needle").value().matches.size(), 1u);
+}
+
+TEST(StormTest, PersistsAcrossReopen) {
+  TempFile file("storm_reopen");
+  {
+    StormOptions options;
+    options.path = file.path();
+    auto storm = Storm::Open(options).value();
+    ASSERT_TRUE(storm->Put(7, Content("needle persists")).ok());
+    ASSERT_TRUE(storm->Put(8, Content("other data")).ok());
+    ASSERT_TRUE(storm->Flush().ok());
+  }
+  {
+    StormOptions options;
+    options.path = file.path();
+    auto storm = Storm::Open(options).value();
+    EXPECT_EQ(storm->object_count(), 2u);
+    EXPECT_EQ(storm->Get(7).value(), Content("needle persists"));
+    // Index is rebuilt from the persisted objects.
+    EXPECT_EQ(storm->IndexSearch("needle").value(),
+              (std::vector<ObjectId>{7}));
+  }
+}
+
+TEST(StormTest, FilePagerDetectsCorruption) {
+  TempFile file("storm_corrupt");
+  {
+    StormOptions options;
+    options.path = file.path();
+    auto storm = Storm::Open(options).value();
+    ASSERT_TRUE(storm->Put(1, Bytes(2000, 0x11)).ok());
+    ASSERT_TRUE(storm->Flush().ok());
+  }
+  // Flip a byte in the middle of the first page.
+  {
+    std::FILE* f = std::fopen(file.path().c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 200, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, 200, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  StormOptions options;
+  options.path = file.path();
+  auto storm = Storm::Open(options);
+  EXPECT_FALSE(storm.ok());
+  EXPECT_TRUE(storm.status().IsCorruption());
+}
+
+TEST(StormTest, UpdateReplacesContentAndIndex) {
+  auto storm = Storm::Open({}).value();
+  ASSERT_TRUE(storm->Put(1, Content("needle old")).ok());
+  ASSERT_TRUE(storm->Update(1, Content("fresh text")).ok());
+  EXPECT_EQ(storm->Get(1).value(), Content("fresh text"));
+  EXPECT_TRUE(storm->IndexSearch("needle").value().empty());
+  EXPECT_EQ(storm->IndexSearch("fresh").value(),
+            (std::vector<ObjectId>{1}));
+  EXPECT_TRUE(storm->Update(99, Content("x")).IsNotFound());
+  EXPECT_EQ(storm->object_count(), 1u);
+}
+
+TEST(StormTest, ThousandObjectWorkload) {
+  // The paper's per-node setup: 1000 objects of 1 KB.
+  StormOptions options;
+  options.buffer_frames = 32;
+  auto storm = Storm::Open(options).value();
+  Bytes obj(1024, 0);
+  for (ObjectId id = 0; id < 1000; ++id) {
+    std::string text = (id % 100 == 0) ? "needle payload" : "plain payload";
+    Bytes content(text.begin(), text.end());
+    content.resize(1024, ' ');
+    ASSERT_TRUE(storm->Put(id, content).ok());
+  }
+  auto scan = storm->ScanSearch("needle").value();
+  EXPECT_EQ(scan.objects_scanned, 1000u);
+  EXPECT_EQ(scan.matches.size(), 10u);
+  EXPECT_GT(storm->buffer_pool().evictions(), 0u)
+      << "workload must exceed the buffer pool";
+}
+
+}  // namespace
+}  // namespace bestpeer::storm

@@ -1,0 +1,409 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace bestpeer {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllFactoryCodesMatch) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unavailable("").IsUnavailable());
+  EXPECT_TRUE(Status::Corruption("").IsCorruption());
+  EXPECT_TRUE(Status::IoError("").IsIoError());
+  EXPECT_TRUE(Status::Unimplemented("").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::Corruption("bad"); };
+  auto wrapper = [&]() -> Status {
+    BP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsCorruption());
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto get = []() -> Result<int> { return 7; };
+  auto use = [&]() -> Result<int> {
+    BP_ASSIGN_OR_RETURN(int v, get());
+    return v + 1;
+  };
+  auto r = use();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 8);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto get = []() -> Result<int> { return Status::IoError("disk"); };
+  auto use = [&]() -> Result<int> {
+    BP_ASSIGN_OR_RETURN(int v, get());
+    return v;
+  };
+  EXPECT_TRUE(use().status().IsIoError());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------- Bytes
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0xBEEF);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI64(-42);
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU16().value(), 0xBEEF);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,    1,        127,        128,
+                            255,  16383,    16384,      (1ULL << 32),
+                            ~0ULL};
+  for (uint64_t v : cases) {
+    BinaryWriter w;
+    w.WriteVarint(v);
+    BinaryReader r(w.buffer());
+    auto back = r.ReadVarint();
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v) << v;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(BytesTest, StringAndBlobRoundTrip) {
+  BinaryWriter w;
+  w.WriteString("hello world");
+  w.WriteString("");
+  w.WriteBytes(Bytes{1, 2, 3});
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(r.ReadString().value(), "hello world");
+  EXPECT_EQ(r.ReadString().value(), "");
+  EXPECT_EQ(r.ReadBytes().value(), (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, TruncatedReadsFailGracefully) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  Bytes buf = w.Take();
+  buf.resize(2);
+  BinaryReader r(buf);
+  auto v = r.ReadU32();
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsOutOfRange());
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  BinaryWriter w;
+  w.WriteString("a long enough string");
+  Bytes buf = w.Take();
+  buf.resize(buf.size() - 5);
+  BinaryReader r(buf);
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(BytesTest, MalformedVarintFails) {
+  Bytes buf(11, 0xFF);  // 11 continuation bytes: varint too long.
+  BinaryReader r(buf);
+  EXPECT_TRUE(r.ReadVarint().status().IsCorruption());
+}
+
+// Property: any sequence of writes reads back identically.
+class BytesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BytesPropertyTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<uint64_t> varints;
+    std::vector<std::string> strings;
+    BinaryWriter w;
+    int ops = static_cast<int>(rng.NextBounded(20)) + 1;
+    std::vector<int> kinds;
+    for (int i = 0; i < ops; ++i) {
+      if (rng.NextBool()) {
+        uint64_t v = rng.NextU64() >> rng.NextBounded(64);
+        varints.push_back(v);
+        w.WriteVarint(v);
+        kinds.push_back(0);
+      } else {
+        std::string s;
+        size_t len = rng.NextBounded(64);
+        for (size_t j = 0; j < len; ++j) {
+          s += static_cast<char>('a' + rng.NextBounded(26));
+        }
+        strings.push_back(s);
+        w.WriteString(s);
+        kinds.push_back(1);
+      }
+    }
+    BinaryReader r(w.buffer());
+    size_t vi = 0, si = 0;
+    for (int kind : kinds) {
+      if (kind == 0) {
+        ASSERT_EQ(r.ReadVarint().value(), varints[vi++]);
+      } else {
+        ASSERT_EQ(r.ReadString().value(), strings[si++]);
+      }
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytesPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(10), 10u);
+    int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(RngTest, ExponentialIsPositiveWithRoughMean) {
+  Rng rng(21);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextExponential(10.0);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Rng rng(31);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[50] * 2);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(ZipfTest, ZeroSkewIsRoughlyUniform) {
+  Rng rng(37);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[zipf.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 2000, 350);
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(HashTest, Fnv1aKnownProperties) {
+  EXPECT_EQ(Fnv1a64("", 0), 0xCBF29CE484222325ULL);
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_EQ(Mix64(0), 0u);  // fmix64 fixes 0; callers must not rely on it.
+  EXPECT_NE(Mix64(1), 1u);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, ","), "a,b,,c");
+}
+
+TEST(StringsTest, Tokenize) {
+  auto toks = TokenizeKeywords("Hello, World! 42-foo");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "42");
+  EXPECT_EQ(toks[3], "foo");
+}
+
+TEST(StringsTest, ContainsKeywordWholeTokenOnly) {
+  EXPECT_TRUE(ContainsKeyword("the needle is here", "needle"));
+  EXPECT_TRUE(ContainsKeyword("NEEDLE!", "needle"));
+  EXPECT_TRUE(ContainsKeyword("a,needle,b", "Needle"));
+  EXPECT_FALSE(ContainsKeyword("needles are different", "needle"));
+  EXPECT_FALSE(ContainsKeyword("pineedle", "needle"));
+  EXPECT_FALSE(ContainsKeyword("", "needle"));
+  EXPECT_FALSE(ContainsKeyword("anything", ""));
+}
+
+TEST(StringsTest, ContainsKeywordAtBoundaries) {
+  EXPECT_TRUE(ContainsKeyword("needle", "needle"));
+  EXPECT_TRUE(ContainsKeyword("needle at start", "needle"));
+  EXPECT_TRUE(ContainsKeyword("ends with needle", "needle"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(StatsTest, SummaryBasics) {
+  Summary s;
+  s.Add(1);
+  s.Add(2);
+  s.Add(3);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 3.0);
+}
+
+TEST(StatsTest, SummaryMerge) {
+  Summary a, b;
+  a.Add(1);
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(StatsTest, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(StatsTest, HistogramBucketsAndOverflow) {
+  Histogram h(10.0, 5);  // Buckets of width 2 + overflow.
+  h.Add(0.5);
+  h.Add(3.0);
+  h.Add(9.9);
+  h.Add(100.0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);  // Overflow bucket.
+  EXPECT_EQ(h.CumulativeAt(1), 2u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+}
+
+// ---------------------------------------------------------------- SimTime
+
+TEST(SimTimeTest, UnitsAndFormat) {
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2), 2000000);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(5)), 5.0);
+  EXPECT_EQ(FormatSimTime(Micros(50)), "50us");
+  EXPECT_EQ(FormatSimTime(Millis(12) + Micros(500)), "12.50ms");
+  EXPECT_EQ(FormatSimTime(Seconds(3)), "3.000s");
+}
+
+}  // namespace
+}  // namespace bestpeer

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "workload/churn.h"
+
+namespace bestpeer::workload {
+namespace {
+
+ChurnOptions SmallChurn() {
+  ChurnOptions o;
+  o.node_count = 12;
+  o.objects_per_node = 30;
+  o.matches_per_node = 3;
+  o.rounds = 4;
+  return o;
+}
+
+TEST(ChurnTest, NoChurnGivesFullRecall) {
+  ChurnOptions o = SmallChurn();
+  o.leave_fraction = 0.0;
+  o.rejoin_fraction = 0.0;
+  auto result = RunChurnExperiment(o).value();
+  ASSERT_EQ(result.rounds.size(), 4u);
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.online_nodes, 11u);
+    EXPECT_EQ(round.received_answers, round.available_answers);
+    EXPECT_DOUBLE_EQ(round.Recall(), 1.0);
+    EXPECT_GT(round.completion, 0);
+  }
+}
+
+TEST(ChurnTest, DeparturesReduceAvailability) {
+  ChurnOptions o = SmallChurn();
+  o.leave_fraction = 0.3;
+  o.rejoin_fraction = 0.0;
+  auto result = RunChurnExperiment(o).value();
+  EXPECT_LT(result.rounds.back().online_nodes,
+            result.rounds.front().online_nodes);
+  for (const auto& round : result.rounds) {
+    EXPECT_LE(round.received_answers, round.available_answers);
+  }
+}
+
+TEST(ChurnTest, RejoinsRestoreAvailability) {
+  ChurnOptions o = SmallChurn();
+  o.rounds = 8;
+  o.leave_fraction = 0.3;
+  o.rejoin_fraction = 1.0;  // Everyone who left comes straight back.
+  auto result = RunChurnExperiment(o).value();
+  // Availability oscillates but never collapses: by the end, rejoins
+  // balance departures.
+  EXPECT_GE(result.rounds.back().online_nodes, 7u);
+  EXPECT_GT(result.MeanRecall(), 0.6);
+}
+
+TEST(ChurnTest, ReconfigurationImprovesRecallUnderChurn) {
+  ChurnOptions bpr = SmallChurn();
+  bpr.node_count = 16;
+  bpr.rounds = 6;
+  bpr.leave_fraction = 0.25;
+  bpr.rejoin_fraction = 0.5;
+  bpr.reconfigure = true;
+  ChurnOptions bps = bpr;
+  bps.reconfigure = false;
+  auto bpr_result = RunChurnExperiment(bpr).value();
+  auto bps_result = RunChurnExperiment(bps).value();
+  // A self-configuring node re-adopts answering peers, so it must do at
+  // least as well as the static layout on the same churn sequence.
+  EXPECT_GE(bpr_result.MeanRecall() + 1e-9, bps_result.MeanRecall());
+}
+
+TEST(ChurnTest, DeterministicPerSeed) {
+  ChurnOptions o = SmallChurn();
+  o.leave_fraction = 0.3;
+  o.rejoin_fraction = 0.5;
+  auto a = RunChurnExperiment(o).value();
+  auto b = RunChurnExperiment(o).value();
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].received_answers, b.rounds[i].received_answers);
+    EXPECT_EQ(a.rounds[i].completion, b.rounds[i].completion);
+  }
+}
+
+TEST(ChurnTest, RejectsDegenerateOptions) {
+  ChurnOptions o;
+  o.node_count = 1;
+  EXPECT_FALSE(RunChurnExperiment(o).ok());
+}
+
+}  // namespace
+}  // namespace bestpeer::workload
