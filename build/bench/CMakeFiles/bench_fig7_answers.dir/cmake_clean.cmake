@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_answers.dir/bench_fig7_answers.cc.o"
+  "CMakeFiles/bench_fig7_answers.dir/bench_fig7_answers.cc.o.d"
+  "bench_fig7_answers"
+  "bench_fig7_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

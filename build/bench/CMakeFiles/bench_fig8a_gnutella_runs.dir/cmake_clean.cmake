@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_gnutella_runs.dir/bench_fig8a_gnutella_runs.cc.o"
+  "CMakeFiles/bench_fig8a_gnutella_runs.dir/bench_fig8a_gnutella_runs.cc.o.d"
+  "bench_fig8a_gnutella_runs"
+  "bench_fig8a_gnutella_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_gnutella_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

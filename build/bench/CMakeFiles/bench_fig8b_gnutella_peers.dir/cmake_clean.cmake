@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_gnutella_peers.dir/bench_fig8b_gnutella_peers.cc.o"
+  "CMakeFiles/bench_fig8b_gnutella_peers.dir/bench_fig8b_gnutella_peers.cc.o.d"
+  "bench_fig8b_gnutella_peers"
+  "bench_fig8b_gnutella_peers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_gnutella_peers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_agent.dir/bench_micro_agent.cc.o"
+  "CMakeFiles/bench_micro_agent.dir/bench_micro_agent.cc.o.d"
+  "bench_micro_agent"
+  "bench_micro_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_storm.dir/bench_micro_storm.cc.o"
+  "CMakeFiles/bench_micro_storm.dir/bench_micro_storm.cc.o.d"
+  "bench_micro_storm"
+  "bench_micro_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

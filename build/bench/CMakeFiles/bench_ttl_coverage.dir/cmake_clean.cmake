@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ttl_coverage.dir/bench_ttl_coverage.cc.o"
+  "CMakeFiles/bench_ttl_coverage.dir/bench_ttl_coverage.cc.o.d"
+  "bench_ttl_coverage"
+  "bench_ttl_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ttl_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

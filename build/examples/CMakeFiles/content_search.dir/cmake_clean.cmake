@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_search.dir/content_search.cpp.o"
+  "CMakeFiles/content_search.dir/content_search.cpp.o.d"
+  "content_search"
+  "content_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

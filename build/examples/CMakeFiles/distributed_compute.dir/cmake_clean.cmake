@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_compute.dir/distributed_compute.cpp.o"
+  "CMakeFiles/distributed_compute.dir/distributed_compute.cpp.o.d"
+  "distributed_compute"
+  "distributed_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

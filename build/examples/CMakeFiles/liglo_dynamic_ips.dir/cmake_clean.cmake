@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liglo_dynamic_ips.dir/liglo_dynamic_ips.cpp.o"
+  "CMakeFiles/liglo_dynamic_ips.dir/liglo_dynamic_ips.cpp.o.d"
+  "liglo_dynamic_ips"
+  "liglo_dynamic_ips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liglo_dynamic_ips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_monitoring.dir/peer_monitoring.cpp.o"
+  "CMakeFiles/peer_monitoring.dir/peer_monitoring.cpp.o.d"
+  "peer_monitoring"
+  "peer_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

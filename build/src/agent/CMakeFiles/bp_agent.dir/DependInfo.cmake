@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent_message.cc" "src/agent/CMakeFiles/bp_agent.dir/agent_message.cc.o" "gcc" "src/agent/CMakeFiles/bp_agent.dir/agent_message.cc.o.d"
+  "/root/repo/src/agent/agent_registry.cc" "src/agent/CMakeFiles/bp_agent.dir/agent_registry.cc.o" "gcc" "src/agent/CMakeFiles/bp_agent.dir/agent_registry.cc.o.d"
+  "/root/repo/src/agent/agent_runtime.cc" "src/agent/CMakeFiles/bp_agent.dir/agent_runtime.cc.o" "gcc" "src/agent/CMakeFiles/bp_agent.dir/agent_runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/bp_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_agent.dir/agent_message.cc.o"
+  "CMakeFiles/bp_agent.dir/agent_message.cc.o.d"
+  "CMakeFiles/bp_agent.dir/agent_registry.cc.o"
+  "CMakeFiles/bp_agent.dir/agent_registry.cc.o.d"
+  "CMakeFiles/bp_agent.dir/agent_runtime.cc.o"
+  "CMakeFiles/bp_agent.dir/agent_runtime.cc.o.d"
+  "libbp_agent.a"
+  "libbp_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_baseline.dir/cs_node.cc.o"
+  "CMakeFiles/bp_baseline.dir/cs_node.cc.o.d"
+  "CMakeFiles/bp_baseline.dir/gnutella.cc.o"
+  "CMakeFiles/bp_baseline.dir/gnutella.cc.o.d"
+  "libbp_baseline.a"
+  "libbp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

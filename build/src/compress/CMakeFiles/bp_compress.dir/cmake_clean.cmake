@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_compress.dir/codec.cc.o"
+  "CMakeFiles/bp_compress.dir/codec.cc.o.d"
+  "CMakeFiles/bp_compress.dir/lzss_codec.cc.o"
+  "CMakeFiles/bp_compress.dir/lzss_codec.cc.o.d"
+  "libbp_compress.a"
+  "libbp_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

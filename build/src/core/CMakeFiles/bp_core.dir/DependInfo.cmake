@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active_object.cc" "src/core/CMakeFiles/bp_core.dir/active_object.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/active_object.cc.o.d"
+  "/root/repo/src/core/compute.cc" "src/core/CMakeFiles/bp_core.dir/compute.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/compute.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/core/CMakeFiles/bp_core.dir/messages.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/messages.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/bp_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/node.cc.o.d"
+  "/root/repo/src/core/peer_list.cc" "src/core/CMakeFiles/bp_core.dir/peer_list.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/peer_list.cc.o.d"
+  "/root/repo/src/core/reconfig_strategy.cc" "src/core/CMakeFiles/bp_core.dir/reconfig_strategy.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/reconfig_strategy.cc.o.d"
+  "/root/repo/src/core/search_agent.cc" "src/core/CMakeFiles/bp_core.dir/search_agent.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/search_agent.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/bp_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/session.cc.o.d"
+  "/root/repo/src/core/shipping.cc" "src/core/CMakeFiles/bp_core.dir/shipping.cc.o" "gcc" "src/core/CMakeFiles/bp_core.dir/shipping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/bp_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/bp_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/liglo/CMakeFiles/bp_liglo.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bp_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

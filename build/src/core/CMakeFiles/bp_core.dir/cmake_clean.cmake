@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_core.dir/active_object.cc.o"
+  "CMakeFiles/bp_core.dir/active_object.cc.o.d"
+  "CMakeFiles/bp_core.dir/compute.cc.o"
+  "CMakeFiles/bp_core.dir/compute.cc.o.d"
+  "CMakeFiles/bp_core.dir/messages.cc.o"
+  "CMakeFiles/bp_core.dir/messages.cc.o.d"
+  "CMakeFiles/bp_core.dir/node.cc.o"
+  "CMakeFiles/bp_core.dir/node.cc.o.d"
+  "CMakeFiles/bp_core.dir/peer_list.cc.o"
+  "CMakeFiles/bp_core.dir/peer_list.cc.o.d"
+  "CMakeFiles/bp_core.dir/reconfig_strategy.cc.o"
+  "CMakeFiles/bp_core.dir/reconfig_strategy.cc.o.d"
+  "CMakeFiles/bp_core.dir/search_agent.cc.o"
+  "CMakeFiles/bp_core.dir/search_agent.cc.o.d"
+  "CMakeFiles/bp_core.dir/session.cc.o"
+  "CMakeFiles/bp_core.dir/session.cc.o.d"
+  "CMakeFiles/bp_core.dir/shipping.cc.o"
+  "CMakeFiles/bp_core.dir/shipping.cc.o.d"
+  "libbp_core.a"
+  "libbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liglo/bpid.cc" "src/liglo/CMakeFiles/bp_liglo.dir/bpid.cc.o" "gcc" "src/liglo/CMakeFiles/bp_liglo.dir/bpid.cc.o.d"
+  "/root/repo/src/liglo/ip_directory.cc" "src/liglo/CMakeFiles/bp_liglo.dir/ip_directory.cc.o" "gcc" "src/liglo/CMakeFiles/bp_liglo.dir/ip_directory.cc.o.d"
+  "/root/repo/src/liglo/liglo_client.cc" "src/liglo/CMakeFiles/bp_liglo.dir/liglo_client.cc.o" "gcc" "src/liglo/CMakeFiles/bp_liglo.dir/liglo_client.cc.o.d"
+  "/root/repo/src/liglo/liglo_protocol.cc" "src/liglo/CMakeFiles/bp_liglo.dir/liglo_protocol.cc.o" "gcc" "src/liglo/CMakeFiles/bp_liglo.dir/liglo_protocol.cc.o.d"
+  "/root/repo/src/liglo/liglo_server.cc" "src/liglo/CMakeFiles/bp_liglo.dir/liglo_server.cc.o" "gcc" "src/liglo/CMakeFiles/bp_liglo.dir/liglo_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

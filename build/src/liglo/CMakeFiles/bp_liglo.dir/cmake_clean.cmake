@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_liglo.dir/bpid.cc.o"
+  "CMakeFiles/bp_liglo.dir/bpid.cc.o.d"
+  "CMakeFiles/bp_liglo.dir/ip_directory.cc.o"
+  "CMakeFiles/bp_liglo.dir/ip_directory.cc.o.d"
+  "CMakeFiles/bp_liglo.dir/liglo_client.cc.o"
+  "CMakeFiles/bp_liglo.dir/liglo_client.cc.o.d"
+  "CMakeFiles/bp_liglo.dir/liglo_protocol.cc.o"
+  "CMakeFiles/bp_liglo.dir/liglo_protocol.cc.o.d"
+  "CMakeFiles/bp_liglo.dir/liglo_server.cc.o"
+  "CMakeFiles/bp_liglo.dir/liglo_server.cc.o.d"
+  "libbp_liglo.a"
+  "libbp_liglo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_liglo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

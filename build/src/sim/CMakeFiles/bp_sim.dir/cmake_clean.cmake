@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_sim.dir/cpu.cc.o"
+  "CMakeFiles/bp_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/bp_sim.dir/dispatcher.cc.o"
+  "CMakeFiles/bp_sim.dir/dispatcher.cc.o.d"
+  "CMakeFiles/bp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/bp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/bp_sim.dir/network.cc.o"
+  "CMakeFiles/bp_sim.dir/network.cc.o.d"
+  "CMakeFiles/bp_sim.dir/simulator.cc.o"
+  "CMakeFiles/bp_sim.dir/simulator.cc.o.d"
+  "libbp_sim.a"
+  "libbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

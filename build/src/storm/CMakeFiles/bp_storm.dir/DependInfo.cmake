@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storm/buffer_pool.cc" "src/storm/CMakeFiles/bp_storm.dir/buffer_pool.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storm/keyword_index.cc" "src/storm/CMakeFiles/bp_storm.dir/keyword_index.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/keyword_index.cc.o.d"
+  "/root/repo/src/storm/object_store.cc" "src/storm/CMakeFiles/bp_storm.dir/object_store.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/object_store.cc.o.d"
+  "/root/repo/src/storm/page.cc" "src/storm/CMakeFiles/bp_storm.dir/page.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/page.cc.o.d"
+  "/root/repo/src/storm/pager.cc" "src/storm/CMakeFiles/bp_storm.dir/pager.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/pager.cc.o.d"
+  "/root/repo/src/storm/query_expr.cc" "src/storm/CMakeFiles/bp_storm.dir/query_expr.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/query_expr.cc.o.d"
+  "/root/repo/src/storm/replacement.cc" "src/storm/CMakeFiles/bp_storm.dir/replacement.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/replacement.cc.o.d"
+  "/root/repo/src/storm/storm.cc" "src/storm/CMakeFiles/bp_storm.dir/storm.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/storm.cc.o.d"
+  "/root/repo/src/storm/wal.cc" "src/storm/CMakeFiles/bp_storm.dir/wal.cc.o" "gcc" "src/storm/CMakeFiles/bp_storm.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_storm.dir/buffer_pool.cc.o"
+  "CMakeFiles/bp_storm.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/bp_storm.dir/keyword_index.cc.o"
+  "CMakeFiles/bp_storm.dir/keyword_index.cc.o.d"
+  "CMakeFiles/bp_storm.dir/object_store.cc.o"
+  "CMakeFiles/bp_storm.dir/object_store.cc.o.d"
+  "CMakeFiles/bp_storm.dir/page.cc.o"
+  "CMakeFiles/bp_storm.dir/page.cc.o.d"
+  "CMakeFiles/bp_storm.dir/pager.cc.o"
+  "CMakeFiles/bp_storm.dir/pager.cc.o.d"
+  "CMakeFiles/bp_storm.dir/query_expr.cc.o"
+  "CMakeFiles/bp_storm.dir/query_expr.cc.o.d"
+  "CMakeFiles/bp_storm.dir/replacement.cc.o"
+  "CMakeFiles/bp_storm.dir/replacement.cc.o.d"
+  "CMakeFiles/bp_storm.dir/storm.cc.o"
+  "CMakeFiles/bp_storm.dir/storm.cc.o.d"
+  "CMakeFiles/bp_storm.dir/wal.cc.o"
+  "CMakeFiles/bp_storm.dir/wal.cc.o.d"
+  "libbp_storm.a"
+  "libbp_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

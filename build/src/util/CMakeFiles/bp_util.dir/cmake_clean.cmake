@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_util.dir/bytes.cc.o"
+  "CMakeFiles/bp_util.dir/bytes.cc.o.d"
+  "CMakeFiles/bp_util.dir/hash.cc.o"
+  "CMakeFiles/bp_util.dir/hash.cc.o.d"
+  "CMakeFiles/bp_util.dir/logging.cc.o"
+  "CMakeFiles/bp_util.dir/logging.cc.o.d"
+  "CMakeFiles/bp_util.dir/rng.cc.o"
+  "CMakeFiles/bp_util.dir/rng.cc.o.d"
+  "CMakeFiles/bp_util.dir/sim_time.cc.o"
+  "CMakeFiles/bp_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/bp_util.dir/stats.cc.o"
+  "CMakeFiles/bp_util.dir/stats.cc.o.d"
+  "CMakeFiles/bp_util.dir/status.cc.o"
+  "CMakeFiles/bp_util.dir/status.cc.o.d"
+  "CMakeFiles/bp_util.dir/strings.cc.o"
+  "CMakeFiles/bp_util.dir/strings.cc.o.d"
+  "libbp_util.a"
+  "libbp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_workload.dir/churn.cc.o"
+  "CMakeFiles/bp_workload.dir/churn.cc.o.d"
+  "CMakeFiles/bp_workload.dir/corpus.cc.o"
+  "CMakeFiles/bp_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/bp_workload.dir/experiment.cc.o"
+  "CMakeFiles/bp_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/bp_workload.dir/topology.cc.o"
+  "CMakeFiles/bp_workload.dir/topology.cc.o.d"
+  "libbp_workload.a"
+  "libbp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_cs_test.dir/baseline_cs_test.cc.o"
+  "CMakeFiles/baseline_cs_test.dir/baseline_cs_test.cc.o.d"
+  "baseline_cs_test"
+  "baseline_cs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_cs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

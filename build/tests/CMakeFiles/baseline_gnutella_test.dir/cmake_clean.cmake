@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_gnutella_test.dir/baseline_gnutella_test.cc.o"
+  "CMakeFiles/baseline_gnutella_test.dir/baseline_gnutella_test.cc.o.d"
+  "baseline_gnutella_test"
+  "baseline_gnutella_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_gnutella_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

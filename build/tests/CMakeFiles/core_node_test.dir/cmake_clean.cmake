@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_node_test.dir/core_node_test.cc.o"
+  "CMakeFiles/core_node_test.dir/core_node_test.cc.o.d"
+  "core_node_test"
+  "core_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

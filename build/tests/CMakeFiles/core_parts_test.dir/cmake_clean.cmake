@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_parts_test.dir/core_parts_test.cc.o"
+  "CMakeFiles/core_parts_test.dir/core_parts_test.cc.o.d"
+  "core_parts_test"
+  "core_parts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_parts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_shipping_test.dir/core_shipping_test.cc.o"
+  "CMakeFiles/core_shipping_test.dir/core_shipping_test.cc.o.d"
+  "core_shipping_test"
+  "core_shipping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_shipping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

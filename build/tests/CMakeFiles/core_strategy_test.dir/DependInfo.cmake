@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_strategy_test.cc" "tests/CMakeFiles/core_strategy_test.dir/core_strategy_test.cc.o" "gcc" "tests/CMakeFiles/core_strategy_test.dir/core_strategy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/bp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/liglo/CMakeFiles/bp_liglo.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/bp_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/storm/CMakeFiles/bp_storm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/bp_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liglo_protocol_test.dir/liglo_protocol_test.cc.o"
+  "CMakeFiles/liglo_protocol_test.dir/liglo_protocol_test.cc.o.d"
+  "liglo_protocol_test"
+  "liglo_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liglo_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liglo_test.dir/liglo_test.cc.o"
+  "CMakeFiles/liglo_test.dir/liglo_test.cc.o.d"
+  "liglo_test"
+  "liglo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liglo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

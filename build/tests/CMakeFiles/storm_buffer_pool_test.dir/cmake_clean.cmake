@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_buffer_pool_test.dir/storm_buffer_pool_test.cc.o"
+  "CMakeFiles/storm_buffer_pool_test.dir/storm_buffer_pool_test.cc.o.d"
+  "storm_buffer_pool_test"
+  "storm_buffer_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_buffer_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

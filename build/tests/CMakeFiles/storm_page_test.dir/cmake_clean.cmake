@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_page_test.dir/storm_page_test.cc.o"
+  "CMakeFiles/storm_page_test.dir/storm_page_test.cc.o.d"
+  "storm_page_test"
+  "storm_page_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_page_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_query_test.dir/storm_query_test.cc.o"
+  "CMakeFiles/storm_query_test.dir/storm_query_test.cc.o.d"
+  "storm_query_test"
+  "storm_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

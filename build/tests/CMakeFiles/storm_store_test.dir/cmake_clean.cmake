@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_store_test.dir/storm_store_test.cc.o"
+  "CMakeFiles/storm_store_test.dir/storm_store_test.cc.o.d"
+  "storm_store_test"
+  "storm_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storm_wal_test.dir/storm_wal_test.cc.o"
+  "CMakeFiles/storm_wal_test.dir/storm_wal_test.cc.o.d"
+  "storm_wal_test"
+  "storm_wal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storm_wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

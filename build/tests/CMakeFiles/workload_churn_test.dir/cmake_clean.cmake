@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_churn_test.dir/workload_churn_test.cc.o"
+  "CMakeFiles/workload_churn_test.dir/workload_churn_test.cc.o.d"
+  "workload_churn_test"
+  "workload_churn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
