@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "workload/experiment.h"
@@ -81,6 +82,114 @@ inline workload::ExperimentResult MustRun(
   }
   return std::move(result).value();
 }
+
+/// Collects one bench binary's result table plus the merged instrument
+/// snapshot of every experiment it ran, and writes them as
+/// BENCH_<figure>.json (into $BP_BENCH_OUT_DIR when set, else the
+/// working directory). The JSON carries the headline observability
+/// numbers — wire bytes, agent hops, buffer-pool hit rate, serialize /
+/// reconstruct cost — alongside the full metric dump.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string figure) : figure_(std::move(figure)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { Write(); }
+
+  void SetColumns(std::vector<std::string> columns) {
+    columns_ = std::move(columns);
+  }
+
+  void AddRow(std::string label, const std::vector<double>& values) {
+    rows_.emplace_back(std::move(label), values);
+  }
+
+  /// Folds one experiment into the report's aggregate snapshot.
+  void Absorb(const workload::ExperimentResult& result) {
+    wire_bytes_ += result.wire_bytes;
+    metrics_.Merge(result.metrics);
+  }
+
+  /// MustRun + Absorb in one step.
+  workload::ExperimentResult Run(const workload::ExperimentOptions& options) {
+    workload::ExperimentResult result = MustRun(options);
+    Absorb(result);
+    return result;
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    std::string path = "BENCH_" + figure_ + ".json";
+    if (const char* dir = std::getenv("BP_BENCH_OUT_DIR")) {
+      path = std::string(dir) + "/" + path;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"figure\": \"%s\",\n", figure_.c_str());
+    std::fprintf(f, "  \"columns\": [");
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                   JsonEscape(columns_[i]).c_str());
+    }
+    std::fprintf(f, "],\n  \"rows\": [\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {\"label\": \"%s\", \"values\": [",
+                   JsonEscape(rows_[r].first).c_str());
+      const auto& values = rows_[r].second;
+      for (size_t i = 0; i < values.size(); ++i) {
+        std::fprintf(f, "%s%.6g", i == 0 ? "" : ", ", values[i]);
+      }
+      std::fprintf(f, "]}%s\n", r + 1 < rows_.size() ? "," : "");
+    }
+    const double hits = metrics_.Value("storm.pool_hits");
+    const double misses = metrics_.Value("storm.pool_misses");
+    const double lookups = hits + misses;
+    const uint64_t hop_samples = metrics_.CountOf("agent.hops_at_execute");
+    std::fprintf(f, "  ],\n  \"summary\": {\n");
+    std::fprintf(f, "    \"wire_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(wire_bytes_));
+    std::fprintf(f, "    \"net_messages\": %.0f,\n",
+                 metrics_.Value("net.messages_sent"));
+    std::fprintf(f, "    \"agent_migrations\": %.0f,\n",
+                 metrics_.Value("agent.migrations"));
+    std::fprintf(f, "    \"agent_hops_mean\": %.6g,\n",
+                 hop_samples == 0
+                     ? 0.0
+                     : metrics_.Value("agent.hops_at_execute") /
+                           static_cast<double>(hop_samples));
+    std::fprintf(f, "    \"agent_serialize_bytes\": %.0f,\n",
+                 metrics_.Value("agent.serialize_bytes"));
+    std::fprintf(f, "    \"agent_reconstruct_us\": %.0f,\n",
+                 metrics_.Value("agent.reconstruct_us"));
+    std::fprintf(f, "    \"buffer_pool_hit_rate\": %.6g\n",
+                 lookups == 0 ? 0.0 : hits / lookups);
+    std::fprintf(f, "  },\n  \"metrics\": %s\n}\n",
+                 metrics_.ToJson(2).c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string figure_;
+  std::vector<std::string> columns_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+  metrics::Snapshot metrics_;
+  uint64_t wire_bytes_ = 0;
+  bool written_ = false;
+};
 
 inline void PrintTitle(const std::string& title) {
   std::printf("\n## %s\n\n", title.c_str());

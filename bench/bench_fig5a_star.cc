@@ -18,8 +18,10 @@ int main() {
   const std::vector<size_t> sizes = {2, 4, 8, 16, 24, 32};
   const std::vector<Scheme> schemes = {Scheme::kScs, Scheme::kMcs,
                                        Scheme::kBps, Scheme::kBpr};
+  BenchReport report("fig5a_star");
   std::vector<std::string> header = {"nodes"};
   for (auto s : schemes) header.push_back(SchemeName(s));
+  report.SetColumns(header);
   PrintRowHeader(header);
   for (size_t n : sizes) {
     std::vector<double> row;
@@ -28,10 +30,11 @@ int main() {
       // On a star every node is directly connected to the base; the
       // base's peer capacity covers the whole network (paper Fig. 4(a)).
       options.max_direct_peers = n;
-      auto result = MustRun(options);
+      auto result = report.Run(options);
       row.push_back(result.MeanCompletionMs());
     }
     PrintRow(std::to_string(n), row);
+    report.AddRow(std::to_string(n), row);
   }
   std::printf(
       "\nExpected shape: SCS grows linearly and is worst; MCS <= BPS ~= "

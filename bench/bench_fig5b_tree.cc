@@ -17,20 +17,24 @@ int main() {
       "(fanout 2; level 5 truncated to 48 nodes)");
   const std::vector<Scheme> schemes = {Scheme::kMcs, Scheme::kBps,
                                        Scheme::kBpr};
+  BenchReport report("fig5b_tree");
   std::vector<std::string> header = {"levels(nodes)"};
   for (auto s : schemes)
     header.push_back(s == Scheme::kMcs ? "CS" : SchemeName(s));
+  report.SetColumns(header);
   PrintRowHeader(header);
   for (size_t levels = 1; levels <= 5; ++levels) {
     size_t nodes = TreeNodeCount(levels, 2);
     if (levels == 5) nodes = 48;  // The paper used 48 nodes at level 5.
     std::vector<double> row;
     for (Scheme scheme : schemes) {
-      auto result = MustRun(SearchPhaseOptions(MakeTree(nodes, 2), scheme));
+      auto result = report.Run(SearchPhaseOptions(MakeTree(nodes, 2), scheme));
       row.push_back(result.MeanCompletionMs());
     }
-    PrintRow(std::to_string(levels) + " (" + std::to_string(nodes) + ")",
-             row);
+    std::string label =
+        std::to_string(levels) + " (" + std::to_string(nodes) + ")";
+    PrintRow(label, row);
+    report.AddRow(label, row);
   }
   std::printf(
       "\nExpected shape: CS best at level 1, degrades with depth; BPR < "

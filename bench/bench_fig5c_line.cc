@@ -17,17 +17,20 @@ int main() {
   const std::vector<size_t> sizes = {2, 4, 8, 16, 24, 32};
   const std::vector<Scheme> schemes = {Scheme::kMcs, Scheme::kBps,
                                        Scheme::kBpr};
+  BenchReport report("fig5c_line");
   std::vector<std::string> header = {"nodes"};
   for (auto s : schemes)
     header.push_back(s == Scheme::kMcs ? "CS" : SchemeName(s));
+  report.SetColumns(header);
   PrintRowHeader(header);
   for (size_t n : sizes) {
     std::vector<double> row;
     for (Scheme scheme : schemes) {
-      auto result = MustRun(SearchPhaseOptions(MakeLine(n), scheme));
+      auto result = report.Run(SearchPhaseOptions(MakeLine(n), scheme));
       row.push_back(result.MeanCompletionMs());
     }
     PrintRow(std::to_string(n), row);
+    report.AddRow(std::to_string(n), row);
   }
   std::printf(
       "\nExpected shape: BPR best overall; CS loses to BP once the line "

@@ -51,15 +51,20 @@ int main() {
       "after T ms (32 nodes, tree, query issued 4 times)");
   Topology tree = MakeTree(32, 2);
 
+  BenchReport report("fig6_response_rate");
   std::map<std::string, std::vector<double>> curves;
-  curves["CS"] = ResponseCurveMs(MustRun(SearchPhaseOptions(tree, Scheme::kMcs)));
-  curves["BPS"] = ResponseCurveMs(MustRun(SearchPhaseOptions(tree, Scheme::kBps)));
-  curves["BPR"] = ResponseCurveMs(MustRun(SearchPhaseOptions(tree, Scheme::kBpr)));
+  curves["CS"] =
+      ResponseCurveMs(report.Run(SearchPhaseOptions(tree, Scheme::kMcs)));
+  curves["BPS"] =
+      ResponseCurveMs(report.Run(SearchPhaseOptions(tree, Scheme::kBps)));
+  curves["BPR"] =
+      ResponseCurveMs(report.Run(SearchPhaseOptions(tree, Scheme::kBpr)));
 
   size_t max_k = 0;
   for (const auto& [name, curve] : curves) {
     max_k = std::max(max_k, curve.size());
   }
+  report.SetColumns({"K nodes", "CS (ms)", "BPS (ms)", "BPR (ms)"});
   PrintRowHeader({"K nodes", "CS (ms)", "BPS (ms)", "BPR (ms)"});
   for (size_t k = 0; k < max_k; ++k) {
     std::vector<double> row;
@@ -68,6 +73,7 @@ int main() {
       row.push_back(k < curve.size() ? curve[k] : 0.0);
     }
     PrintRow(std::to_string(k + 1), row);
+    report.AddRow(std::to_string(k + 1), row);
   }
   std::printf(
       "\nExpected shape: CS reaches the first few nodes sooner, but BPR/"

@@ -64,11 +64,14 @@ int main() {
       "query issued 4 times)");
   Topology tree = MakeTree(32, 2);
 
-  auto cs = AnswersCurve(MustRun(SearchPhaseOptions(tree, Scheme::kMcs)));
-  auto bps = AnswersCurve(MustRun(SearchPhaseOptions(tree, Scheme::kBps)));
-  auto bpr = AnswersCurve(MustRun(SearchPhaseOptions(tree, Scheme::kBpr)));
+  BenchReport report("fig7_answers");
+  auto cs = AnswersCurve(report.Run(SearchPhaseOptions(tree, Scheme::kMcs)));
+  auto bps = AnswersCurve(report.Run(SearchPhaseOptions(tree, Scheme::kBps)));
+  auto bpr = AnswersCurve(report.Run(SearchPhaseOptions(tree, Scheme::kBpr)));
 
   size_t max_n = std::max({cs.size(), bps.size(), bpr.size()});
+  report.SetColumns({"event#", "CS t(ms)", "CS answers", "BPS t(ms)",
+                     "BPS answers", "BPR t(ms)", "BPR answers"});
   PrintRowHeader({"event#", "CS t(ms)", "CS answers", "BPS t(ms)",
                   "BPS answers", "BPR t(ms)", "BPR answers"});
   for (size_t i = 0; i < max_n; ++i) {
@@ -83,6 +86,7 @@ int main() {
       }
     }
     PrintRow(std::to_string(i + 1), row);
+    report.AddRow(std::to_string(i + 1), row);
   }
   std::printf(
       "\nExpected shape: CS leads for the first answers; BPS/BPR finish "

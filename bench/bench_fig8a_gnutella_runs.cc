@@ -22,20 +22,24 @@ int main() {
   Topology random = MakeRandom(32, 8, rng);
   auto placement = FarHotPlacement(random, 3, 10);
 
+  BenchReport report("fig8a_gnutella_runs");
   ExperimentOptions bp = PaperOptions(random, Scheme::kBpr);
   bp.matches_per_node_vec = placement;
   bp.answer_mode = core::AnswerMode::kIndicate;  // Names only, like Gnutella.
   bp.auto_fetch = false;
-  auto bp_result = MustRun(bp);
+  auto bp_result = report.Run(bp);
 
   ExperimentOptions gnut = PaperOptions(random, Scheme::kGnutella);
   gnut.matches_per_node_vec = placement;
-  auto gnut_result = MustRun(gnut);
+  auto gnut_result = report.Run(gnut);
 
+  report.SetColumns({"run", "BP (ms)", "Gnutella (ms)"});
   PrintRowHeader({"run", "BP (ms)", "Gnutella (ms)"});
   for (size_t run = 0; run < bp_result.queries.size(); ++run) {
     PrintRow(std::to_string(run + 1),
              {bp_result.CompletionMs(run), gnut_result.CompletionMs(run)});
+    report.AddRow(std::to_string(run + 1),
+                  {bp_result.CompletionMs(run), gnut_result.CompletionMs(run)});
   }
   std::printf(
       "\nExpected shape: BP run 1 is its slowest, later runs much "

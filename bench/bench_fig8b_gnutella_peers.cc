@@ -16,6 +16,8 @@ int main() {
   PrintTitle(
       "Figure 8(b): BestPeer vs Gnutella — mean completion time (ms) vs "
       "number of direct peers (32 nodes, answers at 3 far nodes)");
+  BenchReport report("fig8b_gnutella_peers");
+  report.SetColumns({"peers", "BP (ms)", "Gnutella (ms)"});
   PrintRowHeader({"peers", "BP (ms)", "Gnutella (ms)"});
   for (size_t peers = 2; peers <= 8; ++peers) {
     Rng rng(1000 + peers);
@@ -27,14 +29,16 @@ int main() {
     bp.matches_per_node_vec = placement;
     bp.answer_mode = core::AnswerMode::kIndicate;
     bp.auto_fetch = false;
-    auto bp_result = MustRun(bp);
+    auto bp_result = report.Run(bp);
 
     ExperimentOptions gnut = PaperOptions(random, Scheme::kGnutella);
     gnut.matches_per_node_vec = placement;
-    auto gnut_result = MustRun(gnut);
+    auto gnut_result = report.Run(gnut);
 
     PrintRow(std::to_string(peers),
              {bp_result.MeanCompletionMs(), gnut_result.MeanCompletionMs()});
+    report.AddRow(std::to_string(peers), {bp_result.MeanCompletionMs(),
+                                          gnut_result.MeanCompletionMs()});
   }
   std::printf(
       "\nExpected shape: both improve with more peers; BP stays below "

@@ -18,35 +18,58 @@ AgentRuntime::AgentRuntime(sim::SimNetwork* network, sim::NodeId node,
       neighbors_(std::move(neighbors)),
       options_(std::move(options)) {
   // The launching node always has its own classes "loaded".
+  network_->RegisterTypeName(kAgentTransferType, "agent.migrate");
+  if (options_.metrics != nullptr) {
+    metrics::Registry* reg = options_.metrics;
+    received_c_ = reg->GetCounter("agent.received");
+    duplicates_c_ = reg->GetCounter("agent.duplicates_dropped");
+    executed_c_ = reg->GetCounter("agent.executed");
+    migrations_c_ = reg->GetCounter("agent.migrations");
+    ttl_deaths_c_ = reg->GetCounter("agent.ttl_deaths");
+    class_loads_c_ = reg->GetCounter("agent.class_loads");
+    serialize_bytes_c_ = reg->GetCounter("agent.serialize_bytes");
+    reconstruct_us_c_ = reg->GetCounter("agent.reconstruct_us");
+    hops_at_execute_ = reg->GetHistogram("agent.hops_at_execute");
+  }
 }
 
 Status AgentRuntime::SendAgentTo(sim::NodeId dst, const AgentMessage& msg) {
   Bytes encoded = msg.Encode();
+  serialize_bytes_c_->Add(encoded.size());
   BP_ASSIGN_OR_RETURN(Bytes compressed, options_.codec->Compress(encoded));
   size_t extra = 0;
   if (!code_cache_->Has(dst, msg.class_name)) {
     BP_ASSIGN_OR_RETURN(extra, registry_->CodeSize(msg.class_name));
   }
   network_->Send(node_, dst, kAgentTransferType, std::move(compressed),
-                 extra);
+                 extra, /*flow=*/msg.agent_id);
   ++clones_sent_;
+  migrations_c_->Increment();
   return Status::OK();
 }
 
 void AgentRuntime::Forward(const AgentMessage& msg, sim::NodeId skip) {
-  if (msg.ttl == 0) return;
+  if (msg.ttl == 0) {
+    // The agent dies here: its TTL ran out before the overlay was
+    // exhausted (the coverage loss Fig. 8 quantifies).
+    ttl_deaths_c_->Increment();
+    return;
+  }
   AgentMessage clone = msg;
   clone.ttl = static_cast<uint16_t>(msg.ttl - 1);
   clone.hops = static_cast<uint16_t>(msg.hops + 1);
   for (sim::NodeId n : neighbors_()) {
     if (n == skip || n == node_ || n == msg.origin) continue;
     // Per-clone handling cost, then the clone hits the wire.
-    network_->Cpu(node_).Submit(options_.forward_cost, [this, n, clone]() {
-      Status s = SendAgentTo(n, clone);
-      if (!s.ok()) {
-        BP_LOG(Warn) << "forward to " << n << " failed: " << s.ToString();
-      }
-    });
+    network_->Cpu(node_).Submit(
+        options_.forward_cost,
+        [this, n, clone]() {
+          Status s = SendAgentTo(n, clone);
+          if (!s.ok()) {
+            BP_LOG(Warn) << "forward to " << n << " failed: " << s.ToString();
+          }
+        },
+        "agent.forward", msg.agent_id);
   }
 }
 
@@ -59,26 +82,33 @@ Status AgentRuntime::ExecuteIncoming(const AgentMessage& msg) {
   if (!code_cache_->Has(node_, msg.class_name)) {
     setup += options_.class_load_cost;
     code_cache_->Load(node_, msg.class_name);
+    class_loads_c_->Increment();
   }
+  reconstruct_us_c_->Add(static_cast<uint64_t>(setup));
 
   AgentContext ctx(host_, node_, msg.origin, msg.hops, msg.ttl);
   BP_RETURN_IF_ERROR(agent->Execute(ctx));
   ++agents_executed_;
+  executed_c_->Increment();
+  hops_at_execute_->Observe(static_cast<double>(msg.hops));
 
   SimTime total = setup + ctx.cpu_cost();
   auto sends = std::move(ctx.mutable_sends());
   auto codec = options_.codec;
   sim::SimNetwork* network = network_;
   sim::NodeId self = node_;
-  network_->Cpu(node_).Submit(total, [network, codec, self,
-                                      sends = std::move(sends)]() {
-    for (const auto& send : sends) {
-      auto compressed = codec->Compress(send.payload);
-      if (!compressed.ok()) continue;
-      network->Send(self, send.dst, send.type,
-                    std::move(compressed).value());
-    }
-  });
+  uint64_t flow = msg.agent_id;
+  network_->Cpu(node_).Submit(
+      total,
+      [network, codec, self, flow, sends = std::move(sends)]() {
+        for (const auto& send : sends) {
+          auto compressed = codec->Compress(send.payload);
+          if (!compressed.ok()) continue;
+          network->Send(self, send.dst, send.type,
+                        std::move(compressed).value(), 0, flow);
+        }
+      },
+      "agent.execute", flow);
   return Status::OK();
 }
 
@@ -145,19 +175,23 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
     AgentContext ctx(host_, node_, node_, 0, ttl);
     BP_RETURN_IF_ERROR(agent.Execute(ctx));
     ++agents_executed_;
+    executed_c_->Increment();
+    hops_at_execute_->Observe(0);
     auto sends = std::move(ctx.mutable_sends());
     auto codec = options_.codec;
     sim::SimNetwork* network = network_;
     sim::NodeId self = node_;
     network_->Cpu(node_).Submit(
-        ctx.cpu_cost(), [network, codec, self, sends = std::move(sends)]() {
+        ctx.cpu_cost(),
+        [network, codec, self, agent_id, sends = std::move(sends)]() {
           for (const auto& send : sends) {
             auto compressed = codec->Compress(send.payload);
             if (!compressed.ok()) continue;
             network->Send(self, send.dst, send.type,
-                          std::move(compressed).value());
+                          std::move(compressed).value(), 0, agent_id);
           }
-        });
+        },
+        "agent.execute", agent_id);
   }
   return Status::OK();
 }
@@ -169,9 +203,11 @@ Status AgentRuntime::OnMessage(const sim::SimMessage& msg) {
   BP_ASSIGN_OR_RETURN(Bytes decoded, options_.codec->Decompress(msg.payload));
   BP_ASSIGN_OR_RETURN(AgentMessage agent_msg, AgentMessage::Decode(decoded));
   ++agents_received_;
+  received_c_->Increment();
 
   if (!seen_.insert(agent_msg.agent_id).second) {
     ++duplicates_dropped_;
+    duplicates_c_->Increment();
     return Status::OK();
   }
   Forward(agent_msg, msg.src);

@@ -29,6 +29,9 @@ struct AgentRuntimeOptions {
   SimTime forward_cost = Micros(300);
   /// Transport codec applied to agent messages (the paper's GZIP layer).
   std::shared_ptr<const Codec> codec = std::make_shared<NullCodec>();
+  /// Metrics sink (not owned; must outlive the runtime). nullptr routes
+  /// increments to no-op handles.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Per-node mobile-agent engine (the "environment in which (mobile) agents
@@ -105,6 +108,16 @@ class AgentRuntime {
   uint64_t duplicates_dropped_ = 0;
   uint64_t agents_executed_ = 0;
   uint64_t clones_sent_ = 0;
+
+  metrics::Counter* received_c_ = metrics::Counter::Noop();
+  metrics::Counter* duplicates_c_ = metrics::Counter::Noop();
+  metrics::Counter* executed_c_ = metrics::Counter::Noop();
+  metrics::Counter* migrations_c_ = metrics::Counter::Noop();
+  metrics::Counter* ttl_deaths_c_ = metrics::Counter::Noop();
+  metrics::Counter* class_loads_c_ = metrics::Counter::Noop();
+  metrics::Counter* serialize_bytes_c_ = metrics::Counter::Noop();
+  metrics::Counter* reconstruct_us_c_ = metrics::Counter::Noop();
+  metrics::Histogram* hops_at_execute_ = metrics::Histogram::Noop();
 };
 
 }  // namespace bestpeer::agent

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::core {
@@ -87,6 +88,12 @@ struct BestPeerConfig {
 
   /// Registered byte size of the StorM search agent class.
   size_t search_agent_code_bytes = 16 * 1024;
+
+  // --- observability ----------------------------------------------------
+
+  /// Metrics sink shared by the node and its agent runtime (not owned;
+  /// must outlive the node). nullptr routes increments to no-op handles.
+  metrics::Registry* metrics = nullptr;
 };
 
 }  // namespace bestpeer::core

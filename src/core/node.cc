@@ -47,6 +47,28 @@ Status BestPeerNode::Init() {
   BP_ASSIGN_OR_RETURN(strategy_, MakeReconfigStrategy(config_.strategy));
   BP_RETURN_IF_ERROR(RegisterBuiltinAgents(&infra_->agent_registry, config_));
 
+  if (config_.metrics != nullptr) {
+    metrics::Registry* reg = config_.metrics;
+    queries_issued_c_ = reg->GetCounter("core.queries_issued");
+    results_received_c_ = reg->GetCounter("core.results_received");
+    answers_received_c_ = reg->GetCounter("core.answers_received");
+    reconfigurations_c_ = reg->GetCounter("core.reconfigurations");
+    fetches_issued_c_ = reg->GetCounter("core.fetches_issued");
+    result_hops_ = reg->GetHistogram("core.result_hops");
+  }
+  network_->RegisterTypeName(kSearchResultType, "search.result");
+  network_->RegisterTypeName(kFetchReqType, "fetch.request");
+  network_->RegisterTypeName(kFetchRespType, "fetch.response");
+  network_->RegisterTypeName(kActiveObjReqType, "activeobj.request");
+  network_->RegisterTypeName(kActiveObjRespType, "activeobj.response");
+  network_->RegisterTypeName(kPeerConnectType, "peer.connect");
+  network_->RegisterTypeName(kPeerDisconnectType, "peer.disconnect");
+  network_->RegisterTypeName(kDataShipReqType, "dataship.request");
+  network_->RegisterTypeName(kDataShipRespType, "dataship.response");
+  network_->RegisterTypeName(kReplicatePushType, "replicate.push");
+  network_->RegisterTypeName(kWatchReqType, "watch.request");
+  network_->RegisterTypeName(kUpdateNotifyType, "update.notify");
+
   dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
   liglo_ = std::make_unique<liglo::LigloClient>(
       network_, dispatcher_.get(), node_, &infra_->ip_directory);
@@ -56,6 +78,7 @@ Status BestPeerNode::Init() {
   agent_options.class_load_cost = config_.agent_class_load_cost;
   agent_options.forward_cost = config_.agent_forward_cost;
   agent_options.codec = codec_;
+  agent_options.metrics = config_.metrics;
   runtime_ = std::make_unique<agent::AgentRuntime>(
       network_, node_, &infra_->agent_registry, &infra_->code_cache, this,
       [this]() { return peers_.Nodes(); }, agent_options);
@@ -114,7 +137,12 @@ Status BestPeerNode::Init() {
 // ---------------------------------------------------------------- storage
 
 Status BestPeerNode::InitStorage(const storm::StormOptions& options) {
-  BP_ASSIGN_OR_RETURN(storage_, storm::Storm::Open(options));
+  storm::StormOptions opts = options;
+  if (opts.metrics == nullptr && config_.metrics != nullptr) {
+    opts.metrics = config_.metrics;
+    opts.metrics_label = std::to_string(node_);
+  }
+  BP_ASSIGN_OR_RETURN(storage_, storm::Storm::Open(opts));
   return Status::OK();
 }
 
@@ -347,6 +375,7 @@ Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
                                            const std::string& keyword,
                                            uint16_t ttl) {
   if (ttl == 0) ttl = config_.default_ttl;
+  queries_issued_c_->Increment();
   sessions_.emplace(
       query_id, QuerySession(query_id, keyword, config_.answer_mode,
                              network_->simulator().now()));
@@ -381,6 +410,7 @@ size_t BestPeerNode::StoreSizeHint(sim::NodeId node) const {
 Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
                                                  ShippingMode mode) {
   uint64_t query_id = NextQueryId();
+  queries_issued_c_->Increment();
   sessions_.emplace(
       query_id, QuerySession(query_id, keyword, AnswerMode::kIndicate,
                              network_->simulator().now()));
@@ -422,7 +452,7 @@ Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
   for (sim::NodeId peer : data_targets) {
     DataShipRequest req;
     req.query_id = query_id;
-    SendCompressed(peer, kDataShipReqType, req.Encode());
+    SendCompressed(peer, kDataShipReqType, req.Encode(), query_id);
   }
   return query_id;
 }
@@ -448,9 +478,13 @@ void BestPeerNode::OnDataShipRequest(const sim::SimMessage& msg) {
     cost += config_.fetch_per_object_cost;
   }
   sim::NodeId requester = msg.src;
-  network_->Cpu(node_).Submit(cost, [this, requester, response]() {
-    SendCompressed(requester, kDataShipRespType, response->Encode());
-  });
+  network_->Cpu(node_).Submit(
+      cost,
+      [this, requester, response]() {
+        SendCompressed(requester, kDataShipRespType, response->Encode(),
+                       response->query_id);
+      },
+      "dataship.serve", response->query_id);
 }
 
 void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
@@ -473,16 +507,19 @@ void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
                  config_.per_object_match_cost;
   sim::NodeId responder = msg.src;
   uint64_t query_id = resp->query_id;
-  network_->Cpu(node_).Submit(cost, [this, query_id, responder, matches]() {
-    auto session_it = sessions_.find(query_id);
-    if (session_it == sessions_.end()) return;
-    ResponseEvent event;
-    event.time = network_->simulator().now();
-    event.node = responder;
-    event.hops = 1;
-    event.answers = matches;
-    session_it->second.RecordResult(event);
-  });
+  network_->Cpu(node_).Submit(
+      cost,
+      [this, query_id, responder, matches]() {
+        auto session_it = sessions_.find(query_id);
+        if (session_it == sessions_.end()) return;
+        ResponseEvent event;
+        event.time = network_->simulator().now();
+        event.node = responder;
+        event.hops = 1;
+        event.answers = matches;
+        session_it->second.RecordResult(event);
+      },
+      "dataship.scan", query_id);
 }
 
 Status BestPeerNode::ReplicateObjects(
@@ -530,13 +567,13 @@ const QuerySession* BestPeerNode::FindSession(uint64_t query_id) const {
 }
 
 void BestPeerNode::SendCompressed(sim::NodeId dst, uint32_t type,
-                                  const Bytes& payload) {
+                                  const Bytes& payload, uint64_t flow) {
   auto compressed = codec_->Compress(payload);
   if (!compressed.ok()) {
     BP_LOG(Error) << "compress failed: " << compressed.status().ToString();
     return;
   }
-  network_->Send(node_, dst, type, std::move(compressed).value());
+  network_->Send(node_, dst, type, std::move(compressed).value(), 0, flow);
 }
 
 Result<Bytes> BestPeerNode::DecodePayload(const sim::SimMessage& msg) const {
@@ -554,6 +591,9 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
   auto it = sessions_.find(result->query_id);
   if (it == sessions_.end()) return;  // Not ours (or long forgotten).
   ++results_received_;
+  results_received_c_->Increment();
+  answers_received_c_->Add(result->items.size());
+  result_hops_->Observe(static_cast<double>(result->hops));
   if (result->responder_object_count > 0) {
     store_size_hints_[msg.src] = result->responder_object_count;
   }
@@ -562,7 +602,8 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
   auto record = std::make_shared<SearchResultMessage>(std::move(*result));
   sim::NodeId responder = msg.src;
   network_->Cpu(node_).Submit(
-      config_.result_handling_cost, [this, record, responder]() {
+      config_.result_handling_cost,
+      [this, record, responder]() {
         auto session_it = sessions_.find(record->query_id);
         if (session_it == sessions_.end()) return;
         ResponseEvent event;
@@ -582,15 +623,17 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
           for (const auto& item : record->items) ids.push_back(item.id);
           FetchObjects(responder, record->query_id, ids);
         }
-      });
+      },
+      "result.handle", record->query_id);
 }
 
 void BestPeerNode::FetchObjects(sim::NodeId responder, uint64_t query_id,
                                 const std::vector<storm::ObjectId>& ids) {
+  fetches_issued_c_->Increment();
   FetchRequestMessage req;
   req.query_id = query_id;
   req.ids = ids;
-  SendCompressed(responder, kFetchReqType, req.Encode());
+  SendCompressed(responder, kFetchReqType, req.Encode(), query_id);
 }
 
 void BestPeerNode::OnFetchRequest(const sim::SimMessage& msg) {
@@ -617,9 +660,13 @@ void BestPeerNode::OnFetchRequest(const sim::SimMessage& msg) {
   SimTime cost = config_.fetch_per_object_cost *
                  static_cast<SimTime>(req->ids.size());
   sim::NodeId requester = msg.src;
-  network_->Cpu(node_).Submit(cost, [this, requester, response]() {
-    SendCompressed(requester, kFetchRespType, response->Encode());
-  });
+  network_->Cpu(node_).Submit(
+      cost,
+      [this, requester, response]() {
+        SendCompressed(requester, kFetchRespType, response->Encode(),
+                       response->query_id);
+      },
+      "fetch.serve", req->query_id);
 }
 
 void BestPeerNode::OnFetchResponse(const sim::SimMessage& msg) {
@@ -724,7 +771,10 @@ void BestPeerNode::ApplyPeerSet(
     SendCompressed(p, kPeerConnectType, Bytes{});
     changed = true;
   }
-  if (changed) ++reconfigurations_;
+  if (changed) {
+    ++reconfigurations_;
+    reconfigurations_c_->Increment();
+  }
 }
 
 // ---------------------------------------------------------------- active objects

@@ -237,7 +237,9 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   /// list becomes empty.
   void ReplenishPeersIfIsolated();
 
-  void SendCompressed(sim::NodeId dst, uint32_t type, const Bytes& payload);
+  /// `flow` tags the message with its query id for tracing (0 = none).
+  void SendCompressed(sim::NodeId dst, uint32_t type, const Bytes& payload,
+                      uint64_t flow = 0);
   Result<Bytes> DecodePayload(const sim::SimMessage& msg) const;
 
   sim::SimNetwork* network_;
@@ -273,6 +275,13 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   std::set<sim::NodeId> watchers_;
   std::map<sim::NodeId, UpdateCallback> watching_;
   storm::ObjectId next_file_object_id_;
+
+  metrics::Counter* queries_issued_c_ = metrics::Counter::Noop();
+  metrics::Counter* results_received_c_ = metrics::Counter::Noop();
+  metrics::Counter* answers_received_c_ = metrics::Counter::Noop();
+  metrics::Counter* reconfigurations_c_ = metrics::Counter::Noop();
+  metrics::Counter* fetches_issued_c_ = metrics::Counter::Noop();
+  metrics::Histogram* result_hops_ = metrics::Histogram::Noop();
 };
 
 }  // namespace bestpeer::core

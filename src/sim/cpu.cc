@@ -6,12 +6,21 @@
 
 namespace bestpeer::sim {
 
-CpuModel::CpuModel(Simulator* sim, int threads) : sim_(sim) {
+CpuModel::CpuModel(Simulator* sim, int threads, metrics::Registry* registry,
+                   uint32_t node)
+    : sim_(sim), node_(node) {
   assert(threads >= 1);
   free_at_.assign(static_cast<size_t>(threads), 0);
+  if (registry != nullptr) {
+    tasks_c_ = registry->GetCounter("cpu.tasks");
+    busy_us_c_ = registry->GetCounter("cpu.busy_us");
+    queue_wait_us_c_ = registry->GetCounter("cpu.queue_wait_us");
+    service_us_ = registry->GetHistogram("cpu.service_us");
+  }
 }
 
-void CpuModel::Submit(SimTime service, EventFn done) {
+void CpuModel::Submit(SimTime service, EventFn done, const char* name,
+                      uint64_t flow) {
   assert(service >= 0);
   auto it = std::min_element(free_at_.begin(), free_at_.end());
   SimTime start = std::max(sim_->now(), *it);
@@ -19,6 +28,22 @@ void CpuModel::Submit(SimTime service, EventFn done) {
   *it = end;
   total_busy_ += service;
   ++tasks_submitted_;
+  tasks_c_->Increment();
+  busy_us_c_->Add(static_cast<uint64_t>(service));
+  queue_wait_us_c_->Add(static_cast<uint64_t>(start - sim_->now()));
+  service_us_->Observe(static_cast<double>(service));
+  if (name != nullptr) {
+    if (trace::TraceRecorder* recorder = sim_->trace()) {
+      trace::Span span;
+      span.name = name;
+      span.cat = "cpu";
+      span.tid = node_;
+      span.ts = start;
+      span.dur = service;
+      span.flow = flow;
+      recorder->RecordSpan(std::move(span));
+    }
+  }
   sim_->ScheduleAt(end, std::move(done));
 }
 

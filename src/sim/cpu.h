@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::sim {
@@ -19,12 +20,17 @@ namespace bestpeer::sim {
 /// hit by many requests at once (e.g., the base node collecting answers).
 class CpuModel {
  public:
-  /// `sim` must outlive this model. threads >= 1.
-  CpuModel(Simulator* sim, int threads = 1);
+  /// `sim` must outlive this model. threads >= 1. `registry` (optional,
+  /// not owned) receives task metrics; `node` labels trace spans.
+  CpuModel(Simulator* sim, int threads = 1,
+           metrics::Registry* registry = nullptr, uint32_t node = 0);
 
   /// Enqueues a task taking `service` microseconds; `done` fires at its
-  /// completion time.
-  void Submit(SimTime service, EventFn done);
+  /// completion time. When tracing is enabled and `name` is non-null, the
+  /// task's busy interval is recorded as a span (`flow` ties it to its
+  /// query/agent id).
+  void Submit(SimTime service, EventFn done, const char* name = nullptr,
+              uint64_t flow = 0);
 
   /// Time at which the earliest server becomes free (>= now).
   SimTime EarliestFree() const;
@@ -39,9 +45,14 @@ class CpuModel {
 
  private:
   Simulator* sim_;
+  uint32_t node_ = 0;
   std::vector<SimTime> free_at_;
   SimTime total_busy_ = 0;
   uint64_t tasks_submitted_ = 0;
+  metrics::Counter* tasks_c_ = metrics::Counter::Noop();
+  metrics::Counter* busy_us_c_ = metrics::Counter::Noop();
+  metrics::Counter* queue_wait_us_c_ = metrics::Counter::Noop();
+  metrics::Histogram* service_us_ = metrics::Histogram::Noop();
 };
 
 }  // namespace bestpeer::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 namespace bestpeer::sim {
@@ -10,14 +11,31 @@ namespace bestpeer::sim {
 SimNetwork::SimNetwork(Simulator* sim, NetworkOptions options)
     : sim_(sim), options_(options) {
   assert(options_.bytes_per_us > 0);
+  if (options_.metrics != nullptr) {
+    metrics::Registry* reg = options_.metrics;
+    messages_sent_c_ = reg->GetCounter("net.messages_sent");
+    messages_dropped_c_ = reg->GetCounter("net.messages_dropped");
+    wire_bytes_c_ = reg->GetCounter("net.wire_bytes");
+    queue_wait_us_c_ = reg->GetCounter("net.queue_wait_us");
+    delivery_latency_us_ = reg->GetHistogram("net.delivery_latency_us");
+  }
 }
 
 NodeId SimNetwork::AddNode(int cpu_threads) {
   Node node;
   int threads = cpu_threads > 0 ? cpu_threads : options_.cpu_threads;
-  node.cpu = std::make_unique<CpuModel>(sim_, threads);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  node.cpu =
+      std::make_unique<CpuModel>(sim_, threads, options_.metrics, id);
+  if (options_.metrics != nullptr) {
+    const metrics::LabelSet labels = {{"node", std::to_string(id)}};
+    node.bytes_sent_c = options_.metrics->GetCounter("net.node_bytes_sent",
+                                                     labels);
+    node.bytes_received_c =
+        options_.metrics->GetCounter("net.node_bytes_received", labels);
+  }
   nodes_.push_back(std::move(node));
-  return static_cast<NodeId>(nodes_.size() - 1);
+  return id;
 }
 
 void SimNetwork::SetHandler(NodeId node, Handler handler) {
@@ -25,13 +43,47 @@ void SimNetwork::SetHandler(NodeId node, Handler handler) {
   nodes_[node].handler = std::move(handler);
 }
 
+void SimNetwork::RegisterTypeName(uint32_t type, std::string name) {
+  type_names_[type] = std::move(name);
+}
+
+std::string_view SimNetwork::TypeName(uint32_t type) const {
+  auto it = type_names_.find(type);
+  return it == type_names_.end() ? std::string_view() : it->second;
+}
+
 SimTime SimNetwork::TxTime(size_t bytes) const {
   return static_cast<SimTime>(
       std::llround(static_cast<double>(bytes) / options_.bytes_per_us));
 }
 
+void SimNetwork::TraceMessage(const SimMessage& msg, SimTime sent,
+                              SimTime delivered, bool dropped) {
+  trace::TraceRecorder* recorder = sim_->trace();
+  if (recorder == nullptr) return;
+  trace::Span span;
+  std::string_view name = TypeName(msg.type);
+  if (name.empty()) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "msg:%08x", msg.type);
+    span.name = buf;
+  } else {
+    span.name = std::string(name);
+  }
+  if (dropped) span.name += " (dropped)";
+  span.cat = "net";
+  span.tid = msg.dst;
+  span.ts = sent;
+  span.dur = delivered - sent;
+  span.flow = msg.flow;
+  span.args = {{"src", msg.src},
+               {"dst", msg.dst},
+               {"wire", msg.wire_size}};
+  recorder->RecordSpan(std::move(span));
+}
+
 void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
-                      size_t extra_wire_bytes) {
+                      size_t extra_wire_bytes, uint64_t flow) {
   assert(src < nodes_.size() && dst < nodes_.size());
   auto msg = std::make_shared<SimMessage>();
   msg->src = src;
@@ -41,18 +93,26 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
       payload.size() + options_.header_overhead + extra_wire_bytes;
   msg->payload = std::move(payload);
   msg->id = next_message_id_++;
+  msg->flow = flow;
 
   Node& sender = nodes_[src];
   const SimTime tx = TxTime(msg->wire_size);
   const SimTime send_time = sim_->now();
 
-  // Serialize on the sender's uplink (FIFO).
+  // Serialize on the sender's uplink (FIFO). Time spent waiting for the
+  // NIC behind earlier transmissions is queueing delay charged to the
+  // sender.
   SimTime up_start = std::max(send_time, sender.uplink_free_at);
   SimTime up_done = up_start + tx;
   sender.uplink_free_at = up_done;
   sender.bytes_sent += msg->wire_size;
+  sender.queue_wait += up_start - send_time;
   ++messages_sent_;
   total_wire_bytes_ += msg->wire_size;
+  messages_sent_c_->Increment();
+  wire_bytes_c_->Add(msg->wire_size);
+  sender.bytes_sent_c->Add(msg->wire_size);
+  queue_wait_us_c_->Add(static_cast<uint64_t>(up_start - send_time));
 
   // Propagate, then serialize on the receiver's downlink. The downlink
   // reservation must happen at arrival time (other packets may arrive in
@@ -62,18 +122,28 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
     Node& receiver = nodes_[msg->dst];
     if (!receiver.online) {
       ++messages_dropped_;
+      messages_dropped_c_->Increment();
+      TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/true);
       return;
     }
     SimTime rx_start = std::max(sim_->now(), receiver.downlink_free_at);
     SimTime rx_done = rx_start + tx;
     receiver.downlink_free_at = rx_done;
+    receiver.queue_wait += rx_start - sim_->now();
+    queue_wait_us_c_->Add(static_cast<uint64_t>(rx_start - sim_->now()));
     sim_->ScheduleAt(rx_done, [this, msg, send_time]() {
       Node& node = nodes_[msg->dst];
       if (!node.online) {
         ++messages_dropped_;
+        messages_dropped_c_->Increment();
+        TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/true);
         return;
       }
       node.bytes_received += msg->wire_size;
+      node.bytes_received_c->Add(msg->wire_size);
+      delivery_latency_us_->Observe(
+          static_cast<double>(sim_->now() - send_time));
+      TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/false);
       if (trace_) trace_(*msg, send_time, sim_->now());
       if (node.handler) node.handler(*msg);
     });
@@ -103,6 +173,11 @@ uint64_t SimNetwork::node_bytes_sent(NodeId node) const {
 uint64_t SimNetwork::node_bytes_received(NodeId node) const {
   assert(node < nodes_.size());
   return nodes_[node].bytes_received;
+}
+
+SimTime SimNetwork::node_queue_wait(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].queue_wait;
 }
 
 }  // namespace bestpeer::sim

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
+#include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::sim {
@@ -32,6 +35,9 @@ struct SimMessage {
   size_t wire_size = 0;
   /// Unique id, assigned by the network at send time.
   uint64_t id = 0;
+  /// Logical flow (query/agent id) the message belongs to; 0 = none.
+  /// Carried so trace spans of one query stitch together across nodes.
+  uint64_t flow = 0;
 };
 
 /// Cost parameters of the simulated LAN; see DESIGN.md section 4.
@@ -46,6 +52,9 @@ struct NetworkOptions {
   /// CPU threads per node (the MCS/SCS distinction is made at the
   /// protocol layer; nodes default to enough threads to overlap work).
   int cpu_threads = 4;
+  /// Metrics sink for this network and its nodes' CPUs (not owned; must
+  /// outlive the network). nullptr routes increments to no-op handles.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// The physical network: a fully connected LAN of nodes, each with an
@@ -79,10 +88,11 @@ class SimNetwork {
 
   /// Sends a message; it is delivered to the destination handler after
   /// NIC serialization + latency. `extra_wire_bytes` adds modelled bytes
-  /// (e.g. a shipped agent class) without materializing them.
+  /// (e.g. a shipped agent class) without materializing them. `flow`
+  /// tags the message with its query/agent id for tracing (0 = none).
   /// Messages to offline nodes are silently dropped (counted).
   void Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
-            size_t extra_wire_bytes = 0);
+            size_t extra_wire_bytes = 0, uint64_t flow = 0);
 
   /// Marks a node online/offline. Offline nodes drop incoming messages.
   void SetOnline(NodeId node, bool online);
@@ -98,12 +108,26 @@ class SimNetwork {
   const NetworkOptions& options() const { return options_; }
   size_t node_count() const { return nodes_.size(); }
 
+  /// Names a message type for trace spans and debugging (e.g.
+  /// "agent.migrate" for the agent transfer tag). Unnamed types render
+  /// as "msg:<hex>".
+  void RegisterTypeName(uint32_t type, std::string name);
+
+  /// The registered name for `type`, or "" when unregistered.
+  std::string_view TypeName(uint32_t type) const;
+
   /// Aggregate counters.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t total_wire_bytes() const { return total_wire_bytes_; }
   uint64_t node_bytes_sent(NodeId node) const;
   uint64_t node_bytes_received(NodeId node) const;
+
+  /// Total time this node's messages spent queued behind earlier
+  /// transmissions on a NIC: uplink waits charge the sender, downlink
+  /// waits the receiver. This is the congestion signal the paper's
+  /// convergecast patterns (31 answers into one base node) produce.
+  SimTime node_queue_wait(NodeId node) const;
 
   /// Transmission time of `bytes` through one NIC.
   SimTime TxTime(size_t bytes) const;
@@ -117,16 +141,30 @@ class SimNetwork {
     bool online = true;
     uint64_t bytes_sent = 0;
     uint64_t bytes_received = 0;
+    SimTime queue_wait = 0;
+    metrics::Counter* bytes_sent_c = metrics::Counter::Noop();
+    metrics::Counter* bytes_received_c = metrics::Counter::Noop();
   };
+
+  /// Records one wire span on the trace recorder (tracing enabled only).
+  void TraceMessage(const SimMessage& msg, SimTime sent, SimTime delivered,
+                    bool dropped);
 
   Simulator* sim_;
   NetworkOptions options_;
   std::vector<Node> nodes_;
   TraceFn trace_;
+  std::map<uint32_t, std::string> type_names_;
   uint64_t next_message_id_ = 1;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t total_wire_bytes_ = 0;
+
+  metrics::Counter* messages_sent_c_ = metrics::Counter::Noop();
+  metrics::Counter* messages_dropped_c_ = metrics::Counter::Noop();
+  metrics::Counter* wire_bytes_c_ = metrics::Counter::Noop();
+  metrics::Counter* queue_wait_us_c_ = metrics::Counter::Noop();
+  metrics::Histogram* delivery_latency_us_ = metrics::Histogram::Noop();
 };
 
 }  // namespace bestpeer::sim

@@ -30,6 +30,10 @@ size_t Simulator::RunUntilIdle(size_t max_events) {
   return n;
 }
 
+void Simulator::EnableTracing() {
+  if (trace_ == nullptr) trace_ = std::make_shared<trace::TraceRecorder>();
+}
+
 size_t Simulator::RunUntil(SimTime deadline) {
   size_t n = 0;
   while (!queue_.empty() && queue_.PeekTime() <= deadline) {

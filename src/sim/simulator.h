@@ -2,9 +2,11 @@
 #define BESTPEER_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "sim/event_queue.h"
 #include "util/sim_time.h"
+#include "util/trace.h"
 
 namespace bestpeer::sim {
 
@@ -46,10 +48,31 @@ class Simulator {
   /// Number of pending events.
   size_t pending() const { return queue_.size(); }
 
+  // --- tracing ------------------------------------------------------------
+  //
+  // The simulator owns the per-run span recorder so every layer (network,
+  // CPU models, protocols) reaches it through the clock it already holds.
+  // Disabled by default: trace() returns nullptr and instrumented code
+  // skips span construction entirely, keeping the hot path overhead to a
+  // single pointer test.
+
+  /// Starts recording spans (idempotent; keeps existing spans).
+  void EnableTracing();
+
+  /// Stops recording and drops the recorder.
+  void DisableTracing() { trace_.reset(); }
+
+  /// The active recorder, or nullptr when tracing is disabled.
+  trace::TraceRecorder* trace() const { return trace_.get(); }
+
+  /// Shared handle to the recorder so results can outlive the simulator.
+  std::shared_ptr<trace::TraceRecorder> shared_trace() const { return trace_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t events_processed_ = 0;
+  std::shared_ptr<trace::TraceRecorder> trace_;
 };
 
 }  // namespace bestpeer::sim

@@ -32,12 +32,23 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(Pager* pager,
                        std::unique_ptr<ReplacementPolicy> policy,
-                       size_t frames)
+                       const BufferPoolOptions& options)
     : pager_(pager), policy_(std::move(policy)) {
-  frames_.resize(frames);
-  free_frames_.reserve(frames);
+  frames_.resize(options.frames);
+  free_frames_.reserve(options.frames);
   // Hand out low frame ids first.
-  for (size_t i = frames; i > 0; --i) free_frames_.push_back(i - 1);
+  for (size_t i = options.frames; i > 0; --i) free_frames_.push_back(i - 1);
+  if (options.metrics != nullptr) {
+    metrics::LabelSet labels;
+    if (!options.metrics_label.empty()) {
+      labels.emplace_back("node", options.metrics_label);
+    }
+    hits_c_ = options.metrics->GetCounter("storm.pool_hits", labels);
+    misses_c_ = options.metrics->GetCounter("storm.pool_misses", labels);
+    evictions_c_ = options.metrics->GetCounter("storm.pool_evictions", labels);
+    writebacks_c_ =
+        options.metrics->GetCounter("storm.pool_writebacks", labels);
+  }
 }
 
 Result<std::unique_ptr<BufferPool>> BufferPool::Create(
@@ -47,7 +58,7 @@ Result<std::unique_ptr<BufferPool>> BufferPool::Create(
   }
   BP_ASSIGN_OR_RETURN(auto policy, MakeReplacementPolicy(options.policy));
   return std::unique_ptr<BufferPool>(
-      new BufferPool(pager, std::move(policy), options.frames));
+      new BufferPool(pager, std::move(policy), options));
 }
 
 Result<FrameId> BufferPool::AcquireFrame() {
@@ -65,11 +76,13 @@ Result<FrameId> BufferPool::AcquireFrame() {
   if (frame.dirty) {
     BP_RETURN_IF_ERROR(pager_->Write(frame.page_id, frame.page));
     ++writebacks_;
+    writebacks_c_->Increment();
   }
   page_table_.erase(frame.page_id);
   frame.in_use = false;
   frame.dirty = false;
   ++evictions_;
+  evictions_c_->Increment();
   return *victim;
 }
 
@@ -80,9 +93,11 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     if (frame.pins == 0) policy_->OnPinned(it->second);
     ++frame.pins;
     ++hits_;
+    hits_c_->Increment();
     return PageGuard(this, id, &frame.page);
   }
   ++misses_;
+  misses_c_->Increment();
   BP_ASSIGN_OR_RETURN(FrameId f, AcquireFrame());
   Frame& frame = frames_[f];
   Status s = pager_->Read(id, &frame.page);
@@ -128,6 +143,7 @@ Status BufferPool::FlushAll() {
       BP_RETURN_IF_ERROR(pager_->Write(frame.page_id, frame.page));
       frame.dirty = false;
       ++writebacks_;
+      writebacks_c_->Increment();
     }
   }
   return pager_->Sync();

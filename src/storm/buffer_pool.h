@@ -10,6 +10,7 @@
 #include "storm/page.h"
 #include "storm/pager.h"
 #include "storm/replacement.h"
+#include "util/metrics.h"
 #include "util/result.h"
 
 namespace bestpeer::storm {
@@ -20,6 +21,13 @@ struct BufferPoolOptions {
   size_t frames = 64;
   /// Replacement policy name: "lru", "fifo", "clock", "lfu".
   std::string policy = "lru";
+  /// Metrics sink (not owned; must outlive the pool). nullptr routes
+  /// increments to no-op handles.
+  metrics::Registry* metrics = nullptr;
+  /// Label value attached to this pool's instruments as {node=<label>},
+  /// so per-node pools stay distinguishable in one registry. Empty emits
+  /// unlabeled instruments.
+  std::string metrics_label;
 };
 
 class BufferPool;
@@ -99,7 +107,7 @@ class BufferPool {
   };
 
   BufferPool(Pager* pager, std::unique_ptr<ReplacementPolicy> policy,
-             size_t frames);
+             const BufferPoolOptions& options);
 
   /// Finds a free frame, evicting if necessary.
   Result<FrameId> AcquireFrame();
@@ -114,6 +122,11 @@ class BufferPool {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t writebacks_ = 0;
+
+  metrics::Counter* hits_c_ = metrics::Counter::Noop();
+  metrics::Counter* misses_c_ = metrics::Counter::Noop();
+  metrics::Counter* evictions_c_ = metrics::Counter::Noop();
+  metrics::Counter* writebacks_c_ = metrics::Counter::Noop();
 };
 
 }  // namespace bestpeer::storm

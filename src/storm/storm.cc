@@ -20,6 +20,8 @@ Result<std::unique_ptr<Storm>> Storm::Open(const StormOptions& options) {
   BufferPoolOptions pool_options;
   pool_options.frames = options.buffer_frames;
   pool_options.policy = options.replacement;
+  pool_options.metrics = options.metrics;
+  pool_options.metrics_label = options.metrics_label;
   BP_ASSIGN_OR_RETURN(storm->pool_,
                       BufferPool::Create(storm->pager_.get(), pool_options));
   BP_ASSIGN_OR_RETURN(storm->objects_, ObjectStore::Open(storm->pool_.get()));

@@ -36,6 +36,12 @@ struct StormOptions {
   /// Put/Delete is durable the moment it returns — even over an
   /// in-memory pager (the log alone reconstructs the store on reopen).
   std::string wal_path;
+  /// Metrics sink forwarded to the buffer pool (not owned; must outlive
+  /// the store). nullptr routes increments to no-op handles.
+  metrics::Registry* metrics = nullptr;
+  /// Label value for this store's instruments ({node=<label>}); empty
+  /// emits unlabeled instruments.
+  std::string metrics_label;
 };
 
 /// The storage manager each BestPeer node runs (the paper's "StorM, a

@@ -1,11 +1,24 @@
 #include "util/logging.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace bestpeer {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("BP_LOG_LEVEL");
+  LogLevel level = LogLevel::kWarn;
+  if (env != nullptr && !ParseLogLevel(env, &level)) {
+    std::fprintf(stderr, "[WARN logging] unknown BP_LOG_LEVEL '%s'; using warn\n",
+                 env);
+  }
+  return level;
+}
+
+LogLevel g_level = InitialLevel();
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,6 +37,27 @@ const char* LevelName(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
+
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal_logging {
 

@@ -3,6 +3,7 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace bestpeer {
 
@@ -10,9 +11,16 @@ namespace bestpeer {
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
 
 /// Global minimum severity; messages below it are dropped. Default kWarn so
-/// tests and benchmarks stay quiet unless asked.
+/// tests and benchmarks stay quiet unless asked. The initial level honors
+/// the BP_LOG_LEVEL environment variable ("debug", "info", "warn",
+/// "error"; case-insensitive), so benches and tests can raise verbosity
+/// without recompiling.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a level name ("debug"/"info"/"warn"/"warning"/"error", any
+/// case). Returns false and leaves `out` untouched on unknown input.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
 
 namespace internal_logging {
 

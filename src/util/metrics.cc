@@ -1,0 +1,248 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace bestpeer::metrics {
+
+Counter* Counter::Noop() {
+  static Counter sink;
+  return &sink;
+}
+
+Gauge* Gauge::Noop() {
+  static Gauge sink;
+  return &sink;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  size_t idx =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+Histogram* Histogram::Noop() {
+  static Histogram sink;
+  return &sink;
+}
+
+std::vector<double> Histogram::DefaultBounds() {
+  std::vector<double> bounds;
+  double b = 1;
+  for (int i = 0; i < 13; ++i) {
+    bounds.push_back(b);
+    b *= 4;
+  }
+  return bounds;
+}
+
+namespace {
+
+LabelSet Normalized(LabelSet labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string EntryKey(const SnapshotEntry& e) {
+  std::string key = e.name;
+  if (!e.labels.empty()) {
+    key += '{';
+    for (size_t i = 0; i < e.labels.size(); ++i) {
+      if (i > 0) key += ',';
+      key += e.labels[i].first;
+      key += '=';
+      key += e.labels[i].second;
+    }
+    key += '}';
+  }
+  return key;
+}
+
+void AppendNumber(std::string* out, double v) {
+  // Integral values (the common case: counters, byte totals) print
+  // without a fraction so the JSON diffs cleanly across runs.
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+Counter* Registry::GetCounter(std::string_view name, LabelSet labels) {
+  Key key{std::string(name), Normalized(std::move(labels))};
+  auto it = instruments_.find(key);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = InstrumentKind::kCounter;
+    inst.counter = std::make_unique<Counter>();
+    it = instruments_.emplace(std::move(key), std::move(inst)).first;
+  }
+  if (it->second.kind != InstrumentKind::kCounter) return Counter::Noop();
+  return it->second.counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, LabelSet labels) {
+  Key key{std::string(name), Normalized(std::move(labels))};
+  auto it = instruments_.find(key);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = InstrumentKind::kGauge;
+    inst.gauge = std::make_unique<Gauge>();
+    it = instruments_.emplace(std::move(key), std::move(inst)).first;
+  }
+  if (it->second.kind != InstrumentKind::kGauge) return Gauge::Noop();
+  return it->second.gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name, LabelSet labels,
+                                  std::vector<double> bounds) {
+  Key key{std::string(name), Normalized(std::move(labels))};
+  auto it = instruments_.find(key);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = InstrumentKind::kHistogram;
+    inst.histogram = bounds.empty()
+                         ? std::make_unique<Histogram>()
+                         : std::make_unique<Histogram>(std::move(bounds));
+    it = instruments_.emplace(std::move(key), std::move(inst)).first;
+  }
+  if (it->second.kind != InstrumentKind::kHistogram) return Histogram::Noop();
+  return it->second.histogram.get();
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.entries.reserve(instruments_.size());
+  for (const auto& [key, inst] : instruments_) {
+    SnapshotEntry entry;
+    entry.name = key.first;
+    entry.labels = key.second;
+    entry.kind = inst.kind;
+    switch (inst.kind) {
+      case InstrumentKind::kCounter:
+        entry.value = static_cast<double>(inst.counter->value());
+        break;
+      case InstrumentKind::kGauge:
+        entry.value = inst.gauge->value();
+        break;
+      case InstrumentKind::kHistogram:
+        entry.value = inst.histogram->sum();
+        entry.count = inst.histogram->count();
+        entry.min = inst.histogram->min();
+        entry.max = inst.histogram->max();
+        break;
+    }
+    snapshot.entries.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void Snapshot::Merge(const Snapshot& other) {
+  for (const auto& theirs : other.entries) {
+    SnapshotEntry* mine = nullptr;
+    for (auto& e : entries) {
+      if (e.name == theirs.name && e.labels == theirs.labels) {
+        mine = &e;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      entries.push_back(theirs);
+      continue;
+    }
+    switch (theirs.kind) {
+      case InstrumentKind::kCounter:
+        mine->value += theirs.value;
+        break;
+      case InstrumentKind::kGauge:
+        mine->value = theirs.value;
+        break;
+      case InstrumentKind::kHistogram: {
+        const bool mine_empty = mine->count == 0;
+        mine->value += theirs.value;
+        mine->count += theirs.count;
+        if (theirs.count > 0) {
+          mine->min = mine_empty ? theirs.min : std::min(mine->min, theirs.min);
+          mine->max = mine_empty ? theirs.max : std::max(mine->max, theirs.max);
+        }
+        break;
+      }
+    }
+  }
+}
+
+double Snapshot::Value(std::string_view name) const {
+  double sum = 0;
+  for (const auto& e : entries) {
+    if (e.name == name) sum += e.value;
+  }
+  return sum;
+}
+
+uint64_t Snapshot::CountOf(std::string_view name) const {
+  uint64_t sum = 0;
+  for (const auto& e : entries) {
+    if (e.name == name) sum += e.count;
+  }
+  return sum;
+}
+
+std::string Snapshot::ToJson(int indent) const {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const std::string inner(static_cast<size_t>(indent) + 2, ' ');
+  std::string out = "{";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SnapshotEntry& e = entries[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += inner;
+    out += '"';
+    out += EntryKey(e);
+    out += "\": ";
+    if (e.kind == InstrumentKind::kHistogram) {
+      out += "{\"count\": ";
+      AppendNumber(&out, static_cast<double>(e.count));
+      out += ", \"sum\": ";
+      AppendNumber(&out, e.value);
+      out += ", \"min\": ";
+      AppendNumber(&out, e.min);
+      out += ", \"max\": ";
+      AppendNumber(&out, e.max);
+      out += ", \"mean\": ";
+      AppendNumber(&out, e.count == 0
+                             ? 0
+                             : e.value / static_cast<double>(e.count));
+      out += "}";
+    } else {
+      AppendNumber(&out, e.value);
+    }
+  }
+  if (!entries.empty()) {
+    out += '\n';
+    out += pad;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace bestpeer::metrics

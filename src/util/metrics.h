@@ -1,0 +1,157 @@
+#ifndef BESTPEER_UTIL_METRICS_H_
+#define BESTPEER_UTIL_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bestpeer::metrics {
+
+/// Sorted (key, value) pairs qualifying one instrument, e.g.
+/// {{"node", "3"}, {"scheme", "BPR"}}. Registries sort labels on lookup,
+/// so callers may pass them in any order.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count. Incrementing is a single add on a
+/// pointer-stable handle — cheap enough for the network send path.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+
+  /// A shared sink for components constructed without a registry: writes
+  /// land in a dummy nobody reads, so hot paths never branch on nullptr.
+  static Counter* Noop();
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// A value that can go up and down (queue depths, cache occupancy).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+  static Gauge* Noop();
+
+ private:
+  double value_ = 0;
+};
+
+/// Bucketed distribution with count/sum/min/max. Buckets are cumulative
+/// upper bounds; samples above the last bound land in an implicit
+/// overflow bucket.
+class Histogram {
+ public:
+  /// Default: exponential bounds 1, 4, 16, ... 4^12 — wide enough for
+  /// microsecond latencies from one NIC transfer to a whole experiment.
+  Histogram() : Histogram(DefaultBounds()) {}
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// 0 when empty.
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+  }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  static Histogram* Noop();
+  static std::vector<double> DefaultBounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+/// One instrument's state at snapshot time.
+struct SnapshotEntry {
+  std::string name;
+  LabelSet labels;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  /// Counter/gauge value; for histograms, the sum of samples.
+  double value = 0;
+  /// Histogram sample count (0 for counters/gauges).
+  uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// A point-in-time copy of a registry, detached from the live handles.
+/// Benches merge snapshots across seeds and serialize them to JSON.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  /// Sums counters and histograms entry-wise (matched by name + labels);
+  /// gauges take the other snapshot's value. Unmatched entries append.
+  void Merge(const Snapshot& other);
+
+  /// Sum of `value` across every label combination of `name`
+  /// (0 when absent).
+  double Value(std::string_view name) const;
+
+  /// Sum of histogram counts across label combinations of `name`.
+  uint64_t CountOf(std::string_view name) const;
+
+  /// Flat JSON object: counters/gauges as numbers keyed
+  /// "name" or "name{k=v,...}", histograms as
+  /// {"count":..,"sum":..,"min":..,"max":..,"mean":..}.
+  std::string ToJson(int indent = 0) const;
+};
+
+/// Owns every instrument of one experiment. Lookup (GetCounter etc.) is a
+/// map walk and belongs in constructors; the returned handles are
+/// pointer-stable for the registry's lifetime and are what hot paths use.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument registered under (name, labels), creating it
+  /// on first use. Asking for the same name with a different kind returns
+  /// the shared Noop instrument (and the mismatch is dropped).
+  Counter* GetCounter(std::string_view name, LabelSet labels = {});
+  Gauge* GetGauge(std::string_view name, LabelSet labels = {});
+  /// `bounds` applies only on first creation; empty uses the default.
+  Histogram* GetHistogram(std::string_view name, LabelSet labels = {},
+                          std::vector<double> bounds = {});
+
+  Snapshot TakeSnapshot() const;
+
+  size_t instrument_count() const { return instruments_.size(); }
+
+ private:
+  struct Instrument {
+    InstrumentKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, LabelSet>;
+
+  std::map<Key, Instrument> instruments_;
+};
+
+}  // namespace bestpeer::metrics
+
+#endif  // BESTPEER_UTIL_METRICS_H_

@@ -43,14 +43,18 @@ double Summary::stddev() const {
 }
 
 double Summary::Percentile(double p) const {
-  if (samples_.empty()) return 0;
+  if (samples_.empty()) return 0;  // Defined: an empty summary reads 0.
   std::vector<double> sorted(samples_);
   std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
   p = std::clamp(p, 0.0, 100.0);
-  size_t rank = static_cast<size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-  if (rank == 0) rank = 1;
-  return sorted[rank - 1];
+  // Linear interpolation between closest ranks (the "inclusive" method):
+  // p=0 -> min, p=100 -> max, p=50 of {1,2} -> 1.5.
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
 }
 
 std::string Summary::ToString() const {

@@ -24,7 +24,9 @@ class Summary {
   double max() const;
   /// Sample standard deviation; 0 for fewer than 2 samples.
   double stddev() const;
-  /// Exact percentile via nearest-rank on the sorted samples; p in [0,100].
+  /// Percentile with linear interpolation between closest ranks
+  /// (inclusive method: p=0 -> min, p=100 -> max); p clamped to [0,100].
+  /// Returns 0 for an empty summary.
   double Percentile(double p) const;
 
   /// "mean=.. min=.. max=.. n=.." one-liner for logs.

@@ -1,0 +1,81 @@
+#include "util/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace bestpeer::trace {
+
+namespace {
+
+/// Escapes the handful of characters that can appear in span names.
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  char buf[128];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"name\": \"";
+    AppendEscaped(&out, s.name);
+    out += "\", \"cat\": \"";
+    AppendEscaped(&out, s.cat);
+    out += "\", \"ph\": \"X\", \"pid\": 1";
+    std::snprintf(buf, sizeof(buf),
+                  ", \"tid\": %u, \"ts\": %" PRId64 ", \"dur\": %" PRId64,
+                  s.tid, s.ts, s.dur);
+    out += buf;
+    out += ", \"args\": {";
+    std::snprintf(buf, sizeof(buf), "\"flow\": %" PRIu64, s.flow);
+    out += buf;
+    for (const auto& [key, value] : s.args) {
+      out += ", \"";
+      AppendEscaped(&out, key);
+      std::snprintf(buf, sizeof(buf), "\": %" PRIu64, value);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceRecorder::ToFlatText() const {
+  std::string out;
+  char buf[160];
+  for (const Span& s : spans_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%12" PRId64 " %10" PRId64 " node=%-4u %-6s %-20s flow=%" PRIu64,
+                  s.ts, s.dur, s.tid, s.cat.c_str(), s.name.c_str(), s.flow);
+    out += buf;
+    for (const auto& [key, value] : s.args) {
+      std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, key.c_str(), value);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IoError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace bestpeer::trace

@@ -1,0 +1,66 @@
+#ifndef BESTPEER_UTIL_TRACE_H_
+#define BESTPEER_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace bestpeer::trace {
+
+/// One interval of simulated time attributed to a node: a message on the
+/// wire, a CPU task, or a whole query. `flow` carries the query/agent id
+/// so cross-node spans of one query can be stitched together.
+struct Span {
+  std::string name;
+  /// Coarse grouping: "net", "cpu", "query".
+  std::string cat;
+  /// Track the span renders on — the physical node id.
+  uint32_t tid = 0;
+  /// Start, in virtual microseconds.
+  SimTime ts = 0;
+  SimTime dur = 0;
+  /// Query/agent id tying spans of one logical operation together
+  /// (0 = unaffiliated).
+  uint64_t flow = 0;
+  /// Numeric extras (src, dst, wire bytes, answers, ...).
+  std::vector<std::pair<std::string, uint64_t>> args;
+};
+
+/// Collects spans against the virtual clock and exports them as Chrome
+/// trace_event JSON (loadable in chrome://tracing and Perfetto) or a flat
+/// text dump. Recording is unconditional here; the zero-overhead-when-
+/// disabled gate is the Simulator's nullable recorder pointer — callers
+/// only construct span data after checking `simulator.trace() != nullptr`.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void RecordSpan(Span span) { spans_.push_back(std::move(span)); }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t size() const { return spans_.size(); }
+  void Clear() { spans_.clear(); }
+
+  /// Chrome trace_event JSON: {"traceEvents":[...]} with one complete
+  /// ("ph":"X") event per span, ts/dur in microseconds, tid = node.
+  std::string ToChromeJson() const;
+
+  /// One line per span: "ts dur node cat name flow args..." — grep-able.
+  std::string ToFlatText() const;
+
+  /// Writes ToChromeJson() to `path`.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  std::vector<Span> spans_;
+};
+
+}  // namespace bestpeer::trace
+
+#endif  // BESTPEER_UTIL_TRACE_H_

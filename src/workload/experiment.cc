@@ -1,6 +1,7 @@
 #include "workload/experiment.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
 
@@ -98,11 +99,36 @@ storm::StormOptions StoreOptions(const ExperimentOptions& options) {
   return s;
 }
 
+/// True when the run should record trace spans (option or BP_TRACE_OUT).
+bool TraceRequested(const ExperimentOptions& options) {
+  return options.trace || std::getenv("BP_TRACE_OUT") != nullptr;
+}
+
+/// One span covering a whole query, from issue to last answer.
+void RecordQuerySpan(sim::Simulator& simulator, uint32_t base_node,
+                     uint64_t query_id, SimTime start, SimTime duration) {
+  trace::TraceRecorder* recorder = simulator.trace();
+  if (recorder == nullptr) return;
+  trace::Span span;
+  span.name = "query";
+  span.cat = "query";
+  span.tid = base_node;
+  span.ts = start;
+  span.dur = duration;
+  span.flow = query_id;
+  recorder->RecordSpan(std::move(span));
+}
+
 // ------------------------------------------------------------------ BestPeer
 
 Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
+  // Declared first so instruments outlive every component holding handles.
+  metrics::Registry registry;
   sim::Simulator simulator;
-  sim::SimNetwork network(&simulator, options.net);
+  if (TraceRequested(options)) simulator.EnableTracing();
+  sim::NetworkOptions net_options = options.net;
+  net_options.metrics = &registry;
+  sim::SimNetwork network(&simulator, net_options);
   core::SharedInfra infra;
 
   const Topology& topo = options.topology;
@@ -118,6 +144,7 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   config.auto_fetch = options.auto_fetch;
   config.codec = options.codec;
   config.default_ttl = options.ttl;
+  config.metrics = &registry;
 
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   nodes.reserve(topo.node_count);
@@ -168,6 +195,9 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
                             ? session->fetches()
                             : session->responses();
     for (auto& e : metrics.responses) e.time -= session->start_time();
+    RecordQuerySpan(simulator, static_cast<uint32_t>(ids[topo.base]),
+                    query_id, session->start_time(),
+                    session->completion_time());
     result.queries.push_back(std::move(metrics));
 
     if (options.scheme == Scheme::kBpr) {
@@ -176,14 +206,20 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
     }
   }
   result.wire_bytes = network.total_wire_bytes();
+  result.metrics = registry.TakeSnapshot();
+  result.trace = simulator.shared_trace();
   return result;
 }
 
 // ------------------------------------------------------------------ CS
 
 Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
+  metrics::Registry registry;
   sim::Simulator simulator;
-  sim::SimNetwork network(&simulator, options.net);
+  if (TraceRequested(options)) simulator.EnableTracing();
+  sim::NetworkOptions net_options = options.net;
+  net_options.metrics = &registry;
+  sim::SimNetwork network(&simulator, net_options);
 
   const Topology& topo = options.topology;
   std::vector<sim::NodeId> ids;
@@ -199,7 +235,10 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
   for (size_t i = 0; i < topo.node_count; ++i) {
     BP_ASSIGN_OR_RETURN(auto node,
                         baseline::CsNode::Create(&network, ids[i], config));
-    BP_RETURN_IF_ERROR(node->InitStorage(StoreOptions(options)));
+    storm::StormOptions store = StoreOptions(options);
+    store.metrics = &registry;
+    store.metrics_label = std::to_string(ids[i]);
+    BP_RETURN_IF_ERROR(node->InitStorage(store));
     BP_RETURN_IF_ERROR(PopulateStore(
         options, i, corpus,
         [&node](storm::ObjectId id, const Bytes& content) {
@@ -226,17 +265,26 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
     metrics.responders = session->responder_count();
     metrics.responses = session->answers();
     for (auto& e : metrics.responses) e.time -= session->start_time();
+    RecordQuerySpan(simulator, static_cast<uint32_t>(ids[topo.base]),
+                    query_id, session->start_time(),
+                    session->completion_time());
     result.queries.push_back(std::move(metrics));
   }
   result.wire_bytes = network.total_wire_bytes();
+  result.metrics = registry.TakeSnapshot();
+  result.trace = simulator.shared_trace();
   return result;
 }
 
 // ------------------------------------------------------------------ Gnutella
 
 Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
+  metrics::Registry registry;
   sim::Simulator simulator;
-  sim::SimNetwork network(&simulator, options.net);
+  if (TraceRequested(options)) simulator.EnableTracing();
+  sim::NetworkOptions net_options = options.net;
+  net_options.metrics = &registry;
+  sim::SimNetwork network(&simulator, net_options);
 
   const Topology& topo = options.topology;
   std::vector<sim::NodeId> ids;
@@ -277,9 +325,13 @@ Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
     metrics.responders = session->responder_count();
     metrics.responses = session->hits();
     for (auto& e : metrics.responses) e.time -= session->start_time();
+    RecordQuerySpan(simulator, static_cast<uint32_t>(ids[topo.base]), key,
+                    session->start_time(), session->completion_time());
     result.queries.push_back(std::move(metrics));
   }
   result.wire_bytes = network.total_wire_bytes();
+  result.metrics = registry.TakeSnapshot();
+  result.trace = simulator.shared_trace();
   return result;
 }
 
@@ -293,17 +345,29 @@ Result<ExperimentResult> RunExperiment(const ExperimentOptions& options) {
       options.matches_per_node_vec.size() != options.topology.node_count) {
     return Status::InvalidArgument("placement size != node count");
   }
+  Result<ExperimentResult> result = Status::InvalidArgument("unknown scheme");
   switch (options.scheme) {
     case Scheme::kScs:
     case Scheme::kMcs:
-      return RunCs(options);
+      result = RunCs(options);
+      break;
     case Scheme::kBps:
     case Scheme::kBpr:
-      return RunBestPeer(options);
+      result = RunBestPeer(options);
+      break;
     case Scheme::kGnutella:
-      return RunGnutella(options);
+      result = RunGnutella(options);
+      break;
   }
-  return Status::InvalidArgument("unknown scheme");
+  if (result.ok() && result.value().trace != nullptr) {
+    if (const char* out = std::getenv("BP_TRACE_OUT")) {
+      Status s = result.value().trace->WriteChromeJson(out);
+      if (!s.ok()) {
+        BP_LOG(Warn) << "BP_TRACE_OUT write failed: " << s.ToString();
+      }
+    }
+  }
+  return result;
 }
 
 Result<ExperimentResult> RunAveraged(ExperimentOptions options,
@@ -317,6 +381,8 @@ Result<ExperimentResult> RunAveraged(ExperimentOptions options,
       merged.queries.resize(one.queries.size());
     }
     merged.wire_bytes += one.wire_bytes;
+    merged.metrics.Merge(one.metrics);
+    if (merged.trace == nullptr) merged.trace = one.trace;
     for (size_t q = 0; q < one.queries.size(); ++q) {
       merged.queries[q].completion += one.queries[q].completion;
       merged.queries[q].total_answers += one.queries[q].total_answers;

@@ -2,14 +2,17 @@
 #define BESTPEER_WORKLOAD_EXPERIMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/session.h"
 #include "sim/network.h"
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/sim_time.h"
+#include "util/trace.h"
 #include "workload/corpus.h"
 #include "workload/topology.h"
 
@@ -42,6 +45,12 @@ struct ExperimentResult {
   std::vector<QueryMetrics> queries;
   /// Total bytes that crossed the simulated wire over all queries.
   uint64_t wire_bytes = 0;
+  /// Snapshot of every instrument the run touched (net.*, cpu.*, agent.*,
+  /// core.*, storm.*). RunAveraged sums snapshots across seeds.
+  metrics::Snapshot metrics;
+  /// Per-query trace spans, present iff tracing was on (ExperimentOptions
+  /// trace flag or BP_TRACE_OUT). RunAveraged keeps the first seed's trace.
+  std::shared_ptr<trace::TraceRecorder> trace;
 
   double MeanCompletionMs() const;
   double CompletionMs(size_t query_index) const;
@@ -90,6 +99,12 @@ struct ExperimentOptions {
 
   uint64_t seed = 42;
   sim::NetworkOptions net;
+
+  /// Record per-query trace spans (query launch, agent hops, scans,
+  /// answer return) against the virtual clock. Also forced on when the
+  /// BP_TRACE_OUT environment variable is set, in which case
+  /// RunExperiment writes the Chrome-trace JSON to that path on return.
+  bool trace = false;
 
   /// Number of matches expected at node `i`.
   size_t MatchesAt(size_t i) const {

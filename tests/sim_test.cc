@@ -209,6 +209,46 @@ TEST(SimNetworkTest, DownlinkSerializesConcurrentReceives) {
   EXPECT_EQ(deliveries[1], 3500);
 }
 
+TEST(SimNetworkTest, QueueWaitChargesSenderUplink) {
+  metrics::Registry registry;
+  Simulator sim;
+  NetworkOptions options = FastNet();
+  options.metrics = &registry;
+  SimNetwork net(&sim, options);
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  net.SetHandler(b, [](const SimMessage&) {});
+  net.Send(a, b, 1, Bytes(1250, 0));  // Uplink busy 0-1000.
+  net.Send(a, b, 1, Bytes(1250, 0));  // Must wait until 1000.
+  sim.RunUntilIdle();
+  EXPECT_EQ(net.node_queue_wait(a), 1000);
+  // Back-to-back arrivals hit a free downlink: 1st rx 1500-2500, 2nd
+  // arrives at 2500 exactly as the NIC frees.
+  EXPECT_EQ(net.node_queue_wait(b), 0);
+  auto snapshot = registry.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snapshot.Value("net.queue_wait_us"), 1000.0);
+}
+
+TEST(SimNetworkTest, QueueWaitChargesReceiverDownlink) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  NodeId c = net.AddNode();
+  std::vector<SimTime> deliveries;
+  net.SetHandler(c, [&](const SimMessage&) { deliveries.push_back(sim.now()); });
+  net.Send(a, c, 1, Bytes(1250, 0));
+  net.Send(b, c, 1, Bytes(1250, 0));
+  sim.RunUntilIdle();
+  // Both arrive at 1500; the second serializes 2500-3500, so it waited
+  // 1000 behind the first — charged to the receiver.
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[1], 3500);
+  EXPECT_EQ(net.node_queue_wait(c), 1000);
+  EXPECT_EQ(net.node_queue_wait(a), 0);
+  EXPECT_EQ(net.node_queue_wait(b), 0);
+}
+
 TEST(SimNetworkTest, ExtraWireBytesChargeTheWireOnly) {
   Simulator sim;
   SimNetwork net(&sim, FastNet());

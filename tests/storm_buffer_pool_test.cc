@@ -12,7 +12,7 @@ uint8_t GetMark(const Page* page) { return page->raw()[100]; }
 
 TEST(BufferPoolTest, NewPinsAndFetchHits) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {4, "lru"}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 4, .policy = "lru"}).value();
   auto guard = pool->New().value();
   PageId id = guard.id();
   guard.Release();
@@ -24,17 +24,17 @@ TEST(BufferPoolTest, NewPinsAndFetchHits) {
 
 TEST(BufferPoolTest, ZeroFramesRejected) {
   MemPager pager;
-  EXPECT_FALSE(BufferPool::Create(&pager, {0, "lru"}).ok());
+  EXPECT_FALSE(BufferPool::Create(&pager, {.frames = 0, .policy = "lru"}).ok());
 }
 
 TEST(BufferPoolTest, UnknownPolicyRejected) {
   MemPager pager;
-  EXPECT_FALSE(BufferPool::Create(&pager, {4, "mystery"}).ok());
+  EXPECT_FALSE(BufferPool::Create(&pager, {.frames = 4, .policy = "mystery"}).ok());
 }
 
 TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {2, "lru"}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 2, .policy = "lru"}).value();
   // Create 3 pages through a 2-frame pool; the first must be evicted.
   PageId ids[3];
   for (int i = 0; i < 3; ++i) {
@@ -52,7 +52,7 @@ TEST(BufferPoolTest, EvictionWritesBackDirtyPages) {
 
 TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {2, "lru"}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 2, .policy = "lru"}).value();
   auto g1 = pool->New().value();
   auto g2 = pool->New().value();
   // Both frames pinned: a third page cannot be brought in.
@@ -66,7 +66,7 @@ TEST(BufferPoolTest, PinnedPagesAreNotEvicted) {
 
 TEST(BufferPoolTest, MultiplePinsOnSamePage) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {2, "lru"}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 2, .policy = "lru"}).value();
   auto g1 = pool->New().value();
   PageId id = g1.id();
   auto g2 = pool->Fetch(id).value();
@@ -82,7 +82,7 @@ TEST(BufferPoolTest, MultiplePinsOnSamePage) {
 
 TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {4, "lru"}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 4, .policy = "lru"}).value();
   auto guard = pool->New().value();
   Mark(guard.page(), 0x55);
   guard.MarkDirty();
@@ -97,13 +97,13 @@ TEST(BufferPoolTest, FlushAllPersistsDirtyPages) {
 
 TEST(BufferPoolTest, FetchUnknownPageFails) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {4, "lru"}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 4, .policy = "lru"}).value();
   EXPECT_FALSE(pool->Fetch(42).ok());
 }
 
 TEST(BufferPoolTest, MoveGuardTransfersPin) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {1, "lru"}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 1, .policy = "lru"}).value();
   auto g1 = pool->New().value();
   PageGuard g2 = std::move(g1);
   EXPECT_FALSE(g1.valid());
@@ -117,7 +117,7 @@ class PolicyParamTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(PolicyParamTest, WorkloadSurvivesEvictionChurn) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {4, GetParam()}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 4, .policy = GetParam()}).value();
   EXPECT_EQ(pool->policy_name(), GetParam());
   // 16 pages, each marked, through a 4-frame pool.
   std::vector<PageId> ids;
@@ -141,7 +141,7 @@ TEST_P(PolicyParamTest, WorkloadSurvivesEvictionChurn) {
 
 TEST_P(PolicyParamTest, EvictionOrderRespectsPins) {
   MemPager pager;
-  auto pool = BufferPool::Create(&pager, {3, GetParam()}).value();
+  auto pool = BufferPool::Create(&pager, {.frames = 3, .policy = GetParam()}).value();
   auto pinned = pool->New().value();
   Mark(pinned.page(), 0xEE);
   PageId pinned_id = pinned.id();

@@ -28,7 +28,7 @@ Bytes Content(const std::string& s) { return Bytes(s.begin(), s.end()); }
 
 std::unique_ptr<ObjectStore> MakeStore(MemPager* pager, BufferPool** pool_out,
                                        std::unique_ptr<BufferPool>* pool) {
-  *pool = BufferPool::Create(pager, {16, "lru"}).value();
+  *pool = BufferPool::Create(pager, {.frames = 16, .policy = "lru"}).value();
   *pool_out = pool->get();
   return ObjectStore::Open(pool->get()).value();
 }
@@ -115,7 +115,7 @@ TEST(ObjectStoreTest, SpaceReusedAfterDelete) {
 TEST(ObjectStoreTest, DirectoryRebuiltOnReopen) {
   MemPager pager;
   {
-    auto pool = BufferPool::Create(&pager, {16, "lru"}).value();
+    auto pool = BufferPool::Create(&pager, {.frames = 16, .policy = "lru"}).value();
     auto store = ObjectStore::Open(pool.get()).value();
     ASSERT_TRUE(store->Put(1, Content("persisted")).ok());
     Bytes big(ObjectStore::kChunkDataSize * 2, 0x5A);
@@ -123,7 +123,7 @@ TEST(ObjectStoreTest, DirectoryRebuiltOnReopen) {
     ASSERT_TRUE(pool->FlushAll().ok());
   }
   {
-    auto pool = BufferPool::Create(&pager, {16, "lru"}).value();
+    auto pool = BufferPool::Create(&pager, {.frames = 16, .policy = "lru"}).value();
     auto store = ObjectStore::Open(pool.get()).value();
     EXPECT_EQ(store->object_count(), 2u);
     EXPECT_EQ(store->Get(1).value(), Content("persisted"));

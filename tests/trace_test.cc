@@ -1,0 +1,137 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "workload/experiment.h"
+#include "workload/topology.h"
+
+namespace bestpeer::workload {
+namespace {
+
+/// Small star-topology BestPeer experiment with tracing on: one base, three
+/// leaves, each leaf holding matches, the query issued twice.
+ExperimentOptions TracedStar() {
+  ExperimentOptions o;
+  o.topology = MakeStar(4);
+  o.scheme = Scheme::kBps;
+  o.objects_per_node = 20;
+  o.object_size = 256;
+  o.matches_per_node = 2;
+  o.queries = 2;
+  o.max_direct_peers = 4;
+  o.ttl = 4;
+  o.trace = true;
+  return o;
+}
+
+TEST(TraceE2eTest, TracingOffByDefault) {
+  ExperimentOptions options = TracedStar();
+  options.trace = false;
+  auto result = RunExperiment(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().trace, nullptr);
+}
+
+TEST(TraceE2eTest, StarQueryProducesNestedSpans) {
+  auto result = RunExperiment(TracedStar());
+  ASSERT_TRUE(result.ok());
+  const auto& run = result.value();
+  ASSERT_NE(run.trace, nullptr);
+  const auto& spans = run.trace->spans();
+  ASSERT_FALSE(spans.empty());
+
+  // One top-level "query" span per issued query.
+  std::vector<const trace::Span*> queries;
+  for (const auto& s : spans) {
+    if (s.cat == "query") queries.push_back(&s);
+  }
+  ASSERT_EQ(queries.size(), 2u);
+
+  for (const trace::Span* query : queries) {
+    ASSERT_NE(query->flow, 0u);
+    // The query's agent migrated to the leaves: at least one wire span
+    // and one remote execution (scan) carry the query's flow id.
+    std::vector<const trace::Span*> migrations, scans;
+    for (const auto& s : spans) {
+      if (s.flow != query->flow) continue;
+      if (s.name == "agent.migrate" && s.cat == "net") migrations.push_back(&s);
+      if (s.name == "agent.execute" && s.cat == "cpu") scans.push_back(&s);
+    }
+    EXPECT_GE(migrations.size(), 3u);  // Base fans out to 3 leaves.
+    ASSERT_FALSE(scans.empty());
+
+    // Nesting: migrations start at/after the query launch, and every
+    // remote scan starts only after a migration delivered the agent to
+    // that node.
+    for (const trace::Span* m : migrations) {
+      EXPECT_GE(m->ts, query->ts);
+    }
+    for (const trace::Span* scan : scans) {
+      auto carried = std::find_if(
+          migrations.begin(), migrations.end(), [&](const trace::Span* m) {
+            return m->tid == scan->tid && m->ts + m->dur <= scan->ts;
+          });
+      EXPECT_NE(carried, migrations.end())
+          << "scan on node " << scan->tid << " has no preceding migration";
+    }
+    // Answers returned to the base within the measured query window.
+    bool answer_seen = false;
+    for (const auto& s : spans) {
+      if (s.flow == query->flow && s.cat == "net" && s.name == "search.result") {
+        answer_seen = true;
+        EXPECT_LE(s.ts + s.dur, query->ts + query->dur);
+      }
+    }
+    EXPECT_TRUE(answer_seen);
+  }
+}
+
+TEST(TraceE2eTest, NetSpansAccountForAllWireBytes) {
+  auto result = RunExperiment(TracedStar());
+  ASSERT_TRUE(result.ok());
+  const auto& run = result.value();
+  ASSERT_NE(run.trace, nullptr);
+  uint64_t traced_wire = 0;
+  for (const auto& s : run.trace->spans()) {
+    if (s.cat != "net") continue;
+    for (const auto& [key, value] : s.args) {
+      if (key == "wire") traced_wire += value;
+    }
+  }
+  // Every sent message produced exactly one wire span (delivered or
+  // dropped), so the spans account for 100% of the wire bytes.
+  EXPECT_EQ(traced_wire, run.wire_bytes);
+}
+
+TEST(TraceE2eTest, ChromeJsonExportIsLoadable) {
+  auto result = RunExperiment(TracedStar());
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(result.value().trace, nullptr);
+  const std::string json = result.value().trace->ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"agent.migrate\""), std::string::npos);
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
+  // Balanced JSON delimiters (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  const std::string path = ::testing::TempDir() + "bp_trace_test.json";
+  ASSERT_TRUE(result.value().trace->WriteChromeJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const std::string flat = result.value().trace->ToFlatText();
+  EXPECT_NE(flat.find("agent.migrate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bestpeer::workload

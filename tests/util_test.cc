@@ -4,6 +4,7 @@
 
 #include "util/bytes.h"
 #include "util/hash.h"
+#include "util/logging.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -378,6 +379,55 @@ TEST(StatsTest, EmptySummaryIsZero) {
   EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
 }
 
+TEST(StatsTest, PercentileSingleSample) {
+  Summary s;
+  s.Add(7);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(StatsTest, PercentileInterpolatesBetweenRanks) {
+  Summary s;
+  s.Add(40);
+  s.Add(10);
+  s.Add(30);
+  s.Add(20);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 17.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  // Out-of-range ranks clamp to the extremes.
+  EXPECT_DOUBLE_EQ(s.Percentile(-5), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(200), 40.0);
+}
+
+TEST(StatsTest, PercentileEmptyIsZeroAtAllRanks) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 0.0);
+}
+
+TEST(StatsTest, MergeDisjointSummaries) {
+  Summary lo, hi;
+  lo.Add(1);
+  lo.Add(2);
+  lo.Add(3);
+  hi.Add(101);
+  hi.Add(102);
+  hi.Add(103);
+  lo.Merge(hi);
+  EXPECT_EQ(lo.count(), 6u);
+  EXPECT_DOUBLE_EQ(lo.min(), 1.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 103.0);
+  EXPECT_DOUBLE_EQ(lo.mean(), 52.0);
+  EXPECT_DOUBLE_EQ(lo.Percentile(0), 1.0);
+  // Median falls in the gap: halfway between 3 and 101.
+  EXPECT_DOUBLE_EQ(lo.Percentile(50), 52.0);
+  EXPECT_DOUBLE_EQ(lo.Percentile(100), 103.0);
+}
+
 TEST(StatsTest, HistogramBucketsAndOverflow) {
   Histogram h(10.0, 5);  // Buckets of width 2 + overflow.
   h.Add(0.5);
@@ -391,6 +441,54 @@ TEST(StatsTest, HistogramBucketsAndOverflow) {
   EXPECT_EQ(h.bucket(5), 1u);  // Overflow bucket.
   EXPECT_EQ(h.CumulativeAt(1), 2u);
   EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+}
+
+// ---------------------------------------------------------------- Logging
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNamesAnyCase) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownAndLeavesOutput) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("warned", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(LoggingTest, FilteredMessagesDoNotEvaluateOperands) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return "side effect";
+  };
+  BP_LOG(Debug) << touch();
+  BP_LOG(Info) << touch();
+  BP_LOG(Warn) << touch();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(saved);
+}
+
+TEST(LoggingTest, SetLogLevelControlsFiltering) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(saved);
 }
 
 // ---------------------------------------------------------------- SimTime
