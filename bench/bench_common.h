@@ -110,6 +110,12 @@ class BenchReport {
     metrics_.Merge(result.metrics);
   }
 
+  /// Folds a raw registry snapshot in (for benches that drive a workload
+  /// directly instead of going through RunExperiment).
+  void Absorb(const metrics::Snapshot& snapshot) {
+    metrics_.Merge(snapshot);
+  }
+
   /// MustRun + Absorb in one step.
   workload::ExperimentResult Run(const workload::ExperimentOptions& options) {
     workload::ExperimentResult result = MustRun(options);

@@ -27,6 +27,7 @@ AgentRuntime::AgentRuntime(sim::SimNetwork* network, sim::NodeId node,
     migrations_c_ = reg->GetCounter("agent.migrations");
     ttl_deaths_c_ = reg->GetCounter("agent.ttl_deaths");
     class_loads_c_ = reg->GetCounter("agent.class_loads");
+    expired_c_ = reg->GetCounter("agent.expired");
     serialize_bytes_c_ = reg->GetCounter("agent.serialize_bytes");
     reconstruct_us_c_ = reg->GetCounter("agent.reconstruct_us");
     hops_at_execute_ = reg->GetHistogram("agent.hops_at_execute");
@@ -122,7 +123,7 @@ Status AgentRuntime::LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
     return Status::InvalidArgument("targeted launch needs ttl >= 1");
   }
   code_cache_->Load(node_, agent.class_name());
-  seen_.insert(agent_id);
+  seen_[agent_id] = network_->simulator().now();
 
   AgentMessage msg;
   msg.agent_id = agent_id;
@@ -148,7 +149,7 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
                                       std::string(agent.class_name()));
   }
   code_cache_->Load(node_, agent.class_name());
-  seen_.insert(agent_id);
+  seen_[agent_id] = network_->simulator().now();
 
   AgentMessage msg;
   msg.agent_id = agent_id;
@@ -196,6 +197,23 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
   return Status::OK();
 }
 
+void AgentRuntime::PruneSeen() {
+  if (options_.seen_expiry <= 0) return;
+  const SimTime cutoff = network_->simulator().now() - options_.seen_expiry;
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    if (it->second < cutoff) {
+      // A lost agent (dropped in flight, or died with a crashed host)
+      // never comes back to deregister itself — age its record out so
+      // the table stays bounded under churn and faults.
+      it = seen_.erase(it);
+      ++seen_expired_;
+      expired_c_->Increment();
+    } else {
+      ++it;
+    }
+  }
+}
+
 Status AgentRuntime::OnMessage(const sim::SimMessage& msg) {
   if (msg.type != kAgentTransferType) {
     return Status::InvalidArgument("not an agent transfer");
@@ -205,7 +223,11 @@ Status AgentRuntime::OnMessage(const sim::SimMessage& msg) {
   ++agents_received_;
   received_c_->Increment();
 
-  if (!seen_.insert(agent_msg.agent_id).second) {
+  PruneSeen();
+  auto [it, inserted] =
+      seen_.emplace(agent_msg.agent_id, network_->simulator().now());
+  if (!inserted) {
+    it->second = network_->simulator().now();  // Refresh: still circulating.
     ++duplicates_dropped_;
     duplicates_c_->Increment();
     return Status::OK();

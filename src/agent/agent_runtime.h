@@ -2,8 +2,8 @@
 #define BESTPEER_AGENT_AGENT_RUNTIME_H_
 
 #include <functional>
+#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "agent/agent.h"
@@ -27,6 +27,11 @@ struct AgentRuntimeOptions {
   SimTime class_load_cost = Millis(8);
   /// CPU to clone-and-forward the agent to one neighbour.
   SimTime forward_cost = Micros(300);
+  /// How long the duplicate-drop table remembers an agent id after its
+  /// last sighting. Lost agents (dropped in flight, died with their host)
+  /// never deregister, so without expiry the table grows forever under
+  /// churn. 0 = never forget (the original behaviour).
+  SimTime seen_expiry = 0;
   /// Transport codec applied to agent messages (the paper's GZIP layer).
   std::shared_ptr<const Codec> codec = std::make_shared<NullCodec>();
   /// Metrics sink (not owned; must outlive the runtime). nullptr routes
@@ -82,6 +87,10 @@ class AgentRuntime {
   uint64_t duplicates_dropped() const { return duplicates_dropped_; }
   uint64_t agents_executed() const { return agents_executed_; }
   uint64_t clones_sent() const { return clones_sent_; }
+  /// Agent ids aged out of the duplicate-drop table (lost-agent expiry).
+  uint64_t seen_expired() const { return seen_expired_; }
+  /// Current size of the duplicate-drop table.
+  size_t seen_size() const { return seen_.size(); }
 
   sim::NodeId node() const { return node_; }
 
@@ -95,6 +104,9 @@ class AgentRuntime {
   /// Sends one agent message to `dst`, shipping class bytes if needed.
   Status SendAgentTo(sim::NodeId dst, const AgentMessage& msg);
 
+  /// Drops duplicate-table entries unseen for options_.seen_expiry.
+  void PruneSeen();
+
   sim::SimNetwork* network_;
   sim::NodeId node_;
   const AgentRegistry* registry_;
@@ -103,11 +115,13 @@ class AgentRuntime {
   NeighborFn neighbors_;
   AgentRuntimeOptions options_;
 
-  std::set<uint64_t> seen_;
+  /// agent id -> when it was last sighted (for expiry).
+  std::map<uint64_t, SimTime> seen_;
   uint64_t agents_received_ = 0;
   uint64_t duplicates_dropped_ = 0;
   uint64_t agents_executed_ = 0;
   uint64_t clones_sent_ = 0;
+  uint64_t seen_expired_ = 0;
 
   metrics::Counter* received_c_ = metrics::Counter::Noop();
   metrics::Counter* duplicates_c_ = metrics::Counter::Noop();
@@ -115,6 +129,7 @@ class AgentRuntime {
   metrics::Counter* migrations_c_ = metrics::Counter::Noop();
   metrics::Counter* ttl_deaths_c_ = metrics::Counter::Noop();
   metrics::Counter* class_loads_c_ = metrics::Counter::Noop();
+  metrics::Counter* expired_c_ = metrics::Counter::Noop();
   metrics::Counter* serialize_bytes_c_ = metrics::Counter::Noop();
   metrics::Counter* reconstruct_us_c_ = metrics::Counter::Noop();
   metrics::Histogram* hops_at_execute_ = metrics::Histogram::Noop();

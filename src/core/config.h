@@ -89,6 +89,29 @@ struct BestPeerConfig {
   /// Registered byte size of the StorM search agent class.
   size_t search_agent_code_bytes = 16 * 1024;
 
+  // --- failure recovery -------------------------------------------------
+
+  /// Deadline after which a query session finalizes with whatever answers
+  /// arrived (results past it are dropped as late). 0 disables deadlines:
+  /// sessions stay open forever, as in the lossless model.
+  SimTime query_deadline = 0;
+
+  /// Consecutive queries a direct peer may miss (no response by the
+  /// deadline) before it is evicted and replaced. Only meaningful when
+  /// query_deadline > 0, since otherwise misses are never observed.
+  uint32_t peer_failure_threshold = 3;
+
+  /// Resends the LIGLO client performs after a request timeout (0 keeps
+  /// single-attempt semantics; see LigloClientOptions::max_retries).
+  int liglo_max_retries = 0;
+
+  /// Base backoff delay between LIGLO retries (doubles per attempt).
+  SimTime liglo_retry_backoff = Millis(200);
+
+  /// How long the agent runtime's duplicate-drop table remembers an
+  /// agent id (lost agents never deregister themselves). 0 = forever.
+  SimTime agent_seen_expiry = 0;
+
   // --- observability ----------------------------------------------------
 
   /// Metrics sink shared by the node and its agent runtime (not owned;

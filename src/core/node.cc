@@ -54,6 +54,9 @@ Status BestPeerNode::Init() {
     answers_received_c_ = reg->GetCounter("core.answers_received");
     reconfigurations_c_ = reg->GetCounter("core.reconfigurations");
     fetches_issued_c_ = reg->GetCounter("core.fetches_issued");
+    late_results_c_ = reg->GetCounter("core.late_results");
+    sessions_finalized_c_ = reg->GetCounter("core.sessions_finalized");
+    peer_evictions_c_ = reg->GetCounter("core.peer_evictions");
     result_hops_ = reg->GetHistogram("core.result_hops");
   }
   network_->RegisterTypeName(kSearchResultType, "search.result");
@@ -70,13 +73,19 @@ Status BestPeerNode::Init() {
   network_->RegisterTypeName(kUpdateNotifyType, "update.notify");
 
   dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
+  liglo::LigloClientOptions liglo_options;
+  liglo_options.max_retries = config_.liglo_max_retries;
+  liglo_options.retry_backoff = config_.liglo_retry_backoff;
+  liglo_options.metrics = config_.metrics;
   liglo_ = std::make_unique<liglo::LigloClient>(
-      network_, dispatcher_.get(), node_, &infra_->ip_directory);
+      network_, dispatcher_.get(), node_, &infra_->ip_directory,
+      liglo_options);
 
   agent::AgentRuntimeOptions agent_options;
   agent_options.reconstruct_cost = config_.agent_reconstruct_cost;
   agent_options.class_load_cost = config_.agent_class_load_cost;
   agent_options.forward_cost = config_.agent_forward_cost;
+  agent_options.seen_expiry = config_.agent_seen_expiry;
   agent_options.codec = codec_;
   agent_options.metrics = config_.metrics;
   runtime_ = std::make_unique<agent::AgentRuntime>(
@@ -336,12 +345,14 @@ void BestPeerNode::OnPeerDisconnect(const sim::SimMessage& msg) {
   ReplenishPeersIfIsolated();
 }
 
-void BestPeerNode::ReplenishPeersIfIsolated() {
+void BestPeerNode::ReplenishPeersIfIsolated(bool below_capacity) {
   // A node whose last peer vanished (or refused the link) replaces it
   // with new peers from its LIGLO (§2: "it can simply replace those
   // peers by new peers that it encounters").
-  if (!peers_.Nodes().empty() || !liglo_->registered() ||
-      replenish_in_flight_) {
+  const bool want_more = below_capacity
+                             ? peers_.size() < config_.max_direct_peers
+                             : peers_.Nodes().empty();
+  if (!want_more || !liglo_->registered() || replenish_in_flight_) {
     return;
   }
   replenish_in_flight_ = true;
@@ -381,7 +392,53 @@ Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
                              network_->simulator().now()));
   BP_RETURN_IF_ERROR(runtime_->Launch(query_id, agent, ttl,
                                       config_.search_local_store));
+  ArmSessionDeadline(query_id);
   return query_id;
+}
+
+void BestPeerNode::ArmSessionDeadline(uint64_t query_id) {
+  if (config_.query_deadline <= 0) return;
+  network_->simulator().ScheduleAfter(
+      config_.query_deadline,
+      [this, query_id]() { FinalizeSession(query_id); });
+}
+
+void BestPeerNode::FinalizeSession(uint64_t query_id) {
+  auto it = sessions_.find(query_id);
+  if (it == sessions_.end() || it->second.finalized()) return;
+  it->second.Finalize();
+  ++sessions_finalized_;
+  sessions_finalized_c_->Increment();
+  UpdatePeerHealth(it->second);
+}
+
+void BestPeerNode::UpdatePeerHealth(const QuerySession& session) {
+  std::set<sim::NodeId> responders;
+  for (const auto& e : session.responses()) responders.insert(e.node);
+
+  std::vector<sim::NodeId> evicted;
+  for (sim::NodeId peer : peers_.Nodes()) {
+    PeerInfo* info = peers_.Find(peer);
+    if (info == nullptr) continue;
+    if (responders.count(peer) != 0) {
+      info->consecutive_failures = 0;
+      continue;
+    }
+    if (++info->consecutive_failures >= config_.peer_failure_threshold) {
+      evicted.push_back(peer);
+    }
+  }
+  for (sim::NodeId peer : evicted) {
+    // The peer missed too many deadlines in a row: treat it as dead and
+    // replace it (paper §2: departed peers are "simply replace[d] ...
+    // by new peers"). The disconnect notice is best-effort — a crashed
+    // peer never sees it.
+    peers_.Remove(peer);
+    SendCompressed(peer, kPeerDisconnectType, Bytes{});
+    ++peer_evictions_;
+    peer_evictions_c_->Increment();
+  }
+  if (!evicted.empty()) ReplenishPeersIfIsolated(/*below_capacity=*/true);
 }
 
 Result<uint64_t> BestPeerNode::IssueSearch(const std::string& keyword,
@@ -414,6 +471,7 @@ Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
   sessions_.emplace(
       query_id, QuerySession(query_id, keyword, AnswerMode::kIndicate,
                              network_->simulator().now()));
+  ArmSessionDeadline(query_id);
 
   std::vector<sim::NodeId> code_targets;
   std::vector<sim::NodeId> data_targets;
@@ -494,6 +552,11 @@ void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
   if (!resp.ok()) return;
   auto it = sessions_.find(resp->query_id);
   if (it == sessions_.end()) return;
+  if (it->second.finalized()) {
+    ++late_results_;
+    late_results_c_->Increment();
+    return;
+  }
   store_size_hints_[msg.src] = resp->items.size();
 
   // Scan the shipped store locally — this node paid for the data, now it
@@ -512,6 +575,11 @@ void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
       [this, query_id, responder, matches]() {
         auto session_it = sessions_.find(query_id);
         if (session_it == sessions_.end()) return;
+        if (session_it->second.finalized()) {
+          ++late_results_;
+          late_results_c_->Increment();
+          return;
+        }
         ResponseEvent event;
         event.time = network_->simulator().now();
         event.node = responder;
@@ -590,6 +658,12 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
   }
   auto it = sessions_.find(result->query_id);
   if (it == sessions_.end()) return;  // Not ours (or long forgotten).
+  if (it->second.finalized()) {
+    // Straggler past the deadline: the answer set is frozen.
+    ++late_results_;
+    late_results_c_->Increment();
+    return;
+  }
   ++results_received_;
   results_received_c_->Increment();
   answers_received_c_->Add(result->items.size());
@@ -606,6 +680,12 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
       [this, record, responder]() {
         auto session_it = sessions_.find(record->query_id);
         if (session_it == sessions_.end()) return;
+        if (session_it->second.finalized()) {
+          // Deadline fired while this result sat in the CPU queue.
+          ++late_results_;
+          late_results_c_->Increment();
+          return;
+        }
         ResponseEvent event;
         event.time = network_->simulator().now();
         event.node = responder;
@@ -676,6 +756,11 @@ void BestPeerNode::OnFetchResponse(const sim::SimMessage& msg) {
   if (!resp.ok()) return;
   auto it = sessions_.find(resp->query_id);
   if (it == sessions_.end()) return;
+  if (it->second.finalized()) {
+    ++late_results_;
+    late_results_c_->Increment();
+    return;
+  }
   ResponseEvent event;
   event.time = network_->simulator().now();
   event.node = msg.src;

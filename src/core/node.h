@@ -168,6 +168,20 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   /// The session of a query issued by this node (nullptr if unknown).
   const QuerySession* FindSession(uint64_t query_id) const;
 
+  /// Closes the query at its deadline: the answer set freezes, late
+  /// results are dropped (counted), and peers that never responded accrue
+  /// a failure — at config.peer_failure_threshold they are evicted and
+  /// replaced. Scheduled automatically when config.query_deadline > 0;
+  /// callable directly for explicit cutoffs.
+  void FinalizeSession(uint64_t query_id);
+
+  /// Results that arrived after their session was finalized (dropped).
+  uint64_t late_results() const { return late_results_; }
+  /// Sessions closed by a deadline.
+  uint64_t sessions_finalized() const { return sessions_finalized_; }
+  /// Direct peers evicted for missing peer_failure_threshold deadlines.
+  uint64_t peer_evictions() const { return peer_evictions_; }
+
   /// Explicit mode-2 content fetch from `responder` (auto_fetch does this
   /// automatically on descriptor arrival).
   void FetchObjects(sim::NodeId responder, uint64_t query_id,
@@ -213,6 +227,14 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   Result<uint64_t> LaunchAgent(agent::Agent& agent, uint64_t query_id,
                                const std::string& keyword, uint16_t ttl);
 
+  /// Arms the query_deadline timer for `query_id` (no-op when disabled).
+  void ArmSessionDeadline(uint64_t query_id);
+
+  /// Updates per-peer health from a finalized session: responders reset
+  /// their failure streak, silent peers extend it (eviction at the
+  /// threshold).
+  void UpdatePeerHealth(const QuerySession& session);
+
   /// Replaces the direct-peer set; sends connect/disconnect notices.
   void ApplyPeerSet(const std::vector<sim::NodeId>& new_peers,
                     const std::vector<PeerObservation>& observations);
@@ -234,8 +256,9 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   void OnPeerDisconnect(const sim::SimMessage& msg);
 
   /// Fetches replacement peers from the home LIGLO when the direct-peer
-  /// list becomes empty.
-  void ReplenishPeersIfIsolated();
+  /// list becomes empty — or, with `below_capacity`, whenever there is
+  /// room (used after health evictions, which rarely empty the list).
+  void ReplenishPeersIfIsolated(bool below_capacity = false);
 
   /// `flow` tags the message with its query id for tracing (0 = none).
   void SendCompressed(sim::NodeId dst, uint32_t type, const Bytes& payload,
@@ -270,6 +293,9 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   uint64_t request_counter_ = 0;
   uint64_t results_received_ = 0;
   uint64_t reconfigurations_ = 0;
+  uint64_t late_results_ = 0;
+  uint64_t sessions_finalized_ = 0;
+  uint64_t peer_evictions_ = 0;
   bool replenish_in_flight_ = false;
   uint64_t replicas_stored_ = 0;
   std::set<sim::NodeId> watchers_;
@@ -281,6 +307,9 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   metrics::Counter* answers_received_c_ = metrics::Counter::Noop();
   metrics::Counter* reconfigurations_c_ = metrics::Counter::Noop();
   metrics::Counter* fetches_issued_c_ = metrics::Counter::Noop();
+  metrics::Counter* late_results_c_ = metrics::Counter::Noop();
+  metrics::Counter* sessions_finalized_c_ = metrics::Counter::Noop();
+  metrics::Counter* peer_evictions_c_ = metrics::Counter::Noop();
   metrics::Histogram* result_hops_ = metrics::Histogram::Noop();
 };
 

@@ -25,6 +25,9 @@ struct PeerInfo {
   uint16_t last_hops = 0;
   /// When the peer last responded.
   SimTime last_response_time = 0;
+  /// Queries in a row this peer missed entirely (reset on any response).
+  /// Reaching BestPeerConfig::peer_failure_threshold gets it evicted.
+  uint32_t consecutive_failures = 0;
 };
 
 /// A node's direct-peer set. Outgoing capacity is bounded by `capacity`

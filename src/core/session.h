@@ -81,6 +81,11 @@ class QuerySession {
   /// Per-responder observations feeding the reconfiguration strategy.
   std::vector<PeerObservation> Observations() const;
 
+  /// Closes the session at its deadline: the answer set is frozen and
+  /// later results must be dropped by the caller (counted as late).
+  void Finalize() { finalized_ = true; }
+  bool finalized() const { return finalized_; }
+
  private:
   uint64_t query_id_ = 0;
   std::string keyword_;
@@ -89,6 +94,7 @@ class QuerySession {
   std::vector<ResponseEvent> responses_;
   std::vector<ResponseEvent> fetches_;
   std::set<uint64_t> unique_objects_;
+  bool finalized_ = false;
 };
 
 }  // namespace bestpeer::core

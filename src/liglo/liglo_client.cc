@@ -1,5 +1,6 @@
 #include "liglo/liglo_client.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -10,7 +11,18 @@ namespace bestpeer::liglo {
 LigloClient::LigloClient(sim::SimNetwork* network,
                          sim::Dispatcher* dispatcher, sim::NodeId node,
                          IpDirectory* ips, LigloClientOptions options)
-    : network_(network), node_(node), ips_(ips), options_(options) {
+    : network_(network),
+      node_(node),
+      ips_(ips),
+      options_(options),
+      jitter_rng_(options.jitter_seed ^
+                  (static_cast<uint64_t>(node) << 32 | node)) {
+  if (options_.metrics != nullptr) {
+    metrics::Registry* reg = options_.metrics;
+    timeouts_c_ = reg->GetCounter("liglo.timeouts");
+    retries_c_ = reg->GetCounter("liglo.retries");
+    late_replies_c_ = reg->GetCounter("liglo.late_replies");
+  }
   dispatcher->Register(kLigloRegisterResp, [this](const sim::SimMessage& m) {
     OnRegisterResp(m);
   });
@@ -41,38 +53,64 @@ LigloClient::Pending LigloClient::TakePending(uint64_t id, bool* found) {
 
 void LigloClient::ArmTimeout(uint64_t id) {
   network_->simulator().ScheduleAfter(options_.request_timeout, [this, id]() {
-    bool found = false;
-    Pending p = TakePending(id, &found);
-    if (!found) return;  // Already answered.
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // Already answered.
     ++timeouts_;
+    timeouts_c_->Increment();
+    Pending& p = it->second;
+    if (p.attempt < options_.max_retries && Retryable(p.kind)) {
+      // Recovery path: keep the request pending and resend after an
+      // exponential backoff with deterministic jitter. A straggling reply
+      // to an earlier attempt can still complete the request while we
+      // back off — the resend then finds nothing pending and is dropped.
+      ++p.attempt;
+      ++retries_;
+      retries_c_->Increment();
+      SimTime delay = options_.retry_backoff * (SimTime{1} << (p.attempt - 1));
+      if (options_.retry_jitter > 0) {
+        const double spread =
+            1.0 - options_.retry_jitter +
+            2.0 * options_.retry_jitter * jitter_rng_.NextDouble();
+        delay = std::max<SimTime>(1, static_cast<SimTime>(
+                                         static_cast<double>(delay) * spread));
+      }
+      network_->simulator().ScheduleAfter(delay,
+                                          [this, id]() { SendAttempt(id); });
+      return;
+    }
+    Pending done = std::move(it->second);
+    pending_.erase(it);
     Status timeout = Status::Unavailable("LIGLO request timed out");
-    switch (p.kind) {
+    switch (done.kind) {
       case PendingKind::kRegister:
-        if (p.on_register) p.on_register(timeout);
+        if (done.on_register) done.on_register(timeout);
         break;
       case PendingKind::kUpdate:
-        if (p.on_status) p.on_status(timeout);
+        if (done.on_status) done.on_status(timeout);
         break;
       case PendingKind::kResolve:
-        if (p.on_resolve) p.on_resolve(timeout);
+        if (done.on_resolve) done.on_resolve(timeout);
         break;
       case PendingKind::kPeers:
-        if (p.on_peers) p.on_peers(timeout);
+        if (done.on_peers) done.on_peers(timeout);
         break;
     }
   });
 }
 
-Status LigloClient::SendToServer(sim::NodeId server, uint32_t type,
-                                 Bytes payload, uint64_t id) {
-  if (!network_->IsOnline(server)) {
-    // The message would be dropped anyway; we still send so the timeout
-    // path exercises realistically, but short-circuit is avoided on
-    // purpose: a client cannot know the server is down.
-  }
-  network_->Send(node_, server, type, std::move(payload));
+void LigloClient::StartRequest(uint64_t id, Pending pending) {
+  // No online short-circuit on purpose: a client cannot know the server
+  // is down, so the timeout (and retry) path exercises realistically.
+  pending_[id] = std::move(pending);
+  SendAttempt(id);
+}
+
+void LigloClient::SendAttempt(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // Answered while backing off.
+  network_->Send(node_, it->second.server, it->second.msg_type,
+                 Bytes(it->second.payload));
   ArmTimeout(id);
-  return Status::OK();
 }
 
 void LigloClient::Register(sim::NodeId liglo_server, IpAddress my_ip,
@@ -81,14 +119,16 @@ void LigloClient::Register(sim::NodeId liglo_server, IpAddress my_ip,
   Pending p;
   p.kind = PendingKind::kRegister;
   p.on_register = std::move(callback);
-  pending_[id] = std::move(p);
   home_server_ = liglo_server;
   current_ip_ = my_ip;
 
   RegisterRequest req;
   req.request_id = id;
   req.ip = my_ip;
-  SendToServer(liglo_server, kLigloRegisterReq, req.Encode(), id).ok();
+  p.server = liglo_server;
+  p.msg_type = kLigloRegisterReq;
+  p.payload = req.Encode();
+  StartRequest(id, std::move(p));
 }
 
 void LigloClient::RegisterWithFallback(
@@ -126,7 +166,6 @@ void LigloClient::UpdateAddress(IpAddress my_ip, bool online,
   Pending p;
   p.kind = PendingKind::kUpdate;
   p.on_status = std::move(callback);
-  pending_[id] = std::move(p);
   current_ip_ = my_ip;
 
   UpdateRequest req;
@@ -134,7 +173,10 @@ void LigloClient::UpdateAddress(IpAddress my_ip, bool online,
   req.bpid = bpid_;
   req.ip = my_ip;
   req.online = online;
-  SendToServer(home_server_, kLigloUpdateReq, req.Encode(), id).ok();
+  p.server = home_server_;
+  p.msg_type = kLigloUpdateReq;
+  p.payload = req.Encode();
+  StartRequest(id, std::move(p));
 }
 
 void LigloClient::Resolve(const Bpid& peer, ResolveCallback callback) {
@@ -142,15 +184,15 @@ void LigloClient::Resolve(const Bpid& peer, ResolveCallback callback) {
   Pending p;
   p.kind = PendingKind::kResolve;
   p.on_resolve = std::move(callback);
-  pending_[id] = std::move(p);
 
   ResolveRequest req;
   req.request_id = id;
   req.bpid = peer;
   // The peer's home LIGLO has a fixed address: its liglo_id is the node.
-  SendToServer(static_cast<sim::NodeId>(peer.liglo_id), kLigloResolveReq,
-               req.Encode(), id)
-      .ok();
+  p.server = static_cast<sim::NodeId>(peer.liglo_id);
+  p.msg_type = kLigloResolveReq;
+  p.payload = req.Encode();
+  StartRequest(id, std::move(p));
 }
 
 void LigloClient::Rejoin(IpAddress my_ip, const std::vector<Bpid>& peers,
@@ -196,12 +238,14 @@ void LigloClient::DiscoverPeers(PeersCallback callback) {
   Pending p;
   p.kind = PendingKind::kPeers;
   p.on_peers = std::move(callback);
-  pending_[id] = std::move(p);
 
   PeersRequest req;
   req.request_id = id;
   req.requester = bpid_;
-  SendToServer(home_server_, kLigloPeersReq, req.Encode(), id).ok();
+  p.server = home_server_;
+  p.msg_type = kLigloPeersReq;
+  p.payload = req.Encode();
+  StartRequest(id, std::move(p));
 }
 
 void LigloClient::OnPeersResp(const sim::SimMessage& msg) {
@@ -209,7 +253,11 @@ void LigloClient::OnPeersResp(const sim::SimMessage& msg) {
   if (!resp.ok()) return;
   bool found = false;
   Pending p = TakePending(resp->request_id, &found);
-  if (!found || p.kind != PendingKind::kPeers) return;
+  if (!found) {
+    NoteLateReply();
+    return;
+  }
+  if (p.kind != PendingKind::kPeers) return;
   if (p.on_peers) p.on_peers(std::move(resp->peers));
 }
 
@@ -218,7 +266,11 @@ void LigloClient::OnRegisterResp(const sim::SimMessage& msg) {
   if (!resp.ok()) return;
   bool found = false;
   Pending p = TakePending(resp->request_id, &found);
-  if (!found || p.kind != PendingKind::kRegister) return;
+  if (!found) {
+    NoteLateReply();
+    return;
+  }
+  if (p.kind != PendingKind::kRegister) return;
   if (!resp->accepted) {
     if (p.on_register) {
       p.on_register(
@@ -237,7 +289,11 @@ void LigloClient::OnUpdateResp(const sim::SimMessage& msg) {
   if (!resp.ok()) return;
   bool found = false;
   Pending p = TakePending(resp->request_id, &found);
-  if (!found || p.kind != PendingKind::kUpdate) return;
+  if (!found) {
+    NoteLateReply();
+    return;
+  }
+  if (p.kind != PendingKind::kUpdate) return;
   if (p.on_status) {
     p.on_status(resp->ok ? Status::OK()
                          : Status::NotFound("LIGLO does not know us"));
@@ -249,7 +305,11 @@ void LigloClient::OnResolveResp(const sim::SimMessage& msg) {
   if (!resp.ok()) return;
   bool found = false;
   Pending p = TakePending(resp->request_id, &found);
-  if (!found || p.kind != PendingKind::kResolve) return;
+  if (!found) {
+    NoteLateReply();
+    return;
+  }
+  if (p.kind != PendingKind::kResolve) return;
   if (p.on_resolve) {
     p.on_resolve(ResolveOutcome{resp->state, resp->ip});
   }

@@ -11,6 +11,8 @@
 #include "liglo/liglo_protocol.h"
 #include "sim/dispatcher.h"
 #include "sim/network.h"
+#include "util/metrics.h"
+#include "util/rng.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::liglo {
@@ -20,6 +22,26 @@ struct LigloClientOptions {
   /// Requests with no response within this window fail as Unavailable
   /// (covers LIGLO-server failure: peers keep working, paper §3.4).
   SimTime request_timeout = Seconds(2);
+
+  /// Resends after a timeout for register/resolve/peers requests before
+  /// the callback fails (update notices stay fire-once). 0 keeps the
+  /// single-attempt behaviour; under message loss, retries are what let a
+  /// node (re)join at all.
+  int max_retries = 0;
+
+  /// Delay before the first resend; doubles with every further attempt.
+  SimTime retry_backoff = Millis(200);
+
+  /// +/- fraction of deterministic jitter applied to each backoff delay,
+  /// de-synchronising clients that timed out together.
+  double retry_jitter = 0.2;
+
+  /// Seed of the per-client jitter stream (mixed with the node id).
+  uint64_t jitter_seed = 0x1B07;
+
+  /// Metrics sink (not owned; must outlive the client). nullptr routes
+  /// increments to no-op handles.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Node-side LIGLO stub: registration, address updates, BPID resolution,
@@ -89,7 +111,13 @@ class LigloClient {
   const Bpid& bpid() const { return bpid_; }
   bool registered() const { return bpid_.IsValid(); }
 
+  /// Timeout windows that expired (each failed attempt counts once).
   uint64_t timeouts() const { return timeouts_; }
+  /// Resends performed after a timeout.
+  uint64_t retries() const { return retries_; }
+  /// Replies that arrived after their request had already timed out (or
+  /// been answered by an earlier attempt); ignored quietly.
+  uint64_t late_replies() const { return late_replies_; }
 
  private:
   enum class PendingKind { kRegister, kUpdate, kResolve, kPeers };
@@ -99,6 +127,11 @@ class LigloClient {
     StatusCallback on_status;
     ResolveCallback on_resolve;
     PeersCallback on_peers;
+    /// Request wire state kept for resends.
+    sim::NodeId server = sim::kInvalidNode;
+    uint32_t msg_type = 0;
+    Bytes payload;
+    int attempt = 0;
   };
 
   void OnRegisterResp(const sim::SimMessage& msg);
@@ -107,17 +140,27 @@ class LigloClient {
   void OnPeersResp(const sim::SimMessage& msg);
   void OnPing(const sim::SimMessage& msg);
 
-  /// Sends `payload` to the node currently holding the server's address;
-  /// arms the timeout for request `id`.
-  Status SendToServer(sim::NodeId server, uint32_t type, Bytes payload,
-                      uint64_t id);
+  /// Records the pending request and fires its first attempt.
+  void StartRequest(uint64_t id, Pending pending);
+  /// Puts the request's current attempt on the wire and arms its timeout.
+  void SendAttempt(uint64_t id);
+  /// Counts a reply whose request already timed out or was answered.
+  void NoteLateReply() {
+    ++late_replies_;
+    late_replies_c_->Increment();
+  }
   void ArmTimeout(uint64_t id);
   Pending TakePending(uint64_t id, bool* found);
+  /// Whether a timed-out request of this kind is resent.
+  static bool Retryable(PendingKind kind) {
+    return kind != PendingKind::kUpdate;
+  }
 
   sim::SimNetwork* network_;
   sim::NodeId node_;
   IpDirectory* ips_;
   LigloClientOptions options_;
+  Rng jitter_rng_;
 
   Bpid bpid_;
   sim::NodeId home_server_ = sim::kInvalidNode;
@@ -126,6 +169,12 @@ class LigloClient {
   uint64_t next_request_id_ = 1;
   std::map<uint64_t, Pending> pending_;
   uint64_t timeouts_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t late_replies_ = 0;
+
+  metrics::Counter* timeouts_c_ = metrics::Counter::Noop();
+  metrics::Counter* retries_c_ = metrics::Counter::Noop();
+  metrics::Counter* late_replies_c_ = metrics::Counter::Noop();
 };
 
 }  // namespace bestpeer::liglo

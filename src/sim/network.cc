@@ -6,11 +6,20 @@
 #include <cstdio>
 #include <utility>
 
+#include "sim/fault.h"
+
 namespace bestpeer::sim {
 
 SimNetwork::SimNetwork(Simulator* sim, NetworkOptions options)
     : sim_(sim), options_(options) {
   assert(options_.bytes_per_us > 0);
+  if (FaultInjector* faults = sim_->fault()) {
+    // Scheduled crash/restart flips node state through us, so in-flight
+    // messages to a crashed node drop under the usual offline semantics.
+    faults->SetOnlineHook([this](NodeId node, bool online) {
+      if (node < nodes_.size()) SetOnline(node, online);
+    });
+  }
   if (options_.metrics != nullptr) {
     metrics::Registry* reg = options_.metrics;
     messages_sent_c_ = reg->GetCounter("net.messages_sent");
@@ -53,8 +62,12 @@ std::string_view SimNetwork::TypeName(uint32_t type) const {
 }
 
 SimTime SimNetwork::TxTime(size_t bytes) const {
+  // Ceiling, not rounding: a nonzero payload always occupies the NIC for
+  // at least 1 us. llround here let any message under bytes_per_us/2
+  // bytes serialize in 0 us — a free infinite-bandwidth NIC for small
+  // control messages that could reorder against the FIFO uplink model.
   return static_cast<SimTime>(
-      std::llround(static_cast<double>(bytes) / options_.bytes_per_us));
+      std::ceil(static_cast<double>(bytes) / options_.bytes_per_us));
 }
 
 void SimNetwork::TraceMessage(const SimMessage& msg, SimTime sent,
@@ -99,6 +112,15 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
   const SimTime tx = TxTime(msg->wire_size);
   const SimTime send_time = sim_->now();
 
+  // A crashed/offline sender transmits nothing: its queued sends (e.g.
+  // CPU work that completes after the crash) vanish at the source.
+  if (!sender.online) {
+    ++messages_dropped_;
+    messages_dropped_c_->Increment();
+    TraceMessage(*msg, send_time, send_time, /*dropped=*/true);
+    return;
+  }
+
   // Serialize on the sender's uplink (FIFO). Time spent waiting for the
   // NIC behind earlier transmissions is queueing delay charged to the
   // sender.
@@ -114,10 +136,27 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
   sender.bytes_sent_c->Add(msg->wire_size);
   queue_wait_us_c_->Add(static_cast<uint64_t>(up_start - send_time));
 
+  SimTime arrival = up_done + options_.latency;
+
+  // Single fault decision point: probabilistic in-flight loss and latency
+  // spikes. The sender already paid for the uplink — the bytes were
+  // transmitted — but a lost message never reaches the receiver's NIC.
+  if (FaultInjector* faults = sim_->fault()) {
+    FaultDecision decision = faults->OnSend(src, dst);
+    if (decision.drop) {
+      ++messages_dropped_;
+      messages_dropped_c_->Increment();
+      sim_->ScheduleAt(arrival, [this, msg, send_time]() {
+        TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/true);
+      });
+      return;
+    }
+    arrival += decision.extra_delay;
+  }
+
   // Propagate, then serialize on the receiver's downlink. The downlink
   // reservation must happen at arrival time (other packets may arrive in
   // between), so it is done inside the arrival event.
-  SimTime arrival = up_done + options_.latency;
   sim_->ScheduleAt(arrival, [this, msg, tx, send_time]() {
     Node& receiver = nodes_[msg->dst];
     if (!receiver.online) {
@@ -129,9 +168,12 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
     SimTime rx_start = std::max(sim_->now(), receiver.downlink_free_at);
     SimTime rx_done = rx_start + tx;
     receiver.downlink_free_at = rx_done;
-    receiver.queue_wait += rx_start - sim_->now();
-    queue_wait_us_c_->Add(static_cast<uint64_t>(rx_start - sim_->now()));
-    sim_->ScheduleAt(rx_done, [this, msg, send_time]() {
+    // The receiver's queue-wait charge is deferred to delivery time: a
+    // receiver that dies between the downlink reservation and rx_done
+    // must not accrue queue/occupancy stats for a message it never got
+    // (SetOnline(false) releases the NIC reservation itself).
+    const SimTime rx_wait = rx_start - sim_->now();
+    sim_->ScheduleAt(rx_done, [this, msg, send_time, rx_wait]() {
       Node& node = nodes_[msg->dst];
       if (!node.online) {
         ++messages_dropped_;
@@ -139,6 +181,8 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
         TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/true);
         return;
       }
+      node.queue_wait += rx_wait;
+      queue_wait_us_c_->Add(static_cast<uint64_t>(rx_wait));
       node.bytes_received += msg->wire_size;
       node.bytes_received_c->Add(msg->wire_size);
       delivery_latency_us_->Observe(
@@ -152,7 +196,15 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
 
 void SimNetwork::SetOnline(NodeId node, bool online) {
   assert(node < nodes_.size());
-  nodes_[node].online = online;
+  Node& n = nodes_[node];
+  if (n.online && !online) {
+    // Going offline releases both NICs: a transfer into (or out of) a
+    // dead host stops occupying the link, so messages queued behind it
+    // are not delayed by a reservation that will never deliver.
+    n.uplink_free_at = sim_->now();
+    n.downlink_free_at = sim_->now();
+  }
+  n.online = online;
 }
 
 bool SimNetwork::IsOnline(NodeId node) const {

@@ -90,7 +90,8 @@ class SimNetwork {
   /// NIC serialization + latency. `extra_wire_bytes` adds modelled bytes
   /// (e.g. a shipped agent class) without materializing them. `flow`
   /// tags the message with its query/agent id for tracing (0 = none).
-  /// Messages to offline nodes are silently dropped (counted).
+  /// Messages to — or from — offline nodes are silently dropped
+  /// (counted), as are messages the simulator's fault injector loses.
   void Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
             size_t extra_wire_bytes = 0, uint64_t flow = 0);
 

@@ -3,7 +3,19 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/fault.h"
+
 namespace bestpeer::sim {
+
+Simulator::Simulator() = default;
+Simulator::~Simulator() = default;
+
+FaultInjector* Simulator::EnableFaults(const FaultOptions& options) {
+  if (fault_ == nullptr) {
+    fault_ = std::make_unique<FaultInjector>(this, options);
+  }
+  return fault_.get();
+}
 
 void Simulator::ScheduleAt(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule into the past");

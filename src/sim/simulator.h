@@ -10,6 +10,9 @@
 
 namespace bestpeer::sim {
 
+class FaultInjector;
+struct FaultOptions;
+
 /// Discrete-event simulation kernel: a virtual clock plus an event queue.
 ///
 /// All BestPeer experiments run on one Simulator. The clock only advances
@@ -18,7 +21,8 @@ namespace bestpeer::sim {
 /// 32-PC cluster.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -68,11 +72,27 @@ class Simulator {
   /// Shared handle to the recorder so results can outlive the simulator.
   std::shared_ptr<trace::TraceRecorder> shared_trace() const { return trace_; }
 
+  // --- fault injection ----------------------------------------------------
+  //
+  // The simulator owns the per-run fault injector for the same reason it
+  // owns the trace recorder: every layer reaches it through the clock it
+  // already holds. Disabled by default: fault() returns nullptr and the
+  // network's send path pays a single pointer test.
+
+  /// Creates the fault injector (idempotent; later calls keep the first).
+  /// Enable faults before constructing a SimNetwork so the network can
+  /// bind its online hook for scheduled crashes.
+  FaultInjector* EnableFaults(const FaultOptions& options);
+
+  /// The active injector, or nullptr when fault injection is disabled.
+  FaultInjector* fault() const { return fault_.get(); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t events_processed_ = 0;
   std::shared_ptr<trace::TraceRecorder> trace_;
+  std::unique_ptr<FaultInjector> fault_;
 };
 
 }  // namespace bestpeer::sim

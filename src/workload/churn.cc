@@ -6,6 +6,7 @@
 #include "core/node.h"
 #include "core/search_agent.h"
 #include "liglo/liglo_server.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 #include "workload/corpus.h"
@@ -31,7 +32,18 @@ Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
   }
   Rng rng(options.seed);
   sim::Simulator simulator;
-  sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  if (options.message_loss > 0) {
+    // Must precede SimNetwork construction so crash scheduling can hook
+    // node state; loss decisions are seeded, so runs stay deterministic.
+    sim::FaultOptions fault_options;
+    fault_options.seed = options.seed ^ 0xFA17;
+    fault_options.message_loss = options.message_loss;
+    fault_options.metrics = options.metrics;
+    simulator.EnableFaults(fault_options);
+  }
+  sim::NetworkOptions net_options;
+  net_options.metrics = options.metrics;
+  sim::SimNetwork network(&simulator, net_options);
   core::SharedInfra infra;
 
   // LIGLO server on its own machine.
@@ -49,6 +61,11 @@ Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
   config.max_direct_peers = options.starter_peers + 2;
   config.strategy = options.reconfigure ? "maxcount" : "none";
   config.default_ttl = static_cast<uint16_t>(options.ttl);
+  config.query_deadline = options.query_deadline;
+  config.peer_failure_threshold = options.peer_failure_threshold;
+  config.liglo_max_retries = options.liglo_retries;
+  config.agent_seen_expiry = options.agent_seen_expiry;
+  config.metrics = options.metrics;
 
   CorpusGenerator corpus({512, 300, 0.8}, options.seed);
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
@@ -86,15 +103,19 @@ Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
       rng.Shuffle(online_now);
       size_t leave = static_cast<size_t>(
           static_cast<double>(online_now.size()) * options.leave_fraction);
+      std::vector<bool> left_this_round(options.node_count, false);
       for (size_t k = 0; k < leave; ++k) {
         size_t victim = online_now[k];
         online[victim] = false;
+        left_this_round[victim] = true;
         network.SetOnline(nodes[victim]->node(), false);
       }
-      // Returns: new address + the §2 rejoin protocol.
+      // Returns: new address + the §2 rejoin protocol. Nodes that just
+      // departed are NOT candidates — a same-round rejoin would undo the
+      // departure and overstate recall under heavy churn.
       std::vector<size_t> offline_now;
       for (size_t i = 1; i < options.node_count; ++i) {
-        if (!online[i]) offline_now.push_back(i);
+        if (!online[i] && !left_this_round[i]) offline_now.push_back(i);
       }
       rng.Shuffle(offline_now);
       size_t rejoin = static_cast<size_t>(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/sim_time.h"
 
@@ -30,6 +31,31 @@ struct ChurnOptions {
   bool reconfigure = true;
   uint16_t ttl = 32;
   uint64_t seed = 42;
+
+  // --- fault injection & recovery (defaults keep both off) --------------
+
+  /// Probability that any message is lost in flight (fault injector;
+  /// seeded from `seed`, so runs stay deterministic).
+  double message_loss = 0.0;
+
+  /// Per-query deadline: sessions finalize with partial answers and late
+  /// results are dropped. 0 = queries wait forever (lossless default).
+  SimTime query_deadline = 0;
+
+  /// LIGLO client resends after timeout (join/rejoin/discover survive
+  /// loss). 0 = single attempt.
+  int liglo_retries = 0;
+
+  /// Consecutive missed deadlines before a direct peer is evicted and
+  /// replaced (only observable when query_deadline > 0).
+  uint32_t peer_failure_threshold = 3;
+
+  /// Agent duplicate-table expiry (0 = never forget lost agents).
+  SimTime agent_seen_expiry = 0;
+
+  /// Optional metrics sink: receives net.*, fault.*, liglo.* and core.*
+  /// counters from the run (not owned; must outlive the call).
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Outcome of one churn round.

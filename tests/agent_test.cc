@@ -228,6 +228,34 @@ TEST_F(AgentRuntimeTest, DuplicateDropOnCycles) {
             1u);
 }
 
+TEST_F(AgentRuntimeTest, SeenTableExpiryForgetsOldAgents) {
+  // Rebuild the runtimes with a tiny dup-table expiry; the dispatcher
+  // hooks read runtimes_[idx], so they pick up the replacements.
+  AgentRuntimeOptions options;
+  options.seen_expiry = Micros(1);
+  for (size_t i = 0; i < kNodes; ++i) {
+    size_t idx = i;
+    runtimes_[i] = std::make_unique<AgentRuntime>(
+        network_.get(), ids_[i], &registry_, &cache_, hosts_[i].get(),
+        [this, idx]() { return neighbors_[idx]; }, options);
+  }
+  // Triangle among 0,1,2: nodes 1 and 2 cross-forward, so each receives
+  // the other's clone a few ms after its own first sighting.
+  neighbors_[0] = {ids_[1], ids_[2]};
+  neighbors_[1] = {ids_[0], ids_[2]};
+  neighbors_[2] = {ids_[0], ids_[1]};
+  VisitAgent agent("t");
+  ASSERT_TRUE(runtimes_[0]->Launch(1, agent, /*ttl=*/10, false).ok());
+  sim_.RunUntilIdle();
+  // The cross-forwarded copies arrive after the 1 µs expiry, so instead
+  // of duplicate drops (compare DuplicateDropOnCycles) both nodes have
+  // forgotten the agent and execute it a second time.
+  EXPECT_EQ(reports_[0].size(), 4u);  // Nodes 1 and 2, twice each.
+  EXPECT_EQ(runtimes_[1]->duplicates_dropped(), 0u);
+  EXPECT_EQ(runtimes_[2]->duplicates_dropped(), 0u);
+  EXPECT_GE(runtimes_[1]->seen_expired() + runtimes_[2]->seen_expired(), 2u);
+}
+
 TEST_F(AgentRuntimeTest, CodeShippedOnlyOnFirstVisit) {
   VisitAgent agent("a");
   ASSERT_TRUE(runtimes_[0]->Launch(1, agent, 10, false).ok());

@@ -133,6 +133,78 @@ TEST_F(CoreNodeFixture, ModeTwoWithoutAutoFetchOnlyIndicates) {
   EXPECT_TRUE(session->fetches().empty());
 }
 
+TEST_F(CoreNodeFixture, DeadlineFinalizesSessionWithPartialAnswers) {
+  BestPeerConfig config;
+  config.query_deadline = Seconds(1);
+  Build(3, {{0, 1}, {0, 2}}, config);
+  Fill(1, 10, 3);
+  Fill(2, 10, 5);
+  network_->SetOnline(ids_[2], false);  // Crashed: its answers never come.
+  uint64_t qid = nodes_[0]->IssueSearch("needle").value();
+  sim_.RunUntilIdle();
+  const QuerySession* session = nodes_[0]->FindSession(qid);
+  ASSERT_NE(session, nullptr);
+  EXPECT_TRUE(session->finalized());
+  EXPECT_EQ(session->total_answers(), 3u);  // The live peer's share.
+  EXPECT_EQ(nodes_[0]->sessions_finalized(), 1u);
+}
+
+TEST_F(CoreNodeFixture, ResultsAfterDeadlineAreDroppedAndCounted) {
+  BestPeerConfig config;
+  config.query_deadline = Millis(1);  // Below one agent round trip.
+  Build(2, {{0, 1}}, config);
+  Fill(1, 10, 4);
+  uint64_t qid = nodes_[0]->IssueSearch("needle").value();
+  sim_.RunUntilIdle();
+  const QuerySession* session = nodes_[0]->FindSession(qid);
+  ASSERT_NE(session, nullptr);
+  EXPECT_TRUE(session->finalized());
+  EXPECT_EQ(session->total_answers(), 0u);
+  EXPECT_GE(nodes_[0]->late_results(), 1u);
+}
+
+TEST_F(CoreNodeFixture, SilentPeersAreEvictedAtFailureThreshold) {
+  BestPeerConfig config;
+  config.query_deadline = Seconds(1);
+  config.peer_failure_threshold = 2;
+  Build(3, {{0, 1}, {0, 2}}, config);
+  Fill(1, 10, 3);
+  Fill(2, 10, 3);
+  network_->SetOnline(ids_[2], false);  // Silently dead from the start.
+
+  nodes_[0]->IssueSearch("needle").value();
+  sim_.RunUntilIdle();
+  // One missed deadline: still on probation.
+  EXPECT_TRUE(nodes_[0]->peers().Contains(ids_[2]));
+  EXPECT_EQ(nodes_[0]->peer_evictions(), 0u);
+
+  nodes_[0]->IssueSearch("needle").value();
+  sim_.RunUntilIdle();
+  // Second consecutive miss crosses the threshold.
+  EXPECT_FALSE(nodes_[0]->peers().Contains(ids_[2]));
+  EXPECT_TRUE(nodes_[0]->peers().Contains(ids_[1]));  // Responder survives.
+  EXPECT_EQ(nodes_[0]->peer_evictions(), 1u);
+}
+
+TEST_F(CoreNodeFixture, RespondingPeerResetsFailureStreak) {
+  BestPeerConfig config;
+  config.query_deadline = Seconds(1);
+  config.peer_failure_threshold = 2;
+  Build(2, {{0, 1}}, config);
+  Fill(1, 10, 3);
+  network_->SetOnline(ids_[1], false);
+  nodes_[0]->IssueSearch("needle").value();
+  sim_.RunUntilIdle();  // Miss #1.
+  network_->SetOnline(ids_[1], true);
+  nodes_[0]->IssueSearch("needle").value();
+  sim_.RunUntilIdle();  // Answers: streak resets.
+  network_->SetOnline(ids_[1], false);
+  nodes_[0]->IssueSearch("needle").value();
+  sim_.RunUntilIdle();  // Miss #1 again — not #3.
+  EXPECT_TRUE(nodes_[0]->peers().Contains(ids_[1]));
+  EXPECT_EQ(nodes_[0]->peer_evictions(), 0u);
+}
+
 TEST_F(CoreNodeFixture, ReconfigureAdoptsAnswerers) {
   // Star around node 1; base is node 0 with k=2: 0-1, 1-2, 1-3.
   BestPeerConfig config;

@@ -1,0 +1,184 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/metrics.h"
+
+namespace bestpeer::sim {
+namespace {
+
+NetworkOptions FastNet() {
+  NetworkOptions o;
+  o.latency = Micros(500);
+  o.bytes_per_us = 1.25;
+  o.header_overhead = 0;
+  return o;
+}
+
+/// Sends `count` sequenced messages a->b and returns which sequence
+/// numbers were delivered, in order.
+std::vector<uint32_t> DeliveredUnderLoss(uint64_t seed, int count,
+                                         uint64_t* drops) {
+  Simulator sim;
+  FaultOptions options;
+  options.seed = seed;
+  options.message_loss = 0.3;
+  FaultInjector* faults = sim.EnableFaults(options);
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  std::vector<uint32_t> delivered;
+  net.SetHandler(b, [&](const SimMessage& m) { delivered.push_back(m.type); });
+  for (int i = 0; i < count; ++i) {
+    net.Send(a, b, static_cast<uint32_t>(i), Bytes(10, 0));
+  }
+  sim.RunUntilIdle();
+  *drops = faults->drops();
+  return delivered;
+}
+
+TEST(FaultInjectorTest, SameSeedSameDropSchedule) {
+  uint64_t drops1 = 0, drops2 = 0;
+  auto run1 = DeliveredUnderLoss(7, 200, &drops1);
+  auto run2 = DeliveredUnderLoss(7, 200, &drops2);
+  EXPECT_EQ(run1, run2);
+  EXPECT_EQ(drops1, drops2);
+  // At 30% loss over 200 messages, both outcomes must actually occur.
+  EXPECT_GT(drops1, 0u);
+  EXPECT_GT(run1.size(), 0u);
+  EXPECT_EQ(run1.size() + drops1, 200u);
+
+  uint64_t drops3 = 0;
+  auto run3 = DeliveredUnderLoss(8, 200, &drops3);
+  EXPECT_NE(run1, run3);  // A different seed gives a different schedule.
+}
+
+TEST(FaultInjectorTest, QuietInjectorLeavesScheduleIdentical) {
+  auto run = [](bool with_injector) {
+    Simulator sim;
+    if (with_injector) sim.EnableFaults(FaultOptions{});  // All probs 0.
+    SimNetwork net(&sim, FastNet());
+    NodeId a = net.AddNode();
+    NodeId b = net.AddNode();
+    std::vector<SimTime> deliveries;
+    net.SetHandler(b,
+                   [&](const SimMessage&) { deliveries.push_back(sim.now()); });
+    for (int i = 0; i < 20; ++i) net.Send(a, b, 1, Bytes(1250, 0));
+    sim.RunUntilIdle();
+    return deliveries;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(FaultInjectorTest, PartitionDropsBothDirectionsAndHeals) {
+  Simulator sim;
+  FaultInjector* faults = sim.EnableFaults(FaultOptions{});
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  NodeId c = net.AddNode();
+  int at_a = 0, at_b = 0, at_c = 0;
+  net.SetHandler(a, [&](const SimMessage&) { ++at_a; });
+  net.SetHandler(b, [&](const SimMessage&) { ++at_b; });
+  net.SetHandler(c, [&](const SimMessage&) { ++at_c; });
+
+  faults->Partition({a}, {b});
+  EXPECT_TRUE(faults->Partitioned(a, b));
+  EXPECT_TRUE(faults->Partitioned(b, a));  // Cuts are symmetric.
+  EXPECT_FALSE(faults->Partitioned(a, c));
+
+  net.Send(a, b, 1, Bytes(10, 0));
+  net.Send(b, a, 1, Bytes(10, 0));
+  net.Send(a, c, 1, Bytes(10, 0));  // Unaffected third party.
+  sim.RunUntilIdle();
+  EXPECT_EQ(at_a, 0);
+  EXPECT_EQ(at_b, 0);
+  EXPECT_EQ(at_c, 1);
+  EXPECT_EQ(faults->partition_drops(), 2u);
+
+  faults->Heal();
+  net.Send(a, b, 1, Bytes(10, 0));
+  net.Send(b, a, 1, Bytes(10, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(at_a, 1);
+  EXPECT_EQ(at_b, 1);
+}
+
+TEST(FaultInjectorTest, CrashDropsInFlightAndRestartRecovers) {
+  Simulator sim;
+  FaultInjector* faults = sim.EnableFaults(FaultOptions{});
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  std::vector<SimTime> deliveries;
+  net.SetHandler(b,
+                 [&](const SimMessage&) { deliveries.push_back(sim.now()); });
+
+  // Message in flight when the crash hits: rx_done at 2500, crash at
+  // 2000 — dropped under the usual offline semantics.
+  faults->ScheduleCrash(b, /*crash_at=*/2000, /*down_for=*/3000);
+  net.Send(a, b, 1, Bytes(1250, 0));
+  // While down (restart is at 5000), everything to b vanishes.
+  sim.ScheduleAt(3000, [&]() { net.Send(a, b, 2, Bytes(10, 0)); });
+  // After the restart, delivery works again.
+  sim.ScheduleAt(6000, [&]() { net.Send(a, b, 3, Bytes(1250, 0)); });
+  sim.RunUntilIdle();
+
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], 8500);  // 6000 + uplink 1000 + 500 + rx 1000.
+  EXPECT_EQ(net.messages_dropped(), 2u);
+  EXPECT_EQ(faults->crashes(), 1u);
+  EXPECT_EQ(faults->restarts(), 1u);
+  EXPECT_TRUE(net.IsOnline(b));
+}
+
+TEST(FaultInjectorTest, LatencySpikeDelaysDelivery) {
+  Simulator sim;
+  FaultOptions options;
+  options.latency_spike_prob = 1.0;
+  options.latency_spike = Millis(50);
+  FaultInjector* faults = sim.EnableFaults(options);
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  SimTime delivered = -1;
+  net.SetHandler(b, [&](const SimMessage&) { delivered = sim.now(); });
+  net.Send(a, b, 1, Bytes(1250, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 2500 + Millis(50));
+  EXPECT_EQ(faults->latency_spikes(), 1u);
+}
+
+TEST(FaultInjectorTest, ExportsMetrics) {
+  metrics::Registry registry;
+  Simulator sim;
+  FaultOptions options;
+  options.seed = 3;
+  options.message_loss = 1.0;
+  options.metrics = &registry;
+  FaultInjector* faults = sim.EnableFaults(options);
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  net.SetHandler(b, [](const SimMessage&) {});
+  net.Send(a, b, 1, Bytes(10, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(faults->drops(), 1u);
+  auto snapshot = registry.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snapshot.Value("fault.drops"), 1.0);
+}
+
+TEST(FaultInjectorTest, EnableFaultsIsIdempotent) {
+  Simulator sim;
+  FaultInjector* first = sim.EnableFaults(FaultOptions{});
+  FaultInjector* second = sim.EnableFaults(FaultOptions{});
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(sim.fault(), first);
+}
+
+}  // namespace
+}  // namespace bestpeer::sim

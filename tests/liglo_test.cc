@@ -4,6 +4,7 @@
 #include "liglo/ip_directory.h"
 #include "liglo/liglo_client.h"
 #include "liglo/liglo_server.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 
 namespace bestpeer::liglo {
@@ -91,13 +92,13 @@ class LigloFixture : public ::testing::Test {
     IpAddress ip;
   };
 
-  ClientBundle MakeClient() {
+  ClientBundle MakeClient(LigloClientOptions options = {}) {
     ClientBundle b;
     b.node = network_->AddNode();
     b.dispatcher = std::make_unique<sim::Dispatcher>(network_.get(), b.node);
     b.client = std::make_unique<LigloClient>(network_.get(),
                                              b.dispatcher.get(), b.node,
-                                             &ips_);
+                                             &ips_, options);
     b.ip = ips_.AssignFresh(b.node);
     return b;
   }
@@ -286,6 +287,117 @@ TEST_F(LigloFixture, RequestToDeadServerTimesOut) {
   sim_.RunUntilIdle();
   EXPECT_TRUE(status.IsUnavailable());
   EXPECT_EQ(c1.client->timeouts(), 1u);
+}
+
+TEST_F(LigloFixture, RetryRecoversFromTransientServerOutage) {
+  MakeServer();
+  LigloClientOptions retrying;
+  retrying.max_retries = 2;
+  auto c1 = MakeClient(retrying);
+  network_->SetOnline(server_node_, false);
+  // The server comes back after the first attempt has already timed out
+  // (timeout 2s) but before the backed-off resend (~200ms later) lands.
+  sim_.ScheduleAt(Seconds(2) + Millis(50), [&]() {
+    network_->SetOnline(server_node_, true);
+  });
+
+  Result<LigloClient::RegisterOutcome> outcome = Status::Internal("unset");
+  c1.client->Register(server_node_, c1.ip,
+                      [&](Result<LigloClient::RegisterOutcome> r) {
+                        outcome = std::move(r);
+                      });
+  sim_.RunUntilIdle();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(c1.client->registered());
+  EXPECT_EQ(c1.client->timeouts(), 1u);
+  EXPECT_EQ(c1.client->retries(), 1u);
+}
+
+TEST_F(LigloFixture, ExhaustedRetriesFailUnavailable) {
+  MakeServer();
+  LigloClientOptions retrying;
+  retrying.max_retries = 2;
+  auto c1 = MakeClient(retrying);
+  network_->SetOnline(server_node_, false);  // And it stays dead.
+  Status status = Status::OK();
+  c1.client->Register(server_node_, c1.ip,
+                      [&](Result<LigloClient::RegisterOutcome> r) {
+                        status = r.status();
+                      });
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(c1.client->timeouts(), 3u);  // Original + 2 resends.
+  EXPECT_EQ(c1.client->retries(), 2u);
+}
+
+TEST_F(LigloFixture, UpdateRequestsAreNeverRetried) {
+  MakeServer();
+  LigloClientOptions retrying;
+  retrying.max_retries = 3;
+  auto c1 = MakeClient(retrying);
+  c1.client->Register(server_node_, c1.ip, nullptr);
+  sim_.RunUntilIdle();
+  network_->SetOnline(server_node_, false);
+  Status status = Status::OK();
+  c1.client->UpdateAddress(c1.ip, true, [&](Status s) { status = s; });
+  sim_.RunUntilIdle();
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(c1.client->timeouts(), 1u);  // Fire-once: no resends.
+  EXPECT_EQ(c1.client->retries(), 0u);
+}
+
+TEST_F(LigloFixture, LateReplyAfterTimeoutIsCountedAndIgnored) {
+  MakeServer();
+  LigloClientOptions impatient;
+  impatient.request_timeout = Micros(100);  // Far below one RTT.
+  auto c1 = MakeClient(impatient);
+  Status status = Status::OK();
+  c1.client->Register(server_node_, c1.ip,
+                      [&](Result<LigloClient::RegisterOutcome> r) {
+                        status = r.status();
+                      });
+  sim_.RunUntilIdle();
+  // The request timed out before the (successful) response arrived; the
+  // straggler must be counted and must not resurrect the callback.
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_FALSE(c1.client->registered());
+  EXPECT_EQ(c1.client->timeouts(), 1u);
+  EXPECT_EQ(c1.client->late_replies(), 1u);
+}
+
+TEST(LigloRetryUnderLossTest, RetryUntilSuccessUnderMessageLoss) {
+  sim::Simulator sim;
+  sim::FaultOptions fault_options;
+  fault_options.seed = 11;
+  fault_options.message_loss = 0.3;
+  sim::FaultInjector* faults = sim.EnableFaults(fault_options);
+  sim::SimNetwork network(&sim, sim::NetworkOptions{});
+  IpDirectory ips;
+
+  sim::NodeId server_node = network.AddNode();
+  sim::Dispatcher server_dispatcher(&network, server_node);
+  LigloServer server(&network, &server_dispatcher, server_node, &ips, {});
+
+  sim::NodeId client_node = network.AddNode();
+  sim::Dispatcher client_dispatcher(&network, client_node);
+  LigloClientOptions retrying;
+  retrying.max_retries = 10;
+  LigloClient client(&network, &client_dispatcher, client_node, &ips,
+                     retrying);
+  IpAddress ip = ips.AssignFresh(client_node);
+
+  Result<LigloClient::RegisterOutcome> outcome = Status::Internal("unset");
+  client.Register(server_node, ip,
+                  [&](Result<LigloClient::RegisterOutcome> r) {
+                    outcome = std::move(r);
+                  });
+  sim.RunUntilIdle();
+  // At 30% loss a round trip fails roughly half the time; with 10
+  // deterministic retries this seed registers.
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(client.registered());
+  EXPECT_GT(faults->drops(), 0u);
+  EXPECT_EQ(client.retries(), client.timeouts());
 }
 
 TEST_F(LigloFixture, SweepMarksSilentMembersOffline) {

@@ -284,6 +284,86 @@ TEST(SimNetworkTest, OfflineNodeDropsMessages) {
   EXPECT_EQ(received, 1);
 }
 
+TEST(SimNetworkTest, TxTimeIsCeilingWithOneMicrosecondFloor) {
+  Simulator sim;
+  NetworkOptions o;
+  o.bytes_per_us = 12.5;  // Default 100 Mbit/s NIC.
+  SimNetwork net(&sim, o);
+  EXPECT_EQ(net.TxTime(0), 0);
+  // Regression: llround used to serialize anything under 6.25 bytes in
+  // 0 us — an infinite-bandwidth NIC for small control messages.
+  EXPECT_EQ(net.TxTime(1), 1);
+  EXPECT_EQ(net.TxTime(6), 1);
+  EXPECT_EQ(net.TxTime(13), 2);   // ceil(1.04), was llround -> 1.
+  EXPECT_EQ(net.TxTime(125), 10);  // Exact multiples are unchanged.
+}
+
+TEST(SimNetworkTest, ReceiverDyingMidReceiveIsNotCharged) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  NodeId c = net.AddNode();
+  std::vector<SimTime> deliveries;
+  net.SetHandler(c, [&](const SimMessage&) { deliveries.push_back(sim.now()); });
+  // Both arrive at c's NIC at 1500; first serializes 1500-2500, second
+  // queues and would finish at 3500.
+  net.Send(a, c, 1, Bytes(1250, 0));
+  net.Send(b, c, 1, Bytes(1250, 0));
+  // c dies after the first delivery but before the second finishes its
+  // downlink serialization.
+  sim.ScheduleAt(2600, [&]() { net.SetOnline(c, false); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0], 2500);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  // Regression: the second message reserved the downlink at 2500 with a
+  // 1000us queue wait, but was never delivered — the receiver must not
+  // be charged wait or bytes for it.
+  EXPECT_EQ(net.node_queue_wait(c), 0);
+  EXPECT_EQ(net.node_bytes_received(c), 1250u);
+}
+
+TEST(SimNetworkTest, OfflineSenderTransmitsNothing) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  int received = 0;
+  net.SetHandler(b, [&](const SimMessage&) { ++received; });
+  net.SetOnline(a, false);
+  net.Send(a, b, 1, Bytes(10, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.messages_dropped(), 1u);
+  EXPECT_EQ(net.node_bytes_sent(a), 0u);
+}
+
+TEST(SimNetworkTest, GoingOfflineReleasesNicReservations) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  NodeId c = net.AddNode();
+  std::vector<SimTime> deliveries;
+  net.SetHandler(c, [&](const SimMessage&) { deliveries.push_back(sim.now()); });
+  net.Send(a, c, 1, Bytes(1250, 0));  // Reserves c's downlink 1500-2500.
+  // A fast offline/online blip at 1600 releases the reservation.
+  sim.ScheduleAt(1600, [&]() {
+    net.SetOnline(c, false);
+    net.SetOnline(c, true);
+  });
+  // Second message arrives at c at 2000 (sent 500: uplink to 1500 +
+  // latency). Against the stale 2500 reservation it would queue 500us;
+  // after the release it starts its downlink immediately.
+  sim.ScheduleAt(500, [&]() { net.Send(b, c, 1, Bytes(1250, 0)); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 2500);  // The blip was too fast to kill it.
+  EXPECT_EQ(deliveries[1], 3000);  // 2000 arrival + 1000 rx, no queueing.
+  EXPECT_EQ(net.node_queue_wait(c), 0);
+}
+
 TEST(SimNetworkTest, CountsBytes) {
   Simulator sim;
   NetworkOptions o = FastNet();

@@ -68,6 +68,22 @@ TEST(ChurnTest, ReconfigurationImprovesRecallUnderChurn) {
   EXPECT_GE(bpr_result.MeanRecall() + 1e-9, bps_result.MeanRecall());
 }
 
+TEST(ChurnTest, VictimsCannotRejoinInTheSameRound) {
+  // With everyone leaving and everyone rejoining each round, the rejoin
+  // pool must hold only *previous*-round victims: online counts oscillate
+  // 11 -> 0 -> 11 -> 0. A same-round rejoin bug would pin them at 11.
+  ChurnOptions o = SmallChurn();
+  o.rounds = 6;
+  o.leave_fraction = 1.0;
+  o.rejoin_fraction = 1.0;
+  auto result = RunChurnExperiment(o).value();
+  ASSERT_EQ(result.rounds.size(), 6u);
+  for (size_t i = 0; i < result.rounds.size(); ++i) {
+    EXPECT_EQ(result.rounds[i].online_nodes, i % 2 == 0 ? 11u : 0u)
+        << "round " << i;
+  }
+}
+
 TEST(ChurnTest, DeterministicPerSeed) {
   ChurnOptions o = SmallChurn();
   o.leave_fraction = 0.3;
@@ -76,6 +92,24 @@ TEST(ChurnTest, DeterministicPerSeed) {
   auto b = RunChurnExperiment(o).value();
   ASSERT_EQ(a.rounds.size(), b.rounds.size());
   for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].received_answers, b.rounds[i].received_answers);
+    EXPECT_EQ(a.rounds[i].completion, b.rounds[i].completion);
+  }
+}
+
+TEST(ChurnTest, LossyRunWithRecoveryIsDeterministic) {
+  ChurnOptions o = SmallChurn();
+  o.leave_fraction = 0.25;
+  o.rejoin_fraction = 0.5;
+  o.message_loss = 0.1;
+  o.liglo_retries = 2;
+  o.query_deadline = 1000000;  // 1s in sim microseconds.
+  o.peer_failure_threshold = 2;
+  auto a = RunChurnExperiment(o).value();
+  auto b = RunChurnExperiment(o).value();
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].online_nodes, b.rounds[i].online_nodes);
     EXPECT_EQ(a.rounds[i].received_answers, b.rounds[i].received_answers);
     EXPECT_EQ(a.rounds[i].completion, b.rounds[i].completion);
   }
