@@ -1,12 +1,17 @@
 #ifndef BESTPEER_BENCH_BENCH_COMMON_H_
 #define BESTPEER_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/critical_path.h"
+#include "obs/json_writer.h"
+#include "obs/timeseries.h"
+#include "workload/churn.h"
 #include "workload/experiment.h"
 #include "workload/topology.h"
 
@@ -88,7 +93,11 @@ inline workload::ExperimentResult MustRun(
 /// BENCH_<figure>.json (into $BP_BENCH_OUT_DIR when set, else the
 /// working directory). The JSON carries the headline observability
 /// numbers — wire bytes, agent hops, buffer-pool hit rate, serialize /
-/// reconstruct cost — alongside the full metric dump.
+/// reconstruct cost — alongside the full metric dump, plus optional
+/// `timeseries` and `critical_path` sections (AttachObservability).
+///
+/// End main() with `return report.Close();` so a failed report write
+/// fails the bench (CI must not silently lose a report).
 class BenchReport {
  public:
   explicit BenchReport(std::string figure) : figure_(std::move(figure)) {}
@@ -123,6 +132,33 @@ class BenchReport {
     return result;
   }
 
+  /// Attaches the run's `timeseries` and (when tracing was on) a
+  /// `critical_path` section computed from its spans. Later attachments
+  /// replace earlier ones: benches typically attach their headline
+  /// configuration's run.
+  void AttachObservability(const workload::ExperimentResult& result) {
+    if (!result.timeseries.empty()) {
+      timeseries_json_ = result.timeseries.ToJson(2);
+    }
+    if (result.trace != nullptr) {
+      obs::CriticalPathReport cp =
+          obs::AnalyzeCriticalPaths(*result.trace, result.flight.get());
+      if (!cp.empty()) critical_path_json_ = cp.ToJson(2);
+    }
+  }
+
+  /// Same, for churn experiments.
+  void AttachObservability(const workload::ChurnResult& result) {
+    if (!result.timeseries.empty()) {
+      timeseries_json_ = result.timeseries.ToJson(2);
+    }
+    if (result.trace != nullptr) {
+      obs::CriticalPathReport cp =
+          obs::AnalyzeCriticalPaths(*result.trace, result.flight.get());
+      if (!cp.empty()) critical_path_json_ = cp.ToJson(2);
+    }
+  }
+
   void Write() {
     if (written_) return;
     written_ = true;
@@ -133,21 +169,24 @@ class BenchReport {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      write_failed_ = true;
       return;
     }
-    std::fprintf(f, "{\n  \"figure\": \"%s\",\n", figure_.c_str());
+    std::fprintf(f, "{\n  \"figure\": %s,\n",
+                 obs::JsonQuoted(figure_).c_str());
     std::fprintf(f, "  \"columns\": [");
     for (size_t i = 0; i < columns_.size(); ++i) {
-      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
-                   JsonEscape(columns_[i]).c_str());
+      std::fprintf(f, "%s%s", i == 0 ? "" : ", ",
+                   obs::JsonQuoted(columns_[i]).c_str());
     }
     std::fprintf(f, "],\n  \"rows\": [\n");
     for (size_t r = 0; r < rows_.size(); ++r) {
-      std::fprintf(f, "    {\"label\": \"%s\", \"values\": [",
-                   JsonEscape(rows_[r].first).c_str());
+      std::fprintf(f, "    {\"label\": %s, \"values\": [",
+                   obs::JsonQuoted(rows_[r].first).c_str());
       const auto& values = rows_[r].second;
       for (size_t i = 0; i < values.size(); ++i) {
-        std::fprintf(f, "%s%.6g", i == 0 ? "" : ", ", values[i]);
+        std::fprintf(f, "%s%s", i == 0 ? "" : ", ",
+                     obs::JsonNumber(values[i]).c_str());
       }
       std::fprintf(f, "]}%s\n", r + 1 < rows_.size() ? "," : "");
     }
@@ -158,34 +197,121 @@ class BenchReport {
     std::fprintf(f, "  ],\n  \"summary\": {\n");
     std::fprintf(f, "    \"wire_bytes\": %llu,\n",
                  static_cast<unsigned long long>(wire_bytes_));
-    std::fprintf(f, "    \"net_messages\": %.0f,\n",
-                 metrics_.Value("net.messages_sent"));
-    std::fprintf(f, "    \"agent_migrations\": %.0f,\n",
-                 metrics_.Value("agent.migrations"));
-    std::fprintf(f, "    \"agent_hops_mean\": %.6g,\n",
-                 hop_samples == 0
-                     ? 0.0
-                     : metrics_.Value("agent.hops_at_execute") /
-                           static_cast<double>(hop_samples));
-    std::fprintf(f, "    \"agent_serialize_bytes\": %.0f,\n",
-                 metrics_.Value("agent.serialize_bytes"));
-    std::fprintf(f, "    \"agent_reconstruct_us\": %.0f,\n",
-                 metrics_.Value("agent.reconstruct_us"));
-    std::fprintf(f, "    \"buffer_pool_hit_rate\": %.6g\n",
-                 lookups == 0 ? 0.0 : hits / lookups);
-    std::fprintf(f, "  },\n  \"metrics\": %s\n}\n",
-                 metrics_.ToJson(2).c_str());
-    std::fclose(f);
-    std::printf("\nwrote %s\n", path.c_str());
+    std::fprintf(f, "    \"net_messages\": %s,\n",
+                 obs::JsonNumber(metrics_.Value("net.messages_sent")).c_str());
+    std::fprintf(f, "    \"agent_migrations\": %s,\n",
+                 obs::JsonNumber(metrics_.Value("agent.migrations")).c_str());
+    std::fprintf(
+        f, "    \"agent_hops_mean\": %s,\n",
+        obs::JsonNumber(hop_samples == 0
+                            ? 0.0
+                            : metrics_.Value("agent.hops_at_execute") /
+                                  static_cast<double>(hop_samples))
+            .c_str());
+    std::fprintf(
+        f, "    \"agent_serialize_bytes\": %s,\n",
+        obs::JsonNumber(metrics_.Value("agent.serialize_bytes")).c_str());
+    std::fprintf(
+        f, "    \"agent_reconstruct_us\": %s,\n",
+        obs::JsonNumber(metrics_.Value("agent.reconstruct_us")).c_str());
+    std::fprintf(
+        f, "    \"buffer_pool_hit_rate\": %s\n",
+        obs::JsonNumber(lookups == 0 ? 0.0 : hits / lookups).c_str());
+    std::fprintf(f, "  },\n");
+    if (!timeseries_json_.empty()) {
+      std::fprintf(f, "  \"timeseries\": %s,\n", timeseries_json_.c_str());
+    }
+    if (!critical_path_json_.empty()) {
+      std::fprintf(f, "  \"critical_path\": %s,\n",
+                   critical_path_json_.c_str());
+    }
+    std::fprintf(f, "  \"metrics\": %s\n}\n",
+                 CappedMetrics().ToJson(2).c_str());
+    if (std::fclose(f) != 0) write_failed_ = true;
+    if (!write_failed_) std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  /// True once Write() failed to produce the report file.
+  bool write_failed() const { return write_failed_; }
+
+  /// Writes the report and returns the process exit code: nonzero when
+  /// the report could not be written, so CI can't silently lose it.
+  int Close() {
+    Write();
+    return write_failed_ ? 1 : 0;
   }
 
  private:
-  static std::string JsonEscape(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
+  /// Per-node labeled series (net.node_bytes_sent{node=N}, ...) grow
+  /// linearly with the swept topology sizes and swamp the metric dump.
+  /// Above a threshold keep the top-k nodes by value plus one aggregate
+  /// entry. BP_BENCH_NODE_METRICS=all keeps everything; a number sets
+  /// the threshold.
+  metrics::Snapshot CappedMetrics() const {
+    size_t threshold = 32;
+    if (const char* env = std::getenv("BP_BENCH_NODE_METRICS")) {
+      if (std::string(env) == "all" || std::string(env) == "full") {
+        return metrics_;
+      }
+      const long v = std::atol(env);
+      if (v > 0) threshold = static_cast<size_t>(v);
     }
+    constexpr size_t kTopK = 8;
+
+    // Count the per-node entries of each metric name.
+    std::vector<std::pair<std::string, size_t>> per_node_counts;
+    for (const auto& e : metrics_.entries) {
+      bool node_labeled = false;
+      for (const auto& [k, v] : e.labels) node_labeled |= k == "node";
+      if (!node_labeled) continue;
+      bool counted = false;
+      for (auto& [name, n] : per_node_counts) {
+        if (name == e.name) {
+          ++n;
+          counted = true;
+        }
+      }
+      if (!counted) per_node_counts.emplace_back(e.name, 1);
+    }
+
+    metrics::Snapshot capped;
+    for (const auto& [name, n] : per_node_counts) {
+      if (n <= threshold) continue;
+      // Collect, rank by value, keep kTopK, aggregate the rest.
+      std::vector<const metrics::SnapshotEntry*> group;
+      for (const auto& e : metrics_.entries) {
+        if (e.name != name) continue;
+        group.push_back(&e);
+      }
+      std::stable_sort(group.begin(), group.end(),
+                       [](const auto* a, const auto* b) {
+                         return a->value > b->value;
+                       });
+      metrics::SnapshotEntry agg;
+      agg.name = name;
+      agg.labels = {{"node", "aggregate"}};
+      agg.kind = group.front()->kind;
+      for (size_t i = 0; i < group.size(); ++i) {
+        if (i < kTopK) {
+          capped.entries.push_back(*group[i]);
+        }
+        agg.value += group[i]->value;
+        agg.count += group[i]->count;
+      }
+      capped.entries.push_back(std::move(agg));
+    }
+    if (capped.entries.empty()) return metrics_;  // Nothing to cap.
+
+    // Keep every metric that wasn't capped, in original order.
+    metrics::Snapshot out;
+    for (const auto& e : metrics_.entries) {
+      bool is_capped = false;
+      for (const auto& [name, n] : per_node_counts) {
+        if (name == e.name && n > threshold) is_capped = true;
+      }
+      if (!is_capped) out.entries.push_back(e);
+    }
+    for (auto& e : capped.entries) out.entries.push_back(std::move(e));
     return out;
   }
 
@@ -193,8 +319,11 @@ class BenchReport {
   std::vector<std::string> columns_;
   std::vector<std::pair<std::string, std::vector<double>>> rows_;
   metrics::Snapshot metrics_;
+  std::string timeseries_json_;
+  std::string critical_path_json_;
   uint64_t wire_bytes_ = 0;
   bool written_ = false;
+  bool write_failed_ = false;
 };
 
 inline void PrintTitle(const std::string& title) {

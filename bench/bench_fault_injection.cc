@@ -70,6 +70,14 @@ struct RunOutcome {
 RunOutcome Run(ChurnOptions options) {
   metrics::Registry registry;
   options.metrics = &registry;
+  // Post-hoc analysis: spans feed the critical-path breakdown, the
+  // sampler feeds the timeseries section, and the flight recorder
+  // captures drops/retries/reconfigs (auto-dumping when recall collapses
+  // and BP_FLIGHT_OUT is set).
+  options.trace = true;
+  options.sample_interval = Millis(10);
+  options.flight_capacity = 8192;
+  options.recall_anomaly_threshold = 0.5;
   auto result = RunChurnExperiment(options);
   if (!result.ok()) {
     std::fprintf(stderr, "churn experiment failed: %s\n",
@@ -112,6 +120,7 @@ int main() {
     rec.message_loss = loss;
     RunOutcome recovered = Run(rec);
     report.Absorb(recovered.metrics);
+    report.AttachObservability(recovered.churn);
 
     char label[16];
     std::snprintf(label, sizeof(label), "%.2f", loss);
@@ -140,5 +149,5 @@ int main() {
       "\nExpected: recall falls with loss in both arms; the recovery arm "
       "(retried LIGLO joins, deadline-finalized queries, eviction of dead "
       "peers) stays measurably closer to the lossless baseline.\n");
-  return 0;
+  return report.Close();
 }

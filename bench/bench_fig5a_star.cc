@@ -39,5 +39,5 @@ int main() {
   std::printf(
       "\nExpected shape: SCS grows linearly and is worst; MCS <= BPS ~= "
       "BPR.\n");
-  return 0;
+  return report.Close();
 }

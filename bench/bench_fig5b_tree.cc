@@ -39,5 +39,5 @@ int main() {
   std::printf(
       "\nExpected shape: CS best at level 1, degrades with depth; BPR < "
       "BPS throughout.\n");
-  return 0;
+  return report.Close();
 }

@@ -26,7 +26,15 @@ int main() {
   for (size_t n : sizes) {
     std::vector<double> row;
     for (Scheme scheme : schemes) {
-      auto result = report.Run(SearchPhaseOptions(MakeLine(n), scheme));
+      ExperimentOptions options = SearchPhaseOptions(MakeLine(n), scheme);
+      // Post-hoc analysis: spans + flight events feed the critical-path
+      // breakdown, the sampler feeds the timeseries section. The last
+      // configuration (BPR on the deepest line) is the one attached.
+      options.trace = true;
+      options.sample_interval = Millis(1);
+      options.flight_capacity = 8192;
+      auto result = report.Run(options);
+      report.AttachObservability(result);
       row.push_back(result.MeanCompletionMs());
     }
     PrintRow(std::to_string(n), row);
@@ -35,5 +43,5 @@ int main() {
   std::printf(
       "\nExpected shape: BPR best overall; CS loses to BP once the line "
       "is deep enough.\n");
-  return 0;
+  return report.Close();
 }

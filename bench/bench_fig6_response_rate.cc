@@ -78,5 +78,5 @@ int main() {
   std::printf(
       "\nExpected shape: CS reaches the first few nodes sooner, but BPR/"
       "BPS reach *all* responders earlier; BPR <= BPS.\n");
-  return 0;
+  return report.Close();
 }

@@ -91,5 +91,5 @@ int main() {
   std::printf(
       "\nExpected shape: CS leads for the first answers; BPS/BPR finish "
       "accumulating all answers sooner; BPR generally ahead of BPS.\n");
-  return 0;
+  return report.Close();
 }

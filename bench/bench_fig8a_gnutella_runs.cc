@@ -44,5 +44,5 @@ int main() {
   std::printf(
       "\nExpected shape: BP run 1 is its slowest, later runs much "
       "faster; Gnutella flat; BP below Gnutella.\n");
-  return 0;
+  return report.Close();
 }

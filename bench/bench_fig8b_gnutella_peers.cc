@@ -43,5 +43,5 @@ int main() {
   std::printf(
       "\nExpected shape: both improve with more peers; BP stays below "
       "Gnutella.\n");
-  return 0;
+  return report.Close();
 }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "util/logging.h"
 
 namespace bestpeer::agent {
@@ -44,6 +45,17 @@ Status AgentRuntime::SendAgentTo(sim::NodeId dst, const AgentMessage& msg) {
   }
   network_->Send(node_, dst, kAgentTransferType, std::move(compressed),
                  extra, /*flow=*/msg.agent_id);
+  if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+    obs::FlightEvent e;
+    e.ts = network_->simulator().now();
+    e.type = obs::EventType::kAgentHop;
+    e.node = node_;
+    e.peer = dst;
+    e.flow = msg.agent_id;
+    e.a = msg.hops;
+    e.b = extra;  // Shipped class bytes, 0 when the code was cached.
+    flight->Record(e);
+  }
   ++clones_sent_;
   migrations_c_->Increment();
   return Status::OK();
@@ -94,6 +106,13 @@ Status AgentRuntime::ExecuteIncoming(const AgentMessage& msg) {
   hops_at_execute_->Observe(static_cast<double>(msg.hops));
 
   SimTime total = setup + ctx.cpu_cost();
+  // The setup/scan split lets the critical-path analyzer separate agent
+  // overhead (reconstruct + class load) from useful store-scan time.
+  std::vector<std::pair<std::string, uint64_t>> span_args;
+  if (network_->simulator().trace() != nullptr) {
+    span_args.emplace_back("setup", static_cast<uint64_t>(setup));
+    span_args.emplace_back("scan", static_cast<uint64_t>(ctx.cpu_cost()));
+  }
   auto sends = std::move(ctx.mutable_sends());
   auto codec = options_.codec;
   sim::SimNetwork* network = network_;
@@ -109,7 +128,7 @@ Status AgentRuntime::ExecuteIncoming(const AgentMessage& msg) {
                         std::move(compressed).value(), 0, flow);
         }
       },
-      "agent.execute", flow);
+      "agent.execute", flow, std::move(span_args));
   return Status::OK();
 }
 

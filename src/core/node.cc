@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/search_agent.h"
+#include "obs/flight_recorder.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -57,6 +58,7 @@ Status BestPeerNode::Init() {
     late_results_c_ = reg->GetCounter("core.late_results");
     sessions_finalized_c_ = reg->GetCounter("core.sessions_finalized");
     peer_evictions_c_ = reg->GetCounter("core.peer_evictions");
+    inflight_sessions_g_ = reg->GetGauge("core.inflight_sessions");
     result_hops_ = reg->GetHistogram("core.result_hops");
   }
   network_->RegisterTypeName(kSearchResultType, "search.result");
@@ -390,6 +392,7 @@ Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
   sessions_.emplace(
       query_id, QuerySession(query_id, keyword, config_.answer_mode,
                              network_->simulator().now()));
+  inflight_sessions_g_->Add(1);
   BP_RETURN_IF_ERROR(runtime_->Launch(query_id, agent, ttl,
                                       config_.search_local_store));
   ArmSessionDeadline(query_id);
@@ -409,6 +412,27 @@ void BestPeerNode::FinalizeSession(uint64_t query_id) {
   it->second.Finalize();
   ++sessions_finalized_;
   sessions_finalized_c_->Increment();
+  inflight_sessions_g_->Add(-1);
+  if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+    obs::FlightEvent e;
+    e.ts = network_->simulator().now();
+    e.node = node_;
+    e.flow = query_id;
+    e.type = obs::EventType::kSessionFinalize;
+    e.a = it->second.total_answers();
+    e.b = it->second.responder_count();
+    flight->Record(e);
+    if (it->second.responder_count() == 0) {
+      // The deadline fired with nothing heard back — the signature of a
+      // dead base-node neighborhood or a lost agent.
+      e.type = obs::EventType::kDeadlineExpire;
+      e.a = 0;
+      e.b = 0;
+      flight->Record(e);
+      flight->TripAnomaly(e.ts, "deadline without responses query=" +
+                                    std::to_string(query_id));
+    }
+  }
   UpdatePeerHealth(it->second);
 }
 
@@ -471,6 +495,7 @@ Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
   sessions_.emplace(
       query_id, QuerySession(query_id, keyword, AnswerMode::kIndicate,
                              network_->simulator().now()));
+  inflight_sessions_g_->Add(1);
   ArmSessionDeadline(query_id);
 
   std::vector<sim::NodeId> code_targets;
@@ -814,6 +839,8 @@ void BestPeerNode::ApplyPeerSet(
   for (const auto& obs : observations) by_node[obs.node] = obs;
 
   bool changed = false;
+  uint64_t adopted = 0;
+  uint64_t dropped = 0;
   // Drop peers not selected.
   for (sim::NodeId old_peer : peers_.Nodes()) {
     bool keep = false;
@@ -827,6 +854,7 @@ void BestPeerNode::ApplyPeerSet(
       peers_.Remove(old_peer);
       SendCompressed(old_peer, kPeerDisconnectType, Bytes{});
       changed = true;
+      ++dropped;
     }
   }
   // Adopt newly selected nodes.
@@ -855,10 +883,20 @@ void BestPeerNode::ApplyPeerSet(
     peers_.Add(info, /*enforce_capacity=*/false);
     SendCompressed(p, kPeerConnectType, Bytes{});
     changed = true;
+    ++adopted;
   }
   if (changed) {
     ++reconfigurations_;
     reconfigurations_c_->Increment();
+    if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+      obs::FlightEvent e;
+      e.ts = network_->simulator().now();
+      e.type = obs::EventType::kReconfig;
+      e.node = node_;
+      e.a = adopted;
+      e.b = dropped;
+      flight->Record(e);
+    }
   }
 }
 

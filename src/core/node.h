@@ -310,6 +310,7 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   metrics::Counter* late_results_c_ = metrics::Counter::Noop();
   metrics::Counter* sessions_finalized_c_ = metrics::Counter::Noop();
   metrics::Counter* peer_evictions_c_ = metrics::Counter::Noop();
+  metrics::Gauge* inflight_sessions_g_ = metrics::Gauge::Noop();
   metrics::Histogram* result_hops_ = metrics::Histogram::Noop();
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "util/logging.h"
 
 namespace bestpeer::liglo {
@@ -66,6 +67,16 @@ void LigloClient::ArmTimeout(uint64_t id) {
       ++p.attempt;
       ++retries_;
       retries_c_->Increment();
+      if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+        obs::FlightEvent e;
+        e.ts = network_->simulator().now();
+        e.type = obs::EventType::kLigloRetry;
+        e.node = node_;
+        e.peer = p.server;
+        e.a = id;
+        e.b = p.attempt;
+        flight->Record(e);
+      }
       SimTime delay = options_.retry_backoff * (SimTime{1} << (p.attempt - 1));
       if (options_.retry_jitter > 0) {
         const double spread =

@@ -1,0 +1,194 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bestpeer::obs {
+
+namespace {
+
+double ThresholdFor(const std::string& metric, const DiffOptions& options) {
+  auto it = options.thresholds.find(metric);
+  return it == options.thresholds.end() ? options.default_threshold
+                                        : it->second;
+}
+
+void CompareScalar(const std::string& metric, double base, double cur,
+                   const DiffOptions& options, BenchDiff* out) {
+  DiffEntry e;
+  e.metric = metric;
+  e.baseline = base;
+  e.current = cur;
+  e.rel_change = (cur - base) / std::max(std::fabs(base), 1.0);
+  e.threshold = ThresholdFor(metric, options);
+  e.regression = std::fabs(cur - base) > options.abs_slack &&
+                 std::fabs(e.rel_change) > e.threshold;
+  out->entries.push_back(std::move(e));
+}
+
+const JsonValue* SectionOrError(const JsonValue& doc, const char* key,
+                                const char* which, BenchDiff* out) {
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr) {
+    out->structure_errors.push_back(std::string(which) + " report has no \"" +
+                                    key + "\" section");
+  }
+  return v;
+}
+
+void CompareSummaries(const JsonValue& baseline, const JsonValue& current,
+                      const DiffOptions& options, BenchDiff* out) {
+  const JsonValue* base = SectionOrError(baseline, "summary", "baseline", out);
+  const JsonValue* cur = SectionOrError(current, "summary", "current", out);
+  if (base == nullptr || cur == nullptr) return;
+  for (const auto& [key, value] : base->AsObject()) {
+    if (!value.is_number()) continue;
+    const JsonValue* other = cur->Find(key);
+    if (other == nullptr || !other->is_number()) {
+      out->structure_errors.push_back("summary." + key +
+                                      " missing from current report");
+      continue;
+    }
+    CompareScalar("summary." + key, value.AsNumber(), other->AsNumber(),
+                  options, out);
+  }
+}
+
+struct Row {
+  std::string label;
+  std::vector<double> values;
+};
+
+std::vector<Row> ExtractRows(const JsonValue& doc) {
+  std::vector<Row> rows;
+  const JsonValue* arr = doc.Find("rows");
+  if (arr == nullptr || !arr->is_array()) return rows;
+  for (const JsonValue& item : arr->AsArray()) {
+    Row row;
+    const JsonValue* label = item.Find("label");
+    if (label != nullptr && label->is_string()) row.label = label->AsString();
+    const JsonValue* values = item.Find("values");
+    if (values != nullptr && values->is_array()) {
+      for (const JsonValue& v : values->AsArray()) {
+        row.values.push_back(v.is_number() ? v.AsNumber() : 0);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::string> ExtractColumns(const JsonValue& doc) {
+  std::vector<std::string> columns;
+  const JsonValue* arr = doc.Find("columns");
+  if (arr == nullptr || !arr->is_array()) return columns;
+  for (const JsonValue& v : arr->AsArray()) {
+    if (v.is_string()) columns.push_back(v.AsString());
+  }
+  return columns;
+}
+
+void CompareRows(const JsonValue& baseline, const JsonValue& current,
+                 const DiffOptions& options, BenchDiff* out) {
+  const std::vector<std::string> base_cols = ExtractColumns(baseline);
+  const std::vector<std::string> cur_cols = ExtractColumns(current);
+  if (base_cols != cur_cols) {
+    out->structure_errors.push_back(
+        "column sets differ between baseline and current report");
+    return;
+  }
+  const std::vector<Row> base_rows = ExtractRows(baseline);
+  const std::vector<Row> cur_rows = ExtractRows(current);
+  for (const Row& base : base_rows) {
+    const auto it =
+        std::find_if(cur_rows.begin(), cur_rows.end(),
+                     [&base](const Row& r) { return r.label == base.label; });
+    if (it == cur_rows.end()) {
+      out->structure_errors.push_back("row \"" + base.label +
+                                      "\" missing from current report");
+      continue;
+    }
+    if (it->values.size() != base.values.size()) {
+      out->structure_errors.push_back("row \"" + base.label +
+                                      "\" has a different value count");
+      continue;
+    }
+    for (size_t i = 0; i < base.values.size(); ++i) {
+      // Column 0 of the header is the label column; values[i] lines up
+      // with columns[i + 1] when a header is present.
+      std::string column = i + 1 < base_cols.size()
+                               ? base_cols[i + 1]
+                               : "v" + std::to_string(i);
+      CompareScalar("rows." + base.label + "." + column, base.values[i],
+                    it->values[i], options, out);
+    }
+  }
+  for (const Row& cur : cur_rows) {
+    const auto it =
+        std::find_if(base_rows.begin(), base_rows.end(),
+                     [&cur](const Row& r) { return r.label == cur.label; });
+    if (it == base_rows.end()) {
+      out->structure_errors.push_back("row \"" + cur.label +
+                                      "\" not present in baseline");
+    }
+  }
+}
+
+}  // namespace
+
+size_t BenchDiff::violations() const {
+  size_t n = 0;
+  for (const DiffEntry& e : entries) {
+    if (e.regression) ++n;
+  }
+  return n;
+}
+
+std::string BenchDiff::FormatText(bool verbose) const {
+  std::string out;
+  char line[256];
+  for (const std::string& err : structure_errors) {
+    out += "STRUCTURE " + figure + ": " + err + "\n";
+  }
+  for (const DiffEntry& e : entries) {
+    if (!e.regression && !verbose) continue;
+    std::snprintf(line, sizeof(line),
+                  "%s %s %s: baseline=%.6g current=%.6g (%+.1f%%, limit "
+                  "%.0f%%)\n",
+                  e.regression ? "FAIL" : "ok  ", figure.c_str(),
+                  e.metric.c_str(), e.baseline, e.current, e.rel_change * 100,
+                  e.threshold * 100);
+    out += line;
+  }
+  return out;
+}
+
+BenchDiff CompareReports(const JsonValue& baseline, const JsonValue& current,
+                         const DiffOptions& options) {
+  BenchDiff diff;
+  const JsonValue* fig = baseline.Find("figure");
+  if (fig != nullptr && fig->is_string()) diff.figure = fig->AsString();
+  const JsonValue* cur_fig = current.Find("figure");
+  if (cur_fig != nullptr && cur_fig->is_string() && fig != nullptr &&
+      fig->is_string() && cur_fig->AsString() != fig->AsString()) {
+    diff.structure_errors.push_back("figure mismatch: baseline \"" +
+                                    fig->AsString() + "\" vs current \"" +
+                                    cur_fig->AsString() + "\"");
+  }
+  CompareSummaries(baseline, current, options, &diff);
+  CompareRows(baseline, current, options, &diff);
+  return diff;
+}
+
+Result<BenchDiff> CompareReportFiles(const std::string& baseline_path,
+                                     const std::string& current_path,
+                                     const DiffOptions& options) {
+  Result<JsonValue> base = ReadJsonFile(baseline_path);
+  if (!base.ok()) return base.status();
+  Result<JsonValue> cur = ReadJsonFile(current_path);
+  if (!cur.ok()) return cur.status();
+  return CompareReports(*base, *cur, options);
+}
+
+}  // namespace bestpeer::obs

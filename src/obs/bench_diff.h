@@ -1,0 +1,68 @@
+#ifndef BESTPEER_OBS_BENCH_DIFF_H_
+#define BESTPEER_OBS_BENCH_DIFF_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json_reader.h"
+#include "util/result.h"
+
+namespace bestpeer::obs {
+
+/// Tuning for a report comparison.
+struct DiffOptions {
+  /// Maximum allowed relative deviation |cur - base| / max(|base|, 1)
+  /// before a metric counts as a regression.
+  double default_threshold = 0.10;
+  /// Per-metric overrides, keyed the way DiffEntry::metric is spelled
+  /// ("summary.wire_bytes", "rows.n=64.latency_us").
+  std::map<std::string, double> thresholds;
+  /// Absolute slack: deviations at or below this never fail, whatever
+  /// the relative change (guards tiny counters where one event is huge
+  /// in relative terms).
+  double abs_slack = 1e-9;
+};
+
+/// One compared scalar.
+struct DiffEntry {
+  std::string metric;  ///< "summary.wire_bytes", "rows.<label>.<column>".
+  double baseline = 0;
+  double current = 0;
+  double rel_change = 0;  ///< Signed; denominator max(|baseline|, 1).
+  double threshold = 0;
+  bool regression = false;
+};
+
+/// The outcome of diffing one report pair.
+struct BenchDiff {
+  std::string figure;
+  std::vector<DiffEntry> entries;
+  /// Structural mismatches (missing rows, column drift) — always fatal.
+  std::vector<std::string> structure_errors;
+
+  size_t violations() const;
+  bool ok() const { return violations() == 0 && structure_errors.empty(); }
+
+  /// Human-readable table of every violation (or "ok" lines with
+  /// `verbose`), one per line, for CI logs.
+  std::string FormatText(bool verbose = false) const;
+};
+
+/// Compares the `summary` numbers and `rows` table of two parsed
+/// BENCH_*.json documents. The `metrics`, `timeseries`, and
+/// `critical_path` sections are diagnostic payloads, not gated metrics,
+/// and are skipped. Rows are matched by label; a row or column present
+/// in the baseline but missing from the current report (or vice versa)
+/// is a structural error.
+BenchDiff CompareReports(const JsonValue& baseline, const JsonValue& current,
+                         const DiffOptions& options = {});
+
+/// Loads both files and compares them.
+Result<BenchDiff> CompareReportFiles(const std::string& baseline_path,
+                                     const std::string& current_path,
+                                     const DiffOptions& options = {});
+
+}  // namespace bestpeer::obs
+
+#endif  // BESTPEER_OBS_BENCH_DIFF_H_

@@ -1,0 +1,132 @@
+#ifndef BESTPEER_OBS_FLIGHT_RECORDER_H_
+#define BESTPEER_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sim_time.h"
+#include "util/status.h"
+
+namespace bestpeer::obs {
+
+/// What happened. Every layer that makes a decision a post-mortem would
+/// want to see contributes one of these.
+enum class EventType : uint8_t {
+  kMsgSend,          ///< Message put on the sender's uplink.
+  kMsgDeliver,       ///< Message handed to the receiver's handler.
+  kMsgDrop,          ///< Message lost; `cause` says why.
+  kAgentHop,         ///< Agent clone sent to a peer (a = hops so far).
+  kReconfig,         ///< Peer set changed (a = adopted, b = dropped).
+  kSessionFinalize,  ///< Query session closed (a = answers, b = responders).
+  kDeadlineExpire,   ///< Query deadline fired with the session still open.
+  kLigloRetry,       ///< LIGLO request resent (a = request id, b = attempt).
+  kCrash,            ///< Scheduled crash took the node offline.
+  kRestart,          ///< Crashed node came back.
+  kAnomaly,          ///< TripAnomaly marker (see anomalies() for reasons).
+};
+
+/// Stable lower_snake_case name used in the NDJSON dump.
+std::string_view EventTypeName(EventType type);
+
+/// Why a kMsgDrop happened — the fault-decision cause the ISSUE's "why did
+/// recall drop" question needs.
+enum class DropCause : uint8_t {
+  kNone,             ///< Not a drop.
+  kFaultLoss,        ///< Probabilistic in-flight loss.
+  kPartition,        ///< Crossed a partition cut.
+  kSenderOffline,    ///< Sender was offline at send time.
+  kReceiverOffline,  ///< Receiver offline when the message arrived.
+  kReceiverDied,     ///< Receiver crashed between arrival and rx completion.
+};
+
+std::string_view DropCauseName(DropCause cause);
+
+/// One typed, fixed-size record. Plain data so the ring buffer never
+/// allocates per event.
+struct FlightEvent {
+  SimTime ts = 0;
+  EventType type = EventType::kAnomaly;
+  DropCause cause = DropCause::kNone;
+  /// Network message type tag for kMsg* events (0 otherwise).
+  uint32_t msg_type = 0;
+  /// Primary node (sender for messages, self for local events).
+  uint32_t node = 0xFFFFFFFF;
+  /// Counterpart node (receiver / peer / server), or 0xFFFFFFFF.
+  uint32_t peer = 0xFFFFFFFF;
+  /// Causal id: the query/agent trace flow this event belongs to (0 = none).
+  uint64_t flow = 0;
+  /// Type-specific payload (message id, answers, request id, ...).
+  uint64_t a = 0;
+  /// Type-specific payload (wire bytes, responders, attempt, ...).
+  uint64_t b = 0;
+};
+
+struct FlightRecorderOptions {
+  /// Ring capacity in events. Overflow overwrites the oldest events and
+  /// counts them in dropped_events().
+  size_t capacity = 8192;
+  /// When non-empty, TripAnomaly() dumps the ring as NDJSON to this path
+  /// (overwritten on every trip, so the file holds the newest state).
+  std::string auto_dump_path;
+};
+
+/// Bounded, deterministic ring buffer of structured events. Owned by the
+/// Simulator next to the trace recorder; disabled (the default) means the
+/// pointer is null and instrumented code pays a single pointer test — no
+/// allocation, no rng draw, no branch beyond the test.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one event; overwrites the oldest when full.
+  void Record(const FlightEvent& event);
+
+  /// Records a kAnomaly event, remembers `reason`, and — when an
+  /// auto-dump path is configured — writes the ring to it.
+  void TripAnomaly(SimTime ts, std::string reason);
+
+  /// Registers a printable name for a network message type (mirrors
+  /// SimNetwork::RegisterTypeName). Unnamed types dump as "msg:<hex>".
+  void RegisterTypeName(uint32_t type, std::string name);
+
+  size_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity).
+  size_t size() const;
+  /// Total events ever recorded.
+  uint64_t recorded() const { return recorded_; }
+  /// Events overwritten by ring overflow.
+  uint64_t dropped_events() const {
+    return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+  }
+  const std::vector<std::string>& anomalies() const { return anomalies_; }
+
+  /// Events oldest-to-newest (copies out of the ring).
+  std::vector<FlightEvent> Events() const;
+
+  /// One JSON object per line. The first line is a header object carrying
+  /// capacity / recorded / dropped / anomaly reasons, so a dump is
+  /// self-describing.
+  std::string ToNdjson() const;
+
+  Status WriteNdjson(const std::string& path) const;
+
+ private:
+  void AppendEventJson(std::string* out, const FlightEvent& e) const;
+
+  size_t capacity_;
+  std::string auto_dump_path_;
+  std::vector<FlightEvent> ring_;
+  size_t next_ = 0;  ///< Ring write cursor.
+  uint64_t recorded_ = 0;
+  std::vector<std::string> anomalies_;
+  std::map<uint32_t, std::string> type_names_;
+};
+
+}  // namespace bestpeer::obs
+
+#endif  // BESTPEER_OBS_FLIGHT_RECORDER_H_

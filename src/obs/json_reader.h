@@ -1,0 +1,67 @@
+#ifndef BESTPEER_OBS_JSON_READER_H_
+#define BESTPEER_OBS_JSON_READER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace bestpeer::obs {
+
+/// A parsed JSON value. Objects keep insertion order (bench reports are
+/// diffed row-by-row, so order matters for error messages).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& AsObject() const {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> m);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// anything else after the value is an error). Depth-limited; returns
+/// InvalidArgument with a byte offset on malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+}  // namespace bestpeer::obs
+
+#endif  // BESTPEER_OBS_JSON_READER_H_

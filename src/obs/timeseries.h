@@ -1,0 +1,119 @@
+#ifndef BESTPEER_OBS_TIMESERIES_H_
+#define BESTPEER_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/metrics.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::obs {
+
+/// A sampled run: one timestamp column plus N value columns, every row one
+/// sim-time sample. This is the `timeseries` section of BENCH_*.json — it
+/// gives figures a temporal axis instead of one scalar per config.
+struct TimeSeries {
+  SimTime interval = 0;
+  std::vector<std::string> columns;
+  std::vector<SimTime> timestamps;
+  /// points[i] aligns with timestamps[i]; points[i].size() == columns.size().
+  std::vector<std::vector<double>> points;
+
+  bool empty() const { return timestamps.empty(); }
+
+  /// {"interval_us":..,"columns":[..],"points":[[ts,v..],..]} — each point
+  /// row leads with its timestamp.
+  std::string ToJson(int indent = 0) const;
+};
+
+/// Samples Registry instruments on a fixed sim-time cadence. Counters are
+/// reported as per-interval deltas (bytes this interval, not bytes so
+/// far); gauges and probes as levels. The sampler itself is passive —
+/// SamplerDriver below hooks it into a Simulator.
+class TimeSeriesSampler {
+ public:
+  /// `registry` is not owned and must outlive the sampler.
+  TimeSeriesSampler(const metrics::Registry* registry, SimTime interval);
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Adds a column reporting the per-interval delta of metric `name`
+  /// (summed over label sets).
+  void AddDelta(std::string column, std::string metric);
+
+  /// Adds a column reporting the current value of metric `name`.
+  void AddLevel(std::string column, std::string metric);
+
+  /// Adds a column fed by an arbitrary probe (e.g. simulator event count).
+  void AddProbe(std::string column, std::function<double()> probe);
+
+  /// Registers the standard column set every experiment wants: wire bytes
+  /// and messages per interval, NIC queue wait, CPU busy, fault drops and
+  /// the in-flight session level.
+  void AddDefaultColumns();
+
+  /// Takes one sample at sim-time `now`.
+  void Sample(SimTime now);
+
+  SimTime interval() const { return interval_; }
+  size_t sample_count() const { return series_.timestamps.size(); }
+
+  /// Moves the collected series out (the sampler is spent afterwards).
+  TimeSeries Take();
+
+ private:
+  struct Column {
+    enum class Mode { kDelta, kLevel, kProbe } mode;
+    std::string metric;
+    std::function<double()> probe;
+    double last = 0;
+  };
+
+  const metrics::Registry* registry_;
+  SimTime interval_;
+  std::vector<Column> columns_;
+  TimeSeries series_;
+};
+
+/// Drives a TimeSeriesSampler off a Simulator's virtual clock. Sampling
+/// keeps itself alive only while other events are pending, so
+/// RunUntilIdle still terminates; call Arm() again after the queue drains
+/// (e.g. at the start of every churn round). Header-only on purpose: the
+/// obs library stays link-independent of bp_sim.
+class SamplerDriver {
+ public:
+  SamplerDriver(sim::Simulator* sim, TimeSeriesSampler* sampler)
+      : sim_(sim), sampler_(sampler) {}
+  SamplerDriver(const SamplerDriver&) = delete;
+  SamplerDriver& operator=(const SamplerDriver&) = delete;
+
+  /// Samples now and keeps sampling every interval while the simulator
+  /// has work queued. Idempotent while armed.
+  void Arm() {
+    if (armed_) return;
+    armed_ = true;
+    Tick();
+  }
+
+ private:
+  void Tick() {
+    sampler_->Sample(sim_->now());
+    if (sim_->pending() == 0) {
+      armed_ = false;
+      return;
+    }
+    sim_->ScheduleAfter(sampler_->interval(), [this]() { Tick(); });
+  }
+
+  sim::Simulator* sim_;
+  TimeSeriesSampler* sampler_;
+  bool armed_ = false;
+};
+
+}  // namespace bestpeer::obs
+
+#endif  // BESTPEER_OBS_TIMESERIES_H_

@@ -20,7 +20,8 @@ CpuModel::CpuModel(Simulator* sim, int threads, metrics::Registry* registry,
 }
 
 void CpuModel::Submit(SimTime service, EventFn done, const char* name,
-                      uint64_t flow) {
+                      uint64_t flow,
+                      std::vector<std::pair<std::string, uint64_t>> args) {
   assert(service >= 0);
   auto it = std::min_element(free_at_.begin(), free_at_.end());
   SimTime start = std::max(sim_->now(), *it);
@@ -41,6 +42,11 @@ void CpuModel::Submit(SimTime service, EventFn done, const char* name,
       span.ts = start;
       span.dur = service;
       span.flow = flow;
+      span.args = std::move(args);
+      if (start > sim_->now()) {
+        span.args.emplace_back("qwait",
+                               static_cast<uint64_t>(start - sim_->now()));
+      }
       recorder->RecordSpan(std::move(span));
     }
   }

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -28,9 +30,12 @@ class CpuModel {
   /// Enqueues a task taking `service` microseconds; `done` fires at its
   /// completion time. When tracing is enabled and `name` is non-null, the
   /// task's busy interval is recorded as a span (`flow` ties it to its
-  /// query/agent id).
+  /// query/agent id) carrying a "qwait" arg when the task waited for a
+  /// free thread, plus any caller-supplied `args` (build them behind a
+  /// trace() != nullptr check so untraced runs pay nothing).
   void Submit(SimTime service, EventFn done, const char* name = nullptr,
-              uint64_t flow = 0);
+              uint64_t flow = 0,
+              std::vector<std::pair<std::string, uint64_t>> args = {});
 
   /// Time at which the earliest server becomes free (>= now).
   SimTime EarliestFree() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace bestpeer::sim {
 
 namespace {
@@ -30,6 +32,7 @@ FaultDecision FaultInjector::OnSend(NodeId src, NodeId dst) {
   // link drops everything regardless of the loss dice.
   if (!cut_.empty() && Partitioned(src, dst)) {
     decision.drop = true;
+    decision.partition = true;
     ++partition_drops_;
     partition_drops_c_->Increment();
     return decision;
@@ -56,12 +59,28 @@ void FaultInjector::ScheduleCrash(NodeId node, SimTime crash_at,
   sim_->ScheduleAt(crash_at, [this, node]() {
     ++crashes_;
     crashes_c_->Increment();
+    if (obs::FlightRecorder* flight = sim_->flight()) {
+      obs::FlightEvent e;
+      e.ts = sim_->now();
+      e.type = obs::EventType::kCrash;
+      e.node = node;
+      flight->Record(e);
+      flight->TripAnomaly(sim_->now(),
+                          "crash node=" + std::to_string(node));
+    }
     if (set_online_) set_online_(node, false);
   });
   if (down_for > 0) {
     sim_->ScheduleAt(crash_at + down_for, [this, node]() {
       ++restarts_;
       restarts_c_->Increment();
+      if (obs::FlightRecorder* flight = sim_->flight()) {
+        obs::FlightEvent e;
+        e.ts = sim_->now();
+        e.type = obs::EventType::kRestart;
+        e.node = node;
+        flight->Record(e);
+      }
       if (set_online_) set_online_(node, true);
     });
   }

@@ -38,6 +38,9 @@ struct FaultOptions {
 /// Outcome of the single per-message decision point in SimNetwork::Send.
 struct FaultDecision {
   bool drop = false;
+  /// True when the drop came from a partition cut (vs. random loss);
+  /// lets the flight recorder attribute the drop cause.
+  bool partition = false;
   SimTime extra_delay = 0;
 };
 

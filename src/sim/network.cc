@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "sim/fault.h"
 
 namespace bestpeer::sim {
@@ -53,6 +54,12 @@ void SimNetwork::SetHandler(NodeId node, Handler handler) {
 }
 
 void SimNetwork::RegisterTypeName(uint32_t type, std::string name) {
+  // Mirror into the flight recorder so NDJSON dumps carry the same
+  // readable names as trace spans (enable the recorder before building
+  // the protocol stacks, which is when names get registered).
+  if (obs::FlightRecorder* flight = sim_->flight()) {
+    flight->RegisterTypeName(type, name);
+  }
   type_names_[type] = std::move(name);
 }
 
@@ -70,8 +77,26 @@ SimTime SimNetwork::TxTime(size_t bytes) const {
       std::ceil(static_cast<double>(bytes) / options_.bytes_per_us));
 }
 
+void SimNetwork::FlightMessage(obs::EventType type, const SimMessage& msg,
+                               obs::DropCause cause, uint64_t b) {
+  obs::FlightRecorder* flight = sim_->flight();
+  if (flight == nullptr) return;
+  obs::FlightEvent e;
+  e.ts = sim_->now();
+  e.type = type;
+  e.cause = cause;
+  e.msg_type = msg.type;
+  e.node = msg.src;
+  e.peer = msg.dst;
+  e.flow = msg.flow;
+  e.a = msg.wire_size;
+  e.b = b;
+  flight->Record(e);
+}
+
 void SimNetwork::TraceMessage(const SimMessage& msg, SimTime sent,
-                              SimTime delivered, bool dropped) {
+                              SimTime delivered, bool dropped,
+                              SimTime up_wait, SimTime rx_wait) {
   trace::TraceRecorder* recorder = sim_->trace();
   if (recorder == nullptr) return;
   trace::Span span;
@@ -92,6 +117,12 @@ void SimNetwork::TraceMessage(const SimMessage& msg, SimTime sent,
   span.args = {{"src", msg.src},
                {"dst", msg.dst},
                {"wire", msg.wire_size}};
+  if (up_wait > 0) {
+    span.args.emplace_back("up_wait", static_cast<uint64_t>(up_wait));
+  }
+  if (rx_wait > 0) {
+    span.args.emplace_back("rx_wait", static_cast<uint64_t>(rx_wait));
+  }
   recorder->RecordSpan(std::move(span));
 }
 
@@ -117,6 +148,8 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
   if (!sender.online) {
     ++messages_dropped_;
     messages_dropped_c_->Increment();
+    FlightMessage(obs::EventType::kMsgDrop, *msg,
+                  obs::DropCause::kSenderOffline, msg->id);
     TraceMessage(*msg, send_time, send_time, /*dropped=*/true);
     return;
   }
@@ -135,6 +168,9 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
   wire_bytes_c_->Add(msg->wire_size);
   sender.bytes_sent_c->Add(msg->wire_size);
   queue_wait_us_c_->Add(static_cast<uint64_t>(up_start - send_time));
+  FlightMessage(obs::EventType::kMsgSend, *msg, obs::DropCause::kNone,
+                msg->id);
+  const SimTime up_wait = up_start - send_time;
 
   SimTime arrival = up_done + options_.latency;
 
@@ -146,6 +182,10 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
     if (decision.drop) {
       ++messages_dropped_;
       messages_dropped_c_->Increment();
+      FlightMessage(obs::EventType::kMsgDrop, *msg,
+                    decision.partition ? obs::DropCause::kPartition
+                                       : obs::DropCause::kFaultLoss,
+                    msg->id);
       sim_->ScheduleAt(arrival, [this, msg, send_time]() {
         TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/true);
       });
@@ -157,11 +197,13 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
   // Propagate, then serialize on the receiver's downlink. The downlink
   // reservation must happen at arrival time (other packets may arrive in
   // between), so it is done inside the arrival event.
-  sim_->ScheduleAt(arrival, [this, msg, tx, send_time]() {
+  sim_->ScheduleAt(arrival, [this, msg, tx, send_time, up_wait]() {
     Node& receiver = nodes_[msg->dst];
     if (!receiver.online) {
       ++messages_dropped_;
       messages_dropped_c_->Increment();
+      FlightMessage(obs::EventType::kMsgDrop, *msg,
+                    obs::DropCause::kReceiverOffline, msg->id);
       TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/true);
       return;
     }
@@ -173,11 +215,13 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
     // must not accrue queue/occupancy stats for a message it never got
     // (SetOnline(false) releases the NIC reservation itself).
     const SimTime rx_wait = rx_start - sim_->now();
-    sim_->ScheduleAt(rx_done, [this, msg, send_time, rx_wait]() {
+    sim_->ScheduleAt(rx_done, [this, msg, send_time, up_wait, rx_wait]() {
       Node& node = nodes_[msg->dst];
       if (!node.online) {
         ++messages_dropped_;
         messages_dropped_c_->Increment();
+        FlightMessage(obs::EventType::kMsgDrop, *msg,
+                      obs::DropCause::kReceiverDied, msg->id);
         TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/true);
         return;
       }
@@ -187,7 +231,10 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
       node.bytes_received_c->Add(msg->wire_size);
       delivery_latency_us_->Observe(
           static_cast<double>(sim_->now() - send_time));
-      TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/false);
+      FlightMessage(obs::EventType::kMsgDeliver, *msg, obs::DropCause::kNone,
+                    static_cast<uint64_t>(sim_->now() - send_time));
+      TraceMessage(*msg, send_time, sim_->now(), /*dropped=*/false, up_wait,
+                   rx_wait);
       if (trace_) trace_(*msg, send_time, sim_->now());
       if (node.handler) node.handler(*msg);
     });

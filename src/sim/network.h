@@ -14,6 +14,11 @@
 #include "util/metrics.h"
 #include "util/sim_time.h"
 
+namespace bestpeer::obs {
+enum class EventType : uint8_t;
+enum class DropCause : uint8_t;
+}  // namespace bestpeer::obs
+
 namespace bestpeer::sim {
 
 /// Index of a physical machine on the simulated LAN.
@@ -148,8 +153,16 @@ class SimNetwork {
   };
 
   /// Records one wire span on the trace recorder (tracing enabled only).
+  /// `up_wait`/`rx_wait` are the FIFO queueing portions of the span, so
+  /// the critical-path analyzer can split queueing from transmission.
   void TraceMessage(const SimMessage& msg, SimTime sent, SimTime delivered,
-                    bool dropped);
+                    bool dropped, SimTime up_wait = 0, SimTime rx_wait = 0);
+
+  /// Records one message event on the flight recorder (enabled only).
+  /// `b` carries the event's second payload (delivery latency for
+  /// kMsgDeliver, the message id otherwise).
+  void FlightMessage(obs::EventType type, const SimMessage& msg,
+                     obs::DropCause cause, uint64_t b);
 
   Simulator* sim_;
   NetworkOptions options_;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "sim/fault.h"
 
 namespace bestpeer::sim {
@@ -15,6 +16,14 @@ FaultInjector* Simulator::EnableFaults(const FaultOptions& options) {
     fault_ = std::make_unique<FaultInjector>(this, options);
   }
   return fault_.get();
+}
+
+obs::FlightRecorder* Simulator::EnableFlightRecorder(
+    const obs::FlightRecorderOptions& options) {
+  if (flight_ == nullptr) {
+    flight_ = std::make_shared<obs::FlightRecorder>(options);
+  }
+  return flight_.get();
 }
 
 void Simulator::ScheduleAt(SimTime t, EventFn fn) {

@@ -8,6 +8,11 @@
 #include "util/sim_time.h"
 #include "util/trace.h"
 
+namespace bestpeer::obs {
+class FlightRecorder;
+struct FlightRecorderOptions;
+}  // namespace bestpeer::obs
+
 namespace bestpeer::sim {
 
 class FaultInjector;
@@ -87,12 +92,32 @@ class Simulator {
   /// The active injector, or nullptr when fault injection is disabled.
   FaultInjector* fault() const { return fault_.get(); }
 
+  // --- flight recorder ----------------------------------------------------
+  //
+  // Bounded ring of structured events (sends, drops with cause, agent
+  // hops, crashes, deadline expiries) for post-hoc incident analysis.
+  // Same ownership and gating story as the trace recorder: disabled by
+  // default, flight() == nullptr, callers pay one pointer test.
+
+  /// Creates the flight recorder (idempotent; later calls keep the first).
+  obs::FlightRecorder* EnableFlightRecorder(
+      const obs::FlightRecorderOptions& options);
+
+  /// The active recorder, or nullptr when flight recording is disabled.
+  obs::FlightRecorder* flight() const { return flight_.get(); }
+
+  /// Shared handle so dumps can outlive the simulator.
+  std::shared_ptr<obs::FlightRecorder> shared_flight() const {
+    return flight_;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t events_processed_ = 0;
   std::shared_ptr<trace::TraceRecorder> trace_;
   std::unique_ptr<FaultInjector> fault_;
+  std::shared_ptr<obs::FlightRecorder> flight_;
 };
 
 }  // namespace bestpeer::sim

@@ -74,6 +74,11 @@ std::string EntryKey(const SnapshotEntry& e) {
 }
 
 void AppendNumber(std::string* out, double v) {
+  // JSON has no nan/inf literal; null keeps the document parseable.
+  if (!std::isfinite(v)) {
+    *out += "null";
+    return;
+  }
   // Integral values (the common case: counters, byte totals) print
   // without a fraction so the JSON diffs cleanly across runs.
   if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
@@ -84,6 +89,28 @@ void AppendNumber(std::string* out, double v) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.6g", v);
     *out += buf;
+  }
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
   }
 }
 
@@ -217,7 +244,7 @@ std::string Snapshot::ToJson(int indent) const {
     out += i == 0 ? "\n" : ",\n";
     out += inner;
     out += '"';
-    out += EntryKey(e);
+    AppendEscaped(&out, EntryKey(e));
     out += "\": ";
     if (e.kind == InstrumentKind::kHistogram) {
       out += "{\"count\": ";

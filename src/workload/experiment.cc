@@ -104,6 +104,62 @@ bool TraceRequested(const ExperimentOptions& options) {
   return options.trace || std::getenv("BP_TRACE_OUT") != nullptr;
 }
 
+/// The effective sampling cadence (BP_SAMPLE_INTERVAL_US wins; 0 = off).
+SimTime SampleInterval(const ExperimentOptions& options) {
+  if (const char* env = std::getenv("BP_SAMPLE_INTERVAL_US")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<SimTime>(v);
+  }
+  return options.sample_interval;
+}
+
+/// The effective flight ring capacity (BP_FLIGHT_OUT enables; 0 = off).
+size_t FlightCapacity(const ExperimentOptions& options) {
+  if (options.flight_capacity > 0) return options.flight_capacity;
+  if (std::getenv("BP_FLIGHT_OUT") != nullptr) {
+    return obs::FlightRecorderOptions{}.capacity;
+  }
+  return 0;
+}
+
+/// Enables the simulator's flight recorder when requested. Called before
+/// any protocol stack registers message-type names so the recorder sees
+/// them all.
+void MaybeEnableFlight(sim::Simulator* simulator,
+                       const ExperimentOptions& options) {
+  const size_t capacity = FlightCapacity(options);
+  if (capacity == 0) return;
+  obs::FlightRecorderOptions fo;
+  fo.capacity = capacity;
+  if (const char* out = std::getenv("BP_FLIGHT_OUT")) fo.auto_dump_path = out;
+  simulator->EnableFlightRecorder(fo);
+}
+
+/// Sampler + driver when sampling is on (both null otherwise). One
+/// object so the Run* functions stay one-liners.
+struct Sampling {
+  std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  std::unique_ptr<obs::SamplerDriver> driver;
+
+  Sampling(sim::Simulator* simulator, const metrics::Registry* registry,
+           const ExperimentOptions& options) {
+    const SimTime interval = SampleInterval(options);
+    if (interval <= 0) return;
+    sampler = std::make_unique<obs::TimeSeriesSampler>(registry, interval);
+    sampler->AddDefaultColumns();
+    driver = std::make_unique<obs::SamplerDriver>(simulator, sampler.get());
+  }
+
+  /// Re-arms per query round (the driver stops when the queue drains).
+  void Arm() {
+    if (driver != nullptr) driver->Arm();
+  }
+
+  void Finish(ExperimentResult* result) {
+    if (sampler != nullptr) result->timeseries = sampler->Take();
+  }
+};
+
 /// One span covering a whole query, from issue to last answer.
 void RecordQuerySpan(sim::Simulator& simulator, uint32_t base_node,
                      uint64_t query_id, SimTime start, SimTime duration) {
@@ -126,6 +182,8 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   metrics::Registry registry;
   sim::Simulator simulator;
   if (TraceRequested(options)) simulator.EnableTracing();
+  MaybeEnableFlight(&simulator, options);
+  Sampling sampling(&simulator, &registry, options);
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
@@ -176,6 +234,7 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   for (size_t q = 0; q < options.queries; ++q) {
     BP_ASSIGN_OR_RETURN(uint64_t query_id,
                         base.IssueSearch(CorpusGenerator::kNeedle));
+    sampling.Arm();
     simulator.RunUntilIdle();
     const core::QuerySession* session = base.FindSession(query_id);
     if (session == nullptr) {
@@ -208,6 +267,8 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   result.wire_bytes = network.total_wire_bytes();
   result.metrics = registry.TakeSnapshot();
   result.trace = simulator.shared_trace();
+  result.flight = simulator.shared_flight();
+  sampling.Finish(&result);
   return result;
 }
 
@@ -217,6 +278,8 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
   metrics::Registry registry;
   sim::Simulator simulator;
   if (TraceRequested(options)) simulator.EnableTracing();
+  MaybeEnableFlight(&simulator, options);
+  Sampling sampling(&simulator, &registry, options);
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
@@ -256,6 +319,7 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
   for (size_t q = 0; q < options.queries; ++q) {
     BP_ASSIGN_OR_RETURN(uint64_t query_id,
                         base.IssueQuery(CorpusGenerator::kNeedle));
+    sampling.Arm();
     simulator.RunUntilIdle();
     const baseline::CsSession* session = base.FindSession(query_id);
     if (session == nullptr) return Status::Internal("cs session lost");
@@ -273,6 +337,8 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
   result.wire_bytes = network.total_wire_bytes();
   result.metrics = registry.TakeSnapshot();
   result.trace = simulator.shared_trace();
+  result.flight = simulator.shared_flight();
+  sampling.Finish(&result);
   return result;
 }
 
@@ -282,6 +348,8 @@ Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
   metrics::Registry registry;
   sim::Simulator simulator;
   if (TraceRequested(options)) simulator.EnableTracing();
+  MaybeEnableFlight(&simulator, options);
+  Sampling sampling(&simulator, &registry, options);
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
@@ -316,6 +384,7 @@ Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
   for (size_t q = 0; q < options.queries; ++q) {
     BP_ASSIGN_OR_RETURN(uint64_t key,
                         base.IssueQuery(CorpusGenerator::kNeedle));
+    sampling.Arm();
     simulator.RunUntilIdle();
     const baseline::GnutellaSession* session = base.FindSession(key);
     if (session == nullptr) return Status::Internal("gnutella session lost");
@@ -332,6 +401,8 @@ Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
   result.wire_bytes = network.total_wire_bytes();
   result.metrics = registry.TakeSnapshot();
   result.trace = simulator.shared_trace();
+  result.flight = simulator.shared_flight();
+  sampling.Finish(&result);
   return result;
 }
 
@@ -367,6 +438,14 @@ Result<ExperimentResult> RunExperiment(const ExperimentOptions& options) {
       }
     }
   }
+  if (result.ok() && result.value().flight != nullptr) {
+    if (const char* out = std::getenv("BP_FLIGHT_OUT")) {
+      Status s = result.value().flight->WriteNdjson(out);
+      if (!s.ok()) {
+        BP_LOG(Warn) << "BP_FLIGHT_OUT write failed: " << s.ToString();
+      }
+    }
+  }
   return result;
 }
 
@@ -383,6 +462,8 @@ Result<ExperimentResult> RunAveraged(ExperimentOptions options,
     merged.wire_bytes += one.wire_bytes;
     merged.metrics.Merge(one.metrics);
     if (merged.trace == nullptr) merged.trace = one.trace;
+    if (merged.flight == nullptr) merged.flight = one.flight;
+    if (merged.timeseries.empty()) merged.timeseries = std::move(one.timeseries);
     for (size_t q = 0; q < one.queries.size(); ++q) {
       merged.queries[q].completion += one.queries[q].completion;
       merged.queries[q].total_answers += one.queries[q].total_answers;

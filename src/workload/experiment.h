@@ -8,6 +8,8 @@
 
 #include "core/config.h"
 #include "core/session.h"
+#include "obs/flight_recorder.h"
+#include "obs/timeseries.h"
 #include "sim/network.h"
 #include "util/metrics.h"
 #include "util/result.h"
@@ -51,6 +53,13 @@ struct ExperimentResult {
   /// Per-query trace spans, present iff tracing was on (ExperimentOptions
   /// trace flag or BP_TRACE_OUT). RunAveraged keeps the first seed's trace.
   std::shared_ptr<trace::TraceRecorder> trace;
+  /// Periodic Registry samples, non-empty iff sample_interval (or
+  /// BP_SAMPLE_INTERVAL_US) was set. RunAveraged keeps the first seed's.
+  obs::TimeSeries timeseries;
+  /// Flight-recorder ring, present iff flight recording was on
+  /// (flight_capacity or BP_FLIGHT_OUT). RunAveraged keeps the first
+  /// seed's recorder.
+  std::shared_ptr<obs::FlightRecorder> flight;
 
   double MeanCompletionMs() const;
   double CompletionMs(size_t query_index) const;
@@ -105,6 +114,16 @@ struct ExperimentOptions {
   /// BP_TRACE_OUT environment variable is set, in which case
   /// RunExperiment writes the Chrome-trace JSON to that path on return.
   bool trace = false;
+
+  /// Sim-time sampling cadence for the result's `timeseries` (0 = off).
+  /// BP_SAMPLE_INTERVAL_US (microseconds) overrides when set.
+  SimTime sample_interval = 0;
+
+  /// Flight-recorder ring capacity in events (0 = off). Setting
+  /// BP_FLIGHT_OUT also enables it (default capacity) and makes
+  /// RunExperiment write the NDJSON dump to that path on return;
+  /// anomalies additionally auto-dump there mid-run.
+  size_t flight_capacity = 0;
 
   /// Number of matches expected at node `i`.
   size_t MatchesAt(size_t i) const {

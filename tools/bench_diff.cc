@@ -1,0 +1,150 @@
+// bench_diff: the bench regression gate.
+//
+// Compares BENCH_*.json reports against committed baselines and exits
+// nonzero when a gated metric moved more than its threshold, so CI can
+// fail the build on a wire-bytes or latency regression.
+//
+// Usage:
+//   bench_diff [flags] <baseline.json> <current.json>
+//   bench_diff [flags] <baseline_dir> <current_dir>
+//
+// Directory mode diffs every BENCH_*.json found in the baseline
+// directory against the file of the same name in the current directory;
+// a baseline with no current counterpart fails (the bench silently
+// stopped producing its report).
+//
+// Flags:
+//   --threshold=<frac>          default relative threshold (default 0.10)
+//   --metric=<name>=<frac>      per-metric override, e.g.
+//                               --metric=summary.wire_bytes=0.02
+//   --verbose                   print every compared metric, not just
+//                               violations
+//
+// Exit codes: 0 all within thresholds, 1 regression or structural
+// mismatch, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/bench_diff.h"
+
+namespace fs = std::filesystem;
+using bestpeer::obs::BenchDiff;
+using bestpeer::obs::CompareReportFiles;
+using bestpeer::obs::DiffOptions;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--threshold=F] [--metric=NAME=F] "
+               "[--verbose] <baseline> <current>\n"
+               "       (two report files, or two directories of "
+               "BENCH_*.json)\n");
+  return 2;
+}
+
+/// Diffs one report pair; returns 1 on regression, 2 on I/O error.
+int DiffOne(const std::string& baseline, const std::string& current,
+            const DiffOptions& options, bool verbose) {
+  auto diff = CompareReportFiles(baseline, current, options);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "bench_diff: %s\n",
+                 diff.status().ToString().c_str());
+    return 2;
+  }
+  const BenchDiff& d = diff.value();
+  std::string text = d.FormatText(verbose);
+  if (!text.empty()) std::fputs(text.c_str(), stdout);
+  if (d.ok()) {
+    std::printf("%s: ok (%zu metrics within thresholds)\n",
+                d.figure.empty() ? current.c_str() : d.figure.c_str(),
+                d.entries.size());
+    return 0;
+  }
+  std::printf("%s: FAIL (%zu regressions, %zu structural errors)\n",
+              d.figure.empty() ? current.c_str() : d.figure.c_str(),
+              d.violations(), d.structure_errors.size());
+  return 1;
+}
+
+bool IsReportName(const std::string& name) {
+  return name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+         name.substr(name.size() - 5) == ".json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffOptions options;
+  bool verbose = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      options.default_threshold = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--metric=", 0) == 0) {
+      const std::string spec = arg.substr(9);
+      const size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) return Usage();
+      options.thresholds[spec.substr(0, eq)] =
+          std::atof(spec.c_str() + eq + 1);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (paths.size() != 2) return Usage();
+
+  std::error_code ec;
+  const bool dir_mode = fs::is_directory(paths[0], ec);
+  if (!dir_mode) return DiffOne(paths[0], paths[1], options, verbose);
+
+  if (!fs::is_directory(paths[1], ec)) {
+    std::fprintf(stderr, "bench_diff: %s is a directory but %s is not\n",
+                 paths[0].c_str(), paths[1].c_str());
+    return 2;
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(paths[0], ec)) {
+    const std::string name = entry.path().filename().string();
+    if (IsReportName(name)) names.push_back(name);
+  }
+  if (ec) {
+    std::fprintf(stderr, "bench_diff: cannot list %s: %s\n",
+                 paths[0].c_str(), ec.message().c_str());
+    return 2;
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json under %s\n",
+                 paths[0].c_str());
+    return 2;
+  }
+  std::sort(names.begin(), names.end());
+
+  int worst = 0;
+  for (const std::string& name : names) {
+    const std::string baseline = paths[0] + "/" + name;
+    const std::string current = paths[1] + "/" + name;
+    if (!fs::exists(current)) {
+      std::fprintf(stderr,
+                   "%s: FAIL (baseline exists but no current report)\n",
+                   name.c_str());
+      worst = std::max(worst, 1);
+      continue;
+    }
+    worst = std::max(worst, DiffOne(baseline, current, options, verbose));
+  }
+  if (worst == 0) {
+    std::printf("bench_diff: %zu report(s) within thresholds\n",
+                names.size());
+  }
+  return worst;
+}
