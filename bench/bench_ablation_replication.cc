@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 #include "core/node.h"
 #include "core/search_agent.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 using namespace bestpeer;
@@ -30,6 +31,7 @@ Outcome RunWithReplicationRounds(size_t rounds) {
   const size_t kMatches = 5;
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
   core::BestPeerConfig config;
   config.max_direct_peers = 4;
@@ -38,7 +40,7 @@ Outcome RunWithReplicationRounds(size_t rounds) {
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   workload::CorpusGenerator corpus({1024, 500, 0.8}, 7);
   for (size_t i = 0; i < kNodes; ++i) {
-    auto node = core::BestPeerNode::Create(&network, network.AddNode(),
+    auto node = core::BestPeerNode::Create(fleet.AddNode(),
                                            &infra, config)
                     .value();
     node->InitStorage({}).ok();

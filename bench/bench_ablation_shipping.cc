@@ -12,6 +12,7 @@
 #include "core/node.h"
 #include "core/search_agent.h"
 #include "core/shipping.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 using namespace bestpeer;
@@ -28,15 +29,14 @@ RunOutcome RunDirectSearch(size_t store_objects, core::ShippingMode mode,
                            size_t rounds) {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
   core::BestPeerConfig config;
 
-  auto requester = core::BestPeerNode::Create(&network, network.AddNode(),
-                                              &infra, config)
-                       .value();
-  auto provider = core::BestPeerNode::Create(&network, network.AddNode(),
-                                             &infra, config)
-                      .value();
+  auto requester =
+      core::BestPeerNode::Create(fleet.AddNode(), &infra, config).value();
+  auto provider =
+      core::BestPeerNode::Create(fleet.AddNode(), &infra, config).value();
   requester->InitStorage({}).ok();
   provider->InitStorage({}).ok();
   requester->AddDirectPeerLocal(provider->node());

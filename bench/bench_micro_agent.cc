@@ -9,7 +9,8 @@
 #include "agent/agent_registry.h"
 #include "agent/agent_runtime.h"
 #include "core/search_agent.h"
-#include "sim/dispatcher.h"
+#include "net/dispatcher.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -62,43 +63,44 @@ void BM_AgentFloodLine(benchmark::State& state) {
   };
   class NullHost : public agent::AgentHost {
    public:
-    explicit NullHost(sim::NodeId node) : node_(node) {}
+    explicit NullHost(NodeId node) : node_(node) {}
     storm::Storm* storage() override { return nullptr; }
-    sim::NodeId host_node() const override { return node_; }
+    NodeId host_node() const override { return node_; }
 
    private:
-    sim::NodeId node_;
+    NodeId node_;
   };
 
   for (auto _ : state) {
     sim::Simulator simulator;
     sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+    net::SimTransportFleet fleet(&network);
     agent::AgentRegistry registry;
     registry.Register("Noop", 1024, []() {
       return std::make_unique<NoopAgent>();
     }).ok();
     agent::CodeCache cache;
     std::vector<std::unique_ptr<NullHost>> hosts;
-    std::vector<std::unique_ptr<sim::Dispatcher>> dispatchers;
+    std::vector<std::unique_ptr<net::Dispatcher>> dispatchers;
     std::vector<std::unique_ptr<agent::AgentRuntime>> runtimes;
-    std::vector<std::vector<sim::NodeId>> neighbors(kNodes);
-    std::vector<sim::NodeId> ids;
+    std::vector<std::vector<NodeId>> neighbors(kNodes);
+    std::vector<NodeId> ids;
     for (size_t i = 0; i < kNodes; ++i) {
       ids.push_back(network.AddNode());
       hosts.push_back(std::make_unique<NullHost>(ids[i]));
       dispatchers.push_back(
-          std::make_unique<sim::Dispatcher>(&network, ids[i]));
+          std::make_unique<net::Dispatcher>(fleet.For(ids[i])));
     }
     for (size_t i = 0; i < kNodes; ++i) {
       if (i > 0) neighbors[i].push_back(ids[i - 1]);
       if (i + 1 < kNodes) neighbors[i].push_back(ids[i + 1]);
       size_t idx = i;
       runtimes.push_back(std::make_unique<agent::AgentRuntime>(
-          &network, ids[i], &registry, &cache, hosts[i].get(),
+          fleet.For(ids[i]), &registry, &cache, hosts[i].get(),
           [&neighbors, idx]() { return neighbors[idx]; },
           agent::AgentRuntimeOptions{}));
       dispatchers[i]->Register(agent::kAgentTransferType,
-                               [&runtimes, idx](const sim::SimMessage& m) {
+                               [&runtimes, idx](const net::Message& m) {
                                  runtimes[idx]->OnMessage(m).ok();
                                });
     }

@@ -1,0 +1,123 @@
+// Micro-benchmark of the real TCP backend: one-way throughput and
+// round-trip latency (p50/p99) between two loopback TcpTransport nodes,
+// across payload sizes. Writes BENCH_micro_net.json. Numbers depend on
+// the host kernel and scheduler, so this report is informational and is
+// deliberately NOT part of the bench-gate baselines.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/tcp_transport.h"
+
+using namespace bestpeer;
+using namespace bestpeer::bench;
+
+namespace {
+
+constexpr uint32_t kPingType = 1;
+constexpr uint32_t kPongType = 2;
+
+struct NetStats {
+  double msgs_per_sec = 0;
+  double rtt_p50_us = 0;
+  double rtt_p99_us = 0;
+};
+
+double Percentile(std::vector<double>& sorted_samples, double p) {
+  if (sorted_samples.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(
+                                           sorted_samples.size() - 1));
+  return sorted_samples[idx];
+}
+
+/// One-way burst throughput + ping/pong RTT at the given payload size.
+NetStats Measure(size_t payload_size, size_t burst, size_t pings,
+                 metrics::Registry* registry) {
+  net::TcpOptions options;
+  options.max_queue_msgs = burst + 16;
+  options.metrics = registry;
+  net::TcpNet tcpnet(options);
+  net::TcpTransport* a = tcpnet.AddNode().value();
+  net::TcpTransport* b = tcpnet.AddNode().value();
+
+  std::atomic<size_t> received{0};
+  b->SetHandler([&](const net::Message& msg) {
+    received.fetch_add(1, std::memory_order_relaxed);
+    if (msg.type == kPingType) b->Send(msg.src, kPongType, Bytes{});
+  });
+  std::atomic<size_t> pongs{0};
+  a->SetHandler([&](const net::Message&) {
+    pongs.fetch_add(1, std::memory_order_relaxed);
+  });
+  tcpnet.Start();
+
+  NetStats stats;
+  Bytes payload(payload_size, 0xB7);
+
+  // --- throughput: burst of one-way sends, timed to last delivery.
+  auto start = std::chrono::steady_clock::now();
+  tcpnet.Run([&]() {
+    for (size_t i = 0; i < burst; ++i) {
+      a->Send(b->local(), /*type=*/3, payload);
+    }
+  });
+  while (received.load(std::memory_order_relaxed) < burst) {
+    std::this_thread::yield();
+  }
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  stats.msgs_per_sec = static_cast<double>(burst) / secs;
+
+  // --- RTT: serial ping/pong, one in flight at a time.
+  std::vector<double> rtts;
+  rtts.reserve(pings);
+  for (size_t i = 0; i < pings; ++i) {
+    size_t before = pongs.load(std::memory_order_relaxed);
+    auto t0 = std::chrono::steady_clock::now();
+    a->Send(b->local(), kPingType, payload);
+    while (pongs.load(std::memory_order_relaxed) == before) {
+      std::this_thread::yield();
+    }
+    rtts.push_back(std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count());
+  }
+  tcpnet.Stop();
+
+  std::sort(rtts.begin(), rtts.end());
+  stats.rtt_p50_us = Percentile(rtts, 0.5);
+  stats.rtt_p99_us = Percentile(rtts, 0.99);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  PrintTitle(
+      "micro_net: loopback TcpTransport throughput and ping/pong RTT");
+  const size_t burst = FastMode() ? 2000 : 20000;
+  const size_t pings = FastMode() ? 200 : 2000;
+  const std::vector<size_t> payload_sizes = {16, 512, 4096, 65536};
+
+  metrics::Registry registry;
+  BenchReport report("micro_net");
+  std::vector<std::string> header = {"payload_bytes", "msgs_per_sec",
+                                     "rtt_p50_us", "rtt_p99_us"};
+  report.SetColumns(header);
+  PrintRowHeader(header);
+  for (size_t size : payload_sizes) {
+    NetStats stats = Measure(size, burst, pings, &registry);
+    std::vector<double> row = {static_cast<double>(size),
+                               stats.msgs_per_sec, stats.rtt_p50_us,
+                               stats.rtt_p99_us};
+    PrintRow(std::to_string(size), {row.begin() + 1, row.end()});
+    report.AddRow(std::to_string(size), {row.begin() + 1, row.end()});
+  }
+  report.Absorb(registry.TakeSnapshot());
+  return report.Close();
+}

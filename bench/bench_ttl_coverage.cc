@@ -11,6 +11,7 @@
 #include "bench/bench_common.h"
 #include "core/node.h"
 #include "core/search_agent.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 using namespace bestpeer;
@@ -27,6 +28,7 @@ struct FloodOutcome {
 FloodOutcome BpFlood(const workload::Topology& topo, uint16_t ttl) {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
   core::BestPeerConfig config;
   config.max_direct_peers = 16;
@@ -36,7 +38,7 @@ FloodOutcome BpFlood(const workload::Topology& topo, uint16_t ttl) {
 
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   for (size_t i = 0; i < topo.node_count; ++i) {
-    auto node = core::BestPeerNode::Create(&network, network.AddNode(),
+    auto node = core::BestPeerNode::Create(fleet.AddNode(),
                                            &infra, config)
                     .value();
     node->InitStorage({}).ok();
@@ -66,13 +68,14 @@ FloodOutcome BpFlood(const workload::Topology& topo, uint16_t ttl) {
 FloodOutcome GnutellaFlood(const workload::Topology& topo, uint8_t ttl) {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  net::SimTransportFleet fleet(&network);
   baseline::GnutellaConfig config;
   config.default_ttl = ttl;
 
   std::vector<std::unique_ptr<baseline::GnutellaNode>> nodes;
   for (size_t i = 0; i < topo.node_count; ++i) {
     nodes.push_back(
-        baseline::GnutellaNode::Create(&network, network.AddNode(), config)
+        baseline::GnutellaNode::Create(fleet.AddNode(), config)
             .value());
     nodes.back()->ShareFile("needle-" + std::to_string(i) + ".txt");
   }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/node.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 using namespace bestpeer;
@@ -17,17 +18,15 @@ using namespace bestpeer;
 int main() {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  bestpeer::net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
   core::BestPeerConfig config;
-  auto hospital = core::BestPeerNode::Create(&network, network.AddNode(),
-                                             &infra, config)
+  auto hospital = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                       .value();
-  auto researcher = core::BestPeerNode::Create(&network, network.AddNode(),
-                                               &infra, config)
+  auto researcher = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                         .value();
-  auto physician = core::BestPeerNode::Create(&network, network.AddNode(),
-                                              &infra, config)
+  auto physician = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                        .value();
   hospital->InitStorage({});
   hospital->AddDirectPeerLocal(researcher->node());

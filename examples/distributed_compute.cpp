@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/node.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 #include "util/strings.h"
 
@@ -36,6 +37,7 @@ Result<Bytes> AboveThresholdFilter(const Bytes& object, const Bytes& params) {
 int main() {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  bestpeer::net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
   core::BestPeerConfig config;
@@ -43,8 +45,7 @@ int main() {
 
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   for (int i = 0; i < 5; ++i) {
-    auto node = core::BestPeerNode::Create(&network, network.AddNode(),
-                                           &infra, config)
+    auto node = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                     .value();
     node->InitStorage({});
     // Every participant knows the algorithm by name; shipping its

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/node.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 #include "workload/topology.h"
 
@@ -19,6 +20,7 @@ using namespace bestpeer;
 int main() {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  bestpeer::net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
   // A 16-node line overlay: the worst case for a static network — the
@@ -35,8 +37,7 @@ int main() {
 
   std::vector<std::unique_ptr<core::BestPeerNode>> peers;
   for (size_t i = 0; i < kPeers; ++i) {
-    auto node = core::BestPeerNode::Create(&network, network.AddNode(),
-                                           &infra, config)
+    auto node = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                     .value();
     node->InitStorage({});
     peers.push_back(std::move(node));

@@ -10,6 +10,8 @@
 
 #include "core/node.h"
 #include "liglo/liglo_server.h"
+#include "net/dispatcher.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 using namespace bestpeer;
@@ -17,23 +19,23 @@ using namespace bestpeer;
 int main() {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  bestpeer::net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
   // A LIGLO server on a machine with a fixed, well-known address.
-  sim::NodeId server_id = network.AddNode();
-  sim::Dispatcher server_dispatcher(&network, server_id);
+  bestpeer::net::SimTransport* server_transport = fleet.AddNode();
+  NodeId server_id = server_transport->local();
+  bestpeer::net::Dispatcher server_dispatcher(server_transport);
   liglo::LigloServerOptions server_options;
   server_options.sweep_interval = Millis(200);
   server_options.ping_timeout = Millis(20);
-  liglo::LigloServer liglo_server(&network, &server_dispatcher, server_id,
+  liglo::LigloServer liglo_server(server_transport, &server_dispatcher,
                                   &infra.ip_directory, server_options);
 
   core::BestPeerConfig config;
-  auto desktop = core::BestPeerNode::Create(&network, network.AddNode(),
-                                            &infra, config)
+  auto desktop = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                      .value();
-  auto laptop = core::BestPeerNode::Create(&network, network.AddNode(),
-                                           &infra, config)
+  auto laptop = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                     .value();
   desktop->InitStorage({});
   laptop->InitStorage({});

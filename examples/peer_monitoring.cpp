@@ -11,6 +11,8 @@
 
 #include "core/node.h"
 #include "liglo/liglo_server.h"
+#include "net/dispatcher.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 using namespace bestpeer;
@@ -34,19 +36,19 @@ const char* KindName(core::UpdateNotifyMessage::Kind kind) {
 int main() {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  bestpeer::net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
-  sim::NodeId server_id = network.AddNode();
-  sim::Dispatcher server_dispatcher(&network, server_id);
-  liglo::LigloServer liglo_server(&network, &server_dispatcher, server_id,
+  bestpeer::net::SimTransport* server_transport = fleet.AddNode();
+  NodeId server_id = server_transport->local();
+  bestpeer::net::Dispatcher server_dispatcher(server_transport);
+  liglo::LigloServer liglo_server(server_transport, &server_dispatcher,
                                   &infra.ip_directory, {});
 
   core::BestPeerConfig config;
-  auto publisher = core::BestPeerNode::Create(&network, network.AddNode(),
-                                              &infra, config)
+  auto publisher = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                        .value();
-  auto subscriber = core::BestPeerNode::Create(&network, network.AddNode(),
-                                               &infra, config)
+  auto subscriber = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                         .value();
   publisher->InitStorage({});
   subscriber->InitStorage({});
@@ -61,7 +63,7 @@ int main() {
   // Subscribe to the publisher's store changes.
   subscriber->WatchPeer(
       publisher->node(),
-      [&](sim::NodeId, core::UpdateNotifyMessage::Kind kind,
+      [&](NodeId, core::UpdateNotifyMessage::Kind kind,
           storm::ObjectId id) {
         std::printf("  [subscriber] object %llu %s at peer %s\n",
                     static_cast<unsigned long long>(id), KindName(kind),

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/node.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 using namespace bestpeer;
@@ -16,6 +17,7 @@ int main() {
   // cache, address plane).
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
+  bestpeer::net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
   // Three nodes in a line: alice - bob - carol. Only alice issues
@@ -24,14 +26,12 @@ int main() {
   config.max_direct_peers = 4;
   config.strategy = "maxcount";
 
-  auto alice = core::BestPeerNode::Create(&network, network.AddNode(),
-                                          &infra, config)
+  auto alice = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                    .value();
-  auto bob = core::BestPeerNode::Create(&network, network.AddNode(), &infra,
+  auto bob = core::BestPeerNode::Create(fleet.AddNode(), &infra,
                                         config)
                  .value();
-  auto carol = core::BestPeerNode::Create(&network, network.AddNode(),
-                                          &infra, config)
+  auto carol = core::BestPeerNode::Create(fleet.AddNode(), &infra, config)
                    .value();
   for (auto* node : {alice.get(), bob.get(), carol.get()}) {
     node->InitStorage({});  // In-memory StorM store.

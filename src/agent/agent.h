@@ -5,7 +5,7 @@
 #include <string_view>
 #include <vector>
 
-#include "sim/network.h"
+#include "util/ids.h"
 #include "storm/storm.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -24,7 +24,7 @@ class AgentHost {
   virtual storm::Storm* storage() = 0;
 
   /// The physical id of the hosting node.
-  virtual sim::NodeId host_node() const = 0;
+  virtual NodeId host_node() const = 0;
 };
 
 /// Collects the externally visible effects of one agent execution.
@@ -33,12 +33,12 @@ class AgentHost {
 class AgentContext {
  public:
   struct Send {
-    sim::NodeId dst;
+    NodeId dst;
     uint32_t type;
     Bytes payload;
   };
 
-  AgentContext(AgentHost* host, sim::NodeId current, sim::NodeId origin,
+  AgentContext(AgentHost* host, NodeId current, NodeId origin,
                uint16_t hops, uint16_t ttl)
       : host_(host),
         current_(current),
@@ -50,10 +50,10 @@ class AgentContext {
   AgentHost* host() { return host_; }
 
   /// Node the agent is executing on.
-  sim::NodeId current_node() const { return current_; }
+  NodeId current_node() const { return current_; }
 
   /// Node that launched the agent (the paper's "base node").
-  sim::NodeId origin_node() const { return origin_; }
+  NodeId origin_node() const { return origin_; }
 
   /// Overlay hops travelled from the base node to here.
   uint16_t hops() const { return hops_; }
@@ -65,7 +65,7 @@ class AgentContext {
   void ChargeCpu(SimTime cost) { cpu_cost_ += cost; }
 
   /// Queues a message to be sent when the execution's CPU cost elapses.
-  void SendMessage(sim::NodeId dst, uint32_t type, Bytes payload) {
+  void SendMessage(NodeId dst, uint32_t type, Bytes payload) {
     sends_.push_back(Send{dst, type, std::move(payload)});
   }
 
@@ -75,8 +75,8 @@ class AgentContext {
 
  private:
   AgentHost* host_;
-  sim::NodeId current_;
-  sim::NodeId origin_;
+  NodeId current_;
+  NodeId origin_;
   uint16_t hops_;
   uint16_t ttl_;
   SimTime cpu_cost_ = 0;

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <string>
 
-#include "sim/network.h"
+#include "util/ids.h"
 #include "util/bytes.h"
 #include "util/result.h"
 
@@ -19,7 +19,7 @@ struct AgentMessage {
   /// Registered class name (the "code" identity).
   std::string class_name;
   /// The base node that launched the agent.
-  sim::NodeId origin = sim::kInvalidNode;
+  NodeId origin = kInvalidNode;
   /// Remaining time-to-live; an agent arriving with ttl 0 still executes
   /// but is not forwarded further.
   uint16_t ttl = 0;

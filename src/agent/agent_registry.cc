@@ -35,17 +35,17 @@ bool AgentRegistry::Contains(std::string_view class_name) const {
   return classes_.find(class_name) != classes_.end();
 }
 
-bool CodeCache::Has(sim::NodeId node, std::string_view class_name) const {
+bool CodeCache::Has(NodeId node, std::string_view class_name) const {
   auto it = loaded_.find(node);
   if (it == loaded_.end()) return false;
   return it->second.find(class_name) != it->second.end();
 }
 
-void CodeCache::Load(sim::NodeId node, std::string_view class_name) {
+void CodeCache::Load(NodeId node, std::string_view class_name) {
   loaded_[node].insert(std::string(class_name));
 }
 
-void CodeCache::EvictNode(sim::NodeId node) { loaded_.erase(node); }
+void CodeCache::EvictNode(NodeId node) { loaded_.erase(node); }
 
 size_t CodeCache::total_loaded() const {
   size_t n = 0;

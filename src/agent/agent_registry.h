@@ -50,19 +50,19 @@ class AgentRegistry {
 class CodeCache {
  public:
   /// True iff `node` already has `class_name`.
-  bool Has(sim::NodeId node, std::string_view class_name) const;
+  bool Has(NodeId node, std::string_view class_name) const;
 
   /// Marks the class as present at the node.
-  void Load(sim::NodeId node, std::string_view class_name);
+  void Load(NodeId node, std::string_view class_name);
 
   /// Drops everything cached at a node (e.g., node restart).
-  void EvictNode(sim::NodeId node);
+  void EvictNode(NodeId node);
 
   /// Total (node, class) residencies.
   size_t total_loaded() const;
 
  private:
-  std::map<sim::NodeId, std::set<std::string, std::less<>>> loaded_;
+  std::map<NodeId, std::set<std::string, std::less<>>> loaded_;
 };
 
 }  // namespace bestpeer::agent

@@ -7,19 +7,19 @@
 
 namespace bestpeer::agent {
 
-AgentRuntime::AgentRuntime(sim::SimNetwork* network, sim::NodeId node,
+AgentRuntime::AgentRuntime(net::Transport* transport,
                            const AgentRegistry* registry,
                            CodeCache* code_cache, AgentHost* host,
                            NeighborFn neighbors, AgentRuntimeOptions options)
-    : network_(network),
-      node_(node),
+    : transport_(transport),
+      node_(transport->local()),
       registry_(registry),
       code_cache_(code_cache),
       host_(host),
       neighbors_(std::move(neighbors)),
       options_(std::move(options)) {
   // The launching node always has its own classes "loaded".
-  network_->RegisterTypeName(kAgentTransferType, "agent.migrate");
+  transport_->RegisterTypeName(kAgentTransferType, "agent.migrate");
   if (options_.metrics != nullptr) {
     metrics::Registry* reg = options_.metrics;
     received_c_ = reg->GetCounter("agent.received");
@@ -35,7 +35,7 @@ AgentRuntime::AgentRuntime(sim::SimNetwork* network, sim::NodeId node,
   }
 }
 
-Status AgentRuntime::SendAgentTo(sim::NodeId dst, const AgentMessage& msg) {
+Status AgentRuntime::SendAgentTo(NodeId dst, const AgentMessage& msg) {
   Bytes encoded = msg.Encode();
   serialize_bytes_c_->Add(encoded.size());
   BP_ASSIGN_OR_RETURN(Bytes compressed, options_.codec->Compress(encoded));
@@ -43,11 +43,11 @@ Status AgentRuntime::SendAgentTo(sim::NodeId dst, const AgentMessage& msg) {
   if (!code_cache_->Has(dst, msg.class_name)) {
     BP_ASSIGN_OR_RETURN(extra, registry_->CodeSize(msg.class_name));
   }
-  network_->Send(node_, dst, kAgentTransferType, std::move(compressed),
-                 extra, /*flow=*/msg.agent_id);
-  if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+  transport_->Send(dst, kAgentTransferType, std::move(compressed), extra,
+                   /*flow=*/msg.agent_id);
+  if (obs::FlightRecorder* flight = transport_->flight()) {
     obs::FlightEvent e;
-    e.ts = network_->simulator().now();
+    e.ts = transport_->clock().now();
     e.type = obs::EventType::kAgentHop;
     e.node = node_;
     e.peer = dst;
@@ -61,7 +61,7 @@ Status AgentRuntime::SendAgentTo(sim::NodeId dst, const AgentMessage& msg) {
   return Status::OK();
 }
 
-void AgentRuntime::Forward(const AgentMessage& msg, sim::NodeId skip) {
+void AgentRuntime::Forward(const AgentMessage& msg, NodeId skip) {
   if (msg.ttl == 0) {
     // The agent dies here: its TTL ran out before the overlay was
     // exhausted (the coverage loss Fig. 8 quantifies).
@@ -71,10 +71,10 @@ void AgentRuntime::Forward(const AgentMessage& msg, sim::NodeId skip) {
   AgentMessage clone = msg;
   clone.ttl = static_cast<uint16_t>(msg.ttl - 1);
   clone.hops = static_cast<uint16_t>(msg.hops + 1);
-  for (sim::NodeId n : neighbors_()) {
+  for (NodeId n : neighbors_()) {
     if (n == skip || n == node_ || n == msg.origin) continue;
     // Per-clone handling cost, then the clone hits the wire.
-    network_->Cpu(node_).Submit(
+    transport_->RunCpu(
         options_.forward_cost,
         [this, n, clone]() {
           Status s = SendAgentTo(n, clone);
@@ -109,23 +109,22 @@ Status AgentRuntime::ExecuteIncoming(const AgentMessage& msg) {
   // The setup/scan split lets the critical-path analyzer separate agent
   // overhead (reconstruct + class load) from useful store-scan time.
   std::vector<std::pair<std::string, uint64_t>> span_args;
-  if (network_->simulator().trace() != nullptr) {
+  if (transport_->trace() != nullptr) {
     span_args.emplace_back("setup", static_cast<uint64_t>(setup));
     span_args.emplace_back("scan", static_cast<uint64_t>(ctx.cpu_cost()));
   }
   auto sends = std::move(ctx.mutable_sends());
   auto codec = options_.codec;
-  sim::SimNetwork* network = network_;
-  sim::NodeId self = node_;
-  uint64_t flow = msg.agent_id;
-  network_->Cpu(node_).Submit(
+  net::Transport* transport = transport_;
+  FlowId flow = msg.agent_id;
+  transport_->RunCpu(
       total,
-      [network, codec, self, flow, sends = std::move(sends)]() {
+      [transport, codec, flow, sends = std::move(sends)]() {
         for (const auto& send : sends) {
           auto compressed = codec->Compress(send.payload);
           if (!compressed.ok()) continue;
-          network->Send(self, send.dst, send.type,
-                        std::move(compressed).value(), 0, flow);
+          transport->Send(send.dst, send.type,
+                          std::move(compressed).value(), 0, flow);
         }
       },
       "agent.execute", flow, std::move(span_args));
@@ -133,7 +132,7 @@ Status AgentRuntime::ExecuteIncoming(const AgentMessage& msg) {
 }
 
 Status AgentRuntime::LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
-                              const std::vector<sim::NodeId>& targets) {
+                              const std::vector<NodeId>& targets) {
   if (!registry_->Contains(agent.class_name())) {
     return Status::FailedPrecondition("agent class not registered: " +
                                       std::string(agent.class_name()));
@@ -142,7 +141,7 @@ Status AgentRuntime::LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
     return Status::InvalidArgument("targeted launch needs ttl >= 1");
   }
   code_cache_->Load(node_, agent.class_name());
-  seen_[agent_id] = network_->simulator().now();
+  seen_[agent_id] = transport_->clock().now();
 
   AgentMessage msg;
   msg.agent_id = agent_id;
@@ -154,7 +153,7 @@ Status AgentRuntime::LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
   agent.SaveState(writer);
   msg.state = writer.Take();
 
-  for (sim::NodeId target : targets) {
+  for (NodeId target : targets) {
     if (target == node_) continue;
     BP_RETURN_IF_ERROR(SendAgentTo(target, msg));
   }
@@ -168,7 +167,7 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
                                       std::string(agent.class_name()));
   }
   code_cache_->Load(node_, agent.class_name());
-  seen_[agent_id] = network_->simulator().now();
+  seen_[agent_id] = transport_->clock().now();
 
   AgentMessage msg;
   msg.agent_id = agent_id;
@@ -184,7 +183,7 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
     AgentMessage clone = msg;
     clone.ttl = static_cast<uint16_t>(ttl - 1);
     clone.hops = 1;
-    for (sim::NodeId n : neighbors_()) {
+    for (NodeId n : neighbors_()) {
       if (n == node_) continue;
       BP_RETURN_IF_ERROR(SendAgentTo(n, clone));
     }
@@ -199,16 +198,15 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
     hops_at_execute_->Observe(0);
     auto sends = std::move(ctx.mutable_sends());
     auto codec = options_.codec;
-    sim::SimNetwork* network = network_;
-    sim::NodeId self = node_;
-    network_->Cpu(node_).Submit(
+    net::Transport* transport = transport_;
+    transport_->RunCpu(
         ctx.cpu_cost(),
-        [network, codec, self, agent_id, sends = std::move(sends)]() {
+        [transport, codec, agent_id, sends = std::move(sends)]() {
           for (const auto& send : sends) {
             auto compressed = codec->Compress(send.payload);
             if (!compressed.ok()) continue;
-            network->Send(self, send.dst, send.type,
-                          std::move(compressed).value(), 0, agent_id);
+            transport->Send(send.dst, send.type,
+                            std::move(compressed).value(), 0, agent_id);
           }
         },
         "agent.execute", agent_id);
@@ -218,7 +216,7 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
 
 void AgentRuntime::PruneSeen() {
   if (options_.seen_expiry <= 0) return;
-  const SimTime cutoff = network_->simulator().now() - options_.seen_expiry;
+  const SimTime cutoff = transport_->clock().now() - options_.seen_expiry;
   for (auto it = seen_.begin(); it != seen_.end();) {
     if (it->second < cutoff) {
       // A lost agent (dropped in flight, or died with a crashed host)
@@ -233,7 +231,7 @@ void AgentRuntime::PruneSeen() {
   }
 }
 
-Status AgentRuntime::OnMessage(const sim::SimMessage& msg) {
+Status AgentRuntime::OnMessage(const net::Message& msg) {
   if (msg.type != kAgentTransferType) {
     return Status::InvalidArgument("not an agent transfer");
   }
@@ -244,9 +242,9 @@ Status AgentRuntime::OnMessage(const sim::SimMessage& msg) {
 
   PruneSeen();
   auto [it, inserted] =
-      seen_.emplace(agent_msg.agent_id, network_->simulator().now());
+      seen_.emplace(agent_msg.agent_id, transport_->clock().now());
   if (!inserted) {
-    it->second = network_->simulator().now();  // Refresh: still circulating.
+    it->second = transport_->clock().now();  // Refresh: still circulating.
     ++duplicates_dropped_;
     duplicates_c_->Increment();
     return Status::OK();

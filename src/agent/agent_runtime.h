@@ -10,7 +10,7 @@
 #include "agent/agent_message.h"
 #include "agent/agent_registry.h"
 #include "compress/codec.h"
-#include "sim/network.h"
+#include "net/transport.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::agent {
@@ -54,13 +54,13 @@ class AgentRuntime {
  public:
   /// Returns the node's *current* direct overlay neighbours — evaluated at
   /// forward time, so self-reconfiguration is picked up immediately.
-  using NeighborFn = std::function<std::vector<sim::NodeId>()>;
+  using NeighborFn = std::function<std::vector<NodeId>()>;
 
-  /// All pointers must outlive the runtime. `host` provides the services
-  /// agents touch; `code_cache` is shared network-wide.
-  AgentRuntime(sim::SimNetwork* network, sim::NodeId node,
-               const AgentRegistry* registry, CodeCache* code_cache,
-               AgentHost* host, NeighborFn neighbors,
+  /// All pointers must outlive the runtime. `transport` is this node's
+  /// endpoint; `host` provides the services agents touch; `code_cache` is
+  /// shared network-wide.
+  AgentRuntime(net::Transport* transport, const AgentRegistry* registry,
+               CodeCache* code_cache, AgentHost* host, NeighborFn neighbors,
                AgentRuntimeOptions options);
 
   AgentRuntime(const AgentRuntime&) = delete;
@@ -76,11 +76,11 @@ class AgentRuntime {
   /// the adaptive shipping layer to interrogate selected peers). The
   /// agent still clones onward from the targets if ttl > 1.
   Status LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
-                  const std::vector<sim::NodeId>& targets);
+                  const std::vector<NodeId>& targets);
 
   /// Feeds a raw transport message into the engine (core nodes call this
-  /// from their network handler for kAgentTransferType messages).
-  Status OnMessage(const sim::SimMessage& msg);
+  /// from their deliver handler for kAgentTransferType messages).
+  Status OnMessage(const net::Message& msg);
 
   /// Statistics.
   uint64_t agents_received() const { return agents_received_; }
@@ -92,23 +92,23 @@ class AgentRuntime {
   /// Current size of the duplicate-drop table.
   size_t seen_size() const { return seen_.size(); }
 
-  sim::NodeId node() const { return node_; }
+  NodeId node() const { return node_; }
 
  private:
   /// Clones `msg` to all neighbours except `skip` (TTL-1, Hops+1).
-  void Forward(const AgentMessage& msg, sim::NodeId skip);
+  void Forward(const AgentMessage& msg, NodeId skip);
 
   /// Reconstructs and executes the agent carried by `msg`.
   Status ExecuteIncoming(const AgentMessage& msg);
 
   /// Sends one agent message to `dst`, shipping class bytes if needed.
-  Status SendAgentTo(sim::NodeId dst, const AgentMessage& msg);
+  Status SendAgentTo(NodeId dst, const AgentMessage& msg);
 
   /// Drops duplicate-table entries unseen for options_.seen_expiry.
   void PruneSeen();
 
-  sim::SimNetwork* network_;
-  sim::NodeId node_;
+  net::Transport* transport_;
+  NodeId node_;
   const AgentRegistry* registry_;
   CodeCache* code_cache_;
   AgentHost* host_;

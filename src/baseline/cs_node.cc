@@ -32,7 +32,7 @@ struct QueryMessage {
 
 struct AnswerMessage {
   uint64_t query_id = 0;
-  sim::NodeId origin = sim::kInvalidNode;
+  NodeId origin = kInvalidNode;
   std::vector<core::ResultItem> items;
 
   Bytes Encode() const {
@@ -90,7 +90,7 @@ size_t CsSession::total_answers() const {
 }
 
 size_t CsSession::responder_count() const {
-  std::set<sim::NodeId> seen;
+  std::set<NodeId> seen;
   for (const auto& e : answers_) seen.insert(e.node);
   return seen.size();
 }
@@ -105,27 +105,28 @@ SimTime CsSession::completion_time() const {
   return std::max(complete_time_ - start_, last_answer_time());
 }
 
-CsNode::CsNode(sim::SimNetwork* network, sim::NodeId node, CsConfig config)
-    : network_(network), node_(node), config_(std::move(config)) {}
+CsNode::CsNode(net::Transport* transport, CsConfig config)
+    : transport_(transport),
+      node_(transport->local()),
+      config_(std::move(config)) {}
 
-Result<std::unique_ptr<CsNode>> CsNode::Create(sim::SimNetwork* network,
-                                               sim::NodeId node,
+Result<std::unique_ptr<CsNode>> CsNode::Create(net::Transport* transport,
                                                CsConfig config) {
-  auto owned = std::unique_ptr<CsNode>(
-      new CsNode(network, node, std::move(config)));
+  auto owned =
+      std::unique_ptr<CsNode>(new CsNode(transport, std::move(config)));
   BP_RETURN_IF_ERROR(owned->Init());
   return owned;
 }
 
 Status CsNode::Init() {
   BP_ASSIGN_OR_RETURN(codec_, MakeCodec(config_.codec));
-  dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
+  dispatcher_ = std::make_unique<net::Dispatcher>(transport_);
   dispatcher_->Register(
-      kCsQueryType, [this](const sim::SimMessage& m) { OnQuery(m); });
+      kCsQueryType, [this](const net::Message& m) { OnQuery(m); });
   dispatcher_->Register(
-      kCsAnswerType, [this](const sim::SimMessage& m) { OnAnswer(m); });
+      kCsAnswerType, [this](const net::Message& m) { OnAnswer(m); });
   dispatcher_->Register(kCsDoneType,
-                        [this](const sim::SimMessage& m) { OnDone(m); });
+                        [this](const net::Message& m) { OnDone(m); });
   return Status::OK();
 }
 
@@ -141,27 +142,27 @@ Status CsNode::ShareObject(storm::ObjectId id, const Bytes& content) {
   return storage_->Put(id, content);
 }
 
-void CsNode::AddNeighborLocal(sim::NodeId peer) { neighbors_.insert(peer); }
+void CsNode::AddNeighborLocal(NodeId peer) { neighbors_.insert(peer); }
 
-std::vector<sim::NodeId> CsNode::Neighbors() const {
-  return std::vector<sim::NodeId>(neighbors_.begin(), neighbors_.end());
+std::vector<NodeId> CsNode::Neighbors() const {
+  return std::vector<NodeId>(neighbors_.begin(), neighbors_.end());
 }
 
-void CsNode::SendCompressed(sim::NodeId dst, uint32_t type,
+void CsNode::SendCompressed(NodeId dst, uint32_t type,
                             const Bytes& payload) {
   auto compressed = codec_->Compress(payload);
   if (!compressed.ok()) return;
-  network_->Send(node_, dst, type, std::move(compressed).value());
+  transport_->Send(dst, type, std::move(compressed).value());
 }
 
 Result<uint64_t> CsNode::IssueQuery(const std::string& keyword) {
   uint64_t query_id = (static_cast<uint64_t>(node_) << 32) | ++query_counter_;
   sessions_.emplace(query_id,
-                    CsSession(query_id, network_->simulator().now()));
+                    CsSession(query_id, transport_->clock().now()));
 
   RelayState state;
   state.is_base = true;
-  state.parent = sim::kInvalidNode;
+  state.parent = kInvalidNode;
   state.children.assign(neighbors_.begin(), neighbors_.end());
   state.keyword = keyword;
   state.local_done = true;  // The base does not scan its own store.
@@ -197,7 +198,7 @@ void CsNode::AdvanceForwarding(uint64_t query_id) {
   }
 }
 
-void CsNode::OnQuery(const sim::SimMessage& msg) {
+void CsNode::OnQuery(const net::Message& msg) {
   auto payload = codec_->Decompress(msg.payload);
   if (!payload.ok()) return;
   auto query = QueryMessage::Decode(payload.value());
@@ -214,13 +215,13 @@ void CsNode::OnQuery(const sim::SimMessage& msg) {
   RelayState state;
   state.parent = msg.src;
   state.keyword = query->keyword;
-  for (sim::NodeId n : neighbors_) {
+  for (NodeId n : neighbors_) {
     if (n != msg.src) state.children.push_back(n);
   }
   relays_[query->query_id] = std::move(state);
 
   uint64_t query_id = query->query_id;
-  network_->Cpu(node_).Submit(config_.query_handling_cost,
+  transport_->RunCpu(config_.query_handling_cost,
                               [this, query_id]() {
                                 AdvanceForwarding(query_id);
                                 StartLocalScan(query_id);
@@ -246,7 +247,7 @@ void CsNode::StartLocalScan(uint64_t query_id) {
   SimTime cost = static_cast<SimTime>(scan->objects_scanned) *
                  config_.per_object_match_cost;
   auto matches = std::move(scan->matches);
-  network_->Cpu(node_).Submit(cost, [this, query_id,
+  transport_->RunCpu(cost, [this, query_id,
                                      matches = std::move(matches)]() {
     auto relay_it = relays_.find(query_id);
     if (relay_it == relays_.end()) return;
@@ -275,7 +276,7 @@ void CsNode::StartLocalScan(uint64_t query_id) {
   });
 }
 
-void CsNode::OnAnswer(const sim::SimMessage& msg) {
+void CsNode::OnAnswer(const net::Message& msg) {
   auto payload = codec_->Decompress(msg.payload);
   if (!payload.ok()) return;
   auto answer = AnswerMessage::Decode(payload.value());
@@ -289,7 +290,7 @@ void CsNode::OnAnswer(const sim::SimMessage& msg) {
     auto session_it = sessions_.find(answer->query_id);
     if (session_it == sessions_.end()) return;
     core::ResponseEvent event;
-    event.time = network_->simulator().now();
+    event.time = transport_->clock().now();
     event.node = answer->origin;
     event.hops = 0;
     event.answers = answer->items.size();
@@ -298,19 +299,19 @@ void CsNode::OnAnswer(const sim::SimMessage& msg) {
   }
   // Intermediate: relay immediately toward the base (implementation 2).
   ++relayed_answers_;
-  sim::NodeId parent = state.parent;
+  NodeId parent = state.parent;
   Bytes reencoded = answer->Encode();
   SimTime cost =
       config_.relay_cost +
       static_cast<SimTime>(static_cast<double>(reencoded.size()) *
                            config_.relay_per_byte_cost_us);
-  network_->Cpu(node_).Submit(
+  transport_->RunCpu(
       cost, [this, parent, reencoded = std::move(reencoded)]() {
         SendCompressed(parent, kCsAnswerType, reencoded);
       });
 }
 
-void CsNode::OnDone(const sim::SimMessage& msg) {
+void CsNode::OnDone(const net::Message& msg) {
   auto payload = codec_->Decompress(msg.payload);
   if (!payload.ok()) return;
   auto done = DoneMessage::Decode(payload.value());
@@ -336,7 +337,7 @@ void CsNode::MaybeFinish(uint64_t query_id) {
   if (state.is_base) {
     auto session_it = sessions_.find(query_id);
     if (session_it != sessions_.end()) {
-      session_it->second.MarkComplete(network_->simulator().now());
+      session_it->second.MarkComplete(transport_->clock().now());
     }
     return;
   }

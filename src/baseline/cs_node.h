@@ -11,8 +11,8 @@
 #include "compress/codec.h"
 #include "core/messages.h"
 #include "core/session.h"
-#include "sim/dispatcher.h"
-#include "sim/network.h"
+#include "net/dispatcher.h"
+#include "net/transport.h"
 #include "storm/storm.h"
 #include "util/sim_time.h"
 
@@ -94,8 +94,7 @@ class CsSession {
 /// degrades with depth, exactly the Fig. 5 trade-off.
 class CsNode {
  public:
-  static Result<std::unique_ptr<CsNode>> Create(sim::SimNetwork* network,
-                                                sim::NodeId node,
+  static Result<std::unique_ptr<CsNode>> Create(net::Transport* transport,
                                                 CsConfig config);
 
   CsNode(const CsNode&) = delete;
@@ -106,23 +105,23 @@ class CsNode {
   Status ShareObject(storm::ObjectId id, const Bytes& content);
 
   /// Wires a neighbour locally (call on both endpoints).
-  void AddNeighborLocal(sim::NodeId peer);
-  std::vector<sim::NodeId> Neighbors() const;
+  void AddNeighborLocal(NodeId peer);
+  std::vector<NodeId> Neighbors() const;
 
   /// Starts a query from this node (it becomes the base).
   Result<uint64_t> IssueQuery(const std::string& keyword);
 
   const CsSession* FindSession(uint64_t query_id) const;
 
-  sim::NodeId node() const { return node_; }
+  NodeId node() const { return node_; }
   storm::Storm* storage() { return storage_.get(); }
   uint64_t relayed_answers() const { return relayed_answers_; }
 
  private:
   /// Per-query relay state at intermediates.
   struct RelayState {
-    sim::NodeId parent = sim::kInvalidNode;
-    std::vector<sim::NodeId> children;
+    NodeId parent = kInvalidNode;
+    std::vector<NodeId> children;
     size_t next_child = 0;      // SCS forwarding cursor.
     size_t children_done = 0;
     bool local_done = false;
@@ -131,12 +130,12 @@ class CsNode {
     std::string keyword;
   };
 
-  CsNode(sim::SimNetwork* network, sim::NodeId node, CsConfig config);
+  CsNode(net::Transport* transport, CsConfig config);
   Status Init();
 
-  void OnQuery(const sim::SimMessage& msg);
-  void OnAnswer(const sim::SimMessage& msg);
-  void OnDone(const sim::SimMessage& msg);
+  void OnQuery(const net::Message& msg);
+  void OnAnswer(const net::Message& msg);
+  void OnDone(const net::Message& msg);
 
   /// Runs the local scan, then reports answers to the parent (or session).
   void StartLocalScan(uint64_t query_id);
@@ -147,16 +146,16 @@ class CsNode {
   /// Sends Done upstream once the local scan and all children completed.
   void MaybeFinish(uint64_t query_id);
 
-  void SendCompressed(sim::NodeId dst, uint32_t type, const Bytes& payload);
+  void SendCompressed(NodeId dst, uint32_t type, const Bytes& payload);
 
-  sim::SimNetwork* network_;
-  sim::NodeId node_;
+  net::Transport* transport_;
+  NodeId node_;
   CsConfig config_;
   std::shared_ptr<const Codec> codec_;
-  std::unique_ptr<sim::Dispatcher> dispatcher_;
+  std::unique_ptr<net::Dispatcher> dispatcher_;
   std::unique_ptr<storm::Storm> storage_;
 
-  std::set<sim::NodeId> neighbors_;
+  std::set<NodeId> neighbors_;
   std::map<uint64_t, RelayState> relays_;
   std::map<uint64_t, CsSession> sessions_;
   uint32_t query_counter_ = 0;

@@ -121,7 +121,7 @@ size_t GnutellaSession::total_files() const {
 }
 
 size_t GnutellaSession::responder_count() const {
-  std::set<sim::NodeId> seen;
+  std::set<NodeId> seen;
   for (const auto& h : hits_) seen.insert(h.node);
   return seen.size();
 }
@@ -134,36 +134,35 @@ SimTime GnutellaSession::completion_time() const {
 
 // ---- servant -----------------------------------------------------------
 
-GnutellaNode::GnutellaNode(sim::SimNetwork* network, sim::NodeId node,
-                           GnutellaConfig config)
-    : network_(network), node_(node), config_(config) {}
+GnutellaNode::GnutellaNode(net::Transport* transport, GnutellaConfig config)
+    : transport_(transport), node_(transport->local()), config_(config) {}
 
 Result<std::unique_ptr<GnutellaNode>> GnutellaNode::Create(
-    sim::SimNetwork* network, sim::NodeId node, GnutellaConfig config) {
-  auto owned = std::unique_ptr<GnutellaNode>(
-      new GnutellaNode(network, node, config));
+    net::Transport* transport, GnutellaConfig config) {
+  auto owned =
+      std::unique_ptr<GnutellaNode>(new GnutellaNode(transport, config));
   BP_RETURN_IF_ERROR(owned->Init());
   return owned;
 }
 
 Status GnutellaNode::Init() {
-  dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
+  dispatcher_ = std::make_unique<net::Dispatcher>(transport_);
   dispatcher_->Register(
       kGnutellaDescriptorType,
-      [this](const sim::SimMessage& m) { OnDescriptor(m); });
+      [this](const net::Message& m) { OnDescriptor(m); });
   dispatcher_->Register(kGnutellaPushOpenType,
-                        [this](const sim::SimMessage&) {
+                        [this](const net::Message&) {
                           ++push_opens_received_;
                         });
   return Status::OK();
 }
 
-void GnutellaNode::AddNeighborLocal(sim::NodeId peer) {
+void GnutellaNode::AddNeighborLocal(NodeId peer) {
   neighbors_.insert(peer);
 }
 
-std::vector<sim::NodeId> GnutellaNode::Neighbors() const {
-  return std::vector<sim::NodeId>(neighbors_.begin(), neighbors_.end());
+std::vector<NodeId> GnutellaNode::Neighbors() const {
+  return std::vector<NodeId>(neighbors_.begin(), neighbors_.end());
 }
 
 void GnutellaNode::ShareFile(const std::string& name, uint32_t size_bytes) {
@@ -199,7 +198,7 @@ Result<uint64_t> GnutellaNode::IssueQuery(const std::string& keywords,
 
   uint64_t key = GuidKey(desc.guid);
   seen_.insert(key);
-  sessions_.emplace(key, GnutellaSession(network_->simulator().now()));
+  sessions_.emplace(key, GnutellaSession(transport_->clock().now()));
   Flood(desc, /*skip=*/node_);
   return key;
 }
@@ -214,17 +213,17 @@ void GnutellaNode::SendPing() {
   Flood(desc, node_);
 }
 
-void GnutellaNode::Flood(GnutellaDescriptor desc, sim::NodeId skip) {
-  for (sim::NodeId n : neighbors_) {
+void GnutellaNode::Flood(GnutellaDescriptor desc, NodeId skip) {
+  for (NodeId n : neighbors_) {
     if (n == skip) continue;
     GnutellaDescriptor copy = desc;
-    network_->Cpu(node_).Submit(config_.route_cost, [this, n, copy]() {
-      network_->Send(node_, n, kGnutellaDescriptorType, copy.Encode());
+    transport_->RunCpu(config_.route_cost, [this, n, copy]() {
+      transport_->Send(n, kGnutellaDescriptorType, copy.Encode());
     });
   }
 }
 
-void GnutellaNode::OnDescriptor(const sim::SimMessage& msg) {
+void GnutellaNode::OnDescriptor(const net::Message& msg) {
   auto desc = GnutellaDescriptor::Decode(msg.payload);
   if (!desc.ok()) return;
   switch (desc->function) {
@@ -247,7 +246,7 @@ void GnutellaNode::OnDescriptor(const sim::SimMessage& msg) {
 }
 
 void GnutellaNode::HandleQuery(const GnutellaDescriptor& desc,
-                               sim::NodeId from) {
+                               NodeId from) {
   uint64_t key = GuidKey(desc.guid);
   if (!seen_.insert(key).second) {
     ++duplicates_dropped_;
@@ -289,7 +288,7 @@ void GnutellaNode::HandleQuery(const GnutellaDescriptor& desc,
                       config_.per_file_match_cost;
   if (hit.files.empty()) {
     // Still charge the scan.
-    network_->Cpu(node_).Submit(scan_cost, []() {});
+    transport_->RunCpu(scan_cost, []() {});
     return;
   }
   GnutellaDescriptor reply;
@@ -299,13 +298,13 @@ void GnutellaNode::HandleQuery(const GnutellaDescriptor& desc,
   reply.hops = 0;
   reply.payload = hit.Encode();
   // QueryHit goes back the way the Query came: to `from`.
-  network_->Cpu(node_).Submit(scan_cost, [this, from, reply]() {
-    network_->Send(node_, from, kGnutellaDescriptorType, reply.Encode());
+  transport_->RunCpu(scan_cost, [this, from, reply]() {
+    transport_->Send(from, kGnutellaDescriptorType, reply.Encode());
   });
 }
 
 void GnutellaNode::HandleQueryHit(const GnutellaDescriptor& desc,
-                                  sim::NodeId from) {
+                                  NodeId from) {
   uint64_t key = GuidKey(desc.guid);
   // Remember which neighbour can reach the responder (Push routing).
   {
@@ -318,7 +317,7 @@ void GnutellaNode::HandleQueryHit(const GnutellaDescriptor& desc,
     auto hit = GnutellaQueryHit::Decode(desc.payload);
     if (!hit.ok()) return;
     core::ResponseEvent event;
-    event.time = network_->simulator().now();
+    event.time = transport_->clock().now();
     event.node = hit->responder;
     event.hops = desc.hops;
     event.answers = hit->files.size();
@@ -332,19 +331,19 @@ void GnutellaNode::HandleQueryHit(const GnutellaDescriptor& desc,
   GnutellaDescriptor fwd = desc;
   fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
   fwd.hops = static_cast<uint8_t>(desc.hops + 1);
-  sim::NodeId next = route->second;
+  NodeId next = route->second;
   ++descriptors_routed_;
   SimTime cost =
       config_.route_cost +
       static_cast<SimTime>(static_cast<double>(desc.payload.size()) *
                            config_.relay_per_byte_cost_us);
-  network_->Cpu(node_).Submit(cost, [this, next, fwd]() {
-    network_->Send(node_, next, kGnutellaDescriptorType, fwd.Encode());
+  transport_->RunCpu(cost, [this, next, fwd]() {
+    transport_->Send(next, kGnutellaDescriptorType, fwd.Encode());
   });
 }
 
 void GnutellaNode::HandlePing(const GnutellaDescriptor& desc,
-                              sim::NodeId from) {
+                              NodeId from) {
   uint64_t key = GuidKey(desc.guid);
   if (!seen_.insert(key).second) {
     ++duplicates_dropped_;
@@ -367,13 +366,13 @@ void GnutellaNode::HandlePing(const GnutellaDescriptor& desc,
   w.WriteU32(node_);
   w.WriteU32(static_cast<uint32_t>(files_.size()));
   pong.payload = w.Take();
-  network_->Cpu(node_).Submit(config_.route_cost, [this, from, pong]() {
-    network_->Send(node_, from, kGnutellaDescriptorType, pong.Encode());
+  transport_->RunCpu(config_.route_cost, [this, from, pong]() {
+    transport_->Send(from, kGnutellaDescriptorType, pong.Encode());
   });
 }
 
 void GnutellaNode::HandlePong(const GnutellaDescriptor& desc,
-                              sim::NodeId from) {
+                              NodeId from) {
   (void)from;
   uint64_t key = GuidKey(desc.guid);
   if (sessions_.count(key) != 0 || ping_routes_.count(key) == 0) {
@@ -385,13 +384,13 @@ void GnutellaNode::HandlePong(const GnutellaDescriptor& desc,
   GnutellaDescriptor fwd = desc;
   fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
   fwd.hops = static_cast<uint8_t>(desc.hops + 1);
-  sim::NodeId next = route->second;
-  network_->Cpu(node_).Submit(config_.route_cost, [this, next, fwd]() {
-    network_->Send(node_, next, kGnutellaDescriptorType, fwd.Encode());
+  NodeId next = route->second;
+  transport_->RunCpu(config_.route_cost, [this, next, fwd]() {
+    transport_->Send(next, kGnutellaDescriptorType, fwd.Encode());
   });
 }
 
-Status GnutellaNode::SendPush(uint64_t query_key, sim::NodeId target_servent,
+Status GnutellaNode::SendPush(uint64_t query_key, NodeId target_servent,
                               uint32_t file_index) {
   if (sessions_.count(query_key) == 0) {
     return Status::NotFound("not the initiator of that query");
@@ -411,15 +410,15 @@ Status GnutellaNode::SendPush(uint64_t query_key, sim::NodeId target_servent,
   push.requester = node_;
   push.file_index = file_index;
   desc.payload = push.Encode();
-  sim::NodeId next = route->second;
-  network_->Cpu(node_).Submit(config_.route_cost, [this, next, desc]() {
-    network_->Send(node_, next, kGnutellaDescriptorType, desc.Encode());
+  NodeId next = route->second;
+  transport_->RunCpu(config_.route_cost, [this, next, desc]() {
+    transport_->Send(next, kGnutellaDescriptorType, desc.Encode());
   });
   return Status::OK();
 }
 
 void GnutellaNode::HandlePush(const GnutellaDescriptor& desc,
-                              sim::NodeId from) {
+                              NodeId from) {
   (void)from;
   auto push = GnutellaPush::Decode(desc.payload);
   if (!push.ok()) return;
@@ -431,10 +430,10 @@ void GnutellaNode::HandlePush(const GnutellaDescriptor& desc,
     if (push->file_index < files_.size()) {
       size = files_[push->file_index].second;
     }
-    sim::NodeId requester = push->requester;
-    network_->Cpu(node_).Submit(
+    NodeId requester = push->requester;
+    transport_->RunCpu(
         config_.route_cost, [this, requester, size]() {
-          network_->Send(node_, requester, kGnutellaPushOpenType,
+          transport_->Send(requester, kGnutellaPushOpenType,
                          Bytes(size, 0));
         });
     return;
@@ -446,10 +445,10 @@ void GnutellaNode::HandlePush(const GnutellaDescriptor& desc,
   GnutellaDescriptor fwd = desc;
   fwd.ttl = static_cast<uint8_t>(desc.ttl - 1);
   fwd.hops = static_cast<uint8_t>(desc.hops + 1);
-  sim::NodeId next = route->second;
+  NodeId next = route->second;
   ++descriptors_routed_;
-  network_->Cpu(node_).Submit(config_.route_cost, [this, next, fwd]() {
-    network_->Send(node_, next, kGnutellaDescriptorType, fwd.Encode());
+  transport_->RunCpu(config_.route_cost, [this, next, fwd]() {
+    transport_->Send(next, kGnutellaDescriptorType, fwd.Encode());
   });
 }
 

@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "core/session.h"
-#include "sim/dispatcher.h"
-#include "sim/network.h"
+#include "net/dispatcher.h"
+#include "net/transport.h"
 #include "util/bytes.h"
 #include "util/result.h"
 #include "util/sim_time.h"
@@ -61,7 +61,7 @@ struct GnutellaQuery {
 /// Fig. 8 penalizes ("the list of files have to be transmitted through
 /// the query traversal path!").
 struct GnutellaQueryHit {
-  sim::NodeId responder = sim::kInvalidNode;
+  NodeId responder = kInvalidNode;
   struct FileEntry {
     uint32_t index = 0;
     uint32_t size = 0;
@@ -77,8 +77,8 @@ struct GnutellaQueryHit {
 /// connection itself. Routed hop-by-hop along the path its QueryHit
 /// travelled, keyed by the responder's servent id.
 struct GnutellaPush {
-  sim::NodeId target_servent = sim::kInvalidNode;
-  sim::NodeId requester = sim::kInvalidNode;
+  NodeId target_servent = kInvalidNode;
+  NodeId requester = kInvalidNode;
   uint32_t file_index = 0;
 
   Bytes Encode() const;
@@ -134,14 +134,14 @@ class GnutellaSession {
 class GnutellaNode {
  public:
   static Result<std::unique_ptr<GnutellaNode>> Create(
-      sim::SimNetwork* network, sim::NodeId node, GnutellaConfig config);
+      net::Transport* transport, GnutellaConfig config);
 
   GnutellaNode(const GnutellaNode&) = delete;
   GnutellaNode& operator=(const GnutellaNode&) = delete;
 
   /// Wires a neighbour locally (call on both endpoints).
-  void AddNeighborLocal(sim::NodeId peer);
-  std::vector<sim::NodeId> Neighbors() const;
+  void AddNeighborLocal(NodeId peer);
+  std::vector<NodeId> Neighbors() const;
 
   /// Shares a text file by name (keyword search matches names, as FURI
   /// "can only evaluate keyword search on text files").
@@ -159,7 +159,7 @@ class GnutellaNode {
   /// Sends a Push for `file_index` toward the servant that answered
   /// `query_key` (it must have produced a QueryHit we received). The
   /// pushed servant "opens a connection" back to us out-of-band.
-  Status SendPush(uint64_t query_key, sim::NodeId target_servent,
+  Status SendPush(uint64_t query_key, NodeId target_servent,
                   uint32_t file_index);
 
   /// Uploads opened toward this node in response to its Pushes.
@@ -167,43 +167,43 @@ class GnutellaNode {
   /// Pushes this servant honoured (as the target).
   uint64_t pushes_served() const { return pushes_served_; }
 
-  sim::NodeId node() const { return node_; }
+  NodeId node() const { return node_; }
   uint64_t descriptors_routed() const { return descriptors_routed_; }
   uint64_t duplicates_dropped() const { return duplicates_dropped_; }
   uint64_t pongs_received() const { return pongs_received_; }
 
  private:
-  GnutellaNode(sim::SimNetwork* network, sim::NodeId node,
+  GnutellaNode(net::Transport* transport,
                GnutellaConfig config);
   Status Init();
 
-  void OnDescriptor(const sim::SimMessage& msg);
-  void HandleQuery(const GnutellaDescriptor& desc, sim::NodeId from);
-  void HandleQueryHit(const GnutellaDescriptor& desc, sim::NodeId from);
-  void HandlePing(const GnutellaDescriptor& desc, sim::NodeId from);
-  void HandlePong(const GnutellaDescriptor& desc, sim::NodeId from);
-  void HandlePush(const GnutellaDescriptor& desc, sim::NodeId from);
+  void OnDescriptor(const net::Message& msg);
+  void HandleQuery(const GnutellaDescriptor& desc, NodeId from);
+  void HandleQueryHit(const GnutellaDescriptor& desc, NodeId from);
+  void HandlePing(const GnutellaDescriptor& desc, NodeId from);
+  void HandlePong(const GnutellaDescriptor& desc, NodeId from);
+  void HandlePush(const GnutellaDescriptor& desc, NodeId from);
 
   /// Forwards `desc` to all neighbours except `skip` after route cost.
-  void Flood(GnutellaDescriptor desc, sim::NodeId skip);
+  void Flood(GnutellaDescriptor desc, NodeId skip);
 
   Guid MakeGuid();
   static uint64_t GuidKey(const Guid& guid);
 
-  sim::SimNetwork* network_;
-  sim::NodeId node_;
+  net::Transport* transport_;
+  NodeId node_;
   GnutellaConfig config_;
-  std::unique_ptr<sim::Dispatcher> dispatcher_;
+  std::unique_ptr<net::Dispatcher> dispatcher_;
 
-  std::set<sim::NodeId> neighbors_;
+  std::set<NodeId> neighbors_;
   std::vector<std::pair<std::string, uint32_t>> files_;  // (name, size)
 
   /// GUID -> neighbour the descriptor arrived from (reverse route).
-  std::map<uint64_t, sim::NodeId> query_routes_;
-  std::map<uint64_t, sim::NodeId> ping_routes_;
+  std::map<uint64_t, NodeId> query_routes_;
+  std::map<uint64_t, NodeId> ping_routes_;
   /// Responder servent id -> neighbour its QueryHit arrived from
   /// (forward route for Push descriptors).
-  std::map<sim::NodeId, sim::NodeId> push_routes_;
+  std::map<NodeId, NodeId> push_routes_;
   std::set<uint64_t> seen_;
 
   std::map<uint64_t, GnutellaSession> sessions_;

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/network.h"
+#include "util/ids.h"
 #include "storm/object_store.h"
 #include "util/bytes.h"
 #include "util/result.h"

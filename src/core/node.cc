@@ -24,21 +24,20 @@ Status RegisterBuiltinAgents(agent::AgentRegistry* registry,
   return Status::OK();
 }
 
-BestPeerNode::BestPeerNode(sim::SimNetwork* network, sim::NodeId node,
-                           SharedInfra* infra, BestPeerConfig config)
-    : network_(network),
-      node_(node),
+BestPeerNode::BestPeerNode(net::Transport* transport, SharedInfra* infra,
+                           BestPeerConfig config)
+    : transport_(transport),
+      node_(transport->local()),
       infra_(infra),
       config_(std::move(config)),
       peers_(config_.max_direct_peers),
-      next_file_object_id_((static_cast<uint64_t>(node) << 32) |
+      next_file_object_id_((static_cast<uint64_t>(node_) << 32) |
                            0x80000000ULL) {}
 
 Result<std::unique_ptr<BestPeerNode>> BestPeerNode::Create(
-    sim::SimNetwork* network, sim::NodeId node, SharedInfra* infra,
-    BestPeerConfig config) {
+    net::Transport* transport, SharedInfra* infra, BestPeerConfig config) {
   auto owned = std::unique_ptr<BestPeerNode>(
-      new BestPeerNode(network, node, infra, std::move(config)));
+      new BestPeerNode(transport, infra, std::move(config)));
   BP_RETURN_IF_ERROR(owned->Init());
   return owned;
 }
@@ -61,27 +60,26 @@ Status BestPeerNode::Init() {
     inflight_sessions_g_ = reg->GetGauge("core.inflight_sessions");
     result_hops_ = reg->GetHistogram("core.result_hops");
   }
-  network_->RegisterTypeName(kSearchResultType, "search.result");
-  network_->RegisterTypeName(kFetchReqType, "fetch.request");
-  network_->RegisterTypeName(kFetchRespType, "fetch.response");
-  network_->RegisterTypeName(kActiveObjReqType, "activeobj.request");
-  network_->RegisterTypeName(kActiveObjRespType, "activeobj.response");
-  network_->RegisterTypeName(kPeerConnectType, "peer.connect");
-  network_->RegisterTypeName(kPeerDisconnectType, "peer.disconnect");
-  network_->RegisterTypeName(kDataShipReqType, "dataship.request");
-  network_->RegisterTypeName(kDataShipRespType, "dataship.response");
-  network_->RegisterTypeName(kReplicatePushType, "replicate.push");
-  network_->RegisterTypeName(kWatchReqType, "watch.request");
-  network_->RegisterTypeName(kUpdateNotifyType, "update.notify");
+  transport_->RegisterTypeName(kSearchResultType, "search.result");
+  transport_->RegisterTypeName(kFetchReqType, "fetch.request");
+  transport_->RegisterTypeName(kFetchRespType, "fetch.response");
+  transport_->RegisterTypeName(kActiveObjReqType, "activeobj.request");
+  transport_->RegisterTypeName(kActiveObjRespType, "activeobj.response");
+  transport_->RegisterTypeName(kPeerConnectType, "peer.connect");
+  transport_->RegisterTypeName(kPeerDisconnectType, "peer.disconnect");
+  transport_->RegisterTypeName(kDataShipReqType, "dataship.request");
+  transport_->RegisterTypeName(kDataShipRespType, "dataship.response");
+  transport_->RegisterTypeName(kReplicatePushType, "replicate.push");
+  transport_->RegisterTypeName(kWatchReqType, "watch.request");
+  transport_->RegisterTypeName(kUpdateNotifyType, "update.notify");
 
-  dispatcher_ = std::make_unique<sim::Dispatcher>(network_, node_);
+  dispatcher_ = std::make_unique<net::Dispatcher>(transport_);
   liglo::LigloClientOptions liglo_options;
   liglo_options.max_retries = config_.liglo_max_retries;
   liglo_options.retry_backoff = config_.liglo_retry_backoff;
   liglo_options.metrics = config_.metrics;
   liglo_ = std::make_unique<liglo::LigloClient>(
-      network_, dispatcher_.get(), node_, &infra_->ip_directory,
-      liglo_options);
+      transport_, dispatcher_.get(), &infra_->ip_directory, liglo_options);
 
   agent::AgentRuntimeOptions agent_options;
   agent_options.reconstruct_cost = config_.agent_reconstruct_cost;
@@ -91,55 +89,55 @@ Status BestPeerNode::Init() {
   agent_options.codec = codec_;
   agent_options.metrics = config_.metrics;
   runtime_ = std::make_unique<agent::AgentRuntime>(
-      network_, node_, &infra_->agent_registry, &infra_->code_cache, this,
+      transport_, &infra_->agent_registry, &infra_->code_cache, this,
       [this]() { return peers_.Nodes(); }, agent_options);
 
   dispatcher_->Register(agent::kAgentTransferType,
-                        [this](const sim::SimMessage& m) {
+                        [this](const net::Message& m) {
                           Status s = runtime_->OnMessage(m);
                           if (!s.ok()) {
                             BP_LOG(Warn) << "agent transfer failed at node "
                                          << node_ << ": " << s.ToString();
                           }
                         });
-  dispatcher_->Register(kSearchResultType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kSearchResultType, [this](const net::Message& m) {
     OnSearchResult(m);
   });
-  dispatcher_->Register(kFetchReqType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kFetchReqType, [this](const net::Message& m) {
     OnFetchRequest(m);
   });
-  dispatcher_->Register(kFetchRespType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kFetchRespType, [this](const net::Message& m) {
     OnFetchResponse(m);
   });
-  dispatcher_->Register(kActiveObjReqType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kActiveObjReqType, [this](const net::Message& m) {
     OnActiveObjectRequest(m);
   });
-  dispatcher_->Register(kActiveObjRespType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kActiveObjRespType, [this](const net::Message& m) {
     OnActiveObjectResponse(m);
   });
-  dispatcher_->Register(kDataShipReqType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kDataShipReqType, [this](const net::Message& m) {
     OnDataShipRequest(m);
   });
   dispatcher_->Register(kReplicatePushType,
-                        [this](const sim::SimMessage& m) {
+                        [this](const net::Message& m) {
                           OnReplicatePush(m);
                         });
-  dispatcher_->Register(kWatchReqType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kWatchReqType, [this](const net::Message& m) {
     OnWatchRequest(m);
   });
   dispatcher_->Register(kUpdateNotifyType,
-                        [this](const sim::SimMessage& m) {
+                        [this](const net::Message& m) {
                           OnUpdateNotify(m);
                         });
   dispatcher_->Register(kDataShipRespType,
-                        [this](const sim::SimMessage& m) {
+                        [this](const net::Message& m) {
                           OnDataShipResponse(m);
                         });
-  dispatcher_->Register(kPeerConnectType, [this](const sim::SimMessage& m) {
+  dispatcher_->Register(kPeerConnectType, [this](const net::Message& m) {
     OnPeerConnect(m);
   });
   dispatcher_->Register(kPeerDisconnectType,
-                        [this](const sim::SimMessage& m) {
+                        [this](const net::Message& m) {
                           OnPeerDisconnect(m);
                         });
   return Status::OK();
@@ -191,26 +189,26 @@ void BestPeerNode::NotifyWatchers(UpdateNotifyMessage::Kind kind,
   notify.kind = kind;
   notify.object_id = id;
   Bytes encoded = notify.Encode();
-  for (sim::NodeId watcher : watchers_) {
+  for (NodeId watcher : watchers_) {
     SendCompressed(watcher, kUpdateNotifyType, encoded);
   }
 }
 
-void BestPeerNode::WatchPeer(sim::NodeId provider, UpdateCallback callback) {
+void BestPeerNode::WatchPeer(NodeId provider, UpdateCallback callback) {
   watching_[provider] = std::move(callback);
   WatchRequest req;
   req.subscribe = true;
   SendCompressed(provider, kWatchReqType, req.Encode());
 }
 
-void BestPeerNode::UnwatchPeer(sim::NodeId provider) {
+void BestPeerNode::UnwatchPeer(NodeId provider) {
   watching_.erase(provider);
   WatchRequest req;
   req.subscribe = false;
   SendCompressed(provider, kWatchReqType, req.Encode());
 }
 
-void BestPeerNode::OnWatchRequest(const sim::SimMessage& msg) {
+void BestPeerNode::OnWatchRequest(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto req = WatchRequest::Decode(payload.value());
@@ -222,7 +220,7 @@ void BestPeerNode::OnWatchRequest(const sim::SimMessage& msg) {
   }
 }
 
-void BestPeerNode::OnUpdateNotify(const sim::SimMessage& msg) {
+void BestPeerNode::OnUpdateNotify(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto notify = UpdateNotifyMessage::Decode(payload.value());
@@ -254,7 +252,7 @@ Result<storm::ObjectId> BestPeerNode::LookupFile(
 
 // ---------------------------------------------------------------- LIGLO
 
-void BestPeerNode::JoinNetwork(sim::NodeId liglo_server, liglo::IpAddress ip,
+void BestPeerNode::JoinNetwork(NodeId liglo_server, liglo::IpAddress ip,
                                JoinCallback callback) {
   infra_->ip_directory.Assign(ip, node_).ok();
   liglo_->Register(
@@ -286,7 +284,7 @@ void BestPeerNode::RejoinNetwork(liglo::IpAddress ip,
   infra_->ip_directory.Assign(ip, node_).ok();
   // Collect the BPIDs of peers we know globally.
   std::vector<liglo::Bpid> bpids;
-  std::vector<sim::NodeId> owners;
+  std::vector<NodeId> owners;
   for (const auto& info : peers_.Snapshot()) {
     if (info.bpid.IsValid()) {
       bpids.push_back(info.bpid);
@@ -321,17 +319,17 @@ void BestPeerNode::RejoinNetwork(liglo::IpAddress ip,
 
 // ---------------------------------------------------------------- peers
 
-void BestPeerNode::AddDirectPeerLocal(sim::NodeId peer) {
+void BestPeerNode::AddDirectPeerLocal(NodeId peer) {
   PeerInfo info;
   info.node = peer;
   peers_.Add(info, /*enforce_capacity=*/false);
 }
 
-void BestPeerNode::RemoveDirectPeerLocal(sim::NodeId peer) {
+void BestPeerNode::RemoveDirectPeerLocal(NodeId peer) {
   peers_.Remove(peer);
 }
 
-void BestPeerNode::OnPeerConnect(const sim::SimMessage& msg) {
+void BestPeerNode::OnPeerConnect(const net::Message& msg) {
   if (!peers_.Contains(msg.src) && peers_.size() >= config_.AcceptCap()) {
     // At the inbound cap: refuse so the other side drops the link too.
     SendCompressed(msg.src, kPeerDisconnectType, Bytes{});
@@ -342,7 +340,7 @@ void BestPeerNode::OnPeerConnect(const sim::SimMessage& msg) {
   peers_.Add(info, /*enforce_capacity=*/false);
 }
 
-void BestPeerNode::OnPeerDisconnect(const sim::SimMessage& msg) {
+void BestPeerNode::OnPeerDisconnect(const net::Message& msg) {
   peers_.Remove(msg.src);
   ReplenishPeersIfIsolated();
 }
@@ -391,7 +389,7 @@ Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
   queries_issued_c_->Increment();
   sessions_.emplace(
       query_id, QuerySession(query_id, keyword, config_.answer_mode,
-                             network_->simulator().now()));
+                             transport_->clock().now()));
   inflight_sessions_g_->Add(1);
   BP_RETURN_IF_ERROR(runtime_->Launch(query_id, agent, ttl,
                                       config_.search_local_store));
@@ -401,7 +399,7 @@ Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
 
 void BestPeerNode::ArmSessionDeadline(uint64_t query_id) {
   if (config_.query_deadline <= 0) return;
-  network_->simulator().ScheduleAfter(
+  transport_->clock().ScheduleAfter(
       config_.query_deadline,
       [this, query_id]() { FinalizeSession(query_id); });
 }
@@ -413,9 +411,9 @@ void BestPeerNode::FinalizeSession(uint64_t query_id) {
   ++sessions_finalized_;
   sessions_finalized_c_->Increment();
   inflight_sessions_g_->Add(-1);
-  if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+  if (obs::FlightRecorder* flight = transport_->flight()) {
     obs::FlightEvent e;
-    e.ts = network_->simulator().now();
+    e.ts = transport_->clock().now();
     e.node = node_;
     e.flow = query_id;
     e.type = obs::EventType::kSessionFinalize;
@@ -437,11 +435,11 @@ void BestPeerNode::FinalizeSession(uint64_t query_id) {
 }
 
 void BestPeerNode::UpdatePeerHealth(const QuerySession& session) {
-  std::set<sim::NodeId> responders;
+  std::set<NodeId> responders;
   for (const auto& e : session.responses()) responders.insert(e.node);
 
-  std::vector<sim::NodeId> evicted;
-  for (sim::NodeId peer : peers_.Nodes()) {
+  std::vector<NodeId> evicted;
+  for (NodeId peer : peers_.Nodes()) {
     PeerInfo* info = peers_.Find(peer);
     if (info == nullptr) continue;
     if (responders.count(peer) != 0) {
@@ -452,7 +450,7 @@ void BestPeerNode::UpdatePeerHealth(const QuerySession& session) {
       evicted.push_back(peer);
     }
   }
-  for (sim::NodeId peer : evicted) {
+  for (NodeId peer : evicted) {
     // The peer missed too many deadlines in a row: treat it as dead and
     // replace it (paper §2: departed peers are "simply replace[d] ...
     // by new peers"). The disconnect notice is best-effort — a crashed
@@ -483,7 +481,7 @@ Result<uint64_t> BestPeerNode::IssueCompute(const std::string& filter_name,
   return LaunchAgent(agent, query_id, filter_name, ttl);
 }
 
-size_t BestPeerNode::StoreSizeHint(sim::NodeId node) const {
+size_t BestPeerNode::StoreSizeHint(NodeId node) const {
   auto it = store_size_hints_.find(node);
   return it == store_size_hints_.end() ? 0 : it->second;
 }
@@ -494,13 +492,13 @@ Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
   queries_issued_c_->Increment();
   sessions_.emplace(
       query_id, QuerySession(query_id, keyword, AnswerMode::kIndicate,
-                             network_->simulator().now()));
+                             transport_->clock().now()));
   inflight_sessions_g_->Add(1);
   ArmSessionDeadline(query_id);
 
-  std::vector<sim::NodeId> code_targets;
-  std::vector<sim::NodeId> data_targets;
-  for (sim::NodeId peer : peers_.Nodes()) {
+  std::vector<NodeId> code_targets;
+  std::vector<NodeId> data_targets;
+  for (NodeId peer : peers_.Nodes()) {
     ShippingStrategy strategy = ShippingStrategy::kCodeShipping;
     switch (mode) {
       case ShippingMode::kAlwaysCode:
@@ -514,7 +512,7 @@ Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
         inputs.class_cached =
             infra_->code_cache.Has(peer, kSearchAgentClass);
         strategy =
-            ChooseShippingStrategy(inputs, config_, network_->options());
+            ChooseShippingStrategy(inputs, config_, transport_->link());
         break;
       }
     }
@@ -532,7 +530,7 @@ Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
     BP_RETURN_IF_ERROR(
         runtime_->LaunchTo(query_id, agent, /*ttl=*/1, code_targets));
   }
-  for (sim::NodeId peer : data_targets) {
+  for (NodeId peer : data_targets) {
     DataShipRequest req;
     req.query_id = query_id;
     SendCompressed(peer, kDataShipReqType, req.Encode(), query_id);
@@ -540,7 +538,7 @@ Result<uint64_t> BestPeerNode::IssueDirectSearch(const std::string& keyword,
   return query_id;
 }
 
-void BestPeerNode::OnDataShipRequest(const sim::SimMessage& msg) {
+void BestPeerNode::OnDataShipRequest(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto req = DataShipRequest::Decode(payload.value());
@@ -560,8 +558,8 @@ void BestPeerNode::OnDataShipRequest(const sim::SimMessage& msg) {
     response->items.push_back(std::move(item));
     cost += config_.fetch_per_object_cost;
   }
-  sim::NodeId requester = msg.src;
-  network_->Cpu(node_).Submit(
+  NodeId requester = msg.src;
+  transport_->RunCpu(
       cost,
       [this, requester, response]() {
         SendCompressed(requester, kDataShipRespType, response->Encode(),
@@ -570,7 +568,7 @@ void BestPeerNode::OnDataShipRequest(const sim::SimMessage& msg) {
       "dataship.serve", response->query_id);
 }
 
-void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
+void BestPeerNode::OnDataShipResponse(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto resp = DataShipResponse::Decode(payload.value());
@@ -593,9 +591,9 @@ void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
   }
   SimTime cost = static_cast<SimTime>(resp->items.size()) *
                  config_.per_object_match_cost;
-  sim::NodeId responder = msg.src;
+  NodeId responder = msg.src;
   uint64_t query_id = resp->query_id;
-  network_->Cpu(node_).Submit(
+  transport_->RunCpu(
       cost,
       [this, query_id, responder, matches]() {
         auto session_it = sessions_.find(query_id);
@@ -606,7 +604,7 @@ void BestPeerNode::OnDataShipResponse(const sim::SimMessage& msg) {
           return;
         }
         ResponseEvent event;
-        event.time = network_->simulator().now();
+        event.time = transport_->clock().now();
         event.node = responder;
         event.hops = 1;
         event.answers = matches;
@@ -630,13 +628,13 @@ Status BestPeerNode::ReplicateObjects(
     push.items.push_back(std::move(item));
   }
   Bytes encoded = push.Encode();
-  for (sim::NodeId peer : peers_.Nodes()) {
+  for (NodeId peer : peers_.Nodes()) {
     SendCompressed(peer, kReplicatePushType, encoded);
   }
   return Status::OK();
 }
 
-void BestPeerNode::OnReplicatePush(const sim::SimMessage& msg) {
+void BestPeerNode::OnReplicatePush(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto push = ReplicatePushMessage::Decode(payload.value());
@@ -645,7 +643,7 @@ void BestPeerNode::OnReplicatePush(const sim::SimMessage& msg) {
                  static_cast<SimTime>(push->items.size());
   auto items = std::make_shared<std::vector<ResultItem>>(
       std::move(push->items));
-  network_->Cpu(node_).Submit(cost, [this, items]() {
+  transport_->RunCpu(cost, [this, items]() {
     for (const auto& item : *items) {
       // A replica we already hold (or the original) is simply kept.
       Status s = storage_->Put(item.id, item.content);
@@ -659,21 +657,21 @@ const QuerySession* BestPeerNode::FindSession(uint64_t query_id) const {
   return it == sessions_.end() ? nullptr : &it->second;
 }
 
-void BestPeerNode::SendCompressed(sim::NodeId dst, uint32_t type,
+void BestPeerNode::SendCompressed(NodeId dst, uint32_t type,
                                   const Bytes& payload, uint64_t flow) {
   auto compressed = codec_->Compress(payload);
   if (!compressed.ok()) {
     BP_LOG(Error) << "compress failed: " << compressed.status().ToString();
     return;
   }
-  network_->Send(node_, dst, type, std::move(compressed).value(), 0, flow);
+  transport_->Send(dst, type, std::move(compressed).value(), 0, flow);
 }
 
-Result<Bytes> BestPeerNode::DecodePayload(const sim::SimMessage& msg) const {
+Result<Bytes> BestPeerNode::DecodePayload(const net::Message& msg) const {
   return codec_->Decompress(msg.payload);
 }
 
-void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
+void BestPeerNode::OnSearchResult(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto result = SearchResultMessage::Decode(payload.value());
@@ -699,8 +697,8 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
 
   // Charge per-message handling at the base node, then record.
   auto record = std::make_shared<SearchResultMessage>(std::move(*result));
-  sim::NodeId responder = msg.src;
-  network_->Cpu(node_).Submit(
+  NodeId responder = msg.src;
+  transport_->RunCpu(
       config_.result_handling_cost,
       [this, record, responder]() {
         auto session_it = sessions_.find(record->query_id);
@@ -712,7 +710,7 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
           return;
         }
         ResponseEvent event;
-        event.time = network_->simulator().now();
+        event.time = transport_->clock().now();
         event.node = responder;
         event.hops = record->hops;
         event.answers = record->items.size();
@@ -732,7 +730,7 @@ void BestPeerNode::OnSearchResult(const sim::SimMessage& msg) {
       "result.handle", record->query_id);
 }
 
-void BestPeerNode::FetchObjects(sim::NodeId responder, uint64_t query_id,
+void BestPeerNode::FetchObjects(NodeId responder, uint64_t query_id,
                                 const std::vector<storm::ObjectId>& ids) {
   fetches_issued_c_->Increment();
   FetchRequestMessage req;
@@ -741,7 +739,7 @@ void BestPeerNode::FetchObjects(sim::NodeId responder, uint64_t query_id,
   SendCompressed(responder, kFetchReqType, req.Encode(), query_id);
 }
 
-void BestPeerNode::OnFetchRequest(const sim::SimMessage& msg) {
+void BestPeerNode::OnFetchRequest(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto req = FetchRequestMessage::Decode(payload.value());
@@ -764,8 +762,8 @@ void BestPeerNode::OnFetchRequest(const sim::SimMessage& msg) {
   }
   SimTime cost = config_.fetch_per_object_cost *
                  static_cast<SimTime>(req->ids.size());
-  sim::NodeId requester = msg.src;
-  network_->Cpu(node_).Submit(
+  NodeId requester = msg.src;
+  transport_->RunCpu(
       cost,
       [this, requester, response]() {
         SendCompressed(requester, kFetchRespType, response->Encode(),
@@ -774,7 +772,7 @@ void BestPeerNode::OnFetchRequest(const sim::SimMessage& msg) {
       "fetch.serve", req->query_id);
 }
 
-void BestPeerNode::OnFetchResponse(const sim::SimMessage& msg) {
+void BestPeerNode::OnFetchResponse(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto resp = FetchResponseMessage::Decode(payload.value());
@@ -787,7 +785,7 @@ void BestPeerNode::OnFetchResponse(const sim::SimMessage& msg) {
     return;
   }
   ResponseEvent event;
-  event.time = network_->simulator().now();
+  event.time = transport_->clock().now();
   event.node = msg.src;
   event.hops = 0;
   event.answers = resp->items.size();
@@ -806,7 +804,7 @@ Status BestPeerNode::Reconfigure(uint64_t query_id) {
   if (config_.history_weight > 0) {
     // Blend this query's answers into the per-node EWMA scores and rank
     // by the blended score instead of the raw last-query count.
-    std::map<sim::NodeId, bool> seen;
+    std::map<NodeId, bool> seen;
     for (auto& obs : observations) {
       double& score = answer_scores_[obs.node];
       score = static_cast<double>(obs.answers) +
@@ -833,18 +831,18 @@ Status BestPeerNode::Reconfigure(uint64_t query_id) {
 }
 
 void BestPeerNode::ApplyPeerSet(
-    const std::vector<sim::NodeId>& new_peers,
+    const std::vector<NodeId>& new_peers,
     const std::vector<PeerObservation>& observations) {
-  std::map<sim::NodeId, PeerObservation> by_node;
+  std::map<NodeId, PeerObservation> by_node;
   for (const auto& obs : observations) by_node[obs.node] = obs;
 
   bool changed = false;
   uint64_t adopted = 0;
   uint64_t dropped = 0;
   // Drop peers not selected.
-  for (sim::NodeId old_peer : peers_.Nodes()) {
+  for (NodeId old_peer : peers_.Nodes()) {
     bool keep = false;
-    for (sim::NodeId p : new_peers) {
+    for (NodeId p : new_peers) {
       if (p == old_peer) {
         keep = true;
         break;
@@ -858,7 +856,7 @@ void BestPeerNode::ApplyPeerSet(
     }
   }
   // Adopt newly selected nodes.
-  for (sim::NodeId p : new_peers) {
+  for (NodeId p : new_peers) {
     if (p == node_ || peers_.Contains(p)) {
       // Refresh stats on retained peers.
       PeerInfo* info = peers_.Find(p);
@@ -888,9 +886,9 @@ void BestPeerNode::ApplyPeerSet(
   if (changed) {
     ++reconfigurations_;
     reconfigurations_c_->Increment();
-    if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+    if (obs::FlightRecorder* flight = transport_->flight()) {
       obs::FlightEvent e;
-      e.ts = network_->simulator().now();
+      e.ts = transport_->clock().now();
       e.type = obs::EventType::kReconfig;
       e.node = node_;
       e.a = adopted;
@@ -907,7 +905,7 @@ void BestPeerNode::ShareActiveObject(const std::string& name,
   active_objects_[name] = std::move(object);
 }
 
-void BestPeerNode::RequestActiveObject(sim::NodeId provider,
+void BestPeerNode::RequestActiveObject(NodeId provider,
                                        const std::string& name,
                                        AccessLevel level,
                                        ContentCallback callback) {
@@ -920,7 +918,7 @@ void BestPeerNode::RequestActiveObject(sim::NodeId provider,
   SendCompressed(provider, kActiveObjReqType, req.Encode());
 }
 
-void BestPeerNode::OnActiveObjectRequest(const sim::SimMessage& msg) {
+void BestPeerNode::OnActiveObjectRequest(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto req = ActiveObjectRequest::Decode(payload.value());
@@ -937,15 +935,15 @@ void BestPeerNode::OnActiveObjectRequest(const sim::SimMessage& msg) {
       response->content = std::move(rendered).value();
     }
   }
-  sim::NodeId requester = msg.src;
-  network_->Cpu(node_).Submit(config_.result_handling_cost,
+  NodeId requester = msg.src;
+  transport_->RunCpu(config_.result_handling_cost,
                               [this, requester, response]() {
                                 SendCompressed(requester, kActiveObjRespType,
                                                response->Encode());
                               });
 }
 
-void BestPeerNode::OnActiveObjectResponse(const sim::SimMessage& msg) {
+void BestPeerNode::OnActiveObjectResponse(const net::Message& msg) {
   auto payload = DecodePayload(msg);
   if (!payload.ok()) return;
   auto resp = ActiveObjectResponse::Decode(payload.value());

@@ -19,8 +19,8 @@
 #include "core/session.h"
 #include "core/shipping.h"
 #include "liglo/liglo_client.h"
-#include "sim/dispatcher.h"
-#include "sim/network.h"
+#include "net/dispatcher.h"
+#include "net/transport.h"
 #include "storm/storm.h"
 
 namespace bestpeer::core {
@@ -52,11 +52,10 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   using RejoinCallback =
       std::function<void(Result<liglo::LigloClient::RejoinOutcome>)>;
 
-  /// Creates a node at physical node `node`. `infra` and `network` must
-  /// outlive it. Fails on unknown strategy/codec names.
+  /// Creates a node on `transport`'s endpoint. `infra` and `transport`
+  /// must outlive it. Fails on unknown strategy/codec names.
   static Result<std::unique_ptr<BestPeerNode>> Create(
-      sim::SimNetwork* network, sim::NodeId node, SharedInfra* infra,
-      BestPeerConfig config);
+      net::Transport* transport, SharedInfra* infra, BestPeerConfig config);
 
   ~BestPeerNode() override = default;
   BestPeerNode(const BestPeerNode&) = delete;
@@ -65,7 +64,7 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   // --- AgentHost / ComputeHost ------------------------------------------
 
   storm::Storm* storage() override { return storage_.get(); }
-  sim::NodeId host_node() const override { return node_; }
+  NodeId host_node() const override { return node_; }
   const FilterRegistry& filters() const override { return filters_; }
 
   // --- storage ------------------------------------------------------------
@@ -86,7 +85,7 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
 
   /// Registers with a LIGLO server, announcing `ip`, and adopts up to k
   /// of the returned (BPID, IP) entries as direct peers.
-  void JoinNetwork(sim::NodeId liglo_server, liglo::IpAddress ip,
+  void JoinNetwork(NodeId liglo_server, liglo::IpAddress ip,
                    JoinCallback callback);
 
   /// Rejoin protocol of §2: report the (new) ip to the home LIGLO, then
@@ -101,13 +100,13 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
 
   /// Wires a direct peer locally without any message exchange (used by
   /// topology builders; call on both endpoints for a bidirectional link).
-  void AddDirectPeerLocal(sim::NodeId peer);
+  void AddDirectPeerLocal(NodeId peer);
 
   /// Drops a peer locally.
-  void RemoveDirectPeerLocal(sim::NodeId peer);
+  void RemoveDirectPeerLocal(NodeId peer);
 
   const PeerList& peers() const { return peers_; }
-  std::vector<sim::NodeId> DirectPeerNodes() const { return peers_.Nodes(); }
+  std::vector<NodeId> DirectPeerNodes() const { return peers_.Nodes(); }
 
   // --- querying (§2, §4.2) --------------------------------------------------
 
@@ -129,7 +128,7 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
                                      ShippingMode mode);
 
   /// Last known shared-store size of `node` (0 = unknown).
-  size_t StoreSizeHint(sim::NodeId node) const;
+  size_t StoreSizeHint(NodeId node) const;
 
   // --- replication (§6 future work) -----------------------------------------
 
@@ -145,16 +144,16 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
 
   /// Fires at a watcher for every store change at a watched provider.
   using UpdateCallback = std::function<void(
-      sim::NodeId provider, UpdateNotifyMessage::Kind kind,
+      NodeId provider, UpdateNotifyMessage::Kind kind,
       storm::ObjectId object_id)>;
 
   /// Subscribes to `provider`'s shared-store changes; notifications call
   /// `callback`. This is what BPIDs make possible: the watched peer stays
   /// the same logical peer across address changes.
-  void WatchPeer(sim::NodeId provider, UpdateCallback callback);
+  void WatchPeer(NodeId provider, UpdateCallback callback);
 
   /// Cancels a subscription.
-  void UnwatchPeer(sim::NodeId provider);
+  void UnwatchPeer(NodeId provider);
 
   /// Subscribers currently watching this node.
   size_t watcher_count() const { return watchers_.size(); }
@@ -184,7 +183,7 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
 
   /// Explicit mode-2 content fetch from `responder` (auto_fetch does this
   /// automatically on descriptor arrival).
-  void FetchObjects(sim::NodeId responder, uint64_t query_id,
+  void FetchObjects(NodeId responder, uint64_t query_id,
                     const std::vector<storm::ObjectId>& ids);
 
   // --- self-reconfiguration (§3.3) -------------------------------------------
@@ -206,20 +205,20 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   void ShareActiveObject(const std::string& name, ActiveObject object);
 
   /// Requests the rendering of `provider`'s active object for `level`.
-  void RequestActiveObject(sim::NodeId provider, const std::string& name,
+  void RequestActiveObject(NodeId provider, const std::string& name,
                            AccessLevel level, ContentCallback callback);
 
   // --- misc -------------------------------------------------------------------
 
-  sim::NodeId node() const { return node_; }
+  NodeId node() const { return node_; }
   const BestPeerConfig& config() const { return config_; }
   agent::AgentRuntime& agent_runtime() { return *runtime_; }
   liglo::LigloClient& liglo_client() { return *liglo_; }
   uint64_t results_received() const { return results_received_; }
 
  private:
-  BestPeerNode(sim::SimNetwork* network, sim::NodeId node,
-               SharedInfra* infra, BestPeerConfig config);
+  BestPeerNode(net::Transport* transport, SharedInfra* infra,
+               BestPeerConfig config);
 
   Status Init();
 
@@ -236,24 +235,24 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   void UpdatePeerHealth(const QuerySession& session);
 
   /// Replaces the direct-peer set; sends connect/disconnect notices.
-  void ApplyPeerSet(const std::vector<sim::NodeId>& new_peers,
+  void ApplyPeerSet(const std::vector<NodeId>& new_peers,
                     const std::vector<PeerObservation>& observations);
 
-  void OnSearchResult(const sim::SimMessage& msg);
-  void OnFetchRequest(const sim::SimMessage& msg);
-  void OnFetchResponse(const sim::SimMessage& msg);
-  void OnDataShipRequest(const sim::SimMessage& msg);
-  void OnDataShipResponse(const sim::SimMessage& msg);
-  void OnReplicatePush(const sim::SimMessage& msg);
-  void OnWatchRequest(const sim::SimMessage& msg);
-  void OnUpdateNotify(const sim::SimMessage& msg);
+  void OnSearchResult(const net::Message& msg);
+  void OnFetchRequest(const net::Message& msg);
+  void OnFetchResponse(const net::Message& msg);
+  void OnDataShipRequest(const net::Message& msg);
+  void OnDataShipResponse(const net::Message& msg);
+  void OnReplicatePush(const net::Message& msg);
+  void OnWatchRequest(const net::Message& msg);
+  void OnUpdateNotify(const net::Message& msg);
 
   /// Sends an update notification to every watcher.
   void NotifyWatchers(UpdateNotifyMessage::Kind kind, storm::ObjectId id);
-  void OnActiveObjectRequest(const sim::SimMessage& msg);
-  void OnActiveObjectResponse(const sim::SimMessage& msg);
-  void OnPeerConnect(const sim::SimMessage& msg);
-  void OnPeerDisconnect(const sim::SimMessage& msg);
+  void OnActiveObjectRequest(const net::Message& msg);
+  void OnActiveObjectResponse(const net::Message& msg);
+  void OnPeerConnect(const net::Message& msg);
+  void OnPeerDisconnect(const net::Message& msg);
 
   /// Fetches replacement peers from the home LIGLO when the direct-peer
   /// list becomes empty — or, with `below_capacity`, whenever there is
@@ -261,17 +260,17 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   void ReplenishPeersIfIsolated(bool below_capacity = false);
 
   /// `flow` tags the message with its query id for tracing (0 = none).
-  void SendCompressed(sim::NodeId dst, uint32_t type, const Bytes& payload,
+  void SendCompressed(NodeId dst, uint32_t type, const Bytes& payload,
                       uint64_t flow = 0);
-  Result<Bytes> DecodePayload(const sim::SimMessage& msg) const;
+  Result<Bytes> DecodePayload(const net::Message& msg) const;
 
-  sim::SimNetwork* network_;
-  sim::NodeId node_;
+  net::Transport* transport_;
+  NodeId node_;
   SharedInfra* infra_;
   BestPeerConfig config_;
 
   std::shared_ptr<const Codec> codec_;
-  std::unique_ptr<sim::Dispatcher> dispatcher_;
+  std::unique_ptr<net::Dispatcher> dispatcher_;
   std::unique_ptr<liglo::LigloClient> liglo_;
   std::unique_ptr<agent::AgentRuntime> runtime_;
   std::unique_ptr<storm::Storm> storage_;
@@ -286,9 +285,9 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   std::map<uint64_t, QuerySession> sessions_;
   std::map<uint64_t, ContentCallback> pending_content_;
   /// Last known store size per node, learned from search results.
-  std::map<sim::NodeId, size_t> store_size_hints_;
+  std::map<NodeId, size_t> store_size_hints_;
   /// EWMA answer score per node (used when history_weight > 0).
-  std::map<sim::NodeId, double> answer_scores_;
+  std::map<NodeId, double> answer_scores_;
   uint32_t query_counter_ = 0;
   uint64_t request_counter_ = 0;
   uint64_t results_received_ = 0;
@@ -298,8 +297,8 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   uint64_t peer_evictions_ = 0;
   bool replenish_in_flight_ = false;
   uint64_t replicas_stored_ = 0;
-  std::set<sim::NodeId> watchers_;
-  std::map<sim::NodeId, UpdateCallback> watching_;
+  std::set<NodeId> watchers_;
+  std::map<NodeId, UpdateCallback> watching_;
   storm::ObjectId next_file_object_id_;
 
   metrics::Counter* queries_issued_c_ = metrics::Counter::Noop();

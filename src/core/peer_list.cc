@@ -15,20 +15,20 @@ bool PeerList::Add(const PeerInfo& peer, bool enforce_capacity) {
   return true;
 }
 
-bool PeerList::Remove(sim::NodeId node) { return peers_.erase(node) > 0; }
+bool PeerList::Remove(NodeId node) { return peers_.erase(node) > 0; }
 
-PeerInfo* PeerList::Find(sim::NodeId node) {
+PeerInfo* PeerList::Find(NodeId node) {
   auto it = peers_.find(node);
   return it == peers_.end() ? nullptr : &it->second;
 }
 
-const PeerInfo* PeerList::Find(sim::NodeId node) const {
+const PeerInfo* PeerList::Find(NodeId node) const {
   auto it = peers_.find(node);
   return it == peers_.end() ? nullptr : &it->second;
 }
 
-std::vector<sim::NodeId> PeerList::Nodes() const {
-  std::vector<sim::NodeId> nodes;
+std::vector<NodeId> PeerList::Nodes() const {
+  std::vector<NodeId> nodes;
   nodes.reserve(peers_.size());
   for (const auto& [node, info] : peers_) nodes.push_back(node);
   return nodes;

@@ -6,14 +6,14 @@
 #include <vector>
 
 #include "liglo/bpid.h"
-#include "sim/network.h"
+#include "util/ids.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::core {
 
 /// What a node knows about one directly connected peer.
 struct PeerInfo {
-  sim::NodeId node = sim::kInvalidNode;
+  NodeId node = kInvalidNode;
   /// Global identity, when known (peers adopted via LIGLO carry one).
   liglo::Bpid bpid;
   /// Last known address.
@@ -43,16 +43,16 @@ class PeerList {
   bool Add(const PeerInfo& peer, bool enforce_capacity = true);
 
   /// Removes a peer; returns whether it was present.
-  bool Remove(sim::NodeId node);
+  bool Remove(NodeId node);
 
-  bool Contains(sim::NodeId node) const { return peers_.count(node) != 0; }
+  bool Contains(NodeId node) const { return peers_.count(node) != 0; }
 
   /// Mutable access to a peer's record (nullptr if absent).
-  PeerInfo* Find(sim::NodeId node);
-  const PeerInfo* Find(sim::NodeId node) const;
+  PeerInfo* Find(NodeId node);
+  const PeerInfo* Find(NodeId node) const;
 
   /// Node ids of all direct peers (ascending).
-  std::vector<sim::NodeId> Nodes() const;
+  std::vector<NodeId> Nodes() const;
 
   /// All records.
   std::vector<PeerInfo> Snapshot() const;
@@ -63,7 +63,7 @@ class PeerList {
 
  private:
   size_t capacity_;
-  std::map<sim::NodeId, PeerInfo> peers_;
+  std::map<NodeId, PeerInfo> peers_;
 };
 
 }  // namespace bestpeer::core

@@ -12,9 +12,9 @@ namespace {
 /// candidate table (current peers default to answers=0, hops=1).
 std::vector<PeerObservation> BuildCandidates(
     const std::vector<PeerObservation>& observations,
-    const std::vector<sim::NodeId>& current_peers) {
-  std::map<sim::NodeId, PeerObservation> table;
-  for (sim::NodeId peer : current_peers) {
+    const std::vector<NodeId>& current_peers) {
+  std::map<NodeId, PeerObservation> table;
+  for (NodeId peer : current_peers) {
     PeerObservation obs;
     obs.node = peer;
     obs.answers = 0;
@@ -33,10 +33,10 @@ std::vector<PeerObservation> BuildCandidates(
   return out;
 }
 
-std::vector<sim::NodeId> TakeTop(std::vector<PeerObservation> candidates,
+std::vector<NodeId> TakeTop(std::vector<PeerObservation> candidates,
                                  size_t capacity) {
   if (candidates.size() > capacity) candidates.resize(capacity);
-  std::vector<sim::NodeId> out;
+  std::vector<NodeId> out;
   out.reserve(candidates.size());
   for (const auto& c : candidates) out.push_back(c.node);
   std::sort(out.begin(), out.end());
@@ -45,9 +45,9 @@ std::vector<sim::NodeId> TakeTop(std::vector<PeerObservation> candidates,
 
 }  // namespace
 
-std::vector<sim::NodeId> MaxCountStrategy::SelectPeers(
+std::vector<NodeId> MaxCountStrategy::SelectPeers(
     const std::vector<PeerObservation>& observations,
-    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+    const std::vector<NodeId>& current_peers, size_t capacity) const {
   auto candidates = BuildCandidates(observations, current_peers);
   // Most answers first; ties broken deterministically by node id.
   std::stable_sort(candidates.begin(), candidates.end(),
@@ -58,9 +58,9 @@ std::vector<sim::NodeId> MaxCountStrategy::SelectPeers(
   return TakeTop(std::move(candidates), capacity);
 }
 
-std::vector<sim::NodeId> MinHopsStrategy::SelectPeers(
+std::vector<NodeId> MinHopsStrategy::SelectPeers(
     const std::vector<PeerObservation>& observations,
-    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+    const std::vector<NodeId>& current_peers, size_t capacity) const {
   auto candidates = BuildCandidates(observations, current_peers);
   // Larger hops first ("keep nodes that are further away"); ties prefer
   // more answers, then node id.
@@ -73,9 +73,9 @@ std::vector<sim::NodeId> MinHopsStrategy::SelectPeers(
   return TakeTop(std::move(candidates), capacity);
 }
 
-std::vector<sim::NodeId> FastestResponseStrategy::SelectPeers(
+std::vector<NodeId> FastestResponseStrategy::SelectPeers(
     const std::vector<PeerObservation>& observations,
-    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+    const std::vector<NodeId>& current_peers, size_t capacity) const {
   auto candidates = BuildCandidates(observations, current_peers);
   // Nodes that actually responded come first, earliest first; silent
   // current peers (first_response == 0, answers == 0) rank last.
@@ -93,11 +93,11 @@ std::vector<sim::NodeId> FastestResponseStrategy::SelectPeers(
   return TakeTop(std::move(candidates), capacity);
 }
 
-std::vector<sim::NodeId> NoReconfigStrategy::SelectPeers(
+std::vector<NodeId> NoReconfigStrategy::SelectPeers(
     const std::vector<PeerObservation>& observations,
-    const std::vector<sim::NodeId>& current_peers, size_t capacity) const {
+    const std::vector<NodeId>& current_peers, size_t capacity) const {
   (void)observations;
-  std::vector<sim::NodeId> out = current_peers;
+  std::vector<NodeId> out = current_peers;
   if (out.size() > capacity) out.resize(capacity);
   return out;
 }

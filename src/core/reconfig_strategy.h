@@ -6,7 +6,7 @@
 #include <string_view>
 #include <vector>
 
-#include "sim/network.h"
+#include "util/ids.h"
 #include "util/result.h"
 #include "util/sim_time.h"
 
@@ -14,7 +14,7 @@ namespace bestpeer::core {
 
 /// What one query taught the base node about a responding node.
 struct PeerObservation {
-  sim::NodeId node = sim::kInvalidNode;
+  NodeId node = kInvalidNode;
   /// Answers the node returned for the query.
   uint64_t answers = 0;
   /// Hops value piggybacked with the answers (distance from the base).
@@ -37,9 +37,9 @@ class ReconfigStrategy {
   /// Returns the new direct-peer set, at most `capacity` nodes, drawn
   /// from the observed responders and the current peers. Current peers
   /// that did not respond are treated as answers=0, hops=1 candidates.
-  virtual std::vector<sim::NodeId> SelectPeers(
+  virtual std::vector<NodeId> SelectPeers(
       const std::vector<PeerObservation>& observations,
-      const std::vector<sim::NodeId>& current_peers,
+      const std::vector<NodeId>& current_peers,
       size_t capacity) const = 0;
 };
 
@@ -48,9 +48,9 @@ class ReconfigStrategy {
 class MaxCountStrategy : public ReconfigStrategy {
  public:
   std::string_view name() const override { return "maxcount"; }
-  std::vector<sim::NodeId> SelectPeers(
+  std::vector<NodeId> SelectPeers(
       const std::vector<PeerObservation>& observations,
-      const std::vector<sim::NodeId>& current_peers,
+      const std::vector<NodeId>& current_peers,
       size_t capacity) const override;
 };
 
@@ -61,9 +61,9 @@ class MaxCountStrategy : public ReconfigStrategy {
 class MinHopsStrategy : public ReconfigStrategy {
  public:
   std::string_view name() const override { return "minhops"; }
-  std::vector<sim::NodeId> SelectPeers(
+  std::vector<NodeId> SelectPeers(
       const std::vector<PeerObservation>& observations,
-      const std::vector<sim::NodeId>& current_peers,
+      const std::vector<NodeId>& current_peers,
       size_t capacity) const override;
 };
 
@@ -74,9 +74,9 @@ class MinHopsStrategy : public ReconfigStrategy {
 class FastestResponseStrategy : public ReconfigStrategy {
  public:
   std::string_view name() const override { return "fastest"; }
-  std::vector<sim::NodeId> SelectPeers(
+  std::vector<NodeId> SelectPeers(
       const std::vector<PeerObservation>& observations,
-      const std::vector<sim::NodeId>& current_peers,
+      const std::vector<NodeId>& current_peers,
       size_t capacity) const override;
 };
 
@@ -84,9 +84,9 @@ class FastestResponseStrategy : public ReconfigStrategy {
 class NoReconfigStrategy : public ReconfigStrategy {
  public:
   std::string_view name() const override { return "none"; }
-  std::vector<sim::NodeId> SelectPeers(
+  std::vector<NodeId> SelectPeers(
       const std::vector<PeerObservation>& observations,
-      const std::vector<sim::NodeId>& current_peers,
+      const std::vector<NodeId>& current_peers,
       size_t capacity) const override;
 };
 

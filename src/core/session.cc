@@ -19,7 +19,7 @@ size_t QuerySession::total_indicated() const {
 }
 
 size_t QuerySession::responder_count() const {
-  std::map<sim::NodeId, bool> seen;
+  std::map<NodeId, bool> seen;
   for (const auto& e : responses_) seen[e.node] = true;
   return seen.size();
 }
@@ -32,7 +32,7 @@ SimTime QuerySession::completion_time() const {
 }
 
 std::vector<PeerObservation> QuerySession::Observations() const {
-  std::map<sim::NodeId, PeerObservation> table;
+  std::map<NodeId, PeerObservation> table;
   for (const auto& e : responses_) {
     auto it = table.find(e.node);
     if (it == table.end()) {

@@ -8,7 +8,7 @@
 
 #include "core/config.h"
 #include "core/reconfig_strategy.h"
-#include "sim/network.h"
+#include "util/ids.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::core {
@@ -16,7 +16,7 @@ namespace bestpeer::core {
 /// One response-related event observed by the query initiator.
 struct ResponseEvent {
   SimTime time = 0;
-  sim::NodeId node = sim::kInvalidNode;
+  NodeId node = kInvalidNode;
   uint16_t hops = 0;
   size_t answers = 0;
 };

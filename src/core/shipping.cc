@@ -8,7 +8,7 @@ namespace {
 
 /// One-hop transfer time of `bytes` over the modelled LAN (uplink +
 /// propagation + downlink).
-SimTime TransferTime(size_t bytes, const sim::NetworkOptions& net) {
+SimTime TransferTime(size_t bytes, const net::LinkProfile& net) {
   double per_nic = static_cast<double>(bytes) / net.bytes_per_us;
   return static_cast<SimTime>(std::llround(2 * per_nic)) + net.latency;
 }
@@ -17,8 +17,8 @@ SimTime TransferTime(size_t bytes, const sim::NetworkOptions& net) {
 
 SimTime EstimateCodeShippingCost(const ShippingCostInputs& inputs,
                                  const BestPeerConfig& config,
-                                 const sim::NetworkOptions& net) {
-  size_t outbound = inputs.agent_bytes + net.header_overhead +
+                                 const net::LinkProfile& net) {
+  size_t outbound = inputs.agent_bytes + net.frame_overhead +
                     (inputs.class_cached ? 0 : inputs.class_bytes);
   SimTime cost = TransferTime(outbound, net);
   cost += config.agent_reconstruct_cost;
@@ -26,19 +26,19 @@ SimTime EstimateCodeShippingCost(const ShippingCostInputs& inputs,
   cost += static_cast<SimTime>(inputs.remote_objects) *
           config.per_object_match_cost;
   // Results come back; assume the small-descriptor case for estimation.
-  cost += TransferTime(net.header_overhead + config.answer_descriptor_bytes,
+  cost += TransferTime(net.frame_overhead + config.answer_descriptor_bytes,
                        net);
   return cost;
 }
 
 SimTime EstimateDataShippingCost(const ShippingCostInputs& inputs,
                                  const BestPeerConfig& config,
-                                 const sim::NetworkOptions& net) {
+                                 const net::LinkProfile& net) {
   size_t store_bytes = inputs.remote_objects * inputs.object_size;
-  SimTime cost = TransferTime(net.header_overhead + 64, net);  // Request.
+  SimTime cost = TransferTime(net.frame_overhead + 64, net);  // Request.
   cost += static_cast<SimTime>(inputs.remote_objects) *
           config.fetch_per_object_cost;  // Remote read-out.
-  cost += TransferTime(store_bytes + net.header_overhead, net);
+  cost += TransferTime(store_bytes + net.frame_overhead, net);
   cost += static_cast<SimTime>(inputs.remote_objects) *
           config.per_object_match_cost;  // Local scan.
   return cost;
@@ -46,7 +46,7 @@ SimTime EstimateDataShippingCost(const ShippingCostInputs& inputs,
 
 ShippingStrategy ChooseShippingStrategy(const ShippingCostInputs& inputs,
                                         const BestPeerConfig& config,
-                                        const sim::NetworkOptions& net) {
+                                        const net::LinkProfile& net) {
   if (inputs.remote_objects == 0) return ShippingStrategy::kCodeShipping;
   SimTime code = EstimateCodeShippingCost(inputs, config, net);
   SimTime data = EstimateDataShippingCost(inputs, config, net);

@@ -6,7 +6,7 @@
 #include <string_view>
 
 #include "core/config.h"
-#include "sim/network.h"
+#include "net/transport.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::core {
@@ -46,18 +46,18 @@ struct ShippingCostInputs {
 /// Estimated wall-clock to interrogate one peer by shipping the agent.
 SimTime EstimateCodeShippingCost(const ShippingCostInputs& inputs,
                                  const BestPeerConfig& config,
-                                 const sim::NetworkOptions& net);
+                                 const net::LinkProfile& net);
 
 /// Estimated wall-clock to pull the peer's store and scan it locally.
 SimTime EstimateDataShippingCost(const ShippingCostInputs& inputs,
                                  const BestPeerConfig& config,
-                                 const sim::NetworkOptions& net);
+                                 const net::LinkProfile& net);
 
 /// Picks the cheaper strategy; unknown store sizes default to code
 /// shipping (never pull an unbounded amount of data blindly).
 ShippingStrategy ChooseShippingStrategy(const ShippingCostInputs& inputs,
                                         const BestPeerConfig& config,
-                                        const sim::NetworkOptions& net);
+                                        const net::LinkProfile& net);
 
 /// Human-readable names for logs and bench rows.
 std::string_view ShippingStrategyName(ShippingStrategy strategy);

@@ -12,7 +12,7 @@
 namespace bestpeer::liglo {
 
 /// A simulated network address ("IP"). Nodes with variable connectivity
-/// get a different IpAddress each session; the physical sim::NodeId stays
+/// get a different IpAddress each session; the physical NodeId stays
 /// fixed (it models the machine, not its address).
 using IpAddress = uint32_t;
 

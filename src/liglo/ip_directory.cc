@@ -2,7 +2,7 @@
 
 namespace bestpeer::liglo {
 
-Status IpDirectory::Assign(IpAddress ip, sim::NodeId node) {
+Status IpDirectory::Assign(IpAddress ip, NodeId node) {
   if (ip == kInvalidIp) {
     return Status::InvalidArgument("cannot assign the invalid address");
   }
@@ -17,14 +17,14 @@ Status IpDirectory::Assign(IpAddress ip, sim::NodeId node) {
   return Status::OK();
 }
 
-void IpDirectory::Release(sim::NodeId node) {
+void IpDirectory::Release(NodeId node) {
   auto it = by_node_.find(node);
   if (it == by_node_.end()) return;
   by_ip_.erase(it->second);
   by_node_.erase(it);
 }
 
-Result<sim::NodeId> IpDirectory::Resolve(IpAddress ip) const {
+Result<NodeId> IpDirectory::Resolve(IpAddress ip) const {
   auto it = by_ip_.find(ip);
   if (it == by_ip_.end()) {
     return Status::NotFound("no node holds ip " + std::to_string(ip));
@@ -32,12 +32,12 @@ Result<sim::NodeId> IpDirectory::Resolve(IpAddress ip) const {
   return it->second;
 }
 
-IpAddress IpDirectory::AddressOf(sim::NodeId node) const {
+IpAddress IpDirectory::AddressOf(NodeId node) const {
   auto it = by_node_.find(node);
   return it == by_node_.end() ? kInvalidIp : it->second;
 }
 
-IpAddress IpDirectory::AssignFresh(sim::NodeId node) {
+IpAddress IpDirectory::AssignFresh(NodeId node) {
   IpAddress ip = next_ip_++;
   Assign(ip, node).ok();
   return ip;

@@ -4,36 +4,36 @@
 #include <map>
 
 #include "liglo/bpid.h"
-#include "sim/network.h"
+#include "util/ids.h"
 #include "util/result.h"
 
 namespace bestpeer::liglo {
 
 /// The LAN's address plane: maps the currently assigned IpAddress of each
-/// machine to its physical sim::NodeId so protocol layers can "dial an
+/// machine to its physical NodeId so protocol layers can "dial an
 /// IP". The experiment harness reassigns addresses between sessions to
 /// simulate the temporary-address churn the paper targets.
 class IpDirectory {
  public:
   /// Assigns `ip` to `node`, releasing the node's previous address.
   /// Fails with AlreadyExists if the ip belongs to another node.
-  Status Assign(IpAddress ip, sim::NodeId node);
+  Status Assign(IpAddress ip, NodeId node);
 
   /// Releases whatever address the node holds.
-  void Release(sim::NodeId node);
+  void Release(NodeId node);
 
   /// Physical node currently holding `ip`.
-  Result<sim::NodeId> Resolve(IpAddress ip) const;
+  Result<NodeId> Resolve(IpAddress ip) const;
 
   /// Current address of `node` (kInvalidIp if none).
-  IpAddress AddressOf(sim::NodeId node) const;
+  IpAddress AddressOf(NodeId node) const;
 
   /// Allocates a fresh unused address and assigns it to `node`.
-  IpAddress AssignFresh(sim::NodeId node);
+  IpAddress AssignFresh(NodeId node);
 
  private:
-  std::map<IpAddress, sim::NodeId> by_ip_;
-  std::map<sim::NodeId, IpAddress> by_node_;
+  std::map<IpAddress, NodeId> by_ip_;
+  std::map<NodeId, IpAddress> by_node_;
   IpAddress next_ip_ = 0x0A000001;  // 10.0.0.1
 };
 

@@ -9,35 +9,35 @@
 
 namespace bestpeer::liglo {
 
-LigloClient::LigloClient(sim::SimNetwork* network,
-                         sim::Dispatcher* dispatcher, sim::NodeId node,
-                         IpDirectory* ips, LigloClientOptions options)
-    : network_(network),
-      node_(node),
+LigloClient::LigloClient(net::Transport* transport,
+                         net::Dispatcher* dispatcher, IpDirectory* ips,
+                         LigloClientOptions options)
+    : transport_(transport),
+      node_(transport->local()),
       ips_(ips),
       options_(options),
       jitter_rng_(options.jitter_seed ^
-                  (static_cast<uint64_t>(node) << 32 | node)) {
+                  (static_cast<uint64_t>(node_) << 32 | node_)) {
   if (options_.metrics != nullptr) {
     metrics::Registry* reg = options_.metrics;
     timeouts_c_ = reg->GetCounter("liglo.timeouts");
     retries_c_ = reg->GetCounter("liglo.retries");
     late_replies_c_ = reg->GetCounter("liglo.late_replies");
   }
-  dispatcher->Register(kLigloRegisterResp, [this](const sim::SimMessage& m) {
+  dispatcher->Register(kLigloRegisterResp, [this](const net::Message& m) {
     OnRegisterResp(m);
   });
-  dispatcher->Register(kLigloUpdateResp, [this](const sim::SimMessage& m) {
+  dispatcher->Register(kLigloUpdateResp, [this](const net::Message& m) {
     OnUpdateResp(m);
   });
-  dispatcher->Register(kLigloResolveResp, [this](const sim::SimMessage& m) {
+  dispatcher->Register(kLigloResolveResp, [this](const net::Message& m) {
     OnResolveResp(m);
   });
-  dispatcher->Register(kLigloPeersResp, [this](const sim::SimMessage& m) {
+  dispatcher->Register(kLigloPeersResp, [this](const net::Message& m) {
     OnPeersResp(m);
   });
   dispatcher->Register(kLigloPing,
-                       [this](const sim::SimMessage& m) { OnPing(m); });
+                       [this](const net::Message& m) { OnPing(m); });
 }
 
 LigloClient::Pending LigloClient::TakePending(uint64_t id, bool* found) {
@@ -53,7 +53,7 @@ LigloClient::Pending LigloClient::TakePending(uint64_t id, bool* found) {
 }
 
 void LigloClient::ArmTimeout(uint64_t id) {
-  network_->simulator().ScheduleAfter(options_.request_timeout, [this, id]() {
+  transport_->clock().ScheduleAfter(options_.request_timeout, [this, id]() {
     auto it = pending_.find(id);
     if (it == pending_.end()) return;  // Already answered.
     ++timeouts_;
@@ -67,9 +67,9 @@ void LigloClient::ArmTimeout(uint64_t id) {
       ++p.attempt;
       ++retries_;
       retries_c_->Increment();
-      if (obs::FlightRecorder* flight = network_->simulator().flight()) {
+      if (obs::FlightRecorder* flight = transport_->flight()) {
         obs::FlightEvent e;
-        e.ts = network_->simulator().now();
+        e.ts = transport_->clock().now();
         e.type = obs::EventType::kLigloRetry;
         e.node = node_;
         e.peer = p.server;
@@ -85,7 +85,7 @@ void LigloClient::ArmTimeout(uint64_t id) {
         delay = std::max<SimTime>(1, static_cast<SimTime>(
                                          static_cast<double>(delay) * spread));
       }
-      network_->simulator().ScheduleAfter(delay,
+      transport_->clock().ScheduleAfter(delay,
                                           [this, id]() { SendAttempt(id); });
       return;
     }
@@ -119,12 +119,12 @@ void LigloClient::StartRequest(uint64_t id, Pending pending) {
 void LigloClient::SendAttempt(uint64_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;  // Answered while backing off.
-  network_->Send(node_, it->second.server, it->second.msg_type,
-                 Bytes(it->second.payload));
+  transport_->Send(it->second.server, it->second.msg_type,
+                   Bytes(it->second.payload));
   ArmTimeout(id);
 }
 
-void LigloClient::Register(sim::NodeId liglo_server, IpAddress my_ip,
+void LigloClient::Register(NodeId liglo_server, IpAddress my_ip,
                            RegisterCallback callback) {
   uint64_t id = next_request_id_++;
   Pending p;
@@ -143,7 +143,7 @@ void LigloClient::Register(sim::NodeId liglo_server, IpAddress my_ip,
 }
 
 void LigloClient::RegisterWithFallback(
-    const std::vector<sim::NodeId>& servers, IpAddress my_ip,
+    const std::vector<NodeId>& servers, IpAddress my_ip,
     RegisterCallback callback) {
   if (servers.empty()) {
     if (callback) {
@@ -152,7 +152,7 @@ void LigloClient::RegisterWithFallback(
     return;
   }
   auto remaining =
-      std::make_shared<std::vector<sim::NodeId>>(servers.begin() + 1,
+      std::make_shared<std::vector<NodeId>>(servers.begin() + 1,
                                                  servers.end());
   Register(servers.front(), my_ip,
            [this, my_ip, remaining, callback](
@@ -200,7 +200,7 @@ void LigloClient::Resolve(const Bpid& peer, ResolveCallback callback) {
   req.request_id = id;
   req.bpid = peer;
   // The peer's home LIGLO has a fixed address: its liglo_id is the node.
-  p.server = static_cast<sim::NodeId>(peer.liglo_id);
+  p.server = static_cast<NodeId>(peer.liglo_id);
   p.msg_type = kLigloResolveReq;
   p.payload = req.Encode();
   StartRequest(id, std::move(p));
@@ -259,7 +259,7 @@ void LigloClient::DiscoverPeers(PeersCallback callback) {
   StartRequest(id, std::move(p));
 }
 
-void LigloClient::OnPeersResp(const sim::SimMessage& msg) {
+void LigloClient::OnPeersResp(const net::Message& msg) {
   auto resp = PeersResponse::Decode(msg.payload);
   if (!resp.ok()) return;
   bool found = false;
@@ -272,7 +272,7 @@ void LigloClient::OnPeersResp(const sim::SimMessage& msg) {
   if (p.on_peers) p.on_peers(std::move(resp->peers));
 }
 
-void LigloClient::OnRegisterResp(const sim::SimMessage& msg) {
+void LigloClient::OnRegisterResp(const net::Message& msg) {
   auto resp = RegisterResponse::Decode(msg.payload);
   if (!resp.ok()) return;
   bool found = false;
@@ -295,7 +295,7 @@ void LigloClient::OnRegisterResp(const sim::SimMessage& msg) {
   }
 }
 
-void LigloClient::OnUpdateResp(const sim::SimMessage& msg) {
+void LigloClient::OnUpdateResp(const net::Message& msg) {
   auto resp = UpdateResponse::Decode(msg.payload);
   if (!resp.ok()) return;
   bool found = false;
@@ -311,7 +311,7 @@ void LigloClient::OnUpdateResp(const sim::SimMessage& msg) {
   }
 }
 
-void LigloClient::OnResolveResp(const sim::SimMessage& msg) {
+void LigloClient::OnResolveResp(const net::Message& msg) {
   auto resp = ResolveResponse::Decode(msg.payload);
   if (!resp.ok()) return;
   bool found = false;
@@ -326,14 +326,14 @@ void LigloClient::OnResolveResp(const sim::SimMessage& msg) {
   }
 }
 
-void LigloClient::OnPing(const sim::SimMessage& msg) {
+void LigloClient::OnPing(const net::Message& msg) {
   auto ping = PingMessage::Decode(msg.payload);
   if (!ping.ok()) return;
   PongMessage pong;
   pong.nonce = ping->nonce;
   pong.bpid = bpid_;
   pong.ip = current_ip_;
-  network_->Send(node_, msg.src, kLigloPong, pong.Encode());
+  transport_->Send(msg.src, kLigloPong, pong.Encode());
 }
 
 }  // namespace bestpeer::liglo

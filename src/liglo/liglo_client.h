@@ -9,8 +9,8 @@
 #include "liglo/bpid.h"
 #include "liglo/ip_directory.h"
 #include "liglo/liglo_protocol.h"
-#include "sim/dispatcher.h"
-#include "sim/network.h"
+#include "net/dispatcher.h"
+#include "net/transport.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -67,25 +67,25 @@ class LigloClient {
   using ResolveCallback = std::function<void(Result<ResolveOutcome>)>;
   using RejoinCallback = std::function<void(Result<RejoinOutcome>)>;
 
-  /// `dispatcher` must be this node's dispatcher. `ips` is used to dial
-  /// LIGLO servers (their ids are fixed node ids) and answered pings.
-  LigloClient(sim::SimNetwork* network, sim::Dispatcher* dispatcher,
-              sim::NodeId node, IpDirectory* ips,
-              LigloClientOptions options = {});
+  /// `dispatcher` must be this node's dispatcher (on the same transport).
+  /// `ips` is used to dial LIGLO servers (their ids are fixed node ids)
+  /// and answered pings.
+  LigloClient(net::Transport* transport, net::Dispatcher* dispatcher,
+              IpDirectory* ips, LigloClientOptions options = {});
 
   LigloClient(const LigloClient&) = delete;
   LigloClient& operator=(const LigloClient&) = delete;
 
   /// Registers with the LIGLO server at node `liglo_server`, announcing
   /// `my_ip`. On success the client remembers its BPID and home server.
-  void Register(sim::NodeId liglo_server, IpAddress my_ip,
+  void Register(NodeId liglo_server, IpAddress my_ip,
                 RegisterCallback callback);
 
   /// Tries each server in order until one accepts (paper §3.4: a full
   /// LIGLO rejects new registrations and "the node has to seek another
   /// LIGLO"). Fails with ResourceExhausted when every server rejects, or
   /// with the last error when all are unreachable.
-  void RegisterWithFallback(const std::vector<sim::NodeId>& servers,
+  void RegisterWithFallback(const std::vector<NodeId>& servers,
                             IpAddress my_ip, RegisterCallback callback);
 
   /// Reports the current address (and online state) to the home LIGLO.
@@ -128,17 +128,17 @@ class LigloClient {
     ResolveCallback on_resolve;
     PeersCallback on_peers;
     /// Request wire state kept for resends.
-    sim::NodeId server = sim::kInvalidNode;
+    NodeId server = kInvalidNode;
     uint32_t msg_type = 0;
     Bytes payload;
     int attempt = 0;
   };
 
-  void OnRegisterResp(const sim::SimMessage& msg);
-  void OnUpdateResp(const sim::SimMessage& msg);
-  void OnResolveResp(const sim::SimMessage& msg);
-  void OnPeersResp(const sim::SimMessage& msg);
-  void OnPing(const sim::SimMessage& msg);
+  void OnRegisterResp(const net::Message& msg);
+  void OnUpdateResp(const net::Message& msg);
+  void OnResolveResp(const net::Message& msg);
+  void OnPeersResp(const net::Message& msg);
+  void OnPing(const net::Message& msg);
 
   /// Records the pending request and fires its first attempt.
   void StartRequest(uint64_t id, Pending pending);
@@ -156,14 +156,14 @@ class LigloClient {
     return kind != PendingKind::kUpdate;
   }
 
-  sim::SimNetwork* network_;
-  sim::NodeId node_;
+  net::Transport* transport_;
+  NodeId node_;
   IpDirectory* ips_;
   LigloClientOptions options_;
   Rng jitter_rng_;
 
   Bpid bpid_;
-  sim::NodeId home_server_ = sim::kInvalidNode;
+  NodeId home_server_ = kInvalidNode;
   IpAddress current_ip_ = kInvalidIp;
 
   uint64_t next_request_id_ = 1;

@@ -6,24 +6,24 @@
 
 namespace bestpeer::liglo {
 
-LigloServer::LigloServer(sim::SimNetwork* network,
-                         sim::Dispatcher* dispatcher, sim::NodeId node,
-                         IpDirectory* ips, LigloServerOptions options)
-    : network_(network),
-      node_(node),
+LigloServer::LigloServer(net::Transport* transport,
+                         net::Dispatcher* dispatcher, IpDirectory* ips,
+                         LigloServerOptions options)
+    : transport_(transport),
+      node_(transport->local()),
       ips_(ips),
       options_(options),
       sample_rng_(options.sample_seed) {
   dispatcher->Register(kLigloRegisterReq,
-                       [this](const sim::SimMessage& m) { OnRegister(m); });
+                       [this](const net::Message& m) { OnRegister(m); });
   dispatcher->Register(kLigloUpdateReq,
-                       [this](const sim::SimMessage& m) { OnUpdate(m); });
+                       [this](const net::Message& m) { OnUpdate(m); });
   dispatcher->Register(kLigloResolveReq,
-                       [this](const sim::SimMessage& m) { OnResolve(m); });
+                       [this](const net::Message& m) { OnResolve(m); });
   dispatcher->Register(kLigloPeersReq,
-                       [this](const sim::SimMessage& m) { OnPeers(m); });
+                       [this](const net::Message& m) { OnPeers(m); });
   dispatcher->Register(kLigloPong,
-                       [this](const sim::SimMessage& m) { OnPong(m); });
+                       [this](const net::Message& m) { OnPong(m); });
 }
 
 std::vector<PeerEntry> LigloServer::SampleOnlineMembers(size_t count,
@@ -44,7 +44,7 @@ std::vector<PeerEntry> LigloServer::SampleOnlineMembers(size_t count,
   return sample;
 }
 
-void LigloServer::OnPeers(const sim::SimMessage& msg) {
+void LigloServer::OnPeers(const net::Message& msg) {
   auto req = PeersRequest::Decode(msg.payload);
   if (!req.ok()) return;
   PeersResponse resp;
@@ -54,15 +54,15 @@ void LigloServer::OnPeers(const sim::SimMessage& msg) {
   Reply(msg.src, kLigloPeersResp, resp.Encode());
 }
 
-void LigloServer::Reply(sim::NodeId dst, uint32_t type, Bytes payload) {
-  network_->Cpu(node_).Submit(
+void LigloServer::Reply(NodeId dst, uint32_t type, Bytes payload) {
+  transport_->RunCpu(
       options_.handling_cost,
       [this, dst, type, payload = std::move(payload)]() mutable {
-        network_->Send(node_, dst, type, std::move(payload));
+        transport_->Send(dst, type, std::move(payload));
       });
 }
 
-void LigloServer::OnRegister(const sim::SimMessage& msg) {
+void LigloServer::OnRegister(const net::Message& msg) {
   auto req = RegisterRequest::Decode(msg.payload);
   if (!req.ok()) {
     BP_LOG(Warn) << "bad register request: " << req.status().ToString();
@@ -80,7 +80,7 @@ void LigloServer::OnRegister(const sim::SimMessage& msg) {
   Member member;
   member.ip = req->ip;
   member.online = true;
-  member.last_seen = network_->simulator().now();
+  member.last_seen = transport_->clock().now();
 
   resp.accepted = true;
   resp.bpid = Bpid{node_, member_id};
@@ -93,7 +93,7 @@ void LigloServer::OnRegister(const sim::SimMessage& msg) {
   Reply(msg.src, kLigloRegisterResp, resp.Encode());
 }
 
-void LigloServer::OnUpdate(const sim::SimMessage& msg) {
+void LigloServer::OnUpdate(const net::Message& msg) {
   auto req = UpdateRequest::Decode(msg.payload);
   if (!req.ok()) {
     BP_LOG(Warn) << "bad update request: " << req.status().ToString();
@@ -107,13 +107,13 @@ void LigloServer::OnUpdate(const sim::SimMessage& msg) {
   } else {
     it->second.ip = req->ip;
     it->second.online = req->online;
-    it->second.last_seen = network_->simulator().now();
+    it->second.last_seen = transport_->clock().now();
     resp.ok = true;
   }
   Reply(msg.src, kLigloUpdateResp, resp.Encode());
 }
 
-void LigloServer::OnResolve(const sim::SimMessage& msg) {
+void LigloServer::OnResolve(const net::Message& msg) {
   auto req = ResolveRequest::Decode(msg.payload);
   if (!req.ok()) {
     BP_LOG(Warn) << "bad resolve request: " << req.status().ToString();
@@ -134,7 +134,7 @@ void LigloServer::OnResolve(const sim::SimMessage& msg) {
   Reply(msg.src, kLigloResolveResp, resp.Encode());
 }
 
-void LigloServer::OnPong(const sim::SimMessage& msg) {
+void LigloServer::OnPong(const net::Message& msg) {
   auto pong = PongMessage::Decode(msg.payload);
   if (!pong.ok()) return;
   auto it = members_.find(pong->bpid.node_id);
@@ -143,13 +143,13 @@ void LigloServer::OnPong(const sim::SimMessage& msg) {
   it->second.pending_ping_nonce = 0;
   it->second.online = true;
   it->second.ip = pong->ip;
-  it->second.last_seen = network_->simulator().now();
+  it->second.last_seen = transport_->clock().now();
 }
 
 void LigloServer::StartSweep() {
   if (options_.sweep_interval <= 0 || sweeping_) return;
   sweeping_ = true;
-  network_->simulator().ScheduleAfter(options_.sweep_interval,
+  transport_->clock().ScheduleAfter(options_.sweep_interval,
                                       [this]() { DoSweep(); });
 }
 
@@ -167,10 +167,10 @@ void LigloServer::DoSweep() {
     member.pending_ping_nonce = nonce;
     PingMessage ping;
     ping.nonce = nonce;
-    network_->Send(node_, target.value(), kLigloPing, ping.Encode());
+    transport_->Send(target.value(), kLigloPing, ping.Encode());
     // If no pong clears the nonce in time, mark the member offline.
     uint32_t member_id = id;
-    network_->simulator().ScheduleAfter(
+    transport_->clock().ScheduleAfter(
         options_.ping_timeout, [this, member_id, nonce]() {
           auto it = members_.find(member_id);
           if (it == members_.end()) return;
@@ -180,7 +180,7 @@ void LigloServer::DoSweep() {
           }
         });
   }
-  network_->simulator().ScheduleAfter(options_.sweep_interval,
+  transport_->clock().ScheduleAfter(options_.sweep_interval,
                                       [this]() { DoSweep(); });
 }
 

@@ -8,8 +8,8 @@
 #include "liglo/bpid.h"
 #include "liglo/ip_directory.h"
 #include "liglo/liglo_protocol.h"
-#include "sim/dispatcher.h"
-#include "sim/network.h"
+#include "net/dispatcher.h"
+#include "net/transport.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
 
@@ -40,11 +40,11 @@ struct LigloServerOptions {
 /// own members (BPIDs embed the server's fixed address).
 class LigloServer {
  public:
-  /// Runs the server at `node` (which has a fixed, well-known address:
-  /// its NodeId doubles as its LIGLO id). `dispatcher` must be the node's
-  /// dispatcher; `ips` is the LAN address plane.
-  LigloServer(sim::SimNetwork* network, sim::Dispatcher* dispatcher,
-              sim::NodeId node, IpDirectory* ips, LigloServerOptions options);
+  /// Runs the server on `transport`'s node (which has a fixed, well-known
+  /// address: its NodeId doubles as its LIGLO id). `dispatcher` must be
+  /// the node's dispatcher; `ips` is the LAN address plane.
+  LigloServer(net::Transport* transport, net::Dispatcher* dispatcher,
+              IpDirectory* ips, LigloServerOptions options);
 
   LigloServer(const LigloServer&) = delete;
   LigloServer& operator=(const LigloServer&) = delete;
@@ -82,11 +82,11 @@ class LigloServer {
     uint64_t pending_ping_nonce = 0;
   };
 
-  void OnRegister(const sim::SimMessage& msg);
-  void OnUpdate(const sim::SimMessage& msg);
-  void OnResolve(const sim::SimMessage& msg);
-  void OnPeers(const sim::SimMessage& msg);
-  void OnPong(const sim::SimMessage& msg);
+  void OnRegister(const net::Message& msg);
+  void OnUpdate(const net::Message& msg);
+  void OnResolve(const net::Message& msg);
+  void OnPeers(const net::Message& msg);
+  void OnPong(const net::Message& msg);
 
   /// Random sample of up to `count` online members, excluding `exclude`.
   std::vector<PeerEntry> SampleOnlineMembers(size_t count,
@@ -94,10 +94,10 @@ class LigloServer {
   void DoSweep();
 
   /// Replies after charging the handling cost.
-  void Reply(sim::NodeId dst, uint32_t type, Bytes payload);
+  void Reply(NodeId dst, uint32_t type, Bytes payload);
 
-  sim::SimNetwork* network_;
-  sim::NodeId node_;
+  net::Transport* transport_;
+  NodeId node_;
   IpDirectory* ips_;
   LigloServerOptions options_;
 

@@ -1,0 +1,37 @@
+#ifndef BESTPEER_NET_BACKOFF_H_
+#define BESTPEER_NET_BACKOFF_H_
+
+#include <algorithm>
+
+#include "util/sim_time.h"
+
+namespace bestpeer::net {
+
+/// Exponential reconnect backoff: base, 2*base, 4*base, ... capped at
+/// `max`. Deterministic (no jitter) — the in-process loopback runtime has
+/// no thundering-herd problem, and determinism keeps tests stable.
+class Backoff {
+ public:
+  Backoff(SimTime base, SimTime max) : base_(base), max_(max) {}
+
+  /// Delay to wait before the next attempt; advances the attempt count.
+  SimTime Next() {
+    SimTime delay = base_;
+    // Shift with saturation: attempts beyond the cap all return max_.
+    for (int i = 0; i < attempt_ && delay < max_; ++i) delay *= 2;
+    ++attempt_;
+    return std::min(delay, max_);
+  }
+
+  void Reset() { attempt_ = 0; }
+  int attempts() const { return attempt_; }
+
+ private:
+  SimTime base_;
+  SimTime max_;
+  int attempt_ = 0;
+};
+
+}  // namespace bestpeer::net
+
+#endif  // BESTPEER_NET_BACKOFF_H_

@@ -1,0 +1,36 @@
+#include "net/dispatcher.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace bestpeer::net {
+
+Dispatcher::Dispatcher(Transport* transport) : node_(transport->local()) {
+  transport->SetHandler([this](const Message& msg) { Dispatch(msg); });
+}
+
+void Dispatcher::Register(uint32_t type, Transport::Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void Dispatcher::RegisterDefault(Transport::Handler handler) {
+  default_handler_ = std::move(handler);
+}
+
+void Dispatcher::Dispatch(const Message& msg) {
+  auto it = handlers_.find(msg.type);
+  if (it != handlers_.end()) {
+    it->second(msg);
+    return;
+  }
+  if (default_handler_) {
+    default_handler_(msg);
+    return;
+  }
+  ++unhandled_;
+  BP_LOG(Debug) << "node " << node_ << ": unhandled message type 0x"
+                << std::hex << msg.type;
+}
+
+}  // namespace bestpeer::net

@@ -1,0 +1,42 @@
+#ifndef BESTPEER_NET_DISPATCHER_H_
+#define BESTPEER_NET_DISPATCHER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "net/transport.h"
+
+namespace bestpeer::net {
+
+/// Routes a node's incoming messages to per-type handlers, so several
+/// protocol layers (agent engine, LIGLO client, query protocol, ...) can
+/// share one endpoint. Installing the dispatcher claims the transport's
+/// handler slot.
+class Dispatcher {
+ public:
+  /// Claims `transport`'s deliver callback (transport must outlive this).
+  explicit Dispatcher(Transport* transport);
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Registers the handler for one message type (replaces any previous).
+  void Register(uint32_t type, Transport::Handler handler);
+
+  /// Handler for messages whose type has no registered handler.
+  void RegisterDefault(Transport::Handler handler);
+
+  NodeId node() const { return node_; }
+  uint64_t unhandled_count() const { return unhandled_; }
+
+ private:
+  void Dispatch(const Message& msg);
+
+  NodeId node_;
+  std::map<uint32_t, Transport::Handler> handlers_;
+  Transport::Handler default_handler_;
+  uint64_t unhandled_ = 0;
+};
+
+}  // namespace bestpeer::net
+
+#endif  // BESTPEER_NET_DISPATCHER_H_

@@ -1,0 +1,126 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace bestpeer::net {
+
+namespace {
+
+void PutU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void PutU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t GetU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+Bytes EncodeFrame(const FrameHeader& header, const Bytes& payload) {
+  Bytes out(kFrameOverheadBytes + payload.size(), 0);
+  uint8_t* p = out.data();
+  PutU32(p + 0, kFrameMagic);
+  PutU16(p + 4, kFrameVersion);
+  PutU16(p + 6, 0);  // flags
+  PutU32(p + 8, header.type);
+  PutU32(p + 12, header.src);
+  PutU32(p + 16, header.dst);
+  PutU64(p + 20, header.flow);
+  PutU32(p + 28, static_cast<uint32_t>(payload.size()));
+  PutU32(p + 32, header.extra_wire);
+  // Bytes 36..63 stay zero (reserved).
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kFrameOverheadBytes, payload.data(),
+                payload.size());
+  }
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t len,
+                                      size_t max_payload) {
+  if (len < kFrameOverheadBytes) {
+    return Status::InvalidArgument("frame header truncated");
+  }
+  if (GetU32(data + 0) != kFrameMagic) {
+    return Status::Corruption("bad frame magic");
+  }
+  if (GetU16(data + 4) != kFrameVersion) {
+    return Status::Corruption("unsupported frame version");
+  }
+  if (GetU16(data + 6) != 0) {
+    return Status::Corruption("nonzero frame flags");
+  }
+  for (size_t i = 36; i < kFrameOverheadBytes; ++i) {
+    if (data[i] != 0) return Status::Corruption("nonzero reserved bytes");
+  }
+  FrameHeader h;
+  h.type = GetU32(data + 8);
+  h.src = GetU32(data + 12);
+  h.dst = GetU32(data + 16);
+  h.flow = GetU64(data + 20);
+  h.payload_len = GetU32(data + 28);
+  h.extra_wire = GetU32(data + 32);
+  if (h.payload_len > max_payload) {
+    return Status::Corruption("frame payload length over limit");
+  }
+  return h;
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  // Compact leading consumed bytes before growing; keeps the buffer at
+  // roughly one frame regardless of how long the connection lives.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > kFrameOverheadBytes + max_payload_) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Result<bool> FrameDecoder::Next(FrameHeader* out_header, Bytes* out_payload) {
+  if (poisoned_) return Status::Corruption("frame stream out of sync");
+  if (!have_header_) {
+    if (buf_.size() - pos_ < kFrameOverheadBytes) return false;
+    auto header = DecodeFrameHeader(buf_.data() + pos_, kFrameOverheadBytes,
+                                    max_payload_);
+    if (!header.ok()) {
+      poisoned_ = true;
+      return header.status();
+    }
+    header_ = header.value();
+    pos_ += kFrameOverheadBytes;
+    have_header_ = true;
+  }
+  if (buf_.size() - pos_ < header_.payload_len) return false;
+  *out_header = header_;
+  out_payload->assign(buf_.begin() + static_cast<long>(pos_),
+                      buf_.begin() + static_cast<long>(pos_ + header_.payload_len));
+  pos_ += header_.payload_len;
+  have_header_ = false;
+  return true;
+}
+
+}  // namespace bestpeer::net

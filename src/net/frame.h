@@ -1,0 +1,86 @@
+#ifndef BESTPEER_NET_FRAME_H_
+#define BESTPEER_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/message.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace bestpeer::net {
+
+// Wire framing for the real TCP backend. Every message travels as one
+// frame: a fixed header of kFrameOverheadBytes (the same constant the
+// simulator charges as header_overhead, so simulated and real wire byte
+// counts stay comparable) followed by `payload_len` payload bytes.
+//
+//   offset  size  field
+//        0     4  magic        "BPF1" (0x31465042 little-endian)
+//        4     2  version      kFrameVersion
+//        6     2  flags        reserved, must be zero
+//        8     4  type         protocol message type tag
+//       12     4  src          sender NodeId
+//       16     4  dst          destination NodeId
+//       20     8  flow         query/agent id for tracing (0 = none)
+//       28     4  payload_len  bytes following the header
+//       32     4  extra_wire   modelled-but-not-materialized bytes
+//       36    28  reserved     zero padding up to kFrameOverheadBytes
+//
+// `extra_wire` carries the simulator's `extra_wire_bytes` accounting
+// (e.g. a shipped agent class) across the real wire without sending the
+// phantom bytes themselves; receivers add it to their rx byte counters.
+
+constexpr uint32_t kFrameMagic = 0x31465042;  // "BPF1" in LE byte order.
+constexpr uint16_t kFrameVersion = 1;
+/// Upper bound on a frame payload; a length field above this is treated
+/// as stream corruption rather than an allocation request.
+constexpr size_t kMaxFramePayload = 64u * 1024 * 1024;
+
+struct FrameHeader {
+  uint32_t type = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  FlowId flow = 0;
+  uint32_t payload_len = 0;
+  uint32_t extra_wire = 0;
+};
+
+/// Serializes one message as header + payload.
+Bytes EncodeFrame(const FrameHeader& header, const Bytes& payload);
+
+/// Parses a frame header from exactly kFrameOverheadBytes bytes.
+/// Rejects bad magic, unknown versions, nonzero flags/reserved bytes and
+/// payload lengths above `max_payload`.
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t len,
+                                      size_t max_payload = kMaxFramePayload);
+
+/// Incremental decoder for a TCP byte stream. Feed() appends raw bytes;
+/// Next() extracts complete frames. A malformed header poisons the
+/// decoder (the stream has lost sync, so the connection must be closed).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(const uint8_t* data, size_t len);
+
+  /// True: one frame extracted into *out_header / *out_payload.
+  /// False: need more bytes. Error: stream is malformed; no further
+  /// frames will be produced.
+  Result<bool> Next(FrameHeader* out_header, Bytes* out_payload);
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  Bytes buf_;
+  size_t pos_ = 0;
+  bool have_header_ = false;
+  FrameHeader header_;
+  bool poisoned_ = false;
+};
+
+}  // namespace bestpeer::net
+
+#endif  // BESTPEER_NET_FRAME_H_

@@ -1,0 +1,40 @@
+#ifndef BESTPEER_NET_MESSAGE_H_
+#define BESTPEER_NET_MESSAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace bestpeer::net {
+
+/// Fixed per-message framing overhead, in bytes. This single constant is
+/// used by *both* transports: the simulator adds it to every message's
+/// wire_size, and the TCP backend's frame header (see net/frame.h) is laid
+/// out to occupy exactly this many bytes on the socket — so simulated and
+/// real byte counts stay directly comparable (DESIGN.md §4).
+constexpr size_t kFrameOverheadBytes = 64;
+
+/// A datagram as seen by protocol code, independent of the transport that
+/// carried it. The simulator's SimMessage is an alias of this type.
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  /// Protocol-defined tag; each stack defines its own message-type enum.
+  uint32_t type = 0;
+  /// Application payload (already compressed if the protocol compresses).
+  Bytes payload;
+  /// Bytes charged to the wire (payload + header + any modelled extras
+  /// such as shipped agent classes).
+  size_t wire_size = 0;
+  /// Unique id, assigned by the transport at send time.
+  uint64_t id = 0;
+  /// Logical flow (query/agent id) the message belongs to; 0 = none.
+  /// Carried so trace spans of one query stitch together across nodes.
+  FlowId flow = 0;
+};
+
+}  // namespace bestpeer::net
+
+#endif  // BESTPEER_NET_MESSAGE_H_

@@ -1,0 +1,112 @@
+#ifndef BESTPEER_NET_REACTOR_H_
+#define BESTPEER_NET_REACTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace bestpeer::net {
+
+/// A single-threaded I/O event loop: non-blocking sockets multiplexed
+/// with epoll (poll(2) fallback on non-Linux), a monotonic timer heap and
+/// a cross-thread Post() queue woken through an eventfd/pipe.
+///
+/// Threading contract: everything except Post()/Run()/Stop()/now_us()
+/// must be called on the reactor thread. All registered callbacks fire on
+/// the reactor thread, one at a time — which is what lets the protocol
+/// stacks (and the PR-1 metrics registry) stay single-threaded on top of
+/// real sockets.
+class Reactor {
+ public:
+  using Fn = std::function<void()>;
+  /// Bitmask passed to fd callbacks.
+  enum : uint32_t { kReadable = 1, kWritable = 2, kError = 4 };
+  using FdFn = std::function<void(uint32_t events)>;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  void Start();
+  /// Idempotent; drains the post queue, closes the wakeup fds, joins.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool OnReactorThread() const;
+
+  /// Enqueues `fn` to run on the reactor thread. Thread-safe. Callable
+  /// before Start(); queued work runs once the loop spins up.
+  void Post(Fn fn);
+  /// Runs `fn` on the reactor thread and waits for it to finish. Runs
+  /// inline when already on the reactor thread.
+  void Run(Fn fn);
+
+  /// Microseconds since construction (steady clock). Thread-safe.
+  int64_t now_us() const;
+
+  /// Schedules `fn` at an absolute now_us()-relative deadline. Reactor
+  /// thread only (route external callers through Post).
+  void AddTimerAt(int64_t deadline_us, Fn fn);
+
+  /// Registers interest in `fd`. Reactor thread only.
+  void AddFd(int fd, bool want_read, bool want_write, FdFn fn);
+  void ModFd(int fd, bool want_read, bool want_write);
+  /// Deregisters; does not close the fd.
+  void RemoveFd(int fd);
+
+ private:
+  struct Timer {
+    int64_t deadline_us;
+    uint64_t seq;  // FIFO among equal deadlines.
+    Fn fn;
+    bool operator>(const Timer& other) const {
+      return deadline_us != other.deadline_us
+                 ? deadline_us > other.deadline_us
+                 : seq > other.seq;
+    }
+  };
+  struct Watch {
+    bool want_read = false;
+    bool want_write = false;
+    FdFn fn;
+  };
+
+  void Loop();
+  void Wake();
+  void DrainPosted();
+  int RunTimersAndTimeout();  // Fires due timers; poll timeout in ms.
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::atomic<std::thread::id> thread_id_{};
+
+  std::mutex post_mu_;
+  std::vector<Fn> posted_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      timers_;
+  uint64_t timer_seq_ = 0;
+
+  std::map<int, Watch> watches_;
+  bool watches_dirty_ = false;
+
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+#if defined(__linux__)
+  int epoll_fd_ = -1;
+#endif
+};
+
+}  // namespace bestpeer::net
+
+#endif  // BESTPEER_NET_REACTOR_H_

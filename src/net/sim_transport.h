@@ -1,0 +1,117 @@
+#ifndef BESTPEER_NET_SIM_TRANSPORT_H_
+#define BESTPEER_NET_SIM_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+
+#include "net/transport.h"
+#include "sim/network.h"
+
+namespace bestpeer::net {
+
+/// Clock adapter over the discrete-event simulator.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(sim::Simulator* sim) : sim_(sim) {}
+
+  SimTime now() const override { return sim_->now(); }
+  void ScheduleAt(SimTime t, std::function<void()> fn) override {
+    sim_->ScheduleAt(t, std::move(fn));
+  }
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) override {
+    sim_->ScheduleAfter(delay, std::move(fn));
+  }
+
+ private:
+  sim::Simulator* sim_;
+};
+
+/// A node's endpoint on the simulated LAN: a pure 1:1 forwarding adapter
+/// over (SimNetwork, NodeId). Every call maps onto exactly the SimNetwork /
+/// Simulator / CpuModel call protocol code made before the transport layer
+/// existed — same event ordering, same rng draws — so schedules stay
+/// bit-identical to the pre-transport simulator (the parity contract in
+/// DESIGN.md §8 that keeps all BENCH baselines unchanged).
+class SimTransport final : public Transport {
+ public:
+  /// `network` must outlive this; `node` must already exist on it.
+  SimTransport(sim::SimNetwork* network, NodeId node)
+      : network_(network), node_(node), clock_(&network->simulator()) {}
+
+  NodeId local() const override { return node_; }
+
+  void Send(NodeId dst, uint32_t type, Bytes payload,
+            size_t extra_wire_bytes = 0, FlowId flow = 0) override {
+    network_->Send(node_, dst, type, std::move(payload), extra_wire_bytes,
+                   flow);
+  }
+
+  void SetHandler(Handler handler) override {
+    network_->SetHandler(node_, std::move(handler));
+  }
+
+  Clock& clock() override { return clock_; }
+
+  void RunCpu(SimTime cost, std::function<void()> done,
+              const char* name = nullptr, FlowId flow = 0,
+              CpuArgs args = {}) override {
+    network_->Cpu(node_).Submit(cost, std::move(done), name, flow,
+                                std::move(args));
+  }
+
+  void RegisterTypeName(uint32_t type, std::string name) override {
+    network_->RegisterTypeName(type, std::move(name));
+  }
+
+  bool IsOnline(NodeId node) const override {
+    return network_->IsOnline(node);
+  }
+
+  LinkProfile link() const override {
+    const sim::NetworkOptions& o = network_->options();
+    return LinkProfile{o.latency, o.bytes_per_us, o.header_overhead};
+  }
+
+  trace::TraceRecorder* trace() const override {
+    return network_->simulator().trace();
+  }
+
+  obs::FlightRecorder* flight() const override {
+    return network_->simulator().flight();
+  }
+
+  sim::SimNetwork* network() { return network_; }
+
+ private:
+  sim::SimNetwork* network_;
+  NodeId node_;
+  SimClock clock_;
+};
+
+/// Owns one SimTransport per node, for harness code (experiments, tests,
+/// benches) that builds whole topologies: `fleet.AddNode()` adds a node to
+/// the network and returns its endpoint in one step.
+class SimTransportFleet {
+ public:
+  explicit SimTransportFleet(sim::SimNetwork* network) : network_(network) {}
+
+  /// Adds a node to the network and returns its transport.
+  SimTransport* AddNode(int cpu_threads = 0) {
+    return For(network_->AddNode(cpu_threads));
+  }
+
+  /// The transport for an existing node (created on first use).
+  SimTransport* For(NodeId node) {
+    auto& slot = transports_[node];
+    if (!slot) slot = std::make_unique<SimTransport>(network_, node);
+    return slot.get();
+  }
+
+ private:
+  sim::SimNetwork* network_;
+  std::map<NodeId, std::unique_ptr<SimTransport>> transports_;
+};
+
+}  // namespace bestpeer::net
+
+#endif  // BESTPEER_NET_SIM_TRANSPORT_H_

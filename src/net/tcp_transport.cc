@@ -1,0 +1,489 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace bestpeer::net {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpClock
+
+void TcpClock::ScheduleAt(SimTime time, std::function<void()> fn) {
+  if (reactor_->OnReactorThread()) {
+    reactor_->AddTimerAt(time, std::move(fn));
+    return;
+  }
+  reactor_->Post([r = reactor_, time, fn = std::move(fn)]() mutable {
+    r->AddTimerAt(time, std::move(fn));
+  });
+}
+
+void TcpClock::ScheduleAfter(SimTime delay, std::function<void()> fn) {
+  if (reactor_->OnReactorThread()) {
+    reactor_->AddTimerAt(reactor_->now_us() + delay, std::move(fn));
+    return;
+  }
+  // Deadline is computed on the reactor thread so queueing delay does not
+  // shift it twice.
+  reactor_->Post([r = reactor_, delay, fn = std::move(fn)]() mutable {
+    r->AddTimerAt(r->now_us() + delay, std::move(fn));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+
+TcpTransport::TcpTransport(TcpNet* net, NodeId node, uint16_t port,
+                           int listen_fd)
+    : net_(net), node_(node), port_(port), listen_fd_(listen_fd) {
+  if (metrics::Registry* reg = net_->metrics()) {
+    // Fabric-wide counters: every transport holds the same handles, and all
+    // increments happen on the one reactor thread.
+    tx_msgs_c_ = reg->GetCounter("net.tx_msgs");
+    tx_bytes_c_ = reg->GetCounter("net.tx_bytes");
+    tx_dropped_c_ = reg->GetCounter("net.tx_dropped");
+    rx_msgs_c_ = reg->GetCounter("net.rx_msgs");
+    rx_bytes_c_ = reg->GetCounter("net.rx_bytes");
+    rx_dropped_c_ = reg->GetCounter("net.rx_dropped");
+    frame_errors_c_ = reg->GetCounter("net.frame_errors");
+    connects_c_ = reg->GetCounter("net.connects");
+    reconnects_c_ = reg->GetCounter("net.reconnects");
+  }
+}
+
+void TcpTransport::Send(NodeId dst, uint32_t type, Bytes payload,
+                        size_t extra_wire_bytes, FlowId flow) {
+  Reactor& reactor = net_->reactor();
+  if (reactor.OnReactorThread()) {
+    SendOnReactor(dst, type, std::move(payload), extra_wire_bytes, flow);
+    return;
+  }
+  reactor.Post([this, dst, type, payload = std::move(payload),
+                extra_wire_bytes, flow]() mutable {
+    SendOnReactor(dst, type, std::move(payload), extra_wire_bytes, flow);
+  });
+}
+
+void TcpTransport::SetHandler(Handler handler) {
+  handler_ = std::move(handler);
+}
+
+Clock& TcpTransport::clock() { return net_->clock(); }
+
+void TcpTransport::RunCpu(SimTime cost, std::function<void()> done,
+                          const char* name, FlowId flow, CpuArgs args) {
+  (void)name;
+  (void)flow;
+  (void)args;
+  Reactor& reactor = net_->reactor();
+  auto task = [this, cost, done = std::move(done)]() mutable {
+    // Serialize CPU work per node like sim::CpuModel: each task starts no
+    // earlier than the previous one finished.
+    SimTime start = std::max(net_->reactor().now_us(), cpu_free_at_);
+    cpu_free_at_ = start + cost;
+    net_->reactor().AddTimerAt(cpu_free_at_, std::move(done));
+  };
+  if (reactor.OnReactorThread()) {
+    task();
+  } else {
+    reactor.Post(std::move(task));
+  }
+}
+
+void TcpTransport::RegisterTypeName(uint32_t type, std::string name) {
+  type_names_[type] = std::move(name);
+}
+
+bool TcpTransport::IsOnline(NodeId node) const {
+  return net_->IsOnline(node);
+}
+
+LinkProfile TcpTransport::link() const { return net_->options().link; }
+
+void TcpTransport::SendOnReactor(NodeId dst, uint32_t type, Bytes payload,
+                                 size_t extra_wire_bytes, FlowId flow) {
+  if (dst >= net_->node_count() || !net_->IsOnline(dst) ||
+      !net_->IsOnline(node_) ||
+      payload.size() > net_->options().max_frame_payload) {
+    tx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    tx_dropped_c_->Increment();
+    return;
+  }
+  FrameHeader header;
+  header.type = type;
+  header.src = node_;
+  header.dst = dst;
+  header.flow = flow;
+  header.extra_wire = static_cast<uint32_t>(extra_wire_bytes);
+  Bytes frame = EncodeFrame(header, payload);
+
+  auto [it, inserted] = peers_.try_emplace(dst);
+  PeerConn& peer = it->second;
+  if (inserted) {
+    peer.backoff = Backoff(net_->options().reconnect_base,
+                           net_->options().reconnect_max);
+  }
+  if (peer.queue.size() >= net_->options().max_queue_msgs) {
+    tx_dropped_.fetch_add(1, std::memory_order_relaxed);
+    tx_dropped_c_->Increment();
+    return;
+  }
+  tx_msgs_c_->Increment();
+  tx_bytes_c_->Add(frame.size() + extra_wire_bytes);
+  peer.queue.push_back(std::move(frame));
+  EnsureConnected(dst, peer);
+  if (peer.fd >= 0 && !peer.connecting) FlushQueue(dst, peer);
+}
+
+void TcpTransport::StartListening() {
+  net_->reactor().AddFd(listen_fd_, /*want_read=*/true, /*want_write=*/false,
+                        [this](uint32_t events) {
+                          if (events & Reactor::kReadable) OnAcceptable();
+                        });
+}
+
+void TcpTransport::OnAcceptable() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error; epoll re-arms us.
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto conn = std::make_unique<InConn>(net_->options().max_frame_payload);
+    conn->fd = fd;
+    inbound_[fd] = std::move(conn);
+    net_->reactor().AddFd(fd, /*want_read=*/true, /*want_write=*/false,
+                          [this, fd](uint32_t events) {
+                            if (events & Reactor::kError) {
+                              CloseInbound(fd);
+                              return;
+                            }
+                            if (events & Reactor::kReadable) {
+                              OnInboundReadable(fd);
+                            }
+                          });
+  }
+}
+
+void TcpTransport::OnInboundReadable(int fd) {
+  auto it = inbound_.find(fd);
+  if (it == inbound_.end()) return;
+  InConn* conn = it->second.get();
+  uint8_t buf[65536];
+  bool closed = false;
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    closed = true;  // EOF or hard error; deliver buffered frames first.
+    break;
+  }
+  FrameHeader header;
+  Bytes payload;
+  for (;;) {
+    auto next = conn->decoder.Next(&header, &payload);
+    if (!next.ok()) {
+      frame_errors_c_->Increment();
+      CloseInbound(fd);
+      return;
+    }
+    if (!next.value()) break;
+    if (header.dst != node_) {
+      frame_errors_c_->Increment();
+      continue;
+    }
+    if (!net_->IsOnline(node_) || header.src >= net_->node_count() ||
+        !net_->IsOnline(header.src)) {
+      rx_dropped_c_->Increment();
+      continue;
+    }
+    Deliver(header, std::move(payload));
+    // The handler may have torn connections down; re-check before
+    // touching the decoder again.
+    if (inbound_.find(fd) == inbound_.end()) return;
+  }
+  if (closed) CloseInbound(fd);
+}
+
+void TcpTransport::CloseInbound(int fd) {
+  auto it = inbound_.find(fd);
+  if (it == inbound_.end()) return;
+  net_->reactor().RemoveFd(fd);
+  ::close(fd);
+  inbound_.erase(it);
+}
+
+void TcpTransport::EnsureConnected(NodeId dst, PeerConn& peer) {
+  if (peer.fd >= 0 || peer.retry_scheduled) return;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FailOutbound(dst, peer);
+    return;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(net_->PortOf(dst));
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc == 0) {
+    peer.fd = fd;
+    peer.connecting = false;
+    if (peer.backoff.attempts() > 0) reconnects_c_->Increment();
+    connects_c_->Increment();
+    peer.backoff.Reset();
+    net_->reactor().AddFd(fd, /*want_read=*/true, /*want_write=*/false,
+                          [this, dst](uint32_t events) {
+                            (void)events;
+                            OnOutboundWritable(dst);
+                          });
+    return;
+  }
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    FailOutbound(dst, peer);
+    return;
+  }
+  peer.fd = fd;
+  peer.connecting = true;
+  net_->reactor().AddFd(fd, /*want_read=*/true, /*want_write=*/true,
+                        [this, dst](uint32_t events) {
+                          (void)events;
+                          OnOutboundWritable(dst);
+                        });
+}
+
+void TcpTransport::OnOutboundWritable(NodeId dst) {
+  auto it = peers_.find(dst);
+  if (it == peers_.end()) return;
+  PeerConn& peer = it->second;
+  if (peer.fd < 0) return;
+  if (peer.connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      FailOutbound(dst, peer);
+      return;
+    }
+    peer.connecting = false;
+    if (peer.backoff.attempts() > 0) reconnects_c_->Increment();
+    connects_c_->Increment();
+    peer.backoff.Reset();
+  }
+  // Detect a peer that closed on us: level-triggered readability on an
+  // outbound socket means EOF or an error (we never expect data back).
+  char probe;
+  ssize_t n = ::recv(peer.fd, &probe, 1, MSG_DONTWAIT | MSG_PEEK);
+  if (n == 0) {
+    FailOutbound(dst, peer);
+    return;
+  }
+  FlushQueue(dst, peer);
+}
+
+void TcpTransport::FlushQueue(NodeId dst, PeerConn& peer) {
+  while (!peer.queue.empty()) {
+    const Bytes& front = peer.queue.front();
+    ssize_t n = ::write(peer.fd, front.data() + peer.write_off,
+                        front.size() - peer.write_off);
+    if (n > 0) {
+      peer.write_off += static_cast<size_t>(n);
+      if (peer.write_off == front.size()) {
+        peer.queue.pop_front();
+        peer.write_off = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      net_->reactor().ModFd(peer.fd, /*want_read=*/true, /*want_write=*/true);
+      return;
+    }
+    FailOutbound(dst, peer);
+    return;
+  }
+  net_->reactor().ModFd(peer.fd, /*want_read=*/true, /*want_write=*/false);
+}
+
+void TcpTransport::FailOutbound(NodeId dst, PeerConn& peer) {
+  if (peer.fd >= 0) {
+    net_->reactor().RemoveFd(peer.fd);
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+  peer.connecting = false;
+  // A partially written frame never completed on the receiver (it tears the
+  // whole connection down on truncation), so resend it from the start.
+  peer.write_off = 0;
+  if (peer.queue.empty() || peer.retry_scheduled) return;
+  peer.retry_scheduled = true;
+  SimTime delay = peer.backoff.Next();
+  net_->reactor().AddTimerAt(net_->reactor().now_us() + delay,
+                             [this, dst]() {
+                               auto it = peers_.find(dst);
+                               if (it == peers_.end()) return;
+                               PeerConn& p = it->second;
+                               p.retry_scheduled = false;
+                               if (p.queue.empty()) return;
+                               EnsureConnected(dst, p);
+                               if (p.fd >= 0 && !p.connecting) {
+                                 FlushQueue(dst, p);
+                               }
+                             });
+}
+
+void TcpTransport::CloseAll() {
+  Reactor& reactor = net_->reactor();
+  if (listen_fd_ >= 0) {
+    reactor.RemoveFd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [dst, peer] : peers_) {
+    (void)dst;
+    if (peer.fd >= 0) {
+      reactor.RemoveFd(peer.fd);
+      ::close(peer.fd);
+      peer.fd = -1;
+    }
+    peer.queue.clear();
+  }
+  for (auto& [fd, conn] : inbound_) {
+    (void)conn;
+    reactor.RemoveFd(fd);
+    ::close(fd);
+  }
+  inbound_.clear();
+}
+
+void TcpTransport::Deliver(const FrameHeader& header, Bytes payload) {
+  rx_messages_.fetch_add(1, std::memory_order_relaxed);
+  rx_msgs_c_->Increment();
+  rx_bytes_c_->Add(kFrameOverheadBytes + payload.size() + header.extra_wire);
+  if (!handler_) return;
+  Message msg;
+  msg.src = header.src;
+  msg.dst = header.dst;
+  msg.type = header.type;
+  msg.wire_size =
+      payload.size() + kFrameOverheadBytes + header.extra_wire;
+  msg.payload = std::move(payload);
+  msg.id = next_msg_id_++;
+  msg.flow = header.flow;
+  handler_(msg);
+}
+
+// ---------------------------------------------------------------------------
+// TcpNet
+
+TcpNet::TcpNet(TcpOptions options)
+    : options_(options), clock_(&reactor_) {}
+
+TcpNet::~TcpNet() {
+  Stop();
+  // Nodes added but never started still own open listen sockets.
+  for (auto& node : nodes_) {
+    if (node->listen_fd_ >= 0) {
+      ::close(node->listen_fd_);
+      node->listen_fd_ = -1;
+    }
+  }
+}
+
+Result<TcpTransport*> TcpNet::AddNode() {
+  if (started_) {
+    return Status::FailedPrecondition("AddNode after Start");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // Kernel-assigned port.
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status::IoError("bind(127.0.0.1:0) failed");
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status::IoError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(fd);
+    return Status::IoError("getsockname() failed");
+  }
+  SetNonBlocking(fd);
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.emplace_back(
+      new TcpTransport(this, id, ntohs(addr.sin_port), fd));
+  online_.emplace_back(true);
+  return nodes_.back().get();
+}
+
+void TcpNet::Start() {
+  if (started_) return;
+  started_ = true;
+  reactor_.Start();
+  reactor_.Run([this]() {
+    for (auto& node : nodes_) node->StartListening();
+  });
+}
+
+void TcpNet::Stop() {
+  if (!started_) return;
+  reactor_.Run([this]() {
+    for (auto& node : nodes_) node->CloseAll();
+  });
+  reactor_.Stop();
+  started_ = false;
+}
+
+void TcpNet::SetOnline(NodeId node, bool online) {
+  if (node < online_.size()) {
+    online_[node].store(online, std::memory_order_release);
+  }
+}
+
+bool TcpNet::IsOnline(NodeId node) const {
+  return node < online_.size() &&
+         online_[node].load(std::memory_order_acquire);
+}
+
+uint16_t TcpNet::PortOf(NodeId node) const {
+  return node < nodes_.size() ? nodes_[node]->port() : 0;
+}
+
+}  // namespace bestpeer::net

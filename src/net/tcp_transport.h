@@ -1,0 +1,196 @@
+#ifndef BESTPEER_NET_TCP_TRANSPORT_H_
+#define BESTPEER_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/backoff.h"
+#include "net/frame.h"
+#include "net/reactor.h"
+#include "net/transport.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace bestpeer::net {
+
+class TcpNet;
+
+/// Tuning knobs for the real TCP backend.
+struct TcpOptions {
+  /// Per-peer outbound queue bound (messages). Sends beyond this are
+  /// dropped and counted in net.tx_dropped — mirroring the simulator's
+  /// fire-and-forget drop semantics instead of blocking protocol code.
+  size_t max_queue_msgs = 1024;
+  size_t max_frame_payload = kMaxFramePayload;
+  SimTime reconnect_base = Millis(10);
+  SimTime reconnect_max = Seconds(2);
+  /// LinkProfile reported by Transport::link(); the shipping cost model
+  /// reads it, so keep it at the simulated LAN's parameters for parity.
+  LinkProfile link;
+  /// Metrics sink (not owned; may be nullptr). Only touched on the
+  /// reactor thread — the PR-1 registry is not thread-safe.
+  metrics::Registry* metrics = nullptr;
+};
+
+/// Transport over real loopback TCP sockets, one listening socket per
+/// node, multiplexed on ONE shared reactor thread. Because every
+/// delivery, timer and RunCpu completion fires on that single thread,
+/// protocol stacks keep the simulator's single-threaded execution model
+/// while the bytes travel through the kernel for real.
+///
+/// Connections are dialed on demand (first Send to a peer), framed with
+/// net::Frame (64-byte header + payload), and redialed with exponential
+/// backoff after failures; messages queued on a dead peer survive up to
+/// the queue bound.
+class TcpTransport final : public Transport {
+ public:
+  NodeId local() const override { return node_; }
+  void Send(NodeId dst, uint32_t type, Bytes payload,
+            size_t extra_wire_bytes = 0, FlowId flow = 0) override;
+  void SetHandler(Handler handler) override;
+  Clock& clock() override;
+  void RunCpu(SimTime cost, std::function<void()> done,
+              const char* name = nullptr, FlowId flow = 0,
+              CpuArgs args = {}) override;
+  void RegisterTypeName(uint32_t type, std::string name) override;
+  bool IsOnline(NodeId node) const override;
+  LinkProfile link() const override;
+
+  /// The loopback TCP port this node listens on.
+  uint16_t port() const { return port_; }
+  uint64_t tx_dropped() const {
+    return tx_dropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t rx_messages() const {
+    return rx_messages_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class TcpNet;
+
+  /// One outbound connection (this node dialing `dst`).
+  struct PeerConn {
+    int fd = -1;
+    bool connecting = false;
+    std::deque<Bytes> queue;  // Encoded frames awaiting write.
+    size_t write_off = 0;     // Progress into queue.front().
+    Backoff backoff{Millis(10), Seconds(2)};
+    bool retry_scheduled = false;
+  };
+  /// One accepted inbound connection (byte stream + frame decoder).
+  struct InConn {
+    int fd = -1;
+    FrameDecoder decoder;
+    explicit InConn(size_t max_payload) : decoder(max_payload) {}
+  };
+
+  TcpTransport(TcpNet* net, NodeId node, uint16_t port, int listen_fd);
+
+  // All private methods below run on the reactor thread.
+  void SendOnReactor(NodeId dst, uint32_t type, Bytes payload,
+                     size_t extra_wire_bytes, FlowId flow);
+  void StartListening();
+  void OnAcceptable();
+  void OnInboundReadable(int fd);
+  void CloseInbound(int fd);
+  void EnsureConnected(NodeId dst, PeerConn& peer);
+  void OnOutboundWritable(NodeId dst);
+  void FlushQueue(NodeId dst, PeerConn& peer);
+  void FailOutbound(NodeId dst, PeerConn& peer);
+  void CloseAll();
+  void Deliver(const FrameHeader& header, Bytes payload);
+
+  TcpNet* net_;
+  NodeId node_;
+  uint16_t port_;
+  int listen_fd_;
+  Handler handler_;
+  std::map<NodeId, PeerConn> peers_;
+  std::map<int, std::unique_ptr<InConn>> inbound_;
+  std::map<uint32_t, std::string> type_names_;
+  SimTime cpu_free_at_ = 0;
+  uint64_t next_msg_id_ = 1;
+
+  std::atomic<uint64_t> tx_dropped_{0};
+  std::atomic<uint64_t> rx_messages_{0};
+
+  metrics::Counter* tx_msgs_c_ = metrics::Counter::Noop();
+  metrics::Counter* tx_bytes_c_ = metrics::Counter::Noop();
+  metrics::Counter* tx_dropped_c_ = metrics::Counter::Noop();
+  metrics::Counter* rx_msgs_c_ = metrics::Counter::Noop();
+  metrics::Counter* rx_bytes_c_ = metrics::Counter::Noop();
+  metrics::Counter* rx_dropped_c_ = metrics::Counter::Noop();
+  metrics::Counter* frame_errors_c_ = metrics::Counter::Noop();
+  metrics::Counter* connects_c_ = metrics::Counter::Noop();
+  metrics::Counter* reconnects_c_ = metrics::Counter::Noop();
+};
+
+/// Clock over the shared reactor: real microseconds since TcpNet
+/// construction, timers on the reactor's timer heap.
+class TcpClock final : public Clock {
+ public:
+  explicit TcpClock(Reactor* reactor) : reactor_(reactor) {}
+  SimTime now() const override { return reactor_->now_us(); }
+  void ScheduleAt(SimTime time, std::function<void()> fn) override;
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) override;
+
+ private:
+  Reactor* reactor_;
+};
+
+/// The loopback fabric: owns the reactor thread, the NodeId -> port
+/// address book and the shared net.* metrics. Add every node before
+/// Start(); drive all post-Start interaction with protocol objects
+/// through Run() so it executes on the reactor thread.
+class TcpNet {
+ public:
+  explicit TcpNet(TcpOptions options = {});
+  ~TcpNet();
+  TcpNet(const TcpNet&) = delete;
+  TcpNet& operator=(const TcpNet&) = delete;
+
+  /// Creates a node with a listening socket on 127.0.0.1:0 (kernel-
+  /// assigned port). Must be called before Start().
+  Result<TcpTransport*> AddNode();
+
+  void Start();
+  /// Closes every socket on the reactor thread, then joins it.
+  void Stop();
+
+  /// Runs `fn` on the reactor thread and waits — the safe way to touch
+  /// protocol objects (issue queries, read sessions) while the net runs.
+  void Run(std::function<void()> fn) { reactor_.Run(std::move(fn)); }
+
+  /// Marks a node online/offline. Offline nodes drop traffic in both
+  /// directions (counted), like the simulator. Thread-safe.
+  void SetOnline(NodeId node, bool online);
+  bool IsOnline(NodeId node) const;
+
+  uint16_t PortOf(NodeId node) const;
+  size_t node_count() const { return nodes_.size(); }
+  Reactor& reactor() { return reactor_; }
+  TcpClock& clock() { return clock_; }
+  const TcpOptions& options() const { return options_; }
+  metrics::Registry* metrics() const { return options_.metrics; }
+
+ private:
+  friend class TcpTransport;
+
+  TcpOptions options_;
+  Reactor reactor_;
+  TcpClock clock_;
+  std::vector<std::unique_ptr<TcpTransport>> nodes_;
+  // Indexed by NodeId; atomics so main-thread SetOnline/IsOnline race
+  // cleanly with reactor-thread drop checks.
+  std::deque<std::atomic<bool>> online_;
+  bool started_ = false;
+};
+
+}  // namespace bestpeer::net
+
+#endif  // BESTPEER_NET_TCP_TRANSPORT_H_

@@ -8,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "net/message.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
+#include "util/ids.h"
 #include "util/metrics.h"
 #include "util/sim_time.h"
 
@@ -21,29 +23,11 @@ enum class DropCause : uint8_t;
 
 namespace bestpeer::sim {
 
-/// Index of a physical machine on the simulated LAN.
-using NodeId = uint32_t;
-
-/// Sentinel for "no node".
-constexpr NodeId kInvalidNode = 0xFFFFFFFF;
-
-/// A datagram on the simulated LAN.
-struct SimMessage {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  /// Protocol-defined tag; each stack defines its own message-type enum.
-  uint32_t type = 0;
-  /// Application payload (already compressed if the protocol compresses).
-  Bytes payload;
-  /// Bytes charged to the wire (payload + header + any modelled extras
-  /// such as shipped agent classes).
-  size_t wire_size = 0;
-  /// Unique id, assigned by the network at send time.
-  uint64_t id = 0;
-  /// Logical flow (query/agent id) the message belongs to; 0 = none.
-  /// Carried so trace spans of one query stitch together across nodes.
-  uint64_t flow = 0;
-};
+// Back-compat aliases: the canonical homes are util/ids.h (addresses) and
+// net/message.h (the transport-independent datagram).
+using bestpeer::kInvalidNode;
+using bestpeer::NodeId;
+using SimMessage = net::Message;
 
 /// Cost parameters of the simulated LAN; see DESIGN.md section 4.
 struct NetworkOptions {
@@ -52,8 +36,10 @@ struct NetworkOptions {
   /// NIC bandwidth in bytes per microsecond (12.5 == 100 Mbit/s, the
   /// class of switched lab Ethernet behind the paper's cluster).
   double bytes_per_us = 12.5;
-  /// Fixed per-message framing overhead added to wire_size.
-  size_t header_overhead = 64;
+  /// Fixed per-message framing overhead added to wire_size. Matches the
+  /// real TCP backend's frame header byte-for-byte so simulated and real
+  /// wire counts stay comparable.
+  size_t header_overhead = net::kFrameOverheadBytes;
   /// CPU threads per node (the MCS/SCS distinction is made at the
   /// protocol layer; nodes default to enough threads to overlap work).
   int cpu_threads = 4;

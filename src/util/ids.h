@@ -1,0 +1,24 @@
+#ifndef BESTPEER_UTIL_IDS_H_
+#define BESTPEER_UTIL_IDS_H_
+
+#include <cstdint>
+
+namespace bestpeer {
+
+/// Logical address of a node. This is the canonical home of the type:
+/// protocol headers (agent messages, LIGLO requests, peer lists) name
+/// addresses without pulling in any transport, and every backend — the
+/// discrete-event simulator as well as the real TCP reactor — maps the
+/// same id space onto its own endpoints.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+/// Tag tying the messages, CPU tasks and trace spans of one logical
+/// operation (a query, an agent walk) together across nodes. 0 = none.
+using FlowId = uint64_t;
+
+}  // namespace bestpeer
+
+#endif  // BESTPEER_UTIL_IDS_H_

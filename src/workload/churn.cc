@@ -1,5 +1,7 @@
 #include "workload/churn.h"
 
+#include "net/sim_transport.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
@@ -107,17 +109,19 @@ Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
   sim::NetworkOptions net_options;
   net_options.metrics = options.metrics;
   sim::SimNetwork network(&simulator, net_options);
+  net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
   // LIGLO server on its own machine.
-  sim::NodeId server_id = network.AddNode();
-  sim::Dispatcher server_dispatcher(&network, server_id);
+  net::Transport* server_transport = fleet.AddNode();
+  NodeId server_id = server_transport->local();
+  net::Dispatcher server_dispatcher(server_transport);
   liglo::LigloServerOptions server_options;
   server_options.initial_peer_count = options.starter_peers;
   server_options.sweep_interval = Millis(100);
   server_options.ping_timeout = Millis(20);
   server_options.sample_seed = options.seed ^ 0x5EED;
-  liglo::LigloServer liglo_server(&network, &server_dispatcher, server_id,
+  liglo::LigloServer liglo_server(server_transport, &server_dispatcher,
                                   &infra.ip_directory, server_options);
 
   core::BestPeerConfig config;
@@ -134,9 +138,8 @@ Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   std::vector<bool> online(options.node_count, true);
   for (size_t i = 0; i < options.node_count; ++i) {
-    BP_ASSIGN_OR_RETURN(
-        auto node, core::BestPeerNode::Create(&network, network.AddNode(),
-                                              &infra, config));
+    BP_ASSIGN_OR_RETURN(auto node, core::BestPeerNode::Create(
+                                       fleet.AddNode(), &infra, config));
     BP_RETURN_IF_ERROR(node->InitStorage({}));
     for (size_t o = 0; o < options.objects_per_node; ++o) {
       bool match = i != 0 && o < options.matches_per_node;

@@ -1,5 +1,7 @@
 #include "workload/experiment.h"
 
+#include "net/sim_transport.h"
+
 #include <algorithm>
 #include <cstdlib>
 #include <memory>
@@ -187,10 +189,11 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
+  net::SimTransportFleet fleet(&network);
   core::SharedInfra infra;
 
   const Topology& topo = options.topology;
-  std::vector<sim::NodeId> ids;
+  std::vector<NodeId> ids;
   ids.reserve(topo.node_count);
   for (size_t i = 0; i < topo.node_count; ++i) ids.push_back(network.AddNode());
 
@@ -209,7 +212,7 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   CorpusGenerator corpus({options.object_size, 500, 0.8}, options.seed);
   for (size_t i = 0; i < topo.node_count; ++i) {
     BP_ASSIGN_OR_RETURN(auto node, core::BestPeerNode::Create(
-                                       &network, ids[i], &infra, config));
+                                       fleet.For(ids[i]), &infra, config));
     BP_RETURN_IF_ERROR(node->InitStorage(StoreOptions(options)));
     BP_RETURN_IF_ERROR(PopulateStore(
         options, i, corpus,
@@ -223,7 +226,7 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
     nodes[b]->AddDirectPeerLocal(ids[a]);
   }
   if (options.prewarm_code_cache) {
-    for (sim::NodeId id : ids) {
+    for (NodeId id : ids) {
       infra.code_cache.Load(id, core::kSearchAgentClass);
       infra.code_cache.Load(id, core::kComputeAgentClass);
     }
@@ -283,9 +286,10 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
+  net::SimTransportFleet fleet(&network);
 
   const Topology& topo = options.topology;
-  std::vector<sim::NodeId> ids;
+  std::vector<NodeId> ids;
   for (size_t i = 0; i < topo.node_count; ++i) ids.push_back(network.AddNode());
 
   baseline::CsConfig config;
@@ -297,7 +301,7 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
   CorpusGenerator corpus({options.object_size, 500, 0.8}, options.seed);
   for (size_t i = 0; i < topo.node_count; ++i) {
     BP_ASSIGN_OR_RETURN(auto node,
-                        baseline::CsNode::Create(&network, ids[i], config));
+                        baseline::CsNode::Create(fleet.For(ids[i]), config));
     storm::StormOptions store = StoreOptions(options);
     store.metrics = &registry;
     store.metrics_label = std::to_string(ids[i]);
@@ -353,9 +357,10 @@ Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
+  net::SimTransportFleet fleet(&network);
 
   const Topology& topo = options.topology;
-  std::vector<sim::NodeId> ids;
+  std::vector<NodeId> ids;
   for (size_t i = 0; i < topo.node_count; ++i) ids.push_back(network.AddNode());
 
   baseline::GnutellaConfig config;
@@ -366,7 +371,7 @@ Result<ExperimentResult> RunGnutella(const ExperimentOptions& options) {
   CorpusGenerator corpus({options.object_size, 500, 0.8}, options.seed);
   for (size_t i = 0; i < topo.node_count; ++i) {
     BP_ASSIGN_OR_RETURN(
-        auto node, baseline::GnutellaNode::Create(&network, ids[i], config));
+        auto node, baseline::GnutellaNode::Create(fleet.For(ids[i]), config));
     size_t matches = options.MatchesAt(i);
     for (size_t f = 0; f < options.files_per_node; ++f) {
       node->ShareFile(corpus.MakeFileName(f < matches, f),

@@ -6,7 +6,8 @@
 #include "agent/agent_message.h"
 #include "agent/agent_registry.h"
 #include "agent/agent_runtime.h"
-#include "sim/dispatcher.h"
+#include "net/dispatcher.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 namespace bestpeer::agent {
@@ -45,12 +46,12 @@ class VisitAgent : public Agent {
 
 class NullHost : public AgentHost {
  public:
-  explicit NullHost(sim::NodeId node) : node_(node) {}
+  explicit NullHost(NodeId node) : node_(node) {}
   storm::Storm* storage() override { return nullptr; }
-  sim::NodeId host_node() const override { return node_; }
+  NodeId host_node() const override { return node_; }
 
  private:
-  sim::NodeId node_;
+  NodeId node_;
 };
 
 // ---------------------------------------------------------------- registry
@@ -113,6 +114,42 @@ TEST(AgentMessageTest, RejectsTrailingBytes) {
   EXPECT_FALSE(AgentMessage::Decode(encoded).ok());
 }
 
+TEST(AgentMessageTest, RejectsTruncationAtEveryCut) {
+  AgentMessage m;
+  m.agent_id = 7;
+  m.class_name = "StormSearchAgent";
+  m.origin = 2;
+  m.ttl = 3;
+  m.hops = 1;
+  m.state = Bytes{1, 2, 3, 4, 5};
+  Bytes encoded = m.Encode();
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    Bytes truncated(encoded.begin(), encoded.begin() + cut);
+    EXPECT_FALSE(AgentMessage::Decode(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(AgentMessageTest, RejectsCorruptedLengthPrefixes) {
+  AgentMessage m;
+  m.class_name = "A";
+  m.state = Bytes{9};
+  Bytes encoded = m.Encode();
+  // The class-name length prefix follows the u64 agent id. Inflating it
+  // makes the string run past the end of the buffer.
+  Bytes bad_name = encoded;
+  bad_name[8] = 0xFF;
+  EXPECT_FALSE(AgentMessage::Decode(bad_name).ok());
+  // Corrupting the final state-length prefix the same way.
+  Bytes bad_state = encoded;
+  bad_state[encoded.size() - 2] = 0xFF;
+  EXPECT_FALSE(AgentMessage::Decode(bad_state).ok());
+}
+
+TEST(AgentMessageTest, RejectsEmptyAndGarbageBuffers) {
+  EXPECT_FALSE(AgentMessage::Decode(Bytes{}).ok());
+  EXPECT_FALSE(AgentMessage::Decode(Bytes(3, 0xAB)).ok());
+}
+
 // ---------------------------------------------------------------- runtime
 
 /// Fixture wiring a line overlay 0-1-2-3-4 of agent runtimes, with visit
@@ -123,29 +160,31 @@ class AgentRuntimeTest : public ::testing::Test {
 
   void SetUp() override {
     network_ = std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
     ASSERT_TRUE(registry_
                     .Register("VisitAgent", 16 * 1024,
                               []() { return std::make_unique<VisitAgent>(); })
                     .ok());
     for (size_t i = 0; i < kNodes; ++i) {
-      sim::NodeId id = network_->AddNode();
+      net::SimTransport* transport = fleet_->AddNode();
+      NodeId id = transport->local();
       ids_.push_back(id);
+      transports_.push_back(transport);
       hosts_.push_back(std::make_unique<NullHost>(id));
-      dispatchers_.push_back(
-          std::make_unique<sim::Dispatcher>(network_.get(), id));
+      dispatchers_.push_back(std::make_unique<net::Dispatcher>(transport));
     }
     for (size_t i = 0; i < kNodes; ++i) {
       size_t idx = i;
       AgentRuntimeOptions options;
       runtimes_.push_back(std::make_unique<AgentRuntime>(
-          network_.get(), ids_[i], &registry_, &cache_, hosts_[i].get(),
+          transports_[i], &registry_, &cache_, hosts_[i].get(),
           [this, idx]() { return neighbors_[idx]; }, options));
       dispatchers_[i]->Register(
-          kAgentTransferType, [this, idx](const sim::SimMessage& m) {
+          kAgentTransferType, [this, idx](const net::Message& m) {
             runtimes_[idx]->OnMessage(m).ok();
           });
       dispatchers_[i]->Register(
-          kVisitReportType, [this, idx](const sim::SimMessage& m) {
+          kVisitReportType, [this, idx](const net::Message& m) {
             // Reports are compressed by the runtime codec (null here).
             BinaryReader r(m.payload);
             uint32_t node = r.ReadU32().value();
@@ -163,13 +202,15 @@ class AgentRuntimeTest : public ::testing::Test {
 
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> network_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
+  std::vector<net::SimTransport*> transports_;
   AgentRegistry registry_;
   CodeCache cache_;
-  std::vector<sim::NodeId> ids_;
+  std::vector<NodeId> ids_;
   std::vector<std::unique_ptr<NullHost>> hosts_;
-  std::vector<std::unique_ptr<sim::Dispatcher>> dispatchers_;
+  std::vector<std::unique_ptr<net::Dispatcher>> dispatchers_;
   std::vector<std::unique_ptr<AgentRuntime>> runtimes_;
-  std::vector<std::vector<sim::NodeId>> neighbors_;
+  std::vector<std::vector<NodeId>> neighbors_;
   std::map<size_t, std::vector<std::pair<uint32_t, uint16_t>>> reports_;
 };
 
@@ -236,7 +277,7 @@ TEST_F(AgentRuntimeTest, SeenTableExpiryForgetsOldAgents) {
   for (size_t i = 0; i < kNodes; ++i) {
     size_t idx = i;
     runtimes_[i] = std::make_unique<AgentRuntime>(
-        network_.get(), ids_[i], &registry_, &cache_, hosts_[i].get(),
+        transports_[i], &registry_, &cache_, hosts_[i].get(),
         [this, idx]() { return neighbors_[idx]; }, options);
   }
   // Triangle among 0,1,2: nodes 1 and 2 cross-forward, so each receives

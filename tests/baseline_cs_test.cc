@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baseline/cs_node.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 namespace bestpeer::baseline {
@@ -17,15 +18,17 @@ class CsFixture : public ::testing::Test {
              bool single_thread) {
     nodes_.clear();
     ids_.clear();
+    fleet_.reset();
     network_.reset();
     sim_ = std::make_unique<sim::Simulator>();
     network_ =
         std::make_unique<sim::SimNetwork>(sim_.get(), sim::NetworkOptions{});
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
     CsConfig config;
     config.single_thread = single_thread;
     for (size_t i = 0; i < count; ++i) ids_.push_back(network_->AddNode());
     for (size_t i = 0; i < count; ++i) {
-      auto node = CsNode::Create(network_.get(), ids_[i], config).value();
+      auto node = CsNode::Create(fleet_->For(ids_[i]), config).value();
       ASSERT_TRUE(node->InitStorage({}).ok());
       nodes_.push_back(std::move(node));
     }
@@ -62,7 +65,8 @@ class CsFixture : public ::testing::Test {
 
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::SimNetwork> network_;
-  std::vector<sim::NodeId> ids_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
+  std::vector<NodeId> ids_;
   std::vector<std::unique_ptr<CsNode>> nodes_;
 };
 
@@ -83,7 +87,7 @@ TEST_F(CsFixture, AnswersAreRelayedAlongPath) {
   Build(3, {{0, 1}, {1, 2}}, false);
   Fill(2, 10, 3);
   bool relay_carried_answer = false;
-  network_->SetTrace([&](const sim::SimMessage& m, SimTime, SimTime) {
+  network_->SetTrace([&](const net::Message& m, SimTime, SimTime) {
     if (m.type == kCsAnswerType && m.src == ids_[1] && m.dst == ids_[0]) {
       relay_carried_answer = true;
     }

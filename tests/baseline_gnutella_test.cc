@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "baseline/gnutella.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 namespace bestpeer::baseline {
@@ -56,14 +57,16 @@ class GnutellaFixture : public ::testing::Test {
              GnutellaConfig config = {}) {
     nodes_.clear();
     ids_.clear();
+    fleet_.reset();
     network_.reset();
     sim_ = std::make_unique<sim::Simulator>();
     network_ =
         std::make_unique<sim::SimNetwork>(sim_.get(), sim::NetworkOptions{});
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
     for (size_t i = 0; i < count; ++i) ids_.push_back(network_->AddNode());
     for (size_t i = 0; i < count; ++i) {
       nodes_.push_back(
-          GnutellaNode::Create(network_.get(), ids_[i], config).value());
+          GnutellaNode::Create(fleet_->For(ids_[i]), config).value());
     }
     for (auto [a, b] : edges) {
       nodes_[a]->AddNeighborLocal(ids_[b]);
@@ -73,7 +76,8 @@ class GnutellaFixture : public ::testing::Test {
 
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<sim::SimNetwork> network_;
-  std::vector<sim::NodeId> ids_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
+  std::vector<NodeId> ids_;
   std::vector<std::unique_ptr<GnutellaNode>> nodes_;
 };
 
@@ -94,7 +98,7 @@ TEST_F(GnutellaFixture, QueryHitsRouteAlongReversePath) {
   Build(3, {{0, 1}, {1, 2}});
   nodes_[2]->ShareFile("needle.txt");
   bool hit_through_middle = false;
-  network_->SetTrace([&](const sim::SimMessage& m, SimTime, SimTime) {
+  network_->SetTrace([&](const net::Message& m, SimTime, SimTime) {
     if (m.type != kGnutellaDescriptorType) return;
     auto d = GnutellaDescriptor::Decode(m.payload);
     if (d.ok() && d->function == GnutellaFunction::kQueryHit &&

@@ -7,6 +7,8 @@
 #include "core/messages.h"
 #include "core/node.h"
 #include "liglo/liglo_server.h"
+#include "net/dispatcher.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 #include "util/strings.h"
 
@@ -20,11 +22,12 @@ class CoreNodeFixture : public ::testing::Test {
              BestPeerConfig config = {}) {
     network_ =
         std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
     infra_ = std::make_unique<SharedInfra>();
     for (size_t i = 0; i < count; ++i) ids_.push_back(network_->AddNode());
     for (size_t i = 0; i < count; ++i) {
       auto node =
-          BestPeerNode::Create(network_.get(), ids_[i], infra_.get(), config)
+          BestPeerNode::Create(fleet_->For(ids_[i]), infra_.get(), config)
               .value();
       ASSERT_TRUE(node->InitStorage({}).ok());
       nodes_.push_back(std::move(node));
@@ -49,8 +52,9 @@ class CoreNodeFixture : public ::testing::Test {
 
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> network_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
   std::unique_ptr<SharedInfra> infra_;
-  std::vector<sim::NodeId> ids_;
+  std::vector<NodeId> ids_;
   std::vector<std::unique_ptr<BestPeerNode>> nodes_;
 };
 
@@ -93,7 +97,7 @@ TEST_F(CoreNodeFixture, AnswersReturnDirectlyNotAlongPath) {
   Build(3, {{0, 1}, {1, 2}});
   Fill(2, 10, 2);
   bool relay_saw_result = false;
-  network_->SetTrace([&](const sim::SimMessage& m, SimTime, SimTime) {
+  network_->SetTrace([&](const net::Message& m, SimTime, SimTime) {
     if (m.type == kSearchResultType && m.dst == ids_[1]) {
       relay_saw_result = true;
     }
@@ -219,7 +223,7 @@ TEST_F(CoreNodeFixture, ReconfigureAdoptsAnswerers) {
   sim_.RunUntilIdle();
   auto peers = nodes_[0]->DirectPeerNodes();
   // Top answerers are 2 (6 answers) and 3 (2 answers); node 1 answered 0.
-  EXPECT_EQ(peers, (std::vector<sim::NodeId>{ids_[2], ids_[3]}));
+  EXPECT_EQ(peers, (std::vector<NodeId>{ids_[2], ids_[3]}));
   EXPECT_EQ(nodes_[0]->reconfigurations(), 1u);
   // The dropped peer's side is updated via the disconnect notice.
   EXPECT_FALSE(nodes_[1]->peers().Contains(ids_[0]));
@@ -238,7 +242,7 @@ TEST_F(CoreNodeFixture, StaticStrategyNeverChangesPeers) {
   sim_.RunUntilIdle();
   ASSERT_TRUE(nodes_[0]->Reconfigure(qid).ok());
   sim_.RunUntilIdle();
-  EXPECT_EQ(nodes_[0]->DirectPeerNodes(), (std::vector<sim::NodeId>{ids_[1]}));
+  EXPECT_EQ(nodes_[0]->DirectPeerNodes(), (std::vector<NodeId>{ids_[1]}));
   EXPECT_EQ(nodes_[0]->reconfigurations(), 0u);
 }
 
@@ -263,18 +267,20 @@ TEST_F(CoreNodeFixture, SecondQueryFasterAfterReconfigure) {
 TEST_F(CoreNodeFixture, JoinViaLigloAdoptsPeers) {
   // Node 0 runs a LIGLO server; nodes 1..3 are BestPeer nodes that join.
   network_ = std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
+  fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
   infra_ = std::make_unique<SharedInfra>();
-  sim::NodeId server_id = network_->AddNode();
-  sim::Dispatcher server_dispatcher(network_.get(), server_id);
-  liglo::LigloServer server(network_.get(), &server_dispatcher, server_id,
+  net::SimTransport* server_transport = fleet_->AddNode();
+  NodeId server_id = server_transport->local();
+  net::Dispatcher server_dispatcher(server_transport);
+  liglo::LigloServer server(server_transport, &server_dispatcher,
                             &infra_->ip_directory, {});
   BestPeerConfig config;
   config.max_direct_peers = 4;
   for (size_t i = 0; i < 3; ++i) {
-    ids_.push_back(network_->AddNode());
-    nodes_.push_back(BestPeerNode::Create(network_.get(), ids_.back(),
-                                          infra_.get(), config)
-                         .value());
+    net::SimTransport* transport = fleet_->AddNode();
+    ids_.push_back(transport->local());
+    nodes_.push_back(
+        BestPeerNode::Create(transport, infra_.get(), config).value());
   }
   int joined = 0;
   for (size_t i = 0; i < 3; ++i) {
@@ -307,7 +313,7 @@ TEST_F(CoreNodeFixture, WatchPeerDeliversStoreChangeNotifications) {
   };
   std::vector<Seen> events;
   nodes_[0]->WatchPeer(
-      ids_[1], [&](sim::NodeId provider, UpdateNotifyMessage::Kind kind,
+      ids_[1], [&](NodeId provider, UpdateNotifyMessage::Kind kind,
                    storm::ObjectId id) {
         EXPECT_EQ(provider, ids_[1]);
         events.push_back({kind, id});
@@ -331,7 +337,7 @@ TEST_F(CoreNodeFixture, UnwatchStopsNotifications) {
   Build(2, {{0, 1}});
   int events = 0;
   nodes_[0]->WatchPeer(ids_[1],
-                       [&](sim::NodeId, UpdateNotifyMessage::Kind,
+                       [&](NodeId, UpdateNotifyMessage::Kind,
                            storm::ObjectId) { ++events; });
   sim_.RunUntilIdle();
   nodes_[1]->ShareObject(1, ToBytes("a")).ok();
@@ -351,29 +357,27 @@ TEST_F(CoreNodeFixture, LigloFailureDoesNotBreakPeering) {
   // it has. In addition, other peers that registered with other LIGLO
   // server will not be affected at all."
   network_ = std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
+  fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
   infra_ = std::make_unique<SharedInfra>();
 
-  sim::NodeId server1 = network_->AddNode();
-  sim::NodeId server2 = network_->AddNode();
-  sim::Dispatcher d1(network_.get(), server1);
-  sim::Dispatcher d2(network_.get(), server2);
-  liglo::LigloServer liglo1(network_.get(), &d1, server1,
-                            &infra_->ip_directory, {});
-  liglo::LigloServer liglo2(network_.get(), &d2, server2,
-                            &infra_->ip_directory, {});
+  net::SimTransport* t1 = fleet_->AddNode();
+  net::SimTransport* t2 = fleet_->AddNode();
+  NodeId server1 = t1->local();
+  net::Dispatcher d1(t1);
+  net::Dispatcher d2(t2);
+  liglo::LigloServer liglo1(t1, &d1, &infra_->ip_directory, {});
+  liglo::LigloServer liglo2(t2, &d2, &infra_->ip_directory, {});
 
   BestPeerConfig config;
-  auto a = BestPeerNode::Create(network_.get(), network_->AddNode(),
-                                infra_.get(), config)
+  auto a = BestPeerNode::Create(fleet_->AddNode(), infra_.get(), config)
                .value();
-  auto b = BestPeerNode::Create(network_.get(), network_->AddNode(),
-                                infra_.get(), config)
+  auto b = BestPeerNode::Create(fleet_->AddNode(), infra_.get(), config)
                .value();
   a->InitStorage({}).ok();
   b->InitStorage({}).ok();
   a->JoinNetwork(server1, infra_->ip_directory.AssignFresh(a->node()),
                  nullptr);
-  b->JoinNetwork(server2, infra_->ip_directory.AssignFresh(b->node()),
+  b->JoinNetwork(t2->local(), infra_->ip_directory.AssignFresh(b->node()),
                  nullptr);
   sim_.RunUntilIdle();
   // Wire the peering (they registered with different LIGLOs, so neither
@@ -569,7 +573,7 @@ TEST_F(CoreNodeFixture, HistoryWeightStabilizesPeerSet) {
     ASSERT_TRUE(nodes_[0]->Reconfigure(qid).ok());
     sim_.RunUntilIdle();
   }
-  EXPECT_EQ(nodes_[0]->DirectPeerNodes(), (std::vector<sim::NodeId>{ids_[2]}));
+  EXPECT_EQ(nodes_[0]->DirectPeerNodes(), (std::vector<NodeId>{ids_[2]}));
 }
 
 TEST_F(CoreNodeFixture, CompressionShrinksWireBytes) {

@@ -44,12 +44,12 @@ TEST(PeerListTest, ReAddRefreshesIdentityKeepsStats) {
 
 TEST(PeerListTest, RemoveAndNodes) {
   PeerList peers(4);
-  for (sim::NodeId n : {5, 3, 9}) {
+  for (NodeId n : {5, 3, 9}) {
     PeerInfo info;
     info.node = n;
     peers.Add(info);
   }
-  EXPECT_EQ(peers.Nodes(), (std::vector<sim::NodeId>{3, 5, 9}));
+  EXPECT_EQ(peers.Nodes(), (std::vector<NodeId>{3, 5, 9}));
   EXPECT_TRUE(peers.Remove(5));
   EXPECT_FALSE(peers.Remove(5));
   EXPECT_FALSE(peers.Contains(5));

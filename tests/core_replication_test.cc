@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/node.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 
 namespace bestpeer::core {
@@ -16,13 +17,14 @@ class ReplicationFixture : public ::testing::Test {
   void Build(size_t count, size_t owner, size_t matches) {
     network_ =
         std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
     infra_ = std::make_unique<SharedInfra>();
     BestPeerConfig config;
     config.max_direct_peers = 4;
     for (size_t i = 0; i < count; ++i) {
-      auto node = BestPeerNode::Create(network_.get(), network_->AddNode(),
-                                       infra_.get(), config)
-                      .value();
+      auto node =
+          BestPeerNode::Create(fleet_->AddNode(), infra_.get(), config)
+              .value();
       node->InitStorage({}).ok();
       nodes_.push_back(std::move(node));
     }
@@ -41,6 +43,7 @@ class ReplicationFixture : public ::testing::Test {
 
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> network_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
   std::unique_ptr<SharedInfra> infra_;
   std::vector<std::unique_ptr<BestPeerNode>> nodes_;
   std::vector<storm::ObjectId> owner_ids_;

@@ -6,6 +6,7 @@
 #include "core/node.h"
 #include "core/search_agent.h"
 #include "core/shipping.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -16,38 +17,38 @@ namespace {
 
 TEST(ShippingCostTest, TinyStoreFavorsDataShipping) {
   BestPeerConfig config;
-  sim::NetworkOptions net;
+  net::LinkProfile link;
   ShippingCostInputs inputs;
   inputs.remote_objects = 2;
   inputs.object_size = 1024;
   inputs.class_cached = true;
-  EXPECT_EQ(ChooseShippingStrategy(inputs, config, net),
+  EXPECT_EQ(ChooseShippingStrategy(inputs, config, link),
             ShippingStrategy::kDataShipping);
 }
 
 TEST(ShippingCostTest, LargeStoreFavorsCodeShipping) {
   BestPeerConfig config;
-  sim::NetworkOptions net;
+  net::LinkProfile link;
   ShippingCostInputs inputs;
   inputs.remote_objects = 1000;
   inputs.object_size = 1024;
   inputs.class_cached = true;
-  EXPECT_EQ(ChooseShippingStrategy(inputs, config, net),
+  EXPECT_EQ(ChooseShippingStrategy(inputs, config, link),
             ShippingStrategy::kCodeShipping);
 }
 
 TEST(ShippingCostTest, UnknownStoreDefaultsToCode) {
   BestPeerConfig config;
-  sim::NetworkOptions net;
+  net::LinkProfile link;
   ShippingCostInputs inputs;
   inputs.remote_objects = 0;
-  EXPECT_EQ(ChooseShippingStrategy(inputs, config, net),
+  EXPECT_EQ(ChooseShippingStrategy(inputs, config, link),
             ShippingStrategy::kCodeShipping);
 }
 
 TEST(ShippingCostTest, ColdClassCacheShiftsCrossover) {
   BestPeerConfig config;
-  sim::NetworkOptions net;
+  net::LinkProfile link;
   // Find a store size where the warm-cache choice is code shipping but
   // the cold-cache choice (16 KB class + 8 ms load) is data shipping.
   bool found = false;
@@ -57,9 +58,9 @@ TEST(ShippingCostTest, ColdClassCacheShiftsCrossover) {
     warm.class_cached = true;
     ShippingCostInputs cold = warm;
     cold.class_cached = false;
-    if (ChooseShippingStrategy(warm, config, net) ==
+    if (ChooseShippingStrategy(warm, config, link) ==
             ShippingStrategy::kCodeShipping &&
-        ChooseShippingStrategy(cold, config, net) ==
+        ChooseShippingStrategy(cold, config, link) ==
             ShippingStrategy::kDataShipping) {
       found = true;
       break;
@@ -70,13 +71,13 @@ TEST(ShippingCostTest, ColdClassCacheShiftsCrossover) {
 
 TEST(ShippingCostTest, EstimatesAreMonotonicInStoreSize) {
   BestPeerConfig config;
-  sim::NetworkOptions net;
+  net::LinkProfile link;
   SimTime prev_code = 0, prev_data = 0;
   for (size_t objects : {1, 10, 100, 1000}) {
     ShippingCostInputs inputs;
     inputs.remote_objects = objects;
-    SimTime code = EstimateCodeShippingCost(inputs, config, net);
-    SimTime data = EstimateDataShippingCost(inputs, config, net);
+    SimTime code = EstimateCodeShippingCost(inputs, config, link);
+    SimTime data = EstimateDataShippingCost(inputs, config, link);
     EXPECT_GT(code, prev_code);
     EXPECT_GT(data, prev_data);
     prev_code = code;
@@ -97,12 +98,13 @@ class ShippingFixture : public ::testing::Test {
   void Build(const std::vector<size_t>& store_sizes) {
     network_ =
         std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
     infra_ = std::make_unique<core::SharedInfra>();
     BestPeerConfig config;
     config.max_direct_peers = 8;
     for (size_t i = 0; i < store_sizes.size(); ++i) {
-      auto node = BestPeerNode::Create(network_.get(), network_->AddNode(),
-                                       infra_.get(), config);
+      auto node =
+          BestPeerNode::Create(fleet_->AddNode(), infra_.get(), config);
       nodes_.push_back(std::move(node).value());
       nodes_.back()->InitStorage({}).ok();
       bestpeer::Rng rng(1234 + i);
@@ -130,6 +132,7 @@ class ShippingFixture : public ::testing::Test {
 
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> network_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
   std::unique_ptr<core::SharedInfra> infra_;
   std::vector<std::unique_ptr<BestPeerNode>> nodes_;
 };

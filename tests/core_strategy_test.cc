@@ -8,7 +8,7 @@
 namespace bestpeer::core {
 namespace {
 
-PeerObservation Obs(sim::NodeId node, uint64_t answers, uint16_t hops) {
+PeerObservation Obs(NodeId node, uint64_t answers, uint16_t hops) {
   PeerObservation o;
   o.node = node;
   o.answers = answers;
@@ -21,7 +21,7 @@ TEST(MaxCountTest, KeepsTopAnswerers) {
   std::vector<PeerObservation> obs = {Obs(10, 5, 2), Obs(11, 50, 3),
                                       Obs(12, 20, 1)};
   auto result = s.SelectPeers(obs, {1, 2}, 2);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{11, 12}));
+  EXPECT_EQ(result, (std::vector<NodeId>{11, 12}));
 }
 
 TEST(MaxCountTest, FigureTwoScenario) {
@@ -29,27 +29,27 @@ TEST(MaxCountTest, FigureTwoScenario) {
   MaxCountStrategy s;
   std::vector<PeerObservation> obs = {Obs(/*C=*/3, 7, 2), Obs(/*E=*/5, 4, 3)};
   auto result = s.SelectPeers(obs, {/*A=*/1, /*B=*/2}, 4);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{1, 2, 3, 5}));
+  EXPECT_EQ(result, (std::vector<NodeId>{1, 2, 3, 5}));
 }
 
 TEST(MaxCountTest, NonRespondingPeersRankLast) {
   MaxCountStrategy s;
   // One answering stranger beats silent current peers when k=1.
   auto result = s.SelectPeers({Obs(9, 1, 4)}, {1, 2, 3}, 1);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{9}));
+  EXPECT_EQ(result, (std::vector<NodeId>{9}));
 }
 
 TEST(MaxCountTest, TieBrokenByNodeId) {
   MaxCountStrategy s;
   auto result = s.SelectPeers({Obs(5, 10, 1), Obs(3, 10, 1)}, {}, 1);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{3}));
+  EXPECT_EQ(result, (std::vector<NodeId>{3}));
 }
 
 TEST(MaxCountTest, CurrentPeerStatsCombineWithObservation) {
   MaxCountStrategy s;
   // Current peer 1 also answered: its observation wins over the default 0.
   auto result = s.SelectPeers({Obs(1, 9, 1), Obs(2, 3, 2)}, {1}, 1);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{1}));
+  EXPECT_EQ(result, (std::vector<NodeId>{1}));
 }
 
 TEST(MinHopsTest, PrefersFartherNodes) {
@@ -57,20 +57,20 @@ TEST(MinHopsTest, PrefersFartherNodes) {
   std::vector<PeerObservation> obs = {Obs(10, 5, 1), Obs(11, 5, 4),
                                       Obs(12, 5, 2)};
   auto result = s.SelectPeers(obs, {}, 2);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{11, 12}));
+  EXPECT_EQ(result, (std::vector<NodeId>{11, 12}));
 }
 
 TEST(MinHopsTest, TieBrokenByAnswers) {
   MinHopsStrategy s;
   std::vector<PeerObservation> obs = {Obs(10, 5, 3), Obs(11, 50, 3)};
   auto result = s.SelectPeers(obs, {}, 1);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{11}));
+  EXPECT_EQ(result, (std::vector<NodeId>{11}));
 }
 
 TEST(MinHopsTest, SilentCurrentPeersTreatedAsOneHop) {
   MinHopsStrategy s;
   auto result = s.SelectPeers({Obs(9, 1, 2)}, {1}, 1);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{9}));
+  EXPECT_EQ(result, (std::vector<NodeId>{9}));
 }
 
 TEST(FastestResponseTest, PrefersEarliestResponders) {
@@ -82,7 +82,7 @@ TEST(FastestResponseTest, PrefersEarliestResponders) {
   PeerObservation mid = Obs(12, 5, 1);
   mid.first_response = 5000;
   auto result = s.SelectPeers({slow, fast, mid}, {}, 2);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{11, 12}));
+  EXPECT_EQ(result, (std::vector<NodeId>{11, 12}));
 }
 
 TEST(FastestResponseTest, RespondersBeatSilentPeers) {
@@ -90,7 +90,7 @@ TEST(FastestResponseTest, RespondersBeatSilentPeers) {
   PeerObservation responder = Obs(9, 1, 3);
   responder.first_response = 50000;  // Slow, but it answered.
   auto result = s.SelectPeers({responder}, {1, 2}, 1);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{9}));
+  EXPECT_EQ(result, (std::vector<NodeId>{9}));
 }
 
 TEST(FastestResponseTest, TieBrokenByAnswers) {
@@ -100,14 +100,14 @@ TEST(FastestResponseTest, TieBrokenByAnswers) {
   PeerObservation b = Obs(6, 9, 1);
   b.first_response = 1000;
   auto result = s.SelectPeers({a, b}, {}, 1);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{6}));
+  EXPECT_EQ(result, (std::vector<NodeId>{6}));
 }
 
 TEST(NoReconfigTest, KeepsCurrentPeers) {
   NoReconfigStrategy s;
   auto result =
       s.SelectPeers({Obs(9, 100, 5)}, {1, 2, 3}, 3);
-  EXPECT_EQ(result, (std::vector<sim::NodeId>{1, 2, 3}));
+  EXPECT_EQ(result, (std::vector<NodeId>{1, 2, 3}));
 }
 
 TEST(NoReconfigTest, TruncatesToCapacity) {
@@ -135,14 +135,14 @@ TEST_P(StrategyPropertyTest, SelectionInvariants) {
       std::vector<PeerObservation> obs;
       size_t nobs = rng.NextBounded(10);
       for (size_t i = 0; i < nobs; ++i) {
-        obs.push_back(Obs(static_cast<sim::NodeId>(rng.NextBounded(20)),
+        obs.push_back(Obs(static_cast<NodeId>(rng.NextBounded(20)),
                           rng.NextBounded(100),
                           static_cast<uint16_t>(rng.NextBounded(8))));
       }
-      std::vector<sim::NodeId> current;
+      std::vector<NodeId> current;
       size_t ncur = rng.NextBounded(5);
       for (size_t i = 0; i < ncur; ++i) {
-        current.push_back(static_cast<sim::NodeId>(rng.NextBounded(20)));
+        current.push_back(static_cast<NodeId>(rng.NextBounded(20)));
       }
       std::sort(current.begin(), current.end());
       current.erase(std::unique(current.begin(), current.end()),
@@ -179,7 +179,7 @@ TEST_P(StrategyPropertyTest, MaxCountIsGreedyOptimal) {
     std::vector<PeerObservation> obs;
     size_t nobs = rng.NextBounded(15) + 1;
     for (size_t i = 0; i < nobs; ++i) {
-      obs.push_back(Obs(static_cast<sim::NodeId>(i), rng.NextBounded(100),
+      obs.push_back(Obs(static_cast<NodeId>(i), rng.NextBounded(100),
                         1));
     }
     size_t k = rng.NextBounded(nobs) + 1;

@@ -8,6 +8,7 @@
 
 #include "core/node.h"
 #include "core/search_agent.h"
+#include "net/sim_transport.h"
 #include "sim/simulator.h"
 #include "storm/keyword_index.h"
 #include "storm/pager.h"
@@ -21,9 +22,9 @@ namespace {
 TEST(SimEdgeTest, SelfSendDelivers) {
   sim::Simulator simulator;
   sim::SimNetwork network(&simulator, sim::NetworkOptions{});
-  sim::NodeId a = network.AddNode();
+  NodeId a = network.AddNode();
   int received = 0;
-  network.SetHandler(a, [&](const sim::SimMessage& m) {
+  network.SetHandler(a, [&](const net::Message& m) {
     EXPECT_EQ(m.src, a);
     ++received;
   });
@@ -49,9 +50,9 @@ TEST(SimEdgeTest, ZeroByteMessageStillPaysHeader) {
   sim::NetworkOptions options;
   options.header_overhead = 64;
   sim::SimNetwork network(&simulator, options);
-  sim::NodeId a = network.AddNode();
-  sim::NodeId b = network.AddNode();
-  network.SetHandler(b, [](const sim::SimMessage&) {});
+  NodeId a = network.AddNode();
+  NodeId b = network.AddNode();
+  network.SetHandler(b, [](const net::Message&) {});
   network.Send(a, b, 1, Bytes{});
   simulator.RunUntilIdle();
   EXPECT_EQ(network.node_bytes_sent(a), 64u);
@@ -101,18 +102,20 @@ class EdgeFixture : public ::testing::Test {
   void SetUp() override {
     network_ =
         std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
     infra_ = std::make_unique<core::SharedInfra>();
   }
 
   std::unique_ptr<core::BestPeerNode> MakeNode(
       core::BestPeerConfig config = {}) {
-    return core::BestPeerNode::Create(network_.get(), network_->AddNode(),
-                                      infra_.get(), config)
+    return core::BestPeerNode::Create(fleet_->AddNode(), infra_.get(),
+                                      config)
         .value();
   }
 
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> network_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
   std::unique_ptr<core::SharedInfra> infra_;
 };
 
@@ -152,14 +155,12 @@ TEST_F(EdgeFixture, ShareBeforeInitStorageFails) {
 TEST_F(EdgeFixture, InvalidConfigRejectedAtCreate) {
   core::BestPeerConfig bad_strategy;
   bad_strategy.strategy = "sorcery";
-  EXPECT_FALSE(core::BestPeerNode::Create(network_.get(),
-                                          network_->AddNode(), infra_.get(),
+  EXPECT_FALSE(core::BestPeerNode::Create(fleet_->AddNode(), infra_.get(),
                                           bad_strategy)
                    .ok());
   core::BestPeerConfig bad_codec;
   bad_codec.codec = "zip2000";
-  EXPECT_FALSE(core::BestPeerNode::Create(network_.get(),
-                                          network_->AddNode(), infra_.get(),
+  EXPECT_FALSE(core::BestPeerNode::Create(fleet_->AddNode(), infra_.get(),
                                           bad_codec)
                    .ok());
 }

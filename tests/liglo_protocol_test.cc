@@ -125,5 +125,47 @@ TEST(LigloWireTest, AllDecodersRejectTruncation) {
   EXPECT_FALSE(PeersRequest::Decode(Bytes{9}).ok());
 }
 
+TEST(LigloWireTest, PeersResponseRejectsTruncation) {
+  PeersResponse full;
+  full.request_id = 4;
+  full.peers.push_back(PeerEntry{Bpid{1, 2}, 33});
+  full.peers.push_back(PeerEntry{Bpid{1, 3}, 44});
+  Bytes encoded = full.Encode();
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    Bytes truncated(encoded.begin(), encoded.begin() + cut);
+    EXPECT_FALSE(PeersResponse::Decode(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(LigloWireTest, RejectsOverstatedPeerCounts) {
+  // The peer list is the trailing field, so the last byte of a zero-peer
+  // encoding is its varint count. Claiming peers that are not present
+  // must fail instead of reading past the buffer.
+  RegisterResponse reg;
+  reg.request_id = 1;
+  reg.accepted = true;
+  Bytes reg_encoded = reg.Encode();
+  reg_encoded.back() = 5;
+  EXPECT_FALSE(RegisterResponse::Decode(reg_encoded).ok());
+
+  PeersResponse peers;
+  peers.request_id = 2;
+  Bytes peers_encoded = peers.Encode();
+  peers_encoded.back() = 3;
+  EXPECT_FALSE(PeersResponse::Decode(peers_encoded).ok());
+}
+
+TEST(LigloWireTest, AllDecodersRejectGarbage) {
+  Bytes garbage(5, 0xEE);
+  EXPECT_FALSE(RegisterRequest::Decode(garbage).ok());
+  EXPECT_FALSE(RegisterResponse::Decode(garbage).ok());
+  EXPECT_FALSE(UpdateRequest::Decode(garbage).ok());
+  EXPECT_FALSE(UpdateResponse::Decode(garbage).ok());
+  EXPECT_FALSE(ResolveRequest::Decode(garbage).ok());
+  EXPECT_FALSE(ResolveResponse::Decode(garbage).ok());
+  EXPECT_FALSE(PeersRequest::Decode(garbage).ok());
+  EXPECT_FALSE(PeersResponse::Decode(garbage).ok());
+}
+
 }  // namespace
 }  // namespace bestpeer::liglo

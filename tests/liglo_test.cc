@@ -4,6 +4,8 @@
 #include "liglo/ip_directory.h"
 #include "liglo/liglo_client.h"
 #include "liglo/liglo_server.h"
+#include "net/dispatcher.h"
+#include "net/sim_transport.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
 
@@ -74,30 +76,32 @@ class LigloFixture : public ::testing::Test {
  protected:
   void SetUp() override {
     network_ = std::make_unique<sim::SimNetwork>(&sim_, sim::NetworkOptions{});
-    server_node_ = network_->AddNode();
-    server_dispatcher_ =
-        std::make_unique<sim::Dispatcher>(network_.get(), server_node_);
+    fleet_ = std::make_unique<net::SimTransportFleet>(network_.get());
+    server_transport_ = fleet_->AddNode();
+    server_node_ = server_transport_->local();
+    server_dispatcher_ = std::make_unique<net::Dispatcher>(server_transport_);
   }
 
   void MakeServer(LigloServerOptions options = {}) {
-    server_ = std::make_unique<LigloServer>(network_.get(),
+    server_ = std::make_unique<LigloServer>(server_transport_,
                                             server_dispatcher_.get(),
-                                            server_node_, &ips_, options);
+                                            &ips_, options);
   }
 
   struct ClientBundle {
-    sim::NodeId node;
-    std::unique_ptr<sim::Dispatcher> dispatcher;
+    NodeId node;
+    net::SimTransport* transport;
+    std::unique_ptr<net::Dispatcher> dispatcher;
     std::unique_ptr<LigloClient> client;
     IpAddress ip;
   };
 
   ClientBundle MakeClient(LigloClientOptions options = {}) {
     ClientBundle b;
-    b.node = network_->AddNode();
-    b.dispatcher = std::make_unique<sim::Dispatcher>(network_.get(), b.node);
-    b.client = std::make_unique<LigloClient>(network_.get(),
-                                             b.dispatcher.get(), b.node,
+    b.transport = fleet_->AddNode();
+    b.node = b.transport->local();
+    b.dispatcher = std::make_unique<net::Dispatcher>(b.transport);
+    b.client = std::make_unique<LigloClient>(b.transport, b.dispatcher.get(),
                                              &ips_, options);
     b.ip = ips_.AssignFresh(b.node);
     return b;
@@ -105,8 +109,10 @@ class LigloFixture : public ::testing::Test {
 
   sim::Simulator sim_;
   std::unique_ptr<sim::SimNetwork> network_;
-  sim::NodeId server_node_;
-  std::unique_ptr<sim::Dispatcher> server_dispatcher_;
+  std::unique_ptr<net::SimTransportFleet> fleet_;
+  net::SimTransport* server_transport_ = nullptr;
+  NodeId server_node_ = kInvalidNode;
+  std::unique_ptr<net::Dispatcher> server_dispatcher_;
   std::unique_ptr<LigloServer> server_;
   IpDirectory ips_;
 };
@@ -372,18 +378,20 @@ TEST(LigloRetryUnderLossTest, RetryUntilSuccessUnderMessageLoss) {
   fault_options.message_loss = 0.3;
   sim::FaultInjector* faults = sim.EnableFaults(fault_options);
   sim::SimNetwork network(&sim, sim::NetworkOptions{});
+  net::SimTransportFleet fleet(&network);
   IpDirectory ips;
 
-  sim::NodeId server_node = network.AddNode();
-  sim::Dispatcher server_dispatcher(&network, server_node);
-  LigloServer server(&network, &server_dispatcher, server_node, &ips, {});
+  net::SimTransport* server_transport = fleet.AddNode();
+  NodeId server_node = server_transport->local();
+  net::Dispatcher server_dispatcher(server_transport);
+  LigloServer server(server_transport, &server_dispatcher, &ips, {});
 
-  sim::NodeId client_node = network.AddNode();
-  sim::Dispatcher client_dispatcher(&network, client_node);
+  net::SimTransport* client_transport = fleet.AddNode();
+  NodeId client_node = client_transport->local();
+  net::Dispatcher client_dispatcher(client_transport);
   LigloClientOptions retrying;
   retrying.max_retries = 10;
-  LigloClient client(&network, &client_dispatcher, client_node, &ips,
-                     retrying);
+  LigloClient client(client_transport, &client_dispatcher, &ips, retrying);
   IpAddress ip = ips.AssignFresh(client_node);
 
   Result<LigloClient::RegisterOutcome> outcome = Status::Internal("unset");
@@ -484,9 +492,10 @@ TEST_F(LigloFixture, RegisterWithFallbackSkipsFullServer) {
   LigloServerOptions tiny;
   tiny.capacity = 1;
   MakeServer(tiny);  // First server: capacity 1.
-  sim::NodeId server2_node = network_->AddNode();
-  sim::Dispatcher dispatcher2(network_.get(), server2_node);
-  LigloServer server2(network_.get(), &dispatcher2, server2_node, &ips_, {});
+  net::SimTransport* server2_transport = fleet_->AddNode();
+  NodeId server2_node = server2_transport->local();
+  net::Dispatcher dispatcher2(server2_transport);
+  LigloServer server2(server2_transport, &dispatcher2, &ips_, {});
 
   auto c1 = MakeClient();
   auto c2 = MakeClient();
@@ -513,9 +522,9 @@ TEST_F(LigloFixture, RegisterWithFallbackExhaustsAllServers) {
   // Make the only server full.
   LigloServerOptions full;
   full.capacity = 1;
-  server_ = std::make_unique<LigloServer>(network_.get(),
-                                          server_dispatcher_.get(),
-                                          server_node_, &ips_, full);
+  server_ = std::make_unique<LigloServer>(server_transport_,
+                                          server_dispatcher_.get(), &ips_,
+                                          full);
   filler.client->Register(server_node_, filler.ip, nullptr);
   sim_.RunUntilIdle();
 
@@ -530,9 +539,10 @@ TEST_F(LigloFixture, RegisterWithFallbackExhaustsAllServers) {
 TEST_F(LigloFixture, MultipleServersIndependentNamespaces) {
   MakeServer();
   // Second server on its own node.
-  sim::NodeId server2_node = network_->AddNode();
-  sim::Dispatcher dispatcher2(network_.get(), server2_node);
-  LigloServer server2(network_.get(), &dispatcher2, server2_node, &ips_, {});
+  net::SimTransport* server2_transport = fleet_->AddNode();
+  NodeId server2_node = server2_transport->local();
+  net::Dispatcher dispatcher2(server2_transport);
+  LigloServer server2(server2_transport, &dispatcher2, &ips_, {});
 
   auto c1 = MakeClient();
   auto c2 = MakeClient();

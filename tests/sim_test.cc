@@ -3,7 +3,8 @@
 #include <vector>
 
 #include "sim/cpu.h"
-#include "sim/dispatcher.h"
+#include "net/dispatcher.h"
+#include "net/sim_transport.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
@@ -405,11 +406,12 @@ TEST(DispatcherTest, RoutesByType) {
   SimNetwork net(&sim, FastNet());
   NodeId a = net.AddNode();
   NodeId b = net.AddNode();
-  Dispatcher dispatcher(&net, b);
+  net::SimTransport transport(&net, b);
+  net::Dispatcher dispatcher(&transport);
   int ones = 0, twos = 0, other = 0;
-  dispatcher.Register(1, [&](const SimMessage&) { ++ones; });
-  dispatcher.Register(2, [&](const SimMessage&) { ++twos; });
-  dispatcher.RegisterDefault([&](const SimMessage&) { ++other; });
+  dispatcher.Register(1, [&](const net::Message&) { ++ones; });
+  dispatcher.Register(2, [&](const net::Message&) { ++twos; });
+  dispatcher.RegisterDefault([&](const net::Message&) { ++other; });
   net.Send(a, b, 1, Bytes{});
   net.Send(a, b, 2, Bytes{});
   net.Send(a, b, 3, Bytes{});
@@ -424,7 +426,8 @@ TEST(DispatcherTest, CountsUnhandled) {
   SimNetwork net(&sim, FastNet());
   NodeId a = net.AddNode();
   NodeId b = net.AddNode();
-  Dispatcher dispatcher(&net, b);
+  net::SimTransport transport(&net, b);
+  net::Dispatcher dispatcher(&transport);
   net.Send(a, b, 99, Bytes{});
   sim.RunUntilIdle();
   EXPECT_EQ(dispatcher.unhandled_count(), 1u);

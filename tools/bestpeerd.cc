@@ -1,0 +1,256 @@
+// bestpeerd: the BestPeer loopback runtime. Boots a LIGLO server plus N
+// BestPeer nodes on 127.0.0.1, each with its own TCP listener on the
+// shared reactor (net::TcpNet), joins everyone through LIGLO, runs a
+// keyword-search workload and reports recall, latency and net.* counters.
+//
+//   bestpeerd --nodes=8 --objects=32 --matches=2 --queries=4
+//
+// This is the same protocol stack the simulator drives — only the
+// transport differs — so recall here should match an equivalent
+// simulated configuration exactly.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/node.h"
+#include "core/search_agent.h"
+#include "liglo/liglo_server.h"
+#include "net/dispatcher.h"
+#include "net/tcp_transport.h"
+#include "util/metrics.h"
+#include "workload/corpus.h"
+
+namespace {
+
+using namespace bestpeer;  // NOLINT: small tool binary.
+
+struct Flags {
+  size_t nodes = 8;
+  size_t objects = 32;
+  size_t matches = 2;
+  size_t queries = 4;
+  uint64_t seed = 1;
+  int64_t timeout_ms = 10000;
+};
+
+bool ParseFlag(const char* arg, const char* name, long* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::atol(arg + len + 1);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes=N>=2] [--objects=N] [--matches=N] "
+               "[--queries=N] [--seed=N] [--timeout-ms=N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    long v = 0;
+    if (ParseFlag(argv[i], "--nodes", &v)) {
+      flags.nodes = static_cast<size_t>(v);
+    } else if (ParseFlag(argv[i], "--objects", &v)) {
+      flags.objects = static_cast<size_t>(v);
+    } else if (ParseFlag(argv[i], "--matches", &v)) {
+      flags.matches = static_cast<size_t>(v);
+    } else if (ParseFlag(argv[i], "--queries", &v)) {
+      flags.queries = static_cast<size_t>(v);
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      flags.seed = static_cast<uint64_t>(v);
+    } else if (ParseFlag(argv[i], "--timeout-ms", &v)) {
+      flags.timeout_ms = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (flags.nodes < 2 || flags.matches > flags.objects) return Usage(argv[0]);
+
+  // The registry is only touched from the reactor thread once traffic
+  // flows; all instrument creation happens below, before Start().
+  metrics::Registry registry;
+  net::TcpOptions tcp_options;
+  tcp_options.metrics = &registry;
+  net::TcpNet tcpnet(tcp_options);
+
+  auto server_transport = tcpnet.AddNode();
+  if (!server_transport.ok()) {
+    std::fprintf(stderr, "bestpeerd: %s\n",
+                 server_transport.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<net::TcpTransport*> transports;
+  for (size_t i = 0; i < flags.nodes; ++i) {
+    auto t = tcpnet.AddNode();
+    if (!t.ok()) {
+      std::fprintf(stderr, "bestpeerd: %s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    transports.push_back(t.value());
+  }
+
+  core::SharedInfra infra;
+  net::Dispatcher server_dispatcher(server_transport.value());
+  liglo::LigloServerOptions server_options;
+  server_options.initial_peer_count = 4;
+  server_options.sample_seed = flags.seed ^ 0x5EED;
+  liglo::LigloServer liglo_server(server_transport.value(),
+                                  &server_dispatcher, &infra.ip_directory,
+                                  server_options);
+
+  core::BestPeerConfig config;
+  config.max_direct_peers = server_options.initial_peer_count + 2;
+  config.strategy = "none";
+  config.default_ttl = static_cast<uint16_t>(flags.nodes);
+  config.metrics = &registry;
+
+  workload::CorpusGenerator corpus({512, 300, 0.8}, flags.seed);
+  std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
+  for (size_t i = 0; i < flags.nodes; ++i) {
+    auto node = core::BestPeerNode::Create(transports[i], &infra, config);
+    if (!node.ok()) {
+      std::fprintf(stderr, "bestpeerd: %s\n",
+                   node.status().ToString().c_str());
+      return 1;
+    }
+    Status st = node.value()->InitStorage({});
+    if (!st.ok()) {
+      std::fprintf(stderr, "bestpeerd: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    for (size_t o = 0; o < flags.objects; ++o) {
+      // Node 0 issues the queries; matches live on everyone else.
+      bool match = i != 0 && o < flags.matches;
+      st = node.value()->ShareObject((static_cast<uint64_t>(i) << 24) | o,
+                                     corpus.MakeObject(match));
+      if (!st.ok()) {
+        std::fprintf(stderr, "bestpeerd: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    infra.code_cache.Load(node.value()->node(), core::kSearchAgentClass);
+    nodes.push_back(std::move(*node));
+  }
+
+  std::printf("bestpeerd: liglo on 127.0.0.1:%u, %zu nodes on ports %u..%u\n",
+              server_transport.value()->port(), flags.nodes,
+              transports.front()->port(), transports.back()->port());
+
+  tcpnet.Start();
+
+  auto wait_until = [&](const std::function<bool()>& done_on_reactor,
+                        int64_t budget_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(budget_ms);
+    for (;;) {
+      bool done = false;
+      tcpnet.Run([&]() { done = done_on_reactor(); });
+      if (done) return true;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  // Sequential joins, like a real deployment: each node registers with
+  // LIGLO and adopts a sample of the members already present.
+  for (auto& node : nodes) {
+    bool joined = false;
+    tcpnet.Run([&]() {
+      liglo::IpAddress ip = infra.ip_directory.AssignFresh(node->node());
+      node->JoinNetwork(server_transport.value()->local(), ip,
+                        [&joined](auto outcome) {
+                          (void)outcome;
+                          joined = true;
+                        });
+    });
+    if (!wait_until([&]() { return joined; }, flags.timeout_ms)) {
+      std::fprintf(stderr, "bestpeerd: node %u join timed out\n",
+                   node->node());
+      tcpnet.Stop();
+      return 1;
+    }
+  }
+  std::printf("bestpeerd: %zu nodes joined\n", flags.nodes);
+
+  const size_t expected = (flags.nodes - 1) * flags.matches;
+  size_t received_total = 0;
+  double latency_sum_ms = 0, latency_max_ms = 0;
+  bool all_complete = true;
+  for (size_t q = 0; q < flags.queries; ++q) {
+    uint64_t query_id = 0;
+    bool issued = false;
+    tcpnet.Run([&]() {
+      auto r = nodes[0]->IssueSearch(workload::CorpusGenerator::kNeedle);
+      if (r.ok()) {
+        query_id = r.value();
+        issued = true;
+      }
+    });
+    if (!issued) {
+      std::fprintf(stderr, "bestpeerd: IssueSearch failed\n");
+      tcpnet.Stop();
+      return 1;
+    }
+    bool complete = wait_until(
+        [&]() {
+          const core::QuerySession* s = nodes[0]->FindSession(query_id);
+          return s != nullptr && s->total_answers() >= expected;
+        },
+        flags.timeout_ms);
+    size_t answers = 0;
+    double latency_ms = 0;
+    tcpnet.Run([&]() {
+      const core::QuerySession* s = nodes[0]->FindSession(query_id);
+      if (s != nullptr) {
+        answers = s->total_answers();
+        latency_ms =
+            ToMillis(s->completion_time() > 0
+                         ? s->completion_time()
+                         : tcpnet.clock().now() - s->start_time());
+      }
+    });
+    received_total += answers;
+    latency_sum_ms += latency_ms;
+    if (latency_ms > latency_max_ms) latency_max_ms = latency_ms;
+    all_complete = all_complete && complete;
+    std::printf("query %zu: answers=%zu/%zu latency=%.2fms%s\n", q, answers,
+                expected, latency_ms, complete ? "" : " (timeout)");
+  }
+
+  tcpnet.Stop();
+
+  double recall = expected == 0
+                      ? 1.0
+                      : static_cast<double>(received_total) /
+                            static_cast<double>(expected * flags.queries);
+  std::printf("recall=%.4f mean_latency=%.2fms max_latency=%.2fms\n", recall,
+              flags.queries > 0 ? latency_sum_ms /
+                                      static_cast<double>(flags.queries)
+                                : 0.0,
+              latency_max_ms);
+
+  metrics::Snapshot snap = registry.TakeSnapshot();
+  std::printf(
+      "net: tx_msgs=%.0f tx_bytes=%.0f rx_msgs=%.0f rx_bytes=%.0f "
+      "connects=%.0f reconnects=%.0f tx_dropped=%.0f rx_dropped=%.0f "
+      "frame_errors=%.0f\n",
+      snap.Value("net.tx_msgs"), snap.Value("net.tx_bytes"),
+      snap.Value("net.rx_msgs"), snap.Value("net.rx_bytes"),
+      snap.Value("net.connects"), snap.Value("net.reconnects"),
+      snap.Value("net.tx_dropped"), snap.Value("net.rx_dropped"),
+      snap.Value("net.frame_errors"));
+
+  return all_complete && recall >= 1.0 ? 0 : 1;
+}
