@@ -11,6 +11,10 @@
 #include "util/result.h"
 #include "util/sim_time.h"
 
+namespace bestpeer::cache {
+class ResultCache;
+}  // namespace bestpeer::cache
+
 namespace bestpeer::agent {
 
 /// The environment an agent can touch while executing at a node. The core
@@ -25,6 +29,19 @@ class AgentHost {
 
   /// The physical id of the hosting node.
   virtual NodeId host_node() const = 0;
+
+  /// The node's query-result cache; null (the default) when result
+  /// caching is disabled at this host.
+  virtual cache::ResultCache* result_cache() { return nullptr; }
+
+  /// Invoked after a search served `matches` for the normalized query
+  /// `key` at this host (from cache or a fresh scan). Hosts may use it to
+  /// promote hot answers into neighbor replicas. Default: no-op.
+  virtual void OnAnswerServed(std::string_view key,
+                              const std::vector<uint64_t>& matches) {
+    (void)key;
+    (void)matches;
+  }
 };
 
 /// Collects the externally visible effects of one agent execution.

@@ -1,0 +1,58 @@
+#include "cache/frequency_sketch.h"
+
+#include "util/hash.h"
+
+namespace bestpeer::cache {
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FrequencySketch::FrequencySketch(size_t counters) {
+  const size_t width = NextPow2(counters < 16 ? 16 : counters);
+  mask_ = width - 1;
+  for (auto& row : rows_) row.assign(width, 0);
+  // The classic TinyLFU sample size: ~10x the width keeps the halving
+  // cadence proportional to the working set the sketch can resolve.
+  sample_period_ = static_cast<uint64_t>(width) * 10;
+}
+
+size_t FrequencySketch::Index(uint64_t hash, size_t row) const {
+  // Independent-ish row hashes via the fmix64 finalizer over the seeded
+  // key hash; a multiply-shift would do, but Mix64 is already here.
+  return static_cast<size_t>(
+             Mix64(hash + 0x9E3779B97F4A7C15ULL * (row + 1))) &
+         mask_;
+}
+
+void FrequencySketch::Record(uint64_t hash) {
+  ++recordings_;
+  for (size_t row = 0; row < kRows; ++row) {
+    uint8_t& c = rows_[row][Index(hash, row)];
+    if (c < 15) ++c;
+  }
+  if (++since_aging_ >= sample_period_) {
+    since_aging_ = 0;
+    ++agings_;
+    for (auto& row : rows_) {
+      for (uint8_t& c : row) c >>= 1;
+    }
+  }
+}
+
+uint32_t FrequencySketch::Estimate(uint64_t hash) const {
+  uint32_t best = 15;
+  for (size_t row = 0; row < kRows; ++row) {
+    uint32_t c = rows_[row][Index(hash, row)];
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+}  // namespace bestpeer::cache

@@ -1,0 +1,45 @@
+#ifndef BESTPEER_CACHE_FREQUENCY_SKETCH_H_
+#define BESTPEER_CACHE_FREQUENCY_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bestpeer::cache {
+
+/// TinyLFU-style count-min sketch: four rows of 4-bit saturating counters
+/// tracking approximate access frequency per key hash. After
+/// `sample_period` recordings every counter is halved, so estimates decay
+/// toward the recent past — a key that was hot an hour ago cannot block
+/// admission forever.
+class FrequencySketch {
+ public:
+  /// `counters` is the per-row width, rounded up to a power of two.
+  explicit FrequencySketch(size_t counters = 1024);
+
+  /// Counts one access of the key hash.
+  void Record(uint64_t hash);
+
+  /// Approximate access count (min over rows; saturates at 15).
+  uint32_t Estimate(uint64_t hash) const;
+
+  /// Recordings since construction (aging does not reset this).
+  uint64_t recordings() const { return recordings_; }
+  /// Times the counters were halved.
+  uint64_t agings() const { return agings_; }
+
+ private:
+  static constexpr size_t kRows = 4;
+  size_t Index(uint64_t hash, size_t row) const;
+
+  std::vector<uint8_t> rows_[kRows];
+  size_t mask_;
+  uint64_t sample_period_;
+  uint64_t since_aging_ = 0;
+  uint64_t recordings_ = 0;
+  uint64_t agings_ = 0;
+};
+
+}  // namespace bestpeer::cache
+
+#endif  // BESTPEER_CACHE_FREQUENCY_SKETCH_H_

@@ -1,0 +1,57 @@
+#include "cache/replica_manager.h"
+
+namespace bestpeer::cache {
+
+ReplicaManager::ReplicaManager(ReplicaManagerOptions options)
+    : options_(options) {
+  if (options_.metrics != nullptr) {
+    promotions_c_ = options_.metrics->GetCounter("cache.replica_promotions");
+    replicas_g_ = options_.metrics->GetGauge("cache.replicas_held");
+  }
+}
+
+bool ReplicaManager::ShouldPromote(const std::string& key,
+                                   uint32_t frequency, SimTime now) {
+  if (frequency < options_.hot_threshold) return false;
+  // Age out keys that have not been promoted in a while so the top-k
+  // slots track the *current* hot set.
+  const SimTime stale_after = options_.cooldown * 4;
+  for (auto it = promoted_.begin(); it != promoted_.end();) {
+    if (now - it->second > stale_after) {
+      it = promoted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto it = promoted_.find(key);
+  if (it != promoted_.end()) {
+    if (now - it->second < options_.cooldown) return false;
+    it->second = now;
+  } else {
+    if (promoted_.size() >= options_.top_k) return false;
+    promoted_.emplace(key, now);
+  }
+  ++promotions_;
+  promotions_c_->Increment();
+  return true;
+}
+
+uint64_t ReplicaManager::NoteStored(uint64_t object_id) {
+  uint64_t generation = ++generation_counter_;
+  replicas_[object_id] = generation;
+  replicas_g_->Set(static_cast<double>(replicas_.size()));
+  return generation;
+}
+
+bool ReplicaManager::ShouldExpire(uint64_t object_id,
+                                  uint64_t generation) const {
+  auto it = replicas_.find(object_id);
+  return it != replicas_.end() && it->second == generation;
+}
+
+void ReplicaManager::Remove(uint64_t object_id) {
+  replicas_.erase(object_id);
+  replicas_g_->Set(static_cast<double>(replicas_.size()));
+}
+
+}  // namespace bestpeer::cache

@@ -1,0 +1,84 @@
+#ifndef BESTPEER_CACHE_REPLICA_MANAGER_H_
+#define BESTPEER_CACHE_REPLICA_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/metrics.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::cache {
+
+struct ReplicaManagerOptions {
+  /// Sketch frequency a query key must reach before its answers are
+  /// pushed to neighbors.
+  uint32_t hot_threshold = 3;
+  /// Maximum distinct hot keys tracked for promotion at once.
+  size_t top_k = 4;
+  /// Minimum time between two pushes of the same key.
+  SimTime cooldown = Millis(500);
+  /// Metrics sink (not owned; may be null).
+  metrics::Registry* metrics = nullptr;
+};
+
+/// Bookkeeping for hot-answer replication, on both sides of a push.
+///
+/// Source side: ShouldPromote rate-limits pushes — a key is promoted when
+/// its sketch frequency crosses `hot_threshold`, at most every `cooldown`,
+/// with at most `top_k` keys tracked concurrently (stale keys age out
+/// after 4x the cooldown, so early hot keys cannot hog slots forever).
+///
+/// Receiver side: NoteStored tags each accepted replica with a generation
+/// so a rescheduled expiry timer for a *re-pushed* replica cannot delete
+/// the fresh copy — only the timer matching the latest generation fires.
+class ReplicaManager {
+ public:
+  explicit ReplicaManager(ReplicaManagerOptions options);
+  ReplicaManager(const ReplicaManager&) = delete;
+  ReplicaManager& operator=(const ReplicaManager&) = delete;
+
+  // --- source side ------------------------------------------------------
+
+  /// True when `key` (at sketch frequency `frequency`) should be pushed
+  /// to neighbors now. Updates the per-key promotion clock on success.
+  bool ShouldPromote(const std::string& key, uint32_t frequency,
+                     SimTime now);
+
+  uint64_t promotions() const { return promotions_; }
+
+  // --- receiver side ----------------------------------------------------
+
+  /// Registers a stored replica; returns the generation its expiry timer
+  /// must carry.
+  uint64_t NoteStored(uint64_t object_id);
+
+  /// True iff the replica is still tracked at exactly `generation` —
+  /// i.e. the timer that fires is the latest one armed.
+  bool ShouldExpire(uint64_t object_id, uint64_t generation) const;
+
+  /// Forgets a replica (after expiry deletion).
+  void Remove(uint64_t object_id);
+
+  bool Tracks(uint64_t object_id) const {
+    return replicas_.count(object_id) != 0;
+  }
+  size_t replica_count() const { return replicas_.size(); }
+
+ private:
+  ReplicaManagerOptions options_;
+  /// key -> last promotion time.
+  std::map<std::string, SimTime> promoted_;
+  /// object id -> latest expiry generation.
+  std::map<uint64_t, uint64_t> replicas_;
+  uint64_t generation_counter_ = 0;
+  uint64_t promotions_ = 0;
+
+  metrics::Counter* promotions_c_ = metrics::Counter::Noop();
+  metrics::Gauge* replicas_g_ = metrics::Gauge::Noop();
+};
+
+}  // namespace bestpeer::cache
+
+#endif  // BESTPEER_CACHE_REPLICA_MANAGER_H_

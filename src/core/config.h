@@ -112,6 +112,45 @@ struct BestPeerConfig {
   /// agent id (lost agents never deregister themselves). 0 = forever.
   SimTime agent_seen_expiry = 0;
 
+  // --- result cache & hot-answer replication (opt-in) -------------------
+
+  /// Enables the per-node query-result cache: searches carry per-responder
+  /// IndexEpochs, responders answer repeats with tiny "not-modified"
+  /// replies, and the base node re-materializes answers from its cached
+  /// slices. Off (the default) keeps the wire format and schedule
+  /// bit-identical to a cache-less build.
+  bool enable_result_cache = false;
+
+  /// Result-cache byte budget (LRU eviction past it).
+  size_t result_cache_bytes = 256 * 1024;
+
+  /// Disables TinyLFU admission: plain LRU (ablation arm).
+  bool cache_lru_only = false;
+
+  /// CPU charged for a responder-side cache probe that hits (replacing
+  /// the per-object scan cost).
+  SimTime cache_probe_cost = Micros(5);
+
+  /// Enables hot-answer replication: responders push the objects behind
+  /// frequently served answers to their direct peers, so later queries
+  /// are answered at hop 1. Requires enable_result_cache (the frequency
+  /// sketch drives promotion).
+  bool enable_replication = false;
+
+  /// Sketch frequency a query must reach before its answers replicate.
+  uint32_t replica_hot_threshold = 3;
+
+  /// Max distinct hot keys tracked for promotion at once.
+  size_t replica_top_k = 4;
+
+  /// Replica lifetime at the receiver; the copy is deleted when it
+  /// elapses (churn safety: a stale replica never outlives its TTL,
+  /// crashes included). 0 keeps replicas forever.
+  SimTime replica_ttl = Seconds(2);
+
+  /// Minimum time between two pushes of the same hot key.
+  SimTime replica_cooldown = Millis(500);
+
   // --- observability ----------------------------------------------------
 
   /// Metrics sink shared by the node and its agent runtime (not owned;

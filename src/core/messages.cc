@@ -36,6 +36,13 @@ Bytes SearchResultMessage::Encode() const {
   w.WriteU8(mode);
   w.WriteU32(responder_object_count);
   EncodeItems(w, items);
+  // Trailing optional section: written only when the result cache is on
+  // (epoch is then always nonzero), so cache-off messages stay
+  // byte-identical to the pre-cache encoding.
+  if (cache_epoch != 0) {
+    w.WriteVarint(cache_epoch);
+    w.WriteU8(cache_flags);
+  }
   return w.Take();
 }
 
@@ -46,6 +53,28 @@ Result<SearchResultMessage> SearchResultMessage::Decode(const Bytes& data) {
   BP_ASSIGN_OR_RETURN(m.hops, r.ReadU16());
   BP_ASSIGN_OR_RETURN(m.mode, r.ReadU8());
   BP_ASSIGN_OR_RETURN(m.responder_object_count, r.ReadU32());
+  BP_ASSIGN_OR_RETURN(m.items, DecodeItems(r));
+  if (!r.AtEnd()) {
+    BP_ASSIGN_OR_RETURN(m.cache_epoch, r.ReadVarint());
+    BP_ASSIGN_OR_RETURN(m.cache_flags, r.ReadU8());
+  }
+  return m;
+}
+
+Bytes CacheReplicaPushMessage::Encode() const {
+  BinaryWriter w;
+  w.WriteVarint(source_epoch);
+  w.WriteI64(ttl);
+  EncodeItems(w, items);
+  return w.Take();
+}
+
+Result<CacheReplicaPushMessage> CacheReplicaPushMessage::Decode(
+    const Bytes& data) {
+  BinaryReader r(data);
+  CacheReplicaPushMessage m;
+  BP_ASSIGN_OR_RETURN(m.source_epoch, r.ReadVarint());
+  BP_ASSIGN_OR_RETURN(m.ttl, r.ReadI64());
   BP_ASSIGN_OR_RETURN(m.items, DecodeItems(r));
   return m;
 }

@@ -26,6 +26,7 @@ constexpr uint32_t kDataShipRespType = 0x42500009;
 constexpr uint32_t kReplicatePushType = 0x4250000A;
 constexpr uint32_t kWatchReqType = 0x4250000B;
 constexpr uint32_t kUpdateNotifyType = 0x4250000C;
+constexpr uint32_t kCacheReplicaPushType = 0x4250000D;
 
 /// One matched object inside a result or fetch response. Mode-1 results
 /// and fetch responses carry content; mode-2 results carry name only.
@@ -46,9 +47,34 @@ struct SearchResultMessage {
   /// initiator uses it as the store-size hint for adaptive shipping.
   uint32_t responder_object_count = 0;
   std::vector<ResultItem> items;
+  /// Responder's IndexEpoch (storm mutation epoch + 1) at serve time.
+  /// 0 = result caching off; the fields below are then absent on the
+  /// wire, keeping cache-off encodings byte-identical to older builds.
+  uint64_t cache_epoch = 0;
+  /// Bit 0 (kCacheNotModified): the base already holds this responder's
+  /// answers for this query at exactly `cache_epoch`; `items` is empty
+  /// and the base re-materializes the answer from its cached slice.
+  uint8_t cache_flags = 0;
+
+  static constexpr uint8_t kCacheNotModified = 0x01;
 
   Bytes Encode() const;
   static Result<SearchResultMessage> Decode(const Bytes& data);
+};
+
+/// Hot-answer replica push (result-cache subsystem): a responder copies
+/// the objects behind a frequently served answer to a direct peer, so the
+/// next query finds them at hop 1. Distinct from ReplicatePushMessage —
+/// these copies carry a TTL and expire at the receiver (churn safety).
+struct CacheReplicaPushMessage {
+  /// Pusher's IndexEpoch when the objects were read.
+  uint64_t source_epoch = 0;
+  /// Receiver-side lifetime (0 = no expiry).
+  int64_t ttl = 0;
+  std::vector<ResultItem> items;
+
+  Bytes Encode() const;
+  static Result<CacheReplicaPushMessage> Decode(const Bytes& data);
 };
 
 /// Data-shipping request (§6 future work): pull the peer's entire shared

@@ -4,6 +4,7 @@
 
 #include "core/search_agent.h"
 #include "obs/flight_recorder.h"
+#include "storm/query_expr.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -59,6 +60,33 @@ Status BestPeerNode::Init() {
     peer_evictions_c_ = reg->GetCounter("core.peer_evictions");
     inflight_sessions_g_ = reg->GetGauge("core.inflight_sessions");
     result_hops_ = reg->GetHistogram("core.result_hops");
+    if (config_.enable_result_cache) {
+      remote_hits_c_ = reg->GetCounter("core.cache_remote_hits");
+      notmod_orphans_c_ = reg->GetCounter("core.cache_notmod_orphans");
+      index_epoch_g_ = reg->GetGauge("core.index_epoch");
+    }
+    if (config_.enable_replication) {
+      replica_pushes_c_ = reg->GetCounter("core.replica_pushes");
+      replicas_expired_c_ = reg->GetCounter("core.replicas_expired");
+    }
+  }
+  if (config_.enable_result_cache) {
+    cache::ResultCacheOptions rc;
+    rc.byte_budget = config_.result_cache_bytes;
+    rc.lru_only = config_.cache_lru_only;
+    rc.metrics = config_.metrics;
+    rc.flight = transport_->flight();
+    rc.node = node_;
+    rc.now = [this]() { return transport_->clock().now(); };
+    result_cache_ = std::make_unique<cache::ResultCache>(std::move(rc));
+    if (config_.enable_replication) {
+      cache::ReplicaManagerOptions rm;
+      rm.hot_threshold = config_.replica_hot_threshold;
+      rm.top_k = config_.replica_top_k;
+      rm.cooldown = config_.replica_cooldown;
+      rm.metrics = config_.metrics;
+      replica_mgr_ = std::make_unique<cache::ReplicaManager>(rm);
+    }
   }
   transport_->RegisterTypeName(kSearchResultType, "search.result");
   transport_->RegisterTypeName(kFetchReqType, "fetch.request");
@@ -72,6 +100,7 @@ Status BestPeerNode::Init() {
   transport_->RegisterTypeName(kReplicatePushType, "replicate.push");
   transport_->RegisterTypeName(kWatchReqType, "watch.request");
   transport_->RegisterTypeName(kUpdateNotifyType, "update.notify");
+  transport_->RegisterTypeName(kCacheReplicaPushType, "cache.replica_push");
 
   dispatcher_ = std::make_unique<net::Dispatcher>(transport_);
   liglo::LigloClientOptions liglo_options;
@@ -122,6 +151,10 @@ Status BestPeerNode::Init() {
                         [this](const net::Message& m) {
                           OnReplicatePush(m);
                         });
+  dispatcher_->Register(kCacheReplicaPushType,
+                        [this](const net::Message& m) {
+                          OnCacheReplicaPush(m);
+                        });
   dispatcher_->Register(kWatchReqType, [this](const net::Message& m) {
     OnWatchRequest(m);
   });
@@ -152,6 +185,13 @@ Status BestPeerNode::InitStorage(const storm::StormOptions& options) {
     opts.metrics_label = std::to_string(node_);
   }
   BP_ASSIGN_OR_RETURN(storage_, storm::Storm::Open(opts));
+  if (result_cache_ != nullptr) {
+    // StorM epoch hook: every insert/delete bumps the mutation epoch, which
+    // is what lazily invalidates cached slices (they carry the epoch they
+    // were computed at). The gauge makes the bump observable.
+    storage_->SetMutationListener(
+        [this](uint64_t epoch) { index_epoch_g_->Set(epoch + 1); });
+  }
   return Status::OK();
 }
 
@@ -432,6 +472,7 @@ void BestPeerNode::FinalizeSession(uint64_t query_id) {
     }
   }
   UpdatePeerHealth(it->second);
+  probe_snapshots_.erase(query_id);  // Frozen sessions can't use slices.
 }
 
 void BestPeerNode::UpdatePeerHealth(const QuerySession& session) {
@@ -469,6 +510,24 @@ Result<uint64_t> BestPeerNode::IssueSearch(const std::string& keyword,
   SearchAgent agent(query_id, keyword, config_.answer_mode,
                     config_.per_object_match_cost,
                     config_.answer_descriptor_bytes);
+  if (result_cache_ != nullptr) {
+    // Arm the cache-probe hop step: the agent carries the epoch this base
+    // last saw per responder, and the base keeps the matching slices
+    // snapshotted so a "not modified" reply can be materialized locally.
+    auto norm = storm::QueryExpr::NormalizeQuery(keyword);
+    const std::string key = norm.ok() ? std::move(norm).value() : keyword;
+    result_cache_->RecordAccess(key);
+    std::map<uint32_t, uint64_t> known;
+    std::map<NodeId, cache::CachedSlice> snapshot;
+    if (const auto* slices = result_cache_->SlicesFor(key)) {
+      for (const auto& [source, slice] : *slices) {
+        known.emplace(static_cast<uint32_t>(source), slice.epoch);
+        snapshot.emplace(static_cast<NodeId>(source), slice);
+      }
+    }
+    agent.EnableCacheProbe(std::move(known), config_.cache_probe_cost);
+    probe_snapshots_[query_id] = std::move(snapshot);
+  }
   return LaunchAgent(agent, query_id, keyword, ttl);
 }
 
@@ -687,12 +746,68 @@ void BestPeerNode::OnSearchResult(const net::Message& msg) {
     late_results_c_->Increment();
     return;
   }
+
+  // A "not modified" reply is materialized from the slice snapshot taken
+  // at launch — and only on an exact epoch match. A slice that was
+  // evicted or invalidated mid-flight makes the reply an orphan, which is
+  // dropped rather than ever served stale.
+  auto cached_ids = std::make_shared<std::vector<uint64_t>>();
+  bool from_cache = false;
+  if (result->cache_epoch != 0 &&
+      (result->cache_flags & SearchResultMessage::kCacheNotModified) != 0) {
+    const cache::CachedSlice* slice = nullptr;
+    auto snap_it = probe_snapshots_.find(result->query_id);
+    if (snap_it != probe_snapshots_.end()) {
+      auto s = snap_it->second.find(msg.src);
+      if (s != snap_it->second.end() &&
+          s->second.epoch == result->cache_epoch) {
+        slice = &s->second;
+      }
+    }
+    if (slice == nullptr) {
+      ++cache_notmod_orphans_;
+      notmod_orphans_c_->Increment();
+      return;
+    }
+    *cached_ids = slice->ids;
+    from_cache = true;
+    ++cache_remote_hits_;
+    remote_hits_c_->Increment();
+    if (obs::FlightRecorder* flight = transport_->flight()) {
+      obs::FlightEvent e;
+      e.ts = transport_->clock().now();
+      e.type = obs::EventType::kCacheHit;
+      e.node = node_;
+      e.peer = msg.src;
+      e.flow = result->query_id;
+      e.a = cached_ids->size();
+      e.b = result->cache_epoch;
+      flight->Record(e);
+    }
+  }
+
   ++results_received_;
   results_received_c_->Increment();
-  answers_received_c_->Add(result->items.size());
+  answers_received_c_->Add(from_cache ? cached_ids->size()
+                                      : result->items.size());
   result_hops_->Observe(static_cast<double>(result->hops));
   if (result->responder_object_count > 0) {
     store_size_hints_[msg.src] = result->responder_object_count;
+  }
+
+  // A full reply from a cache-probing responder refreshes the base's
+  // slice for it, so the next query for the same key can go conditional.
+  if (result->cache_epoch != 0 && !from_cache && result_cache_ != nullptr) {
+    auto norm = storm::QueryExpr::NormalizeQuery(it->second.keyword());
+    if (norm.ok()) {
+      cache::CachedSlice slice;
+      slice.source = msg.src;
+      slice.epoch = result->cache_epoch;
+      slice.hops = result->hops;
+      slice.ids.reserve(result->items.size());
+      for (const auto& item : result->items) slice.ids.push_back(item.id);
+      result_cache_->InsertSlice(norm.value(), std::move(slice));
+    }
   }
 
   // Charge per-message handling at the base node, then record.
@@ -700,7 +815,7 @@ void BestPeerNode::OnSearchResult(const net::Message& msg) {
   NodeId responder = msg.src;
   transport_->RunCpu(
       config_.result_handling_cost,
-      [this, record, responder]() {
+      [this, record, responder, cached_ids, from_cache]() {
         auto session_it = sessions_.find(record->query_id);
         if (session_it == sessions_.end()) return;
         if (session_it->second.finalized()) {
@@ -713,21 +828,123 @@ void BestPeerNode::OnSearchResult(const net::Message& msg) {
         event.time = transport_->clock().now();
         event.node = responder;
         event.hops = record->hops;
-        event.answers = record->items.size();
         std::vector<uint64_t> ids;
-        ids.reserve(record->items.size());
-        for (const auto& item : record->items) ids.push_back(item.id);
+        if (from_cache) {
+          ids = *cached_ids;
+        } else {
+          ids.reserve(record->items.size());
+          for (const auto& item : record->items) ids.push_back(item.id);
+        }
+        event.answers = ids.size();
         session_it->second.RecordResultWithIds(event, ids);
 
         if (record->mode == static_cast<uint8_t>(AnswerMode::kIndicate) &&
             config_.auto_fetch) {
-          std::vector<storm::ObjectId> ids;
-          ids.reserve(record->items.size());
-          for (const auto& item : record->items) ids.push_back(item.id);
           FetchObjects(responder, record->query_id, ids);
         }
       },
       "result.handle", record->query_id);
+}
+
+// ------------------------------------------------- hot-answer replication
+
+void BestPeerNode::OnAnswerServed(std::string_view key,
+                                  const std::vector<uint64_t>& matches) {
+  if (replica_mgr_ == nullptr || result_cache_ == nullptr ||
+      storage_ == nullptr || matches.empty()) {
+    return;
+  }
+  uint32_t frequency = result_cache_->EstimateFrequency(key);
+  if (!replica_mgr_->ShouldPromote(std::string(key), frequency,
+                                   transport_->clock().now())) {
+    return;
+  }
+  PushHotReplicas(matches);
+}
+
+void BestPeerNode::PushHotReplicas(const std::vector<uint64_t>& ids) {
+  CacheReplicaPushMessage push;
+  push.source_epoch = storage_->mutation_epoch() + 1;
+  push.ttl = config_.replica_ttl;
+  for (uint64_t id : ids) {
+    auto content = storage_->Get(id);
+    if (!content.ok()) continue;  // Deleted since the answer was served.
+    ResultItem item;
+    item.id = id;
+    item.name = "obj-" + std::to_string(id);
+    item.content = std::move(content).value();
+    push.items.push_back(std::move(item));
+  }
+  if (push.items.empty()) return;
+  Bytes encoded = push.Encode();
+  for (NodeId peer : peers_.Nodes()) {
+    SendCompressed(peer, kCacheReplicaPushType, encoded);
+    ++replica_pushes_;
+    replica_pushes_c_->Increment();
+    if (obs::FlightRecorder* flight = transport_->flight()) {
+      obs::FlightEvent e;
+      e.ts = transport_->clock().now();
+      e.type = obs::EventType::kReplicaPush;
+      e.node = node_;
+      e.peer = peer;
+      e.a = push.items.size();
+      e.b = push.source_epoch;
+      flight->Record(e);
+    }
+  }
+}
+
+void BestPeerNode::OnCacheReplicaPush(const net::Message& msg) {
+  // Replication is opt-in on the *receiver* too: without a manager the
+  // push is ignored, so a mixed fleet can't grow unmanaged copies.
+  if (replica_mgr_ == nullptr || storage_ == nullptr) return;
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto push = CacheReplicaPushMessage::Decode(payload.value());
+  if (!push.ok()) return;
+  SimTime cost = config_.fetch_per_object_cost *
+                 static_cast<SimTime>(push->items.size());
+  auto items = std::make_shared<std::vector<ResultItem>>(
+      std::move(push->items));
+  int64_t ttl = push->ttl;
+  transport_->RunCpu(cost, [this, items, ttl]() {
+    for (const auto& item : *items) {
+      if (storage_->Contains(item.id)) {
+        // An object we own outright (the original, or a §6 replica)
+        // must never be expired by a lease; only refresh leases on
+        // copies this manager planted.
+        if (!replica_mgr_->Tracks(item.id)) continue;
+      } else {
+        if (!storage_->Put(item.id, item.content).ok()) continue;
+        ++replicas_stored_;
+      }
+      uint64_t generation = replica_mgr_->NoteStored(item.id);
+      if (ttl > 0) {
+        storm::ObjectId id = item.id;
+        transport_->clock().ScheduleAfter(
+            ttl, [this, id, generation]() { ExpireReplica(id, generation); });
+      }
+    }
+  });
+}
+
+void BestPeerNode::ExpireReplica(storm::ObjectId id, uint64_t generation) {
+  if (replica_mgr_ == nullptr || storage_ == nullptr) return;
+  if (!replica_mgr_->ShouldExpire(id, generation)) return;  // Re-leased.
+  replica_mgr_->Remove(id);
+  // The delete bumps the mutation epoch, so any cached slice naming this
+  // replica goes stale with it — expiry can't leave stale answers behind.
+  storage_->Delete(id).ok();
+  ++replicas_expired_;
+  replicas_expired_c_->Increment();
+  if (obs::FlightRecorder* flight = transport_->flight()) {
+    obs::FlightEvent e;
+    e.ts = transport_->clock().now();
+    e.type = obs::EventType::kReplicaExpire;
+    e.node = node_;
+    e.a = id;
+    flight->Record(e);
+  }
 }
 
 void BestPeerNode::FetchObjects(NodeId responder, uint64_t query_id,

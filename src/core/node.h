@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "agent/agent_runtime.h"
+#include "cache/replica_manager.h"
+#include "cache/result_cache.h"
 #include "core/active_object.h"
 #include "core/compute.h"
 #include "core/config.h"
@@ -66,6 +68,9 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   storm::Storm* storage() override { return storage_.get(); }
   NodeId host_node() const override { return node_; }
   const FilterRegistry& filters() const override { return filters_; }
+  cache::ResultCache* result_cache() override { return result_cache_.get(); }
+  void OnAnswerServed(std::string_view key,
+                      const std::vector<uint64_t>& matches) override;
 
   // --- storage ------------------------------------------------------------
 
@@ -139,6 +144,20 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
 
   /// Replicas this node has accepted from peers.
   uint64_t replicas_stored() const { return replicas_stored_; }
+
+  // --- result cache & hot-answer replication ---------------------------------
+
+  /// Replica bookkeeping (null unless config.enable_replication).
+  cache::ReplicaManager* replica_manager() { return replica_mgr_.get(); }
+
+  /// Not-modified replies this base node materialized from its cache.
+  uint64_t cache_remote_hits() const { return cache_remote_hits_; }
+  /// Not-modified replies dropped because the matching slice was gone.
+  uint64_t cache_notmod_orphans() const { return cache_notmod_orphans_; }
+  /// Hot-answer replica pushes sent to peers.
+  uint64_t replica_pushes() const { return replica_pushes_; }
+  /// Replicas this node deleted at their TTL.
+  uint64_t replicas_expired() const { return replicas_expired_; }
 
   // --- peer monitoring (§3.4) ------------------------------------------------
 
@@ -244,6 +263,12 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   void OnDataShipRequest(const net::Message& msg);
   void OnDataShipResponse(const net::Message& msg);
   void OnReplicatePush(const net::Message& msg);
+  void OnCacheReplicaPush(const net::Message& msg);
+  /// Pushes the objects behind a hot answer to every direct peer.
+  void PushHotReplicas(const std::vector<uint64_t>& ids);
+  /// Deletes a pushed replica at its TTL (generation-guarded: a re-push
+  /// re-arms the lease and orphans older timers).
+  void ExpireReplica(storm::ObjectId id, uint64_t generation);
   void OnWatchRequest(const net::Message& msg);
   void OnUpdateNotify(const net::Message& msg);
 
@@ -275,6 +300,8 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   std::unique_ptr<agent::AgentRuntime> runtime_;
   std::unique_ptr<storm::Storm> storage_;
   std::unique_ptr<ReconfigStrategy> strategy_;
+  std::unique_ptr<cache::ResultCache> result_cache_;
+  std::unique_ptr<cache::ReplicaManager> replica_mgr_;
 
   PeerList peers_;
   FilterRegistry filters_;
@@ -283,6 +310,12 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   std::map<std::string, storm::ObjectId> shared_files_;
 
   std::map<uint64_t, QuerySession> sessions_;
+  /// Per in-flight query: the cached slices (by responder) the launched
+  /// agent's known-epoch map was built from. A not-modified reply is
+  /// materialized from here — and only on an exact epoch match, so a
+  /// slice evicted or invalidated mid-flight can never produce a stale
+  /// answer.
+  std::map<uint64_t, std::map<NodeId, cache::CachedSlice>> probe_snapshots_;
   std::map<uint64_t, ContentCallback> pending_content_;
   /// Last known store size per node, learned from search results.
   std::map<NodeId, size_t> store_size_hints_;
@@ -297,6 +330,10 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   uint64_t peer_evictions_ = 0;
   bool replenish_in_flight_ = false;
   uint64_t replicas_stored_ = 0;
+  uint64_t cache_remote_hits_ = 0;
+  uint64_t cache_notmod_orphans_ = 0;
+  uint64_t replica_pushes_ = 0;
+  uint64_t replicas_expired_ = 0;
   std::set<NodeId> watchers_;
   std::map<NodeId, UpdateCallback> watching_;
   storm::ObjectId next_file_object_id_;
@@ -311,6 +348,11 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   metrics::Counter* peer_evictions_c_ = metrics::Counter::Noop();
   metrics::Gauge* inflight_sessions_g_ = metrics::Gauge::Noop();
   metrics::Histogram* result_hops_ = metrics::Histogram::Noop();
+  metrics::Counter* remote_hits_c_ = metrics::Counter::Noop();
+  metrics::Counter* notmod_orphans_c_ = metrics::Counter::Noop();
+  metrics::Counter* replica_pushes_c_ = metrics::Counter::Noop();
+  metrics::Counter* replicas_expired_c_ = metrics::Counter::Noop();
+  metrics::Gauge* index_epoch_g_ = metrics::Gauge::Noop();
 };
 
 }  // namespace bestpeer::core

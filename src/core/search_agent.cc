@@ -1,5 +1,7 @@
 #include "core/search_agent.h"
 
+#include "cache/result_cache.h"
+#include "storm/query_expr.h"
 #include "storm/storm.h"
 
 namespace bestpeer::core {
@@ -10,6 +12,17 @@ void SearchAgent::SaveState(BinaryWriter& writer) const {
   writer.WriteU8(static_cast<uint8_t>(mode_));
   writer.WriteI64(per_object_cost_);
   writer.WriteVarint(descriptor_bytes_);
+  // Trailing optional section: written only when the cache probe is
+  // armed, so cache-off agent transfers stay byte-identical.
+  if (cache_probe_) {
+    writer.WriteU8(1);
+    writer.WriteI64(probe_cost_);
+    writer.WriteVarint(known_epochs_.size());
+    for (const auto& [node, epoch] : known_epochs_) {
+      writer.WriteU32(node);
+      writer.WriteVarint(epoch);
+    }
+  }
 }
 
 Status SearchAgent::LoadState(BinaryReader& reader) {
@@ -21,6 +34,19 @@ Status SearchAgent::LoadState(BinaryReader& reader) {
   BP_ASSIGN_OR_RETURN(per_object_cost_, reader.ReadI64());
   BP_ASSIGN_OR_RETURN(uint64_t descr, reader.ReadVarint());
   descriptor_bytes_ = descr;
+  cache_probe_ = false;
+  known_epochs_.clear();
+  if (!reader.AtEnd()) {
+    BP_ASSIGN_OR_RETURN(uint8_t flag, reader.ReadU8());
+    cache_probe_ = flag != 0;
+    BP_ASSIGN_OR_RETURN(probe_cost_, reader.ReadI64());
+    BP_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+    for (uint64_t i = 0; i < n; ++i) {
+      BP_ASSIGN_OR_RETURN(uint32_t node, reader.ReadU32());
+      BP_ASSIGN_OR_RETURN(uint64_t epoch, reader.ReadVarint());
+      known_epochs_[node] = epoch;
+    }
+  }
   return Status::OK();
 }
 
@@ -28,35 +54,112 @@ Status SearchAgent::Execute(agent::AgentContext& ctx) {
   storm::Storm* storage = ctx.host()->storage();
   if (storage == nullptr) return Status::OK();  // Nothing shared here.
 
-  // "The agent makes a comparison for each object stored in the
-  // Shared-StorM database with its query."
-  BP_ASSIGN_OR_RETURN(storm::Storm::ScanResult scan,
-                      storage->ScanSearch(keyword_));
-  ctx.ChargeCpu(static_cast<SimTime>(scan.objects_scanned) *
-                per_object_cost_);
-  if (scan.matches.empty()) return Status::OK();
+  if (!cache_probe_) {
+    // "The agent makes a comparison for each object stored in the
+    // Shared-StorM database with its query."
+    BP_ASSIGN_OR_RETURN(storm::Storm::ScanResult scan,
+                        storage->ScanSearch(keyword_));
+    ctx.ChargeCpu(static_cast<SimTime>(scan.objects_scanned) *
+                  per_object_cost_);
+    if (scan.matches.empty()) return Status::OK();
+
+    SearchResultMessage result;
+    result.query_id = query_id_;
+    result.hops = ctx.hops();
+    result.mode = static_cast<uint8_t>(mode_);
+    result.responder_object_count =
+        static_cast<uint32_t>(scan.objects_scanned);
+    result.items.reserve(scan.matches.size());
+    for (storm::ObjectId id : scan.matches) {
+      ResultItem item;
+      item.id = id;
+      item.name = "obj-" + std::to_string(id);
+      if (mode_ == AnswerMode::kDirect) {
+        BP_ASSIGN_OR_RETURN(item.content, storage->Get(id));
+      } else {
+        // Mode 2: ship a fixed-size descriptor instead of the content.
+        item.name.resize(descriptor_bytes_, ' ');
+      }
+      result.items.push_back(std::move(item));
+    }
+    // Results go directly to the base node, never along the query path.
+    ctx.SendMessage(ctx.origin_node(), kSearchResultType, result.Encode());
+    return Status::OK();
+  }
+
+  // Cache-probe hop step. The IndexEpoch is the mutation epoch shifted by
+  // one so an armed probe always carries a nonzero epoch on the wire.
+  const uint64_t index_epoch = storage->mutation_epoch() + 1;
+  std::string norm_key = keyword_;
+  if (auto norm = storm::QueryExpr::NormalizeQuery(keyword_); norm.ok()) {
+    norm_key = std::move(norm).value();
+  }
+
+  cache::ResultCache* rc = ctx.host()->result_cache();
+  std::vector<uint64_t> matches;
+  bool from_cache = false;
+  if (rc != nullptr) {
+    rc->RecordAccess(norm_key);
+    const cache::CachedSlice* slice =
+        rc->ProbeSlice(norm_key, ctx.current_node(), index_epoch);
+    if (slice != nullptr) {
+      matches = slice->ids;
+      from_cache = true;
+      ctx.ChargeCpu(probe_cost_);
+    }
+  }
+  if (!from_cache) {
+    BP_ASSIGN_OR_RETURN(storm::Storm::ScanResult scan,
+                        storage->ScanSearch(keyword_));
+    ctx.ChargeCpu(static_cast<SimTime>(scan.objects_scanned) *
+                  per_object_cost_);
+    matches = std::move(scan.matches);
+    if (rc != nullptr) {
+      // Cache even empty answer sets: knowing "nothing here at this
+      // epoch" saves the next full scan too.
+      cache::CachedSlice slice;
+      slice.source = ctx.current_node();
+      slice.epoch = index_epoch;
+      slice.hops = ctx.hops();
+      slice.ids = matches;
+      rc->InsertSlice(norm_key, std::move(slice));
+    }
+  }
+  if (matches.empty()) return Status::OK();
 
   SearchResultMessage result;
   result.query_id = query_id_;
   result.hops = ctx.hops();
   result.mode = static_cast<uint8_t>(mode_);
   result.responder_object_count =
-      static_cast<uint32_t>(scan.objects_scanned);
-  result.items.reserve(scan.matches.size());
-  for (storm::ObjectId id : scan.matches) {
-    ResultItem item;
-    item.id = id;
-    item.name = "obj-" + std::to_string(id);
-    if (mode_ == AnswerMode::kDirect) {
-      BP_ASSIGN_OR_RETURN(item.content, storage->Get(id));
-    } else {
-      // Mode 2: ship a fixed-size descriptor instead of the content.
-      item.name.resize(descriptor_bytes_, ' ');
+      static_cast<uint32_t>(storage->object_count());
+  result.cache_epoch = index_epoch;
+  auto known = known_epochs_.find(ctx.current_node());
+  if (known != known_epochs_.end() && known->second == index_epoch) {
+    // Conditional GET, answered "not modified": the base's slice for this
+    // responder is provably current (the epoch it knows is the epoch the
+    // store is at *right now*), so a header-only reply suffices.
+    result.cache_flags = SearchResultMessage::kCacheNotModified;
+  } else {
+    result.items.reserve(matches.size());
+    for (storm::ObjectId id : matches) {
+      ResultItem item;
+      item.id = id;
+      item.name = "obj-" + std::to_string(id);
+      if (mode_ == AnswerMode::kDirect) {
+        auto content = storage->Get(id);
+        // A cached match may race a concurrent delete between epoch
+        // check and read; skipping mirrors the fetch path's tolerance.
+        if (!content.ok()) continue;
+        item.content = std::move(content).value();
+      } else {
+        item.name.resize(descriptor_bytes_, ' ');
+      }
+      result.items.push_back(std::move(item));
     }
-    result.items.push_back(std::move(item));
   }
-  // Results go directly to the base node, never along the query path.
   ctx.SendMessage(ctx.origin_node(), kSearchResultType, result.Encode());
+  ctx.host()->OnAnswerServed(norm_key, matches);
   return Status::OK();
 }
 

@@ -1,7 +1,9 @@
 #ifndef BESTPEER_CORE_SEARCH_AGENT_H_
 #define BESTPEER_CORE_SEARCH_AGENT_H_
 
+#include <map>
 #include <string>
+#include <utility>
 
 #include "agent/agent.h"
 #include "core/config.h"
@@ -38,12 +40,31 @@ class SearchAgent : public agent::Agent {
   uint64_t query_id() const { return query_id_; }
   const std::string& keyword() const { return keyword_; }
 
+  /// Arms the cache-probe hop step (result-cache subsystem): the agent
+  /// carries the base node's last known IndexEpoch per responder. At each
+  /// node it first probes the local result cache, and when the base's
+  /// known epoch still matches the store it answers with a tiny
+  /// "not-modified" reply instead of re-shipping the items.
+  void EnableCacheProbe(std::map<uint32_t, uint64_t> known_epochs,
+                        SimTime probe_cost) {
+    cache_probe_ = true;
+    known_epochs_ = std::move(known_epochs);
+    probe_cost_ = probe_cost;
+  }
+
+  bool cache_probe_enabled() const { return cache_probe_; }
+
  private:
   uint64_t query_id_ = 0;
   std::string keyword_;
   AnswerMode mode_ = AnswerMode::kDirect;
   SimTime per_object_cost_ = Micros(15);
   size_t descriptor_bytes_ = 64;
+  /// Optional trailing state, serialized only when armed so cache-off
+  /// agent transfers stay byte-identical to older builds.
+  bool cache_probe_ = false;
+  SimTime probe_cost_ = Micros(5);
+  std::map<uint32_t, uint64_t> known_epochs_;
 };
 
 }  // namespace bestpeer::core

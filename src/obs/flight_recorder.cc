@@ -30,6 +30,18 @@ std::string_view EventTypeName(EventType type) {
       return "restart";
     case EventType::kAnomaly:
       return "anomaly";
+    case EventType::kCacheHit:
+      return "cache_hit";
+    case EventType::kCacheMiss:
+      return "cache_miss";
+    case EventType::kCacheEvict:
+      return "cache_evict";
+    case EventType::kCacheInvalidate:
+      return "cache_invalidate";
+    case EventType::kReplicaPush:
+      return "replica_push";
+    case EventType::kReplicaExpire:
+      return "replica_expire";
   }
   return "unknown";
 }

@@ -26,6 +26,12 @@ enum class EventType : uint8_t {
   kCrash,            ///< Scheduled crash took the node offline.
   kRestart,          ///< Crashed node came back.
   kAnomaly,          ///< TripAnomaly marker (see anomalies() for reasons).
+  kCacheHit,         ///< Result-cache probe hit (a = key hash, b = epoch).
+  kCacheMiss,        ///< Result-cache probe miss (a = key hash, b = epoch).
+  kCacheEvict,       ///< Entry evicted for space (a = key hash, b = bytes).
+  kCacheInvalidate,  ///< Stale slice dropped (a = key hash, b = epoch).
+  kReplicaPush,      ///< Hot answers pushed to a peer (a = objects).
+  kReplicaExpire,    ///< Replica TTL fired; copy deleted (a = object id).
 };
 
 /// Stable lower_snake_case name used in the NDJSON dump.

@@ -1,5 +1,7 @@
 #include "storm/query_expr.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace bestpeer::storm {
@@ -27,6 +29,21 @@ Result<QueryExpr> QueryExpr::Parse(std::string_view text) {
   }
   expr.dnf_.push_back(std::move(current));
   return expr;
+}
+
+void QueryExpr::Normalize() {
+  for (auto& branch : dnf_) {
+    std::sort(branch.begin(), branch.end());
+    branch.erase(std::unique(branch.begin(), branch.end()), branch.end());
+  }
+  std::sort(dnf_.begin(), dnf_.end());
+  dnf_.erase(std::unique(dnf_.begin(), dnf_.end()), dnf_.end());
+}
+
+Result<std::string> QueryExpr::NormalizeQuery(std::string_view text) {
+  BP_ASSIGN_OR_RETURN(QueryExpr expr, Parse(text));
+  expr.Normalize();
+  return expr.ToString();
 }
 
 bool QueryExpr::Matches(std::string_view content) const {

@@ -23,6 +23,16 @@ class QueryExpr {
   /// ("a OR", "OR b").
   static Result<QueryExpr> Parse(std::string_view text);
 
+  /// Canonicalizes in place: terms within each AND branch are sorted and
+  /// deduplicated, branches likewise. Semantics-preserving (AND/OR are
+  /// commutative and idempotent), so "b a OR a b" normalizes to "a b".
+  void Normalize();
+
+  /// Parse + Normalize + ToString: the one canonical key both the StorM
+  /// query cache and the node result cache use, so "a b" and "b a" stop
+  /// being distinct queries end-to-end.
+  static Result<std::string> NormalizeQuery(std::string_view text);
+
   /// True iff `content` satisfies the expression.
   bool Matches(std::string_view content) const;
 

@@ -82,6 +82,7 @@ Status Storm::Put(ObjectId id, const Bytes& data) {
   BP_RETURN_IF_ERROR(objects_->Put(id, data));
   if (options_.build_index) index_.Add(id, ToString(data));
   ++mutation_epoch_;
+  if (mutation_listener_) mutation_listener_(mutation_epoch_);
   return Status::OK();
 }
 
@@ -98,6 +99,7 @@ Status Storm::Delete(ObjectId id) {
   }
   BP_RETURN_IF_ERROR(objects_->Delete(id));
   ++mutation_epoch_;
+  if (mutation_listener_) mutation_listener_(mutation_epoch_);
   return Status::OK();
 }
 
@@ -111,6 +113,7 @@ Status Storm::Update(ObjectId id, const Bytes& data) {
 
 Result<Storm::ScanResult> Storm::ScanSearch(std::string_view query) {
   BP_ASSIGN_OR_RETURN(QueryExpr expr, QueryExpr::Parse(query));
+  expr.Normalize();
   const std::string canonical = expr.ToString();
 
   if (options_.enable_query_cache) {
@@ -162,6 +165,7 @@ Result<std::vector<ObjectId>> Storm::IndexSearch(
     return Status::FailedPrecondition("keyword index disabled");
   }
   BP_ASSIGN_OR_RETURN(QueryExpr expr, QueryExpr::Parse(query));
+  expr.Normalize();  // Dedup terms so no posting list intersects twice.
   std::set<ObjectId> results;
   for (const auto& branch : expr.dnf()) {
     // Intersect the postings of every AND term.

@@ -2,6 +2,7 @@
 #define BESTPEER_STORM_STORM_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -98,6 +99,12 @@ class Storm {
   /// Monotone counter bumped by every Put/Delete (cache validity token).
   uint64_t mutation_epoch() const { return mutation_epoch_; }
 
+  /// Invoked with the new epoch after every Put/Delete bump (Update fires
+  /// twice). The node layer hooks this to invalidate result caches.
+  void SetMutationListener(std::function<void(uint64_t)> listener) {
+    mutation_listener_ = std::move(listener);
+  }
+
   /// Query-cache statistics.
   uint64_t query_cache_hits() const { return cache_hits_; }
   uint64_t query_cache_misses() const { return cache_misses_; }
@@ -132,6 +139,7 @@ class Storm {
   std::unique_ptr<ObjectStore> objects_;
   std::unique_ptr<WriteAheadLog> wal_;
   KeywordIndex index_;
+  std::function<void(uint64_t)> mutation_listener_;
   std::map<std::string, CachedQuery, std::less<>> query_cache_;
   uint64_t mutation_epoch_ = 0;
   uint64_t cache_clock_ = 0;

@@ -29,6 +29,24 @@ Bytes CorpusGenerator::MakeObject(bool match) {
   return ToBytes(text);
 }
 
+Bytes CorpusGenerator::MakeObject(bool match,
+                                  const std::vector<std::string>& tokens) {
+  std::string text;
+  text.reserve(options_.object_size + 16);
+  if (match) {
+    for (const std::string& token : tokens) {
+      text += token;
+      text += ' ';
+    }
+  }
+  while (text.size() < options_.object_size) {
+    text += RandomWord();
+    text += ' ';
+  }
+  text.resize(options_.object_size);
+  return ToBytes(text);
+}
+
 std::string CorpusGenerator::MakeFileName(bool match, size_t serial) {
   std::string name;
   if (match) {

@@ -33,6 +33,12 @@ class CorpusGenerator {
   /// guaranteed not to. Content is padded/truncated to object_size.
   Bytes MakeObject(bool match);
 
+  /// Like MakeObject(match), but matching objects lead with all of
+  /// `tokens` instead of the single needle, so one object answers every
+  /// query in a pooled-keyword workload. The non-match path draws the
+  /// same words as MakeObject(false).
+  Bytes MakeObject(bool match, const std::vector<std::string>& tokens);
+
   /// Generates a shareable text-file name ("w42-w17-doc3.txt"); matching
   /// names contain kNeedle.
   std::string MakeFileName(bool match, size_t serial);

@@ -79,12 +79,32 @@ storm::ObjectId GlobalObjectId(size_t node, size_t i) {
   return (static_cast<storm::ObjectId>(node) << 24) | i;
 }
 
+/// The pooled query keywords of the Zipf-repeat mode ("needle0"...).
+std::vector<std::string> PoolTokens(const ExperimentOptions& options) {
+  std::vector<std::string> tokens;
+  tokens.reserve(options.query_pool);
+  for (size_t i = 0; i < options.query_pool; ++i) {
+    tokens.push_back(std::string(CorpusGenerator::kNeedle) +
+                     std::to_string(i));
+  }
+  return tokens;
+}
+
 /// Populates one storm store with the experiment corpus.
 Status PopulateStore(const ExperimentOptions& options, size_t node,
                      CorpusGenerator& corpus,
                      const std::function<Status(storm::ObjectId,
                                                 const Bytes&)>& put) {
   size_t matches = options.MatchesAt(node);
+  if (options.query_pool > 0) {
+    const std::vector<std::string> tokens = PoolTokens(options);
+    for (size_t i = 0; i < options.objects_per_node; ++i) {
+      bool match = i < matches;
+      BP_RETURN_IF_ERROR(
+          put(GlobalObjectId(node, i), corpus.MakeObject(match, tokens)));
+    }
+    return Status::OK();
+  }
   for (size_t i = 0; i < options.objects_per_node; ++i) {
     bool match = i < matches;
     BP_RETURN_IF_ERROR(put(GlobalObjectId(node, i), corpus.MakeObject(match)));
@@ -206,6 +226,16 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   config.codec = options.codec;
   config.default_ttl = options.ttl;
   config.metrics = &registry;
+  config.enable_result_cache = options.enable_result_cache;
+  config.result_cache_bytes = options.result_cache_bytes;
+  config.cache_lru_only = options.cache_lru_only;
+  config.enable_replication = options.enable_replication;
+  config.replica_hot_threshold = options.replica_hot_threshold;
+  config.replica_top_k = options.replica_top_k;
+  // RunUntilIdle between queries drains every pending timer, so a finite
+  // TTL would always expire replicas before the next query could benefit;
+  // workload runs therefore map the option directly (0 = no expiry).
+  config.replica_ttl = options.replica_ttl;
 
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   nodes.reserve(topo.node_count);
@@ -233,10 +263,26 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   }
 
   core::BestPeerNode& base = *nodes[topo.base];
+  // Zipf-repeat mode draws keywords from a dedicated rng so enabling the
+  // pool never perturbs the corpus stream (cache-off single-keyword runs
+  // stay bit-identical).
+  std::unique_ptr<Rng> query_rng;
+  std::unique_ptr<ZipfSampler> query_zipf;
+  if (options.query_pool > 0) {
+    query_rng = std::make_unique<Rng>(options.seed ^ 0x51EE9ULL);
+    query_zipf = std::make_unique<ZipfSampler>(options.query_pool,
+                                               options.query_zipf_skew);
+  }
+  size_t mutation_cursor = 0;
+  std::vector<size_t> mutated(topo.node_count, 0);
   ExperimentResult result;
   for (size_t q = 0; q < options.queries; ++q) {
-    BP_ASSIGN_OR_RETURN(uint64_t query_id,
-                        base.IssueSearch(CorpusGenerator::kNeedle));
+    std::string keyword = CorpusGenerator::kNeedle;
+    if (query_zipf != nullptr) {
+      keyword = std::string(CorpusGenerator::kNeedle) +
+                std::to_string(query_zipf->Sample(*query_rng));
+    }
+    BP_ASSIGN_OR_RETURN(uint64_t query_id, base.IssueSearch(keyword));
     sampling.Arm();
     simulator.RunUntilIdle();
     const core::QuerySession* session = base.FindSession(query_id);
@@ -250,6 +296,7 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
     metrics.completion = session->completion_time();
     metrics.total_answers = content_fetched ? session->total_answers()
                                             : session->total_indicated();
+    metrics.unique_answers = session->unique_answers();
     metrics.responders = session->responder_count();
     metrics.responses = content_fetched &&
                                 options.answer_mode ==
@@ -265,6 +312,23 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
     if (options.scheme == Scheme::kBpr) {
       BP_RETURN_IF_ERROR(base.Reconfigure(query_id));
       simulator.RunUntilIdle();  // Let connect/disconnect notices land.
+    }
+
+    if (options.mutate_every > 0 && (q + 1) % options.mutate_every == 0) {
+      // Mid-workload StorM mutation: unshare one still-present matching
+      // object at the next non-base node in rotation. Every cached result
+      // naming that responder must be invalidated by the epoch bump.
+      for (size_t attempt = 0; attempt < topo.node_count; ++attempt) {
+        size_t node = (mutation_cursor + attempt) % topo.node_count;
+        if (node == topo.base) continue;
+        if (mutated[node] >= options.MatchesAt(node)) continue;
+        size_t obj = mutated[node]++;
+        BP_RETURN_IF_ERROR(
+            nodes[node]->UnshareObject(GlobalObjectId(node, obj)));
+        mutation_cursor = node + 1;
+        break;
+      }
+      simulator.RunUntilIdle();
     }
   }
   result.wire_bytes = network.total_wire_bytes();
@@ -472,6 +536,7 @@ Result<ExperimentResult> RunAveraged(ExperimentOptions options,
     for (size_t q = 0; q < one.queries.size(); ++q) {
       merged.queries[q].completion += one.queries[q].completion;
       merged.queries[q].total_answers += one.queries[q].total_answers;
+      merged.queries[q].unique_answers += one.queries[q].unique_answers;
       merged.queries[q].responders += one.queries[q].responders;
       // Response curves: keep the first seed's curve as representative.
       if (merged.queries[q].responses.empty()) {
@@ -483,6 +548,7 @@ Result<ExperimentResult> RunAveraged(ExperimentOptions options,
   for (auto& q : merged.queries) {
     q.completion /= static_cast<SimTime>(seeds.size());
     q.total_answers /= seeds.size();
+    q.unique_answers /= seeds.size();
     q.responders /= seeds.size();
   }
   return merged;

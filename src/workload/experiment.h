@@ -39,6 +39,8 @@ struct QueryMetrics {
   /// (time, node, answers) per result arrival at the base node.
   std::vector<core::ResponseEvent> responses;
   size_t total_answers = 0;
+  /// Distinct object ids among the answers (replication can duplicate).
+  size_t unique_answers = 0;
   size_t responders = 0;
 };
 
@@ -99,6 +101,30 @@ struct ExperimentOptions {
   /// Enable each node's StorM query cache: repeated identical queries
   /// skip the store scan until the store mutates.
   bool enable_query_cache = false;
+
+  /// Result-cache & hot-answer replication knobs (BestPeer schemes only;
+  /// they map onto the matching BestPeerConfig fields).
+  bool enable_result_cache = false;
+  size_t result_cache_bytes = 256 * 1024;
+  bool cache_lru_only = false;
+  bool enable_replication = false;
+  uint32_t replica_hot_threshold = 3;
+  size_t replica_top_k = 4;
+  SimTime replica_ttl = 0;  ///< Receiver-side replica lifetime (0 = none).
+
+  /// Zipf-repeat query mode: when query_pool > 0, each query's keyword is
+  /// "needle<rank>" with rank drawn from a ZipfSampler over the pool
+  /// (skew query_zipf_skew, dedicated rng), and matching objects contain
+  /// every pool token so each of them answers all pooled queries. The
+  /// skewed repetition is what gives a result cache something to hit.
+  /// 0 = the original single-keyword workload, bit-identical to before.
+  size_t query_pool = 0;
+  double query_zipf_skew = 1.1;
+
+  /// When > 0: after every `mutate_every`-th query, unshare one matching
+  /// object at a rotating non-base node — a mid-workload StorM mutation
+  /// that must invalidate cached results (never serve stale). 0 = off.
+  size_t mutate_every = 0;
 
   /// Pre-load the standard agent classes at every node before measuring.
   /// The StorM search agent ships with the BestPeer platform, so steady

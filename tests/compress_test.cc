@@ -84,6 +84,31 @@ TEST(LzssCodecTest, DecompressRejectsTruncation) {
   EXPECT_FALSE(codec.Decompress(compressed).ok());
 }
 
+TEST(LzssCodecTest, EveryStrictPrefixFailsToDecode) {
+  // The stream is self-delimiting (declared length + token stream), so no
+  // strict prefix of a valid stream may decode successfully — a cut
+  // anywhere must surface as an error, never as silently short output.
+  Rng rng(4242);
+  LzssCodec codec;
+  const std::vector<Bytes> corpora = {
+      Bytes{},                  // Header-only stream.
+      Bytes{42},                // Single literal.
+      RepetitiveText(600),      // Match-heavy stream.
+      RandomBytes(rng, 600),    // Literal-heavy (incompressible) stream.
+  };
+  for (const Bytes& data : corpora) {
+    Bytes compressed = codec.Compress(data).value();
+    ASSERT_EQ(codec.Decompress(compressed).value(), data);
+    for (size_t cut = 0; cut < compressed.size(); ++cut) {
+      Bytes prefix(compressed.begin(),
+                   compressed.begin() + static_cast<ptrdiff_t>(cut));
+      EXPECT_FALSE(codec.Decompress(prefix).ok())
+          << "prefix of " << cut << "/" << compressed.size()
+          << " bytes decoded (input size " << data.size() << ")";
+    }
+  }
+}
+
 TEST(LzssCodecTest, DecompressRejectsBadDistance) {
   // Token stream claiming a match before any output exists.
   BinaryWriter w;
