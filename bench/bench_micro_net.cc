@@ -12,6 +12,7 @@
 
 #include "bench/bench_common.h"
 #include "net/tcp_transport.h"
+#include "util/stats.h"
 
 using namespace bestpeer;
 using namespace bestpeer::bench;
@@ -27,16 +28,18 @@ struct NetStats {
   double rtt_p99_us = 0;
 };
 
-double Percentile(std::vector<double>& sorted_samples, double p) {
-  if (sorted_samples.empty()) return 0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(
-                                           sorted_samples.size() - 1));
-  return sorted_samples[idx];
-}
-
 /// One-way burst throughput + ping/pong RTT at the given payload size.
 NetStats Measure(size_t payload_size, size_t burst, size_t pings,
                  metrics::Registry* registry) {
+  // RTT distribution captured as a registry histogram so the BENCH json
+  // carries it alongside the row percentiles.
+  metrics::Histogram* rtt_h = registry->GetHistogram(
+      "net.rtt_us", {{"payload", std::to_string(payload_size)}},
+      {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+  metrics::Histogram* tput_h = registry->GetHistogram(
+      "net.throughput_msgs_per_sec",
+      {{"payload", std::to_string(payload_size)}},
+      {1e3, 1e4, 1e5, 2e5, 5e5, 1e6, 2e6, 5e6});
   net::TcpOptions options;
   options.max_queue_msgs = burst + 16;
   options.metrics = registry;
@@ -89,9 +92,13 @@ NetStats Measure(size_t payload_size, size_t burst, size_t pings,
   }
   tcpnet.Stop();
 
+  // The reactor thread is joined; the registry is ours again.
+  for (double rtt : rtts) rtt_h->Observe(rtt);
+  tput_h->Observe(stats.msgs_per_sec);
+
   std::sort(rtts.begin(), rtts.end());
-  stats.rtt_p50_us = Percentile(rtts, 0.5);
-  stats.rtt_p99_us = Percentile(rtts, 0.99);
+  stats.rtt_p50_us = PercentileOfSorted(rtts, 50);
+  stats.rtt_p99_us = PercentileOfSorted(rtts, 99);
   return stats;
 }
 

@@ -716,6 +716,33 @@ const QuerySession* BestPeerNode::FindSession(uint64_t query_id) const {
   return it == sessions_.end() ? nullptr : &it->second;
 }
 
+NodeTelemetry BestPeerNode::TelemetrySnapshot() const {
+  NodeTelemetry t;
+  t.peer_capacity = peers_.capacity();
+  for (const PeerInfo& info : peers_.Snapshot()) {
+    PeerTelemetry row;
+    row.info = info;
+    auto score = answer_scores_.find(info.node);
+    if (score != answer_scores_.end()) row.benefit_score = score->second;
+    auto hint = store_size_hints_.find(info.node);
+    if (hint != store_size_hints_.end()) row.store_size_hint = hint->second;
+    t.peers.push_back(std::move(row));
+  }
+  for (const auto& [id, session] : sessions_) {
+    if (!session.finalized()) ++t.sessions_inflight;
+  }
+  t.peer_evictions = peer_evictions_;
+  t.reconfigurations = reconfigurations_;
+  if (replica_mgr_ != nullptr) {
+    t.replica_leases = replica_mgr_->replica_count();
+    t.replica_promotions = replica_mgr_->promotions();
+  }
+  t.replica_pushes = replica_pushes_;
+  t.replicas_expired = replicas_expired_;
+  t.replicas_stored = replicas_stored_;
+  return t;
+}
+
 void BestPeerNode::SendCompressed(NodeId dst, uint32_t type,
                                   const Bytes& payload, uint64_t flow) {
   auto compressed = codec_->Compress(payload);

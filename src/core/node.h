@@ -41,6 +41,32 @@ struct SharedInfra {
 Status RegisterBuiltinAgents(agent::AgentRegistry* registry,
                              const BestPeerConfig& config);
 
+/// One row of the telemetry plane's `/peers` endpoint: a direct peer's
+/// health record plus what this node has learned about it.
+struct PeerTelemetry {
+  PeerInfo info;
+  /// EWMA answer score — the §3.3 history term the reconfiguration
+  /// strategies rank peers by (0 when no history yet).
+  double benefit_score = 0.0;
+  /// Last known shared-store size (0 = unknown).
+  size_t store_size_hint = 0;
+};
+
+/// Point-in-time operator view of one node, assembled for `/peers`.
+struct NodeTelemetry {
+  std::vector<PeerTelemetry> peers;
+  size_t peer_capacity = 0;
+  size_t sessions_inflight = 0;
+  uint64_t peer_evictions = 0;
+  uint64_t reconfigurations = 0;
+  /// Hot-answer replication state (zeros unless enable_replication).
+  size_t replica_leases = 0;
+  uint64_t replica_promotions = 0;
+  uint64_t replica_pushes = 0;
+  uint64_t replicas_expired = 0;
+  uint64_t replicas_stored = 0;
+};
+
 /// A node running the BestPeer software: storage (StorM), an agent
 /// engine, a LIGLO client, a self-reconfiguring direct-peer list, and the
 /// resource-sharing services of §3.2 (static files, active objects,
@@ -112,6 +138,10 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
 
   const PeerList& peers() const { return peers_; }
   std::vector<NodeId> DirectPeerNodes() const { return peers_.Nodes(); }
+
+  /// Health, benefit and replication state for the telemetry plane.
+  /// Call on the transport's execution thread (it reads protocol state).
+  NodeTelemetry TelemetrySnapshot() const;
 
   // --- querying (§2, §4.2) --------------------------------------------------
 

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/flight_recorder.h"
+
 namespace bestpeer::net {
 
 namespace {
@@ -123,6 +125,28 @@ bool TcpTransport::IsOnline(NodeId node) const {
 
 LinkProfile TcpTransport::link() const { return net_->options().link; }
 
+obs::FlightRecorder* TcpTransport::flight() const {
+  return net_->options().flight;
+}
+
+void TcpTransport::RecordMsgEvent(obs::EventType event, obs::DropCause cause,
+                                  uint32_t type, NodeId dst, FlowId flow,
+                                  uint64_t a, uint64_t b) {
+  obs::FlightRecorder* recorder = net_->options().flight;
+  if (recorder == nullptr) return;
+  obs::FlightEvent e;
+  e.ts = net_->reactor().now_us();
+  e.type = event;
+  e.cause = cause;
+  e.msg_type = type;
+  e.node = node_;
+  e.peer = dst;
+  e.flow = flow;
+  e.a = a;
+  e.b = b;
+  recorder->Record(e);
+}
+
 void TcpTransport::SendOnReactor(NodeId dst, uint32_t type, Bytes payload,
                                  size_t extra_wire_bytes, FlowId flow) {
   if (dst >= net_->node_count() || !net_->IsOnline(dst) ||
@@ -130,6 +154,10 @@ void TcpTransport::SendOnReactor(NodeId dst, uint32_t type, Bytes payload,
       payload.size() > net_->options().max_frame_payload) {
     tx_dropped_.fetch_add(1, std::memory_order_relaxed);
     tx_dropped_c_->Increment();
+    RecordMsgEvent(obs::EventType::kMsgDrop,
+                   !net_->IsOnline(node_) ? obs::DropCause::kSenderOffline
+                                          : obs::DropCause::kReceiverOffline,
+                   type, dst, flow, payload.size(), 0);
     return;
   }
   FrameHeader header;
@@ -149,10 +177,15 @@ void TcpTransport::SendOnReactor(NodeId dst, uint32_t type, Bytes payload,
   if (peer.queue.size() >= net_->options().max_queue_msgs) {
     tx_dropped_.fetch_add(1, std::memory_order_relaxed);
     tx_dropped_c_->Increment();
+    // Backpressure drop: neither end is offline, the queue is just full.
+    RecordMsgEvent(obs::EventType::kMsgDrop, obs::DropCause::kNone, type,
+                   dst, flow, payload.size(), peer.queue.size());
     return;
   }
   tx_msgs_c_->Increment();
   tx_bytes_c_->Add(frame.size() + extra_wire_bytes);
+  RecordMsgEvent(obs::EventType::kMsgSend, obs::DropCause::kNone, type, dst,
+                 flow, payload.size(), frame.size() + extra_wire_bytes);
   peer.queue.push_back(std::move(frame));
   EnsureConnected(dst, peer);
   if (peer.fd >= 0 && !peer.connecting) FlushQueue(dst, peer);
@@ -388,6 +421,18 @@ void TcpTransport::Deliver(const FrameHeader& header, Bytes payload) {
   rx_messages_.fetch_add(1, std::memory_order_relaxed);
   rx_msgs_c_->Increment();
   rx_bytes_c_->Add(kFrameOverheadBytes + payload.size() + header.extra_wire);
+  if (obs::FlightRecorder* recorder = net_->options().flight) {
+    obs::FlightEvent e;
+    e.ts = net_->reactor().now_us();
+    e.type = obs::EventType::kMsgDeliver;
+    e.msg_type = header.type;
+    e.node = header.src;  // Convention: primary node is the sender.
+    e.peer = node_;
+    e.flow = header.flow;
+    e.a = payload.size();
+    e.b = kFrameOverheadBytes + payload.size() + header.extra_wire;
+    recorder->Record(e);
+  }
   if (!handler_) return;
   Message msg;
   msg.src = header.src;

@@ -13,6 +13,7 @@
 #include "net/frame.h"
 #include "net/reactor.h"
 #include "net/transport.h"
+#include "obs/flight_recorder.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -35,6 +36,10 @@ struct TcpOptions {
   /// Metrics sink (not owned; may be nullptr). Only touched on the
   /// reactor thread — the PR-1 registry is not thread-safe.
   metrics::Registry* metrics = nullptr;
+  /// Flight recorder (not owned; may be nullptr). Send/deliver/drop
+  /// events are recorded on the reactor thread only, so the ring stays
+  /// single-threaded exactly like in the simulator.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Transport over real loopback TCP sockets, one listening socket per
@@ -60,6 +65,7 @@ class TcpTransport final : public Transport {
   void RegisterTypeName(uint32_t type, std::string name) override;
   bool IsOnline(NodeId node) const override;
   LinkProfile link() const override;
+  obs::FlightRecorder* flight() const override;
 
   /// The loopback TCP port this node listens on.
   uint16_t port() const { return port_; }
@@ -104,6 +110,9 @@ class TcpTransport final : public Transport {
   void FailOutbound(NodeId dst, PeerConn& peer);
   void CloseAll();
   void Deliver(const FrameHeader& header, Bytes payload);
+  void RecordMsgEvent(obs::EventType event, obs::DropCause cause,
+                      uint32_t type, NodeId dst, FlowId flow, uint64_t a,
+                      uint64_t b);
 
   TcpNet* net_;
   NodeId node_;

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/status.h"
+
 namespace bestpeer::metrics {
 
 /// Sorted (key, value) pairs qualifying one instrument, e.g.
@@ -94,6 +96,17 @@ struct SnapshotEntry {
   uint64_t count = 0;
   double min = 0;
   double max = 0;
+  /// Histogram bucket upper bounds (empty for counters/gauges).
+  std::vector<double> bounds;
+  /// Per-bucket counts; bounds.size() + 1 entries, the last being the
+  /// overflow bucket. Empty when the entry carries no bucket detail
+  /// (e.g. merged from a source without buckets).
+  std::vector<uint64_t> buckets;
+
+  /// Histogram percentile estimate (bucket interpolation through the
+  /// shared HistogramPercentile routine); 0 for non-histograms or
+  /// entries without bucket detail.
+  double Percentile(double p) const;
 };
 
 /// A point-in-time copy of a registry, detached from the live handles.
@@ -116,7 +129,21 @@ struct Snapshot {
   /// "name" or "name{k=v,...}", histograms as
   /// {"count":..,"sum":..,"min":..,"max":..,"mean":..}.
   std::string ToJson(int indent = 0) const;
+
+  /// Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+  /// metric family, `name{label="value"} v` samples with full label
+  /// escaping, histograms as cumulative `_bucket{le="..."}` series plus
+  /// `_sum`/`_count`. Metric/label names are sanitized to the Prometheus
+  /// charset (dots become underscores).
+  std::string ToPrometheus() const;
 };
+
+/// Validates Prometheus text exposition output: every sample belongs to a
+/// preceding `# TYPE` family, names match the Prometheus charset, label
+/// values are correctly escaped, histogram bucket counts are monotone
+/// with a `+Inf` bucket equal to `_count`. Returns InvalidArgument with a
+/// line number on the first violation — the CI format-lint gate.
+Status LintPrometheusText(std::string_view text);
 
 /// Owns every instrument of one experiment. Lookup (GetCounter etc.) is a
 /// map walk and belongs in constructors; the returned handles are

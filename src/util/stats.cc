@@ -42,19 +42,46 @@ double Summary::stddev() const {
   return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
 }
 
-double Summary::Percentile(double p) const {
-  if (samples_.empty()) return 0;  // Defined: an empty summary reads 0.
-  std::vector<double> sorted(samples_);
-  std::sort(sorted.begin(), sorted.end());
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;  // Defined: an empty sample set reads 0.
   if (sorted.size() == 1) return sorted[0];
   p = std::clamp(p, 0.0, 100.0);
-  // Linear interpolation between closest ranks (the "inclusive" method):
-  // p=0 -> min, p=100 -> max, p=50 of {1,2} -> 1.5.
   const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
   if (lo + 1 >= sorted.size()) return sorted.back();
   const double frac = pos - static_cast<double>(lo);
   return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double p) {
+  if (buckets.size() != bounds.size() + 1) return 0;
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target && buckets[i] > 0) {
+      // Overflow bucket has no upper bound; read as its lower edge.
+      if (i >= bounds.size()) return bounds.empty() ? 0 : bounds.back();
+      const double lo = i == 0 ? 0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0 : bounds.back();
+}
+
+double Summary::Percentile(double p) const {
+  std::vector<double> sorted(samples_);
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
 }
 
 std::string Summary::ToString() const {

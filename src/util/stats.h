@@ -7,6 +7,24 @@
 
 namespace bestpeer {
 
+/// THE quantile routine: percentile of an ascending-sorted sample vector
+/// with linear interpolation between closest ranks (inclusive method:
+/// p=0 -> min, p=100 -> max, p=50 of {1,2} -> 1.5); p clamped to [0,100].
+/// Returns 0 for an empty vector. Every percentile the repo reports —
+/// Summary::Percentile (BENCH_*.json rows, critical-path p50/p99),
+/// bench_micro_net RTT percentiles — goes through this one function, so
+/// the numbers stay comparable across outputs.
+double PercentileOfSorted(const std::vector<double>& sorted, double p);
+
+/// Percentile estimate from a cumulative-bound histogram (the
+/// metrics::Histogram / Prometheus bucket shape): `bounds` are ascending
+/// upper bounds, `buckets` has bounds.size() + 1 entries (the last is the
+/// overflow bucket). Linearly interpolates inside the target bucket,
+/// mirroring Prometheus histogram_quantile(); the overflow bucket reads as
+/// its lower bound. Returns 0 for an empty histogram.
+double HistogramPercentile(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double p);
+
 /// Online accumulator for scalar samples: count/mean/min/max/stddev plus
 /// exact percentiles (samples are retained). Used by the benchmark harness
 /// to average experiment repetitions the way the paper averaged >= 3 runs.

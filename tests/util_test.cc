@@ -491,6 +491,62 @@ TEST(LoggingTest, SetLogLevelControlsFiltering) {
   SetLogLevel(saved);
 }
 
+// -------------------------------------------------------------- Quantiles
+
+TEST(PercentileOfSortedTest, InclusiveInterpolation) {
+  const std::vector<double> sorted = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 100), 4.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 50), 2.5);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 25), 1.75);
+  // Clamped, not extrapolated.
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, -5), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(sorted, 150), 4.0);
+}
+
+TEST(PercentileOfSortedTest, EdgeSizes) {
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({7}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({7}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({1, 2}, 50), 1.5);
+}
+
+TEST(PercentileOfSortedTest, MatchesSummaryPercentile) {
+  // Summary::Percentile routes through the same shared routine; spot-check
+  // they agree so the BENCH and bench_micro_net numbers stay comparable.
+  Summary summary;
+  std::vector<double> sorted;
+  for (int i = 1; i <= 17; ++i) {
+    summary.Add(i * 1.5);
+    sorted.push_back(i * 1.5);
+  }
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(summary.Percentile(p), PercentileOfSorted(sorted, p))
+        << "p=" << p;
+  }
+}
+
+TEST(HistogramPercentileTest, InterpolatesWithinBucket) {
+  // 10 samples uniformly in (0,10], 10 in (10,20].
+  const std::vector<double> bounds = {10, 20};
+  const std::vector<uint64_t> buckets = {10, 10, 0};
+  EXPECT_DOUBLE_EQ(HistogramPercentile(bounds, buckets, 50), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(bounds, buckets, 25), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(bounds, buckets, 75), 15.0);
+}
+
+TEST(HistogramPercentileTest, OverflowBucketReadsAsLowerBound) {
+  const std::vector<double> bounds = {10};
+  const std::vector<uint64_t> buckets = {0, 5};  // All samples above 10.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(bounds, buckets, 50), 10.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(bounds, buckets, 99), 10.0);
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  EXPECT_DOUBLE_EQ(HistogramPercentile({10, 20}, {0, 0, 0}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile({}, {}, 50), 0.0);
+}
+
 // ---------------------------------------------------------------- SimTime
 
 TEST(SimTimeTest, UnitsAndFormat) {

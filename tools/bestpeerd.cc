@@ -8,12 +8,22 @@
 // This is the same protocol stack the simulator drives — only the
 // transport differs — so recall here should match an equivalent
 // simulated configuration exactly.
+//
+// The live telemetry plane is opt-in via BP_TELEMETRY_ADDR=host:port:
+// an HTTP/1.0 server on the shared reactor serves /metrics (Prometheus),
+// /healthz, /peers, /cache, /flight?n=K and /fleet; every node pushes a
+// compact stat frame to the LIGLO node (the collector) every
+// BP_TELEMETRY_PUSH_MS milliseconds. --serve keeps the workload running
+// until SIGINT/SIGTERM, which drains cleanly: final metrics printed,
+// flight ring dumped to BP_FLIGHT_DUMP (when set), exit 0.
 
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,12 +33,20 @@
 #include "liglo/liglo_server.h"
 #include "net/dispatcher.h"
 #include "net/tcp_transport.h"
+#include "obs/flight_recorder.h"
+#include "obs/json_writer.h"
+#include "obs/stat_frame.h"
+#include "obs/telemetry_server.h"
 #include "util/metrics.h"
 #include "workload/corpus.h"
 
 namespace {
 
 using namespace bestpeer;  // NOLINT: small tool binary.
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
 
 struct Flags {
   size_t nodes = 8;
@@ -37,6 +55,8 @@ struct Flags {
   size_t queries = 4;
   uint64_t seed = 1;
   int64_t timeout_ms = 10000;
+  bool serve = false;  ///< Keep issuing queries until SIGINT/SIGTERM.
+  bool cache = false;  ///< Enable the result cache + hot replication.
 };
 
 bool ParseFlag(const char* arg, const char* name, long* out) {
@@ -49,9 +69,171 @@ bool ParseFlag(const char* arg, const char* name, long* out) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes=N>=2] [--objects=N] [--matches=N] "
-               "[--queries=N] [--seed=N] [--timeout-ms=N]\n",
+               "[--queries=N] [--seed=N] [--timeout-ms=N] [--serve] "
+               "[--cache]\n"
+               "env: BP_TELEMETRY_ADDR=host:port  enable the telemetry "
+               "plane\n"
+               "     BP_TELEMETRY_PUSH_MS=N       stat-frame push period "
+               "(default 1000)\n"
+               "     BP_FLIGHT_DUMP=path          write the flight ring as "
+               "NDJSON on exit\n",
                argv0);
   return 2;
+}
+
+/// JSON for the /peers endpoint: every node's TelemetrySnapshot.
+std::string PeersJson(
+    const std::vector<std::unique_ptr<core::BestPeerNode>>& nodes) {
+  std::string out = "{\n";
+  bool first_node = true;
+  for (const auto& node : nodes) {
+    core::NodeTelemetry t = node->TelemetrySnapshot();
+    if (!first_node) out += ",\n";
+    first_node = false;
+    out += "  \"" + obs::JsonNumber(node->node()) + "\": {\"bpid\": " +
+           obs::JsonQuoted(node->bpid().ToString()) +
+           ", \"capacity\": " + obs::JsonNumber(t.peer_capacity) +
+           ", \"sessions_inflight\": " + obs::JsonNumber(t.sessions_inflight) +
+           ", \"peer_evictions\": " + obs::JsonNumber(t.peer_evictions) +
+           ", \"reconfigurations\": " + obs::JsonNumber(t.reconfigurations) +
+           ", \"replica_leases\": " + obs::JsonNumber(t.replica_leases) +
+           ", \"replica_promotions\": " +
+           obs::JsonNumber(t.replica_promotions) +
+           ", \"replica_pushes\": " + obs::JsonNumber(t.replica_pushes) +
+           ", \"replicas_stored\": " + obs::JsonNumber(t.replicas_stored) +
+           ",\n    \"peers\": [";
+    bool first_peer = true;
+    for (const core::PeerTelemetry& p : t.peers) {
+      out += first_peer ? "\n" : ",\n";
+      first_peer = false;
+      out += "      {\"node\": " + obs::JsonNumber(p.info.node) +
+             ", \"bpid\": " + obs::JsonQuoted(p.info.bpid.ToString()) +
+             ", \"total_answers\": " + obs::JsonNumber(p.info.total_answers) +
+             ", \"last_answers\": " + obs::JsonNumber(p.info.last_answers) +
+             ", \"last_hops\": " + obs::JsonNumber(p.info.last_hops) +
+             ", \"consecutive_failures\": " +
+             obs::JsonNumber(p.info.consecutive_failures) +
+             ", \"benefit_score\": " + obs::JsonNumber(p.benefit_score) +
+             ", \"store_size_hint\": " + obs::JsonNumber(p.store_size_hint) +
+             "}";
+    }
+    out += first_peer ? "]}" : "\n    ]}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+/// JSON for the /cache endpoint: every node's result-cache occupancy and
+/// hit rate (nodes without a cache report enabled=false).
+std::string CacheJson(
+    const std::vector<std::unique_ptr<core::BestPeerNode>>& nodes) {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& node : nodes) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + obs::JsonNumber(node->node()) + "\": ";
+    cache::ResultCache* cache = node->result_cache();
+    if (cache == nullptr) {
+      out += "{\"enabled\": false}";
+      continue;
+    }
+    const uint64_t probes = cache->hits() + cache->misses();
+    out += "{\"enabled\": true, \"hits\": " + obs::JsonNumber(cache->hits()) +
+           ", \"misses\": " + obs::JsonNumber(cache->misses()) +
+           ", \"hit_rate\": " +
+           obs::JsonNumber(probes == 0 ? 0.0
+                                       : static_cast<double>(cache->hits()) /
+                                             static_cast<double>(probes)) +
+           ", \"insertions\": " + obs::JsonNumber(cache->insertions()) +
+           ", \"evictions\": " + obs::JsonNumber(cache->evictions()) +
+           ", \"invalidations\": " + obs::JsonNumber(cache->invalidations()) +
+           ", \"admission_rejected\": " +
+           obs::JsonNumber(cache->admission_rejected()) +
+           ", \"bytes_used\": " + obs::JsonNumber(cache->bytes_used()) +
+           ", \"entries\": " + obs::JsonNumber(cache->entry_count()) +
+           ", \"slices\": " + obs::JsonNumber(cache->slice_count()) +
+           ", \"remote_hits\": " + obs::JsonNumber(node->cache_remote_hits()) +
+           "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+/// JSON for /flight?n=K: the newest K events of the ring, oldest first.
+std::string FlightJson(const obs::FlightRecorder& flight, size_t n) {
+  std::vector<obs::FlightEvent> events = flight.Events();
+  const size_t start = events.size() > n ? events.size() - n : 0;
+  std::string out = "{\"recorded\": " + obs::JsonNumber(flight.recorded()) +
+                    ", \"dropped\": " + obs::JsonNumber(
+                        flight.dropped_events()) +
+                    ", \"returned\": " +
+                    obs::JsonNumber(events.size() - start) +
+                    ", \"events\": [";
+  for (size_t i = start; i < events.size(); ++i) {
+    const obs::FlightEvent& e = events[i];
+    out += i == start ? "\n" : ",\n";
+    out += "  {\"ts\": " + obs::JsonNumber(e.ts) + ", \"type\": " +
+           obs::JsonQuoted(obs::EventTypeName(e.type)) + ", \"cause\": " +
+           obs::JsonQuoted(obs::DropCauseName(e.cause)) +
+           ", \"msg_type\": " + obs::JsonNumber(e.msg_type) +
+           ", \"node\": " + obs::JsonNumber(e.node) +
+           ", \"peer\": " + obs::JsonNumber(e.peer) +
+           ", \"flow\": " + obs::JsonNumber(e.flow) +
+           ", \"a\": " + obs::JsonNumber(e.a) +
+           ", \"b\": " + obs::JsonNumber(e.b) + "}";
+  }
+  out += events.size() > start ? "\n]}\n" : "]}\n";
+  return out;
+}
+
+/// One node's contribution to the fleet rollup. The registry is shared by
+/// every node in this process, so per-node frames are synthesized from
+/// node-level state with a {node="N"} label — exactly what a one-node-
+/// per-process deployment would push from its own registry.
+obs::StatFrame BuildStatFrame(core::BestPeerNode* node, int64_t now_us) {
+  obs::StatFrame frame;
+  frame.node = node->node();
+  frame.sent_at_us = now_us;
+  const metrics::LabelSet labels = {
+      {"node", std::to_string(node->node())}};
+  core::NodeTelemetry t = node->TelemetrySnapshot();
+  auto gauge = [&](const char* name, double value) {
+    metrics::SnapshotEntry e;
+    e.name = name;
+    e.labels = labels;
+    e.kind = metrics::InstrumentKind::kGauge;
+    e.value = value;
+    frame.snapshot.entries.push_back(std::move(e));
+  };
+  auto counter = [&](const char* name, double value) {
+    metrics::SnapshotEntry e;
+    e.name = name;
+    e.labels = labels;
+    e.kind = metrics::InstrumentKind::kCounter;
+    e.value = value;
+    frame.snapshot.entries.push_back(std::move(e));
+  };
+  gauge("bp.node.direct_peers", static_cast<double>(t.peers.size()));
+  gauge("bp.node.sessions_inflight",
+        static_cast<double>(t.sessions_inflight));
+  gauge("bp.node.replica_leases", static_cast<double>(t.replica_leases));
+  counter("bp.node.results_received",
+          static_cast<double>(node->results_received()));
+  counter("bp.node.peer_evictions", static_cast<double>(t.peer_evictions));
+  counter("bp.node.reconfigurations",
+          static_cast<double>(t.reconfigurations));
+  counter("bp.node.replica_pushes", static_cast<double>(t.replica_pushes));
+  counter("bp.node.replicas_stored",
+          static_cast<double>(t.replicas_stored));
+  if (cache::ResultCache* cache = node->result_cache()) {
+    counter("bp.node.cache_hits", static_cast<double>(cache->hits()));
+    counter("bp.node.cache_misses", static_cast<double>(cache->misses()));
+    gauge("bp.node.cache_bytes", static_cast<double>(cache->bytes_used()));
+    gauge("bp.node.cache_entries",
+          static_cast<double>(cache->entry_count()));
+  }
+  return frame;
 }
 
 }  // namespace
@@ -72,17 +254,45 @@ int main(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(v);
     } else if (ParseFlag(argv[i], "--timeout-ms", &v)) {
       flags.timeout_ms = v;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      flags.serve = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      flags.cache = true;
     } else {
       return Usage(argv[0]);
     }
   }
   if (flags.nodes < 2 || flags.matches > flags.objects) return Usage(argv[0]);
 
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  const char* telemetry_addr = std::getenv("BP_TELEMETRY_ADDR");
+  const char* flight_dump = std::getenv("BP_FLIGHT_DUMP");
+  int64_t push_ms = 1000;
+  if (const char* env = std::getenv("BP_TELEMETRY_PUSH_MS")) {
+    push_ms = std::atol(env);
+    if (push_ms <= 0) push_ms = 1000;
+  }
+
   // The registry is only touched from the reactor thread once traffic
   // flows; all instrument creation happens below, before Start().
   metrics::Registry registry;
+
+  // The flight recorder exists only when someone will read it (the
+  // /flight endpoint or a final dump); otherwise the transport's
+  // instrumentation stays a null-pointer test.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (telemetry_addr != nullptr ||
+      (flight_dump != nullptr && flight_dump[0] != '\0')) {
+    flight = std::make_unique<obs::FlightRecorder>(
+        obs::FlightRecorderOptions{.capacity = 8192, .auto_dump_path = ""});
+    flight->RegisterTypeName(obs::kStatFrameMsgType, "stat_frame");
+  }
+
   net::TcpOptions tcp_options;
   tcp_options.metrics = &registry;
+  tcp_options.flight = flight.get();
   net::TcpNet tcpnet(tcp_options);
 
   auto server_transport = tcpnet.AddNode();
@@ -110,11 +320,27 @@ int main(int argc, char** argv) {
                                   &server_dispatcher, &infra.ip_directory,
                                   server_options);
 
+  // The LIGLO node doubles as the fleet collector: nodes push stat frames
+  // to it over the same transport their protocol traffic uses.
+  obs::FleetCollector collector;
+  server_dispatcher.Register(
+      obs::kStatFrameMsgType, [&](const net::Message& msg) {
+        auto frame = obs::DecodeStatFrame(msg.payload);
+        if (frame.ok()) {
+          collector.Absorb(std::move(frame).value(),
+                           tcpnet.reactor().now_us());
+        }
+      });
+
   core::BestPeerConfig config;
   config.max_direct_peers = server_options.initial_peer_count + 2;
   config.strategy = "none";
   config.default_ttl = static_cast<uint16_t>(flags.nodes);
   config.metrics = &registry;
+  if (flags.cache) {
+    config.enable_result_cache = true;
+    config.enable_replication = true;
+  }
 
   workload::CorpusGenerator corpus({512, 300, 0.8}, flags.seed);
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
@@ -144,11 +370,91 @@ int main(int argc, char** argv) {
     nodes.push_back(std::move(*node));
   }
 
+  // Workload counters for bptop: queries/s and recall come from here.
+  metrics::Counter* queries_done_c = registry.GetCounter("bestpeerd.queries");
+  metrics::Counter* answers_c = registry.GetCounter("bestpeerd.answers");
+  metrics::Counter* expected_c =
+      registry.GetCounter("bestpeerd.answers_expected");
+
   std::printf("bestpeerd: liglo on 127.0.0.1:%u, %zu nodes on ports %u..%u\n",
               server_transport.value()->port(), flags.nodes,
               transports.front()->port(), transports.back()->port());
 
   tcpnet.Start();
+
+  // --- telemetry plane (opt-in) --------------------------------------------
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (telemetry_addr != nullptr) {
+    obs::TelemetryServerOptions opts;
+    opts.address = telemetry_addr;
+    telemetry =
+        std::make_unique<obs::TelemetryServer>(&tcpnet.reactor(), opts);
+    telemetry->AddHandler("/healthz", [&](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.body = "ok\n";
+      return r;
+    });
+    telemetry->AddHandler("/metrics", [&](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = registry.TakeSnapshot().ToPrometheus();
+      return r;
+    });
+    telemetry->AddHandler("/peers", [&](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = PeersJson(nodes);
+      return r;
+    });
+    telemetry->AddHandler("/cache", [&](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = CacheJson(nodes);
+      return r;
+    });
+    telemetry->AddHandler("/fleet", [&](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = collector.ToJson(tcpnet.reactor().now_us());
+      return r;
+    });
+    telemetry->AddHandler("/flight", [&](const obs::HttpRequest& req) {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      size_t n = 64;
+      const std::string param = obs::QueryParam(req.query, "n");
+      if (!param.empty()) {
+        long want = std::atol(param.c_str());
+        if (want > 0) n = static_cast<size_t>(want);
+      }
+      r.body = FlightJson(*flight, n);
+      return r;
+    });
+    Status st = telemetry->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "bestpeerd: telemetry: %s\n",
+                   st.ToString().c_str());
+      tcpnet.Stop();
+      return 1;
+    }
+    std::printf("bestpeerd: telemetry on %s:%u\n",
+                telemetry->host().c_str(), telemetry->port());
+
+    // Recurring stat push: every node sends its frame to the collector.
+    const int64_t push_us = push_ms * 1000;
+    auto push = std::make_shared<std::function<void()>>();
+    *push = [&nodes, &transports, &tcpnet, server_node =
+                 server_transport.value()->local(), push_us, push]() {
+      const int64_t now = tcpnet.reactor().now_us();
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        obs::StatFrame frame = BuildStatFrame(nodes[i].get(), now);
+        transports[i]->Send(server_node, obs::kStatFrameMsgType,
+                            obs::EncodeStatFrame(frame));
+      }
+      tcpnet.reactor().AddTimerAt(now + push_us, [push]() { (*push)(); });
+    };
+    tcpnet.Run([&]() { (*push)(); });
+  }
 
   auto wait_until = [&](const std::function<bool()>& done_on_reactor,
                         int64_t budget_ms) {
@@ -158,6 +464,7 @@ int main(int argc, char** argv) {
       bool done = false;
       tcpnet.Run([&]() { done = done_on_reactor(); });
       if (done) return true;
+      if (g_signal != 0) return false;
       if (std::chrono::steady_clock::now() >= deadline) return false;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -176,19 +483,23 @@ int main(int argc, char** argv) {
                         });
     });
     if (!wait_until([&]() { return joined; }, flags.timeout_ms)) {
+      if (g_signal != 0) break;
       std::fprintf(stderr, "bestpeerd: node %u join timed out\n",
                    node->node());
       tcpnet.Stop();
       return 1;
     }
   }
-  std::printf("bestpeerd: %zu nodes joined\n", flags.nodes);
+  if (g_signal == 0) std::printf("bestpeerd: %zu nodes joined\n", flags.nodes);
 
   const size_t expected = (flags.nodes - 1) * flags.matches;
   size_t received_total = 0;
+  size_t queries_run = 0;
   double latency_sum_ms = 0, latency_max_ms = 0;
   bool all_complete = true;
-  for (size_t q = 0; q < flags.queries; ++q) {
+  // Fixed budget of queries; --serve keeps going until a signal arrives.
+  for (size_t q = 0; (q < flags.queries || flags.serve) && g_signal == 0;
+       ++q) {
     uint64_t query_id = 0;
     bool issued = false;
     tcpnet.Run([&]() {
@@ -220,25 +531,46 @@ int main(int argc, char** argv) {
                          ? s->completion_time()
                          : tcpnet.clock().now() - s->start_time());
       }
+      queries_done_c->Increment();
+      answers_c->Add(answers);
+      expected_c->Add(expected);
     });
     received_total += answers;
+    ++queries_run;
     latency_sum_ms += latency_ms;
     if (latency_ms > latency_max_ms) latency_max_ms = latency_ms;
-    all_complete = all_complete && complete;
-    std::printf("query %zu: answers=%zu/%zu latency=%.2fms%s\n", q, answers,
-                expected, latency_ms, complete ? "" : " (timeout)");
+    if (g_signal == 0) {
+      all_complete = all_complete && complete;
+      if (!flags.serve || !complete) {
+        std::printf("query %zu: answers=%zu/%zu latency=%.2fms%s\n", q,
+                    answers, expected, latency_ms,
+                    complete ? "" : " (timeout)");
+      }
+    }
+    if (flags.serve && q + 1 >= flags.queries) {
+      // Steady-state pacing so a served fleet isn't a busy loop.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
   }
 
+  const bool interrupted = g_signal != 0;
+  if (interrupted) {
+    std::printf("bestpeerd: signal received, draining\n");
+  }
+
+  // Drain order: stop accepting telemetry requests while the reactor is
+  // still alive, then tear the fabric down.
+  if (telemetry != nullptr) telemetry->Stop();
   tcpnet.Stop();
 
-  double recall = expected == 0
+  double recall = expected == 0 || queries_run == 0
                       ? 1.0
                       : static_cast<double>(received_total) /
-                            static_cast<double>(expected * flags.queries);
+                            static_cast<double>(expected * queries_run);
   std::printf("recall=%.4f mean_latency=%.2fms max_latency=%.2fms\n", recall,
-              flags.queries > 0 ? latency_sum_ms /
-                                      static_cast<double>(flags.queries)
-                                : 0.0,
+              queries_run > 0
+                  ? latency_sum_ms / static_cast<double>(queries_run)
+                  : 0.0,
               latency_max_ms);
 
   metrics::Snapshot snap = registry.TakeSnapshot();
@@ -251,6 +583,30 @@ int main(int argc, char** argv) {
       snap.Value("net.connects"), snap.Value("net.reconnects"),
       snap.Value("net.tx_dropped"), snap.Value("net.rx_dropped"),
       snap.Value("net.frame_errors"));
+  if (telemetry_addr != nullptr) {
+    std::printf("telemetry: requests=%llu rejected=%llu fleet_nodes=%zu "
+                "fleet_frames=%llu\n",
+                static_cast<unsigned long long>(
+                    telemetry->requests_served()),
+                static_cast<unsigned long long>(
+                    telemetry->connections_rejected()),
+                collector.node_count(),
+                static_cast<unsigned long long>(collector.frames_received()));
+  }
+  if (flight != nullptr && flight_dump != nullptr &&
+      flight_dump[0] != '\0') {
+    Status st = flight->WriteNdjson(flight_dump);
+    if (st.ok()) {
+      std::printf("flight: %llu events -> %s\n",
+                  static_cast<unsigned long long>(flight->recorded()),
+                  flight_dump);
+    } else {
+      std::fprintf(stderr, "bestpeerd: flight dump: %s\n",
+                   st.ToString().c_str());
+    }
+  }
 
+  // A signal-driven exit is a clean drain, not a failure.
+  if (interrupted) return 0;
   return all_complete && recall >= 1.0 ? 0 : 1;
 }

@@ -1,0 +1,232 @@
+// bptop: terminal dashboard for a running bestpeerd. Polls the telemetry
+// plane (/metrics for fabric counters, /fleet for the per-node rollup)
+// and redraws a compact table every interval: per node the direct-peer
+// count, in-flight sessions, results/s, cache hit %, plus a fabric
+// header with queries/s, recall and tx/rx byte rates.
+//
+//   BP_TELEMETRY_ADDR=127.0.0.1:9464 bestpeerd --serve &
+//   bptop --addr=127.0.0.1:9464
+//
+// --iterations=N bounds the run (0 = until interrupted), which is what
+// CI uses to smoke the dashboard without a TTY.
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_reader.h"
+#include "obs/telemetry_server.h"
+
+namespace {
+
+using namespace bestpeer;  // NOLINT: small tool binary.
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
+
+struct Flags {
+  std::string addr = "127.0.0.1:9464";
+  int64_t interval_ms = 1000;
+  long iterations = 0;  ///< 0 = run until SIGINT/SIGTERM.
+  bool ansi = true;     ///< Clear-screen escapes (off when not a TTY).
+};
+
+/// Flat view of one Prometheus scrape: "name" or "name{labels}" -> value.
+/// Keys use the exposition's sanitized names (dots already underscores).
+using Scrape = std::map<std::string, double>;
+
+/// Minimal exposition parse — bptop only needs sample lines, and only
+/// the ones bestpeerd emits (no escaping inside its label values).
+Scrape ParseMetrics(const std::string& text) {
+  Scrape out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line =
+        std::string_view(text).substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos || sp == 0) continue;
+    char* end = nullptr;
+    const double value = std::strtod(line.data() + sp + 1, &end);
+    if (end == line.data() + sp + 1) continue;
+    out[std::string(line.substr(0, sp))] = value;
+  }
+  return out;
+}
+
+double Get(const Scrape& scrape, const std::string& key) {
+  auto it = scrape.find(key);
+  return it == scrape.end() ? 0.0 : it->second;
+}
+
+/// Positive per-second rate between two scrapes of a counter.
+double Rate(const Scrape& now, const Scrape& prev, const std::string& key,
+            double dt_s) {
+  if (dt_s <= 0) return 0;
+  const double delta = Get(now, key) - Get(prev, key);
+  return delta > 0 ? delta / dt_s : 0;
+}
+
+struct NodeRow {
+  uint32_t node = 0;
+  double age_us = 0;
+  double peers = 0;
+  double sessions = 0;
+  double results = 0;  ///< Counter; rate computed against the last poll.
+  double cache_hits = 0;
+  double cache_misses = 0;
+  double replica_leases = 0;
+};
+
+/// Per-node rows out of the /fleet JSON (metric keys carry the
+/// synthesized {node="N"} label, so they're looked up fully qualified).
+std::vector<NodeRow> ParseFleet(const obs::JsonValue& fleet) {
+  std::vector<NodeRow> rows;
+  const obs::JsonValue* per_node = fleet.Find("per_node");
+  if (per_node == nullptr || !per_node->is_object()) return rows;
+  for (const auto& [id, entry] : per_node->AsObject()) {
+    NodeRow row;
+    row.node = static_cast<uint32_t>(std::atol(id.c_str()));
+    if (const obs::JsonValue* age = entry.Find("age_us")) {
+      row.age_us = age->AsNumber();
+    }
+    const obs::JsonValue* metrics = entry.Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) continue;
+    const std::string tag = "{node=" + id + "}";
+    auto value = [&](const char* name) {
+      const obs::JsonValue* v = metrics->Find(name + tag);
+      return v != nullptr && v->is_number() ? v->AsNumber() : 0.0;
+    };
+    row.peers = value("bp.node.direct_peers");
+    row.sessions = value("bp.node.sessions_inflight");
+    row.results = value("bp.node.results_received");
+    row.cache_hits = value("bp.node.cache_hits");
+    row.cache_misses = value("bp.node.cache_misses");
+    row.replica_leases = value("bp.node.replica_leases");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--addr=host:port] [--interval-ms=N] "
+               "[--iterations=N] [--no-ansi]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--addr=", 7) == 0) {
+      flags.addr = arg + 7;
+    } else if (std::strncmp(arg, "--interval-ms=", 14) == 0) {
+      flags.interval_ms = std::atol(arg + 14);
+      if (flags.interval_ms <= 0) flags.interval_ms = 1000;
+    } else if (std::strncmp(arg, "--iterations=", 13) == 0) {
+      flags.iterations = std::atol(arg + 13);
+    } else if (std::strcmp(arg, "--no-ansi") == 0) {
+      flags.ansi = false;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::string host;
+  uint16_t port = 0;
+  Status st = obs::ParseHostPort(flags.addr, &host, &port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bptop: %s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  Scrape prev;
+  std::map<uint32_t, double> prev_results;
+  bool have_prev = false;
+  const double dt_s = static_cast<double>(flags.interval_ms) / 1000.0;
+
+  for (long iter = 0; (flags.iterations == 0 || iter < flags.iterations) &&
+                      g_signal == 0;
+       ++iter) {
+    auto metrics_r = obs::HttpGet(host, port, "/metrics");
+    auto fleet_r = obs::HttpGet(host, port, "/fleet");
+    if (!metrics_r.ok() || metrics_r.value().status != 200) {
+      std::fprintf(stderr, "bptop: %s/metrics unreachable (%s)\n",
+                   flags.addr.c_str(),
+                   metrics_r.ok() ? "non-200"
+                                  : metrics_r.status().ToString().c_str());
+      return 1;
+    }
+    Scrape scrape = ParseMetrics(metrics_r.value().body);
+
+    std::vector<NodeRow> rows;
+    if (fleet_r.ok() && fleet_r.value().status == 200) {
+      auto fleet = obs::ParseJson(fleet_r.value().body);
+      if (fleet.ok()) rows = ParseFleet(fleet.value());
+    }
+
+    if (flags.ansi) std::printf("\x1b[2J\x1b[H");
+    const double queries = Get(scrape, "bestpeerd_queries");
+    const double answers = Get(scrape, "bestpeerd_answers");
+    const double expected = Get(scrape, "bestpeerd_answers_expected");
+    std::printf("bptop %s  queries=%.0f q/s=%.2f recall=%.4f\n",
+                flags.addr.c_str(), queries,
+                have_prev ? Rate(scrape, prev, "bestpeerd_queries", dt_s)
+                          : 0.0,
+                expected > 0 ? answers / expected : 1.0);
+    std::printf(
+        "net   tx=%.0fB rx=%.0fB tx/s=%.0fB rx/s=%.0fB drops=%.0f "
+        "frame_errs=%.0f\n",
+        Get(scrape, "net_tx_bytes"), Get(scrape, "net_rx_bytes"),
+        have_prev ? Rate(scrape, prev, "net_tx_bytes", dt_s) : 0.0,
+        have_prev ? Rate(scrape, prev, "net_rx_bytes", dt_s) : 0.0,
+        Get(scrape, "net_tx_dropped") + Get(scrape, "net_rx_dropped"),
+        Get(scrape, "net_frame_errors"));
+    std::printf("%6s %6s %9s %9s %10s %7s %8s %9s\n", "node", "peers",
+                "sessions", "results/s", "cache-hit%", "leases", "age-ms",
+                "results");
+    for (const NodeRow& row : rows) {
+      double results_rate = 0;
+      auto it = prev_results.find(row.node);
+      if (it != prev_results.end() && dt_s > 0 &&
+          row.results > it->second) {
+        results_rate = (row.results - it->second) / dt_s;
+      }
+      const double probes = row.cache_hits + row.cache_misses;
+      std::printf("%6u %6.0f %9.0f %9.2f %9.1f%% %7.0f %8.1f %9.0f\n",
+                  row.node, row.peers, row.sessions, results_rate,
+                  probes > 0 ? 100.0 * row.cache_hits / probes : 0.0,
+                  row.replica_leases, row.age_us / 1000.0, row.results);
+      prev_results[row.node] = row.results;
+    }
+    if (rows.empty()) {
+      std::printf("(no fleet frames yet — nodes push every "
+                  "BP_TELEMETRY_PUSH_MS ms)\n");
+    }
+    std::fflush(stdout);
+
+    prev = std::move(scrape);
+    have_prev = true;
+    if (flags.iterations != 0 && iter + 1 >= flags.iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(flags.interval_ms));
+  }
+  return 0;
+}

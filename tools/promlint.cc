@@ -1,0 +1,44 @@
+// promlint: validates Prometheus text exposition with the repo's
+// metrics::LintPrometheusText — the same checks CI applies to a live
+// /metrics scrape (TYPE lines, name charset, label escaping, monotone
+// histogram buckets, +Inf == _count).
+//
+//   promlint scrape.txt     # lint a file
+//   curl .../metrics | promlint   # lint stdin
+//
+// Exit 0 when clean, 1 on the first violation (printed with its line).
+
+#include <cstdio>
+#include <string>
+
+#include "util/metrics.h"
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [file]\n", argv[0]);
+    return 2;
+  }
+  std::FILE* in = stdin;
+  if (argc == 2) {
+    in = std::fopen(argv[1], "rb");
+    if (in == nullptr) {
+      std::fprintf(stderr, "promlint: cannot open %s\n", argv[1]);
+      return 2;
+    }
+  }
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    text.append(buf, n);
+  }
+  if (in != stdin) std::fclose(in);
+
+  bestpeer::Status st = bestpeer::metrics::LintPrometheusText(text);
+  if (!st.ok()) {
+    std::fprintf(stderr, "promlint: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("promlint: ok (%zu bytes)\n", text.size());
+  return 0;
+}
