@@ -1,5 +1,6 @@
 #include "agent/agent_runtime.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/flight_recorder.h"
@@ -161,7 +162,8 @@ Status AgentRuntime::LaunchTo(uint64_t agent_id, Agent& agent, uint16_t ttl,
 }
 
 Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
-                            bool execute_locally) {
+                            bool execute_locally,
+                            const std::vector<NodeId>* skip) {
   if (!registry_->Contains(agent.class_name())) {
     return Status::FailedPrecondition("agent class not registered: " +
                                       std::string(agent.class_name()));
@@ -185,6 +187,10 @@ Status AgentRuntime::Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
     clone.hops = 1;
     for (NodeId n : neighbors_()) {
       if (n == node_) continue;
+      if (skip != nullptr &&
+          std::find(skip->begin(), skip->end(), n) != skip->end()) {
+        continue;
+      }
       BP_RETURN_IF_ERROR(SendAgentTo(n, clone));
     }
   }

@@ -69,8 +69,12 @@ class AgentRuntime {
   /// Launches an agent from this node to all current neighbours; the
   /// launching node also executes the agent locally (so local resources
   /// participate in the search). `agent_id` must be globally unique.
+  /// Neighbours listed in `skip` (may be null) receive no clone — the
+  /// content-summary layer uses this to prune peers whose summary
+  /// provably excludes the query.
   Status Launch(uint64_t agent_id, Agent& agent, uint16_t ttl,
-                bool execute_locally = true);
+                bool execute_locally = true,
+                const std::vector<NodeId>* skip = nullptr);
 
   /// Launches an agent to an explicit set of destinations only (used by
   /// the adaptive shipping layer to interrogate selected peers). The

@@ -238,15 +238,30 @@ void CsNode::StartLocalScan(uint64_t query_id) {
     MaybeFinish(query_id);
     return;
   }
-  auto scan = storage_->ScanSearch(state.keyword);
-  if (!scan.ok()) {
-    state.local_done = true;
-    MaybeFinish(query_id);
-    return;
+  SimTime cost = 0;
+  std::vector<storm::ObjectId> matches;
+  bool answered = false;
+  if (config_.use_index_search) {
+    size_t touched = 0;
+    auto indexed = storage_->IndexSearch(state.keyword, &touched);
+    if (indexed.ok()) {
+      cost = static_cast<SimTime>(touched) * config_.per_posting_cost;
+      matches = std::move(indexed).value();
+      answered = true;
+    }
+    // No index at this store: fall through to the scan.
   }
-  SimTime cost = static_cast<SimTime>(scan->objects_scanned) *
-                 config_.per_object_match_cost;
-  auto matches = std::move(scan->matches);
+  if (!answered) {
+    auto scan = storage_->ScanSearch(state.keyword);
+    if (!scan.ok()) {
+      state.local_done = true;
+      MaybeFinish(query_id);
+      return;
+    }
+    cost = static_cast<SimTime>(scan->objects_scanned) *
+           config_.per_object_match_cost;
+    matches = std::move(scan->matches);
+  }
   transport_->RunCpu(cost, [this, query_id,
                                      matches = std::move(matches)]() {
     auto relay_it = relays_.find(query_id);

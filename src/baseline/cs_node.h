@@ -45,6 +45,12 @@ struct CsConfig {
   /// CPU to accept/parse one query at a server.
   SimTime query_handling_cost = Micros(200);
   std::string codec = "lzss";
+  /// Answer queries from Storm::IndexSearch instead of the full scan,
+  /// charging per posting touched (falls back to the scan when the
+  /// store has no index). Mirrors BestPeerConfig::use_index_search so
+  /// the CS baseline stays comparable.
+  bool use_index_search = false;
+  SimTime per_posting_cost = Micros(1);
 };
 
 /// Completion-tracked query state at the base node.

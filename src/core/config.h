@@ -151,6 +151,27 @@ struct BestPeerConfig {
   /// Minimum time between two pushes of the same hot key.
   SimTime replica_cooldown = Millis(500);
 
+  // --- index-backed search & content summaries (opt-in) -----------------
+
+  /// Routes the StorM search agent through Storm::IndexSearch (sorted
+  /// posting lists with galloping intersection) instead of the full
+  /// per-object scan, charging CPU per posting touched. Requires
+  /// StormOptions::build_index; an agent landing on an index-less store
+  /// falls back to the scan path. Off (the default) keeps schedules
+  /// bit-identical to a scan-only build.
+  bool use_index_search = false;
+
+  /// CPU charged per posting touched on the index path (the analogue of
+  /// per_object_match_cost for the scan path).
+  SimTime per_posting_cost = Micros(1);
+
+  /// Enables per-peer content summaries: each node digests its keyword
+  /// index into a Bloom-filter summary, pushes it to direct peers at
+  /// connect/reconfiguration time (and re-broadcasts when its index
+  /// epoch moves), and skips launching search agents toward direct peers
+  /// whose summary provably excludes every DNF branch of the query.
+  bool enable_content_summaries = false;
+
   // --- observability ----------------------------------------------------
 
   /// Metrics sink shared by the node and its agent runtime (not owned;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/ids.h"
+#include "storm/content_summary.h"
 #include "storm/object_store.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -27,6 +28,7 @@ constexpr uint32_t kReplicatePushType = 0x4250000A;
 constexpr uint32_t kWatchReqType = 0x4250000B;
 constexpr uint32_t kUpdateNotifyType = 0x4250000C;
 constexpr uint32_t kCacheReplicaPushType = 0x4250000D;
+constexpr uint32_t kPeerSummaryType = 0x4250000E;
 
 /// One matched object inside a result or fetch response. Mode-1 results
 /// and fetch responses carry content; mode-2 results carry name only.
@@ -141,6 +143,22 @@ struct UpdateNotifyMessage {
 
   Bytes Encode() const;
   static Result<UpdateNotifyMessage> Decode(const Bytes& data);
+};
+
+/// A peer's content summary (Bloom filter + top keywords over its shared
+/// store's keyword index), exchanged at connect/reconfiguration time and
+/// re-broadcast when the sender's index epoch moves. The receiving base
+/// node skips direct peers whose summary provably excludes every DNF
+/// branch of a query.
+struct PeerSummaryMessage {
+  storm::ContentSummary summary;
+
+  Bytes Encode() const { return summary.Encode(); }
+  static Result<PeerSummaryMessage> Decode(const Bytes& data) {
+    PeerSummaryMessage msg;
+    BP_ASSIGN_OR_RETURN(msg.summary, storm::ContentSummary::Decode(data));
+    return msg;
+  }
 };
 
 /// Request to render a named active object at `level` access.

@@ -69,6 +69,9 @@ Status BestPeerNode::Init() {
       replica_pushes_c_ = reg->GetCounter("core.replica_pushes");
       replicas_expired_c_ = reg->GetCounter("core.replicas_expired");
     }
+    if (config_.enable_content_summaries) {
+      summary_skips_c_ = reg->GetCounter("core.summary_skips");
+    }
   }
   if (config_.enable_result_cache) {
     cache::ResultCacheOptions rc;
@@ -101,6 +104,7 @@ Status BestPeerNode::Init() {
   transport_->RegisterTypeName(kWatchReqType, "watch.request");
   transport_->RegisterTypeName(kUpdateNotifyType, "update.notify");
   transport_->RegisterTypeName(kCacheReplicaPushType, "cache.replica_push");
+  transport_->RegisterTypeName(kPeerSummaryType, "peer.summary");
 
   dispatcher_ = std::make_unique<net::Dispatcher>(transport_);
   liglo::LigloClientOptions liglo_options;
@@ -173,6 +177,9 @@ Status BestPeerNode::Init() {
                         [this](const net::Message& m) {
                           OnPeerDisconnect(m);
                         });
+  dispatcher_->Register(kPeerSummaryType, [this](const net::Message& m) {
+    OnPeerSummary(m);
+  });
   return Status::OK();
 }
 
@@ -184,13 +191,21 @@ Status BestPeerNode::InitStorage(const storm::StormOptions& options) {
     opts.metrics = config_.metrics;
     opts.metrics_label = std::to_string(node_);
   }
+  // Both the index search path and the summary digest need the inverted
+  // index regardless of what the caller's store options say.
+  if (config_.use_index_search || config_.enable_content_summaries) {
+    opts.build_index = true;
+  }
   BP_ASSIGN_OR_RETURN(storage_, storm::Storm::Open(opts));
-  if (result_cache_ != nullptr) {
+  if (result_cache_ != nullptr || config_.enable_content_summaries) {
     // StorM epoch hook: every insert/delete bumps the mutation epoch, which
     // is what lazily invalidates cached slices (they carry the epoch they
-    // were computed at). The gauge makes the bump observable.
-    storage_->SetMutationListener(
-        [this](uint64_t epoch) { index_epoch_g_->Set(epoch + 1); });
+    // were computed at). The gauge makes the bump observable. The summary
+    // plane rides the same hook to refresh what peers know about us.
+    storage_->SetMutationListener([this](uint64_t epoch) {
+      index_epoch_g_->Set(epoch + 1);
+      if (config_.enable_content_summaries) ScheduleSummaryRefresh();
+    });
   }
   return Status::OK();
 }
@@ -312,6 +327,7 @@ void BestPeerNode::JoinNetwork(NodeId liglo_server, liglo::IpAddress ip,
             info.ip = entry.ip;
             if (peers_.Add(info)) {
               SendCompressed(info.node, kPeerConnectType, Bytes{});
+              SendSummaryTo(info.node);
             }
           }
         }
@@ -377,11 +393,16 @@ void BestPeerNode::OnPeerConnect(const net::Message& msg) {
   }
   PeerInfo info;
   info.node = msg.src;
-  peers_.Add(info, /*enforce_capacity=*/false);
+  if (peers_.Add(info, /*enforce_capacity=*/false)) {
+    // Answer with our summary so both link ends can prune (the opener
+    // already sent theirs alongside the connect notice).
+    SendSummaryTo(msg.src);
+  }
 }
 
 void BestPeerNode::OnPeerDisconnect(const net::Message& msg) {
   peers_.Remove(msg.src);
+  peer_summaries_.erase(msg.src);
   ReplenishPeersIfIsolated();
 }
 
@@ -410,9 +431,86 @@ void BestPeerNode::ReplenishPeersIfIsolated(bool below_capacity) {
           info.ip = entry.ip;
           if (peers_.Add(info)) {
             SendCompressed(info.node, kPeerConnectType, Bytes{});
+            SendSummaryTo(info.node);
           }
         }
       });
+}
+
+void BestPeerNode::OnPeerSummary(const net::Message& msg) {
+  if (!config_.enable_content_summaries) return;
+  auto payload = DecodePayload(msg);
+  if (!payload.ok()) return;
+  auto decoded = PeerSummaryMessage::Decode(payload.value());
+  if (!decoded.ok()) return;
+  auto it = peer_summaries_.find(msg.src);
+  if (it != peer_summaries_.end() &&
+      it->second.epoch() > decoded->summary.epoch()) {
+    return;  // Reordered delivery: keep the newer digest.
+  }
+  peer_summaries_[msg.src] = std::move(decoded->summary);
+}
+
+const storm::ContentSummary& BestPeerNode::OwnSummary() {
+  const uint64_t index_epoch =
+      storage_ != nullptr ? storage_->mutation_epoch() + 1 : 0;
+  if (!own_summary_valid_ || own_summary_.epoch() != index_epoch) {
+    own_summary_ = storage_ != nullptr
+                       ? storm::ContentSummary::Build(storage_->index(),
+                                                      index_epoch)
+                       : storm::ContentSummary();
+    own_summary_valid_ = true;
+  }
+  return own_summary_;
+}
+
+void BestPeerNode::ScheduleSummaryRefresh() {
+  if (!config_.enable_content_summaries || summary_push_pending_) return;
+  // Debounce: a burst of mutations (store population, replica pushes)
+  // yields one broadcast carrying the final epoch, not one per Put.
+  summary_push_pending_ = true;
+  transport_->clock().ScheduleAfter(0, [this]() {
+    summary_push_pending_ = false;
+    BroadcastSummary();
+  });
+}
+
+void BestPeerNode::BroadcastSummary() {
+  if (!config_.enable_content_summaries || storage_ == nullptr) return;
+  const storm::ContentSummary& summary = OwnSummary();
+  if (summary.epoch() == last_broadcast_epoch_) return;
+  last_broadcast_epoch_ = summary.epoch();
+  PeerSummaryMessage msg;
+  msg.summary = summary;
+  const Bytes payload = msg.Encode();
+  for (NodeId peer : peers_.Nodes()) {
+    SendCompressed(peer, kPeerSummaryType, payload);
+  }
+}
+
+void BestPeerNode::SendSummaryTo(NodeId peer) {
+  if (!config_.enable_content_summaries || storage_ == nullptr) return;
+  PeerSummaryMessage msg;
+  msg.summary = OwnSummary();
+  SendCompressed(peer, kPeerSummaryType, msg.Encode());
+}
+
+std::vector<NodeId> BestPeerNode::SummarySkipSet(const std::string& keyword) {
+  std::vector<NodeId> skip;
+  if (!config_.enable_content_summaries || peer_summaries_.empty()) {
+    return skip;
+  }
+  auto expr = storm::QueryExpr::Parse(keyword);
+  if (!expr.ok()) return skip;
+  for (const auto& [peer, summary] : peer_summaries_) {
+    // Bloom filters have no false negatives: !MayMatch proves the peer
+    // holds no object satisfying any DNF branch, so the skip is
+    // recall-safe at hop 1. (The peer is not probed for its own
+    // neighbours either — the pruning trade-off benched in
+    // bench_index_search.)
+    if (!summary.MayMatch(expr.value())) skip.push_back(peer);
+  }
+  return skip;
 }
 
 // ---------------------------------------------------------------- querying
@@ -424,7 +522,8 @@ uint64_t BestPeerNode::NextQueryId() {
 Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
                                            uint64_t query_id,
                                            const std::string& keyword,
-                                           uint16_t ttl) {
+                                           uint16_t ttl,
+                                           const std::vector<NodeId>* skip) {
   if (ttl == 0) ttl = config_.default_ttl;
   queries_issued_c_->Increment();
   sessions_.emplace(
@@ -432,7 +531,7 @@ Result<uint64_t> BestPeerNode::LaunchAgent(agent::Agent& agent,
                              transport_->clock().now()));
   inflight_sessions_g_->Add(1);
   BP_RETURN_IF_ERROR(runtime_->Launch(query_id, agent, ttl,
-                                      config_.search_local_store));
+                                      config_.search_local_store, skip));
   ArmSessionDeadline(query_id);
   return query_id;
 }
@@ -497,6 +596,7 @@ void BestPeerNode::UpdatePeerHealth(const QuerySession& session) {
     // by new peers"). The disconnect notice is best-effort — a crashed
     // peer never sees it.
     peers_.Remove(peer);
+    peer_summaries_.erase(peer);
     SendCompressed(peer, kPeerDisconnectType, Bytes{});
     ++peer_evictions_;
     peer_evictions_c_->Increment();
@@ -528,7 +628,16 @@ Result<uint64_t> BestPeerNode::IssueSearch(const std::string& keyword,
     agent.EnableCacheProbe(std::move(known), config_.cache_probe_cost);
     probe_snapshots_[query_id] = std::move(snapshot);
   }
-  return LaunchAgent(agent, query_id, keyword, ttl);
+  if (config_.use_index_search) {
+    agent.EnableIndexSearch(config_.per_posting_cost);
+  }
+  std::vector<NodeId> skip = SummarySkipSet(keyword);
+  if (!skip.empty()) {
+    summary_skips_ += skip.size();
+    summary_skips_c_->Add(skip.size());
+  }
+  return LaunchAgent(agent, query_id, keyword, ttl,
+                     skip.empty() ? nullptr : &skip);
 }
 
 Result<uint64_t> BestPeerNode::IssueCompute(const std::string& filter_name,
@@ -1094,6 +1203,7 @@ void BestPeerNode::ApplyPeerSet(
     }
     if (!keep) {
       peers_.Remove(old_peer);
+      peer_summaries_.erase(old_peer);
       SendCompressed(old_peer, kPeerDisconnectType, Bytes{});
       changed = true;
       ++dropped;
@@ -1124,6 +1234,7 @@ void BestPeerNode::ApplyPeerSet(
     }
     peers_.Add(info, /*enforce_capacity=*/false);
     SendCompressed(p, kPeerConnectType, Bytes{});
+    SendSummaryTo(p);
     changed = true;
     ++adopted;
   }

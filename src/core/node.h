@@ -189,6 +189,14 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   /// Replicas this node deleted at their TTL.
   uint64_t replicas_expired() const { return replicas_expired_; }
 
+  // --- content summaries -----------------------------------------------------
+
+  /// Search launches that skipped a direct peer because its summary
+  /// provably excluded every DNF branch of the query.
+  uint64_t summary_skips() const { return summary_skips_; }
+  /// Direct peers whose content summary this node currently holds.
+  size_t peer_summary_count() const { return peer_summaries_.size(); }
+
   // --- peer monitoring (§3.4) ------------------------------------------------
 
   /// Fires at a watcher for every store change at a watched provider.
@@ -273,7 +281,8 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
 
   uint64_t NextQueryId();
   Result<uint64_t> LaunchAgent(agent::Agent& agent, uint64_t query_id,
-                               const std::string& keyword, uint16_t ttl);
+                               const std::string& keyword, uint16_t ttl,
+                               const std::vector<NodeId>* skip = nullptr);
 
   /// Arms the query_deadline timer for `query_id` (no-op when disabled).
   void ArmSessionDeadline(uint64_t query_id);
@@ -308,6 +317,22 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   void OnActiveObjectResponse(const net::Message& msg);
   void OnPeerConnect(const net::Message& msg);
   void OnPeerDisconnect(const net::Message& msg);
+  void OnPeerSummary(const net::Message& msg);
+
+  /// This node's content summary at the current index epoch (rebuilt
+  /// lazily when the epoch moves).
+  const storm::ContentSummary& OwnSummary();
+  /// Schedules a (debounced) summary re-broadcast to all direct peers.
+  void ScheduleSummaryRefresh();
+  /// Sends the current summary to every direct peer (skips when the
+  /// epoch already went out).
+  void BroadcastSummary();
+  /// Sends the current summary to one peer unconditionally (connect and
+  /// adoption sites).
+  void SendSummaryTo(NodeId peer);
+  /// Direct peers whose summary proves no match for any DNF branch of
+  /// `keyword` (empty when summaries are off or the query is unparsable).
+  std::vector<NodeId> SummarySkipSet(const std::string& keyword);
 
   /// Fetches replacement peers from the home LIGLO when the direct-peer
   /// list becomes empty — or, with `below_capacity`, whenever there is
@@ -368,6 +393,15 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   std::map<NodeId, UpdateCallback> watching_;
   storm::ObjectId next_file_object_id_;
 
+  /// Content-summary plane (all empty/idle unless
+  /// config.enable_content_summaries).
+  std::map<NodeId, storm::ContentSummary> peer_summaries_;
+  storm::ContentSummary own_summary_;
+  bool own_summary_valid_ = false;
+  uint64_t last_broadcast_epoch_ = 0;
+  bool summary_push_pending_ = false;
+  uint64_t summary_skips_ = 0;
+
   metrics::Counter* queries_issued_c_ = metrics::Counter::Noop();
   metrics::Counter* results_received_c_ = metrics::Counter::Noop();
   metrics::Counter* answers_received_c_ = metrics::Counter::Noop();
@@ -383,6 +417,7 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   metrics::Counter* replica_pushes_c_ = metrics::Counter::Noop();
   metrics::Counter* replicas_expired_c_ = metrics::Counter::Noop();
   metrics::Gauge* index_epoch_g_ = metrics::Gauge::Noop();
+  metrics::Counter* summary_skips_c_ = metrics::Counter::Noop();
 };
 
 }  // namespace bestpeer::core

@@ -12,15 +12,24 @@ void SearchAgent::SaveState(BinaryWriter& writer) const {
   writer.WriteU8(static_cast<uint8_t>(mode_));
   writer.WriteI64(per_object_cost_);
   writer.WriteVarint(descriptor_bytes_);
-  // Trailing optional section: written only when the cache probe is
-  // armed, so cache-off agent transfers stay byte-identical.
-  if (cache_probe_) {
-    writer.WriteU8(1);
-    writer.WriteI64(probe_cost_);
-    writer.WriteVarint(known_epochs_.size());
-    for (const auto& [node, epoch] : known_epochs_) {
-      writer.WriteU32(node);
-      writer.WriteVarint(epoch);
+  // Trailing optional section: written only when some optional feature
+  // is armed, so feature-off agent transfers stay byte-identical. The
+  // leading byte is a flags bitmask; a cache-probe-only agent encodes
+  // exactly as older builds did (flags == 1).
+  const uint8_t flags = (cache_probe_ ? kFlagCacheProbe : 0) |
+                        (use_index_ ? kFlagIndexSearch : 0);
+  if (flags != 0) {
+    writer.WriteU8(flags);
+    if (cache_probe_) {
+      writer.WriteI64(probe_cost_);
+      writer.WriteVarint(known_epochs_.size());
+      for (const auto& [node, epoch] : known_epochs_) {
+        writer.WriteU32(node);
+        writer.WriteVarint(epoch);
+      }
+    }
+    if (use_index_) {
+      writer.WriteI64(per_posting_cost_);
     }
   }
 }
@@ -36,18 +45,51 @@ Status SearchAgent::LoadState(BinaryReader& reader) {
   descriptor_bytes_ = descr;
   cache_probe_ = false;
   known_epochs_.clear();
+  use_index_ = false;
   if (!reader.AtEnd()) {
-    BP_ASSIGN_OR_RETURN(uint8_t flag, reader.ReadU8());
-    cache_probe_ = flag != 0;
-    BP_ASSIGN_OR_RETURN(probe_cost_, reader.ReadI64());
-    BP_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
-    for (uint64_t i = 0; i < n; ++i) {
-      BP_ASSIGN_OR_RETURN(uint32_t node, reader.ReadU32());
-      BP_ASSIGN_OR_RETURN(uint64_t epoch, reader.ReadVarint());
-      known_epochs_[node] = epoch;
+    BP_ASSIGN_OR_RETURN(uint8_t flags, reader.ReadU8());
+    if (flags == 0 || (flags & ~(kFlagCacheProbe | kFlagIndexSearch)) != 0) {
+      return Status::Corruption("bad agent feature flags");
+    }
+    cache_probe_ = (flags & kFlagCacheProbe) != 0;
+    if (cache_probe_) {
+      BP_ASSIGN_OR_RETURN(probe_cost_, reader.ReadI64());
+      BP_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+      for (uint64_t i = 0; i < n; ++i) {
+        BP_ASSIGN_OR_RETURN(uint32_t node, reader.ReadU32());
+        BP_ASSIGN_OR_RETURN(uint64_t epoch, reader.ReadVarint());
+        known_epochs_[node] = epoch;
+      }
+    }
+    use_index_ = (flags & kFlagIndexSearch) != 0;
+    if (use_index_) {
+      BP_ASSIGN_OR_RETURN(per_posting_cost_, reader.ReadI64());
     }
   }
   return Status::OK();
+}
+
+Result<std::vector<storm::ObjectId>> SearchAgent::FindMatches(
+    agent::AgentContext& ctx, storm::Storm* storage,
+    uint32_t* store_size_hint) {
+  if (use_index_) {
+    size_t touched = 0;
+    auto indexed = storage->IndexSearch(keyword_, &touched);
+    if (indexed.ok()) {
+      ctx.ChargeCpu(static_cast<SimTime>(touched) * per_posting_cost_);
+      *store_size_hint = static_cast<uint32_t>(storage->object_count());
+      return std::move(indexed).value();
+    }
+    // No index at this store (mixed fleet): fall through to the scan.
+  }
+  // "The agent makes a comparison for each object stored in the
+  // Shared-StorM database with its query."
+  BP_ASSIGN_OR_RETURN(storm::Storm::ScanResult scan,
+                      storage->ScanSearch(keyword_));
+  ctx.ChargeCpu(static_cast<SimTime>(scan.objects_scanned) *
+                per_object_cost_);
+  *store_size_hint = static_cast<uint32_t>(scan.objects_scanned);
+  return std::move(scan.matches);
 }
 
 Status SearchAgent::Execute(agent::AgentContext& ctx) {
@@ -55,22 +97,18 @@ Status SearchAgent::Execute(agent::AgentContext& ctx) {
   if (storage == nullptr) return Status::OK();  // Nothing shared here.
 
   if (!cache_probe_) {
-    // "The agent makes a comparison for each object stored in the
-    // Shared-StorM database with its query."
-    BP_ASSIGN_OR_RETURN(storm::Storm::ScanResult scan,
-                        storage->ScanSearch(keyword_));
-    ctx.ChargeCpu(static_cast<SimTime>(scan.objects_scanned) *
-                  per_object_cost_);
-    if (scan.matches.empty()) return Status::OK();
+    uint32_t store_size_hint = 0;
+    BP_ASSIGN_OR_RETURN(std::vector<storm::ObjectId> matches,
+                        FindMatches(ctx, storage, &store_size_hint));
+    if (matches.empty()) return Status::OK();
 
     SearchResultMessage result;
     result.query_id = query_id_;
     result.hops = ctx.hops();
     result.mode = static_cast<uint8_t>(mode_);
-    result.responder_object_count =
-        static_cast<uint32_t>(scan.objects_scanned);
-    result.items.reserve(scan.matches.size());
-    for (storm::ObjectId id : scan.matches) {
+    result.responder_object_count = store_size_hint;
+    result.items.reserve(matches.size());
+    for (storm::ObjectId id : matches) {
       ResultItem item;
       item.id = id;
       item.name = "obj-" + std::to_string(id);
@@ -109,11 +147,8 @@ Status SearchAgent::Execute(agent::AgentContext& ctx) {
     }
   }
   if (!from_cache) {
-    BP_ASSIGN_OR_RETURN(storm::Storm::ScanResult scan,
-                        storage->ScanSearch(keyword_));
-    ctx.ChargeCpu(static_cast<SimTime>(scan.objects_scanned) *
-                  per_object_cost_);
-    matches = std::move(scan.matches);
+    uint32_t store_size_hint = 0;
+    BP_ASSIGN_OR_RETURN(matches, FindMatches(ctx, storage, &store_size_hint));
     if (rc != nullptr) {
       // Cache even empty answer sets: knowing "nothing here at this
       // epoch" saves the next full scan too.

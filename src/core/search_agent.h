@@ -9,6 +9,10 @@
 #include "core/config.h"
 #include "core/messages.h"
 
+namespace bestpeer::storm {
+class Storm;
+}
+
 namespace bestpeer::core {
 
 /// Registered class name of the StorM search agent.
@@ -54,7 +58,29 @@ class SearchAgent : public agent::Agent {
 
   bool cache_probe_enabled() const { return cache_probe_; }
 
+  /// Arms the index-backed search path: at each node the agent answers
+  /// from Storm::IndexSearch (CPU charged per posting touched) instead
+  /// of the full per-object scan. A node whose store has no index falls
+  /// back to the scan path, so mixed fleets stay correct.
+  void EnableIndexSearch(SimTime per_posting_cost) {
+    use_index_ = true;
+    per_posting_cost_ = per_posting_cost;
+  }
+
+  bool index_search_enabled() const { return use_index_; }
+
  private:
+  /// Trailing-section flag bits (see SaveState).
+  static constexpr uint8_t kFlagCacheProbe = 0x01;
+  static constexpr uint8_t kFlagIndexSearch = 0x02;
+
+  /// Runs the local store lookup at the visited node: the index path
+  /// when armed and available, else the paper's full scan. Charges CPU
+  /// and reports the store-size hint for the result header.
+  Result<std::vector<storm::ObjectId>> FindMatches(agent::AgentContext& ctx,
+                                                   storm::Storm* storage,
+                                                   uint32_t* store_size_hint);
+
   uint64_t query_id_ = 0;
   std::string keyword_;
   AnswerMode mode_ = AnswerMode::kDirect;
@@ -65,6 +91,9 @@ class SearchAgent : public agent::Agent {
   bool cache_probe_ = false;
   SimTime probe_cost_ = Micros(5);
   std::map<uint32_t, uint64_t> known_epochs_;
+  /// Index-path state (trailing section, bit kFlagIndexSearch).
+  bool use_index_ = false;
+  SimTime per_posting_cost_ = Micros(1);
 };
 
 }  // namespace bestpeer::core

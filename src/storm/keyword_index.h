@@ -1,8 +1,8 @@
 #ifndef BESTPEER_STORM_KEYWORD_INDEX_H_
 #define BESTPEER_STORM_KEYWORD_INDEX_H_
 
+#include <functional>
 #include <map>
-#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,30 +11,62 @@
 
 namespace bestpeer::storm {
 
-/// In-memory inverted index: keyword -> object ids. Maintained by the
-/// Storm facade as objects are added/removed; gives the fast search path
-/// next to the full-scan path the paper's StorM agent uses.
+/// In-memory inverted index: keyword -> sorted posting-list vector of
+/// object ids. Maintained by the Storm facade as objects are
+/// added/removed; gives the fast search path next to the full-scan path
+/// the paper's StorM agent uses.
+///
+/// The index remembers the token set it indexed per object, so removal
+/// needs only the id — callers can no longer leak postings by passing
+/// content that differs from what was Add()ed.
 class KeywordIndex {
  public:
-  /// Indexes the tokens of `text` under `id`.
+  /// Indexes the tokens of `text` under `id`. Re-adding an id replaces
+  /// its previous postings (update semantics), never accumulates them.
   void Add(ObjectId id, std::string_view text);
 
-  /// Removes `id`'s postings for the tokens of `text`.
-  void Remove(ObjectId id, std::string_view text);
+  /// Removes every posting of `id`, using the token set recorded at
+  /// Add time. No-op for unknown ids.
+  void Remove(ObjectId id);
 
-  /// Ids of objects containing `keyword` (ascending).
+  /// Ids of objects containing `keyword` (ascending copy).
   std::vector<ObjectId> Search(std::string_view keyword) const;
+
+  /// Borrowed view of one keyword's sorted posting list; nullptr when the
+  /// keyword is not indexed. Invalidated by the next Add/Remove.
+  const std::vector<ObjectId>* Postings(std::string_view keyword) const;
 
   /// Number of distinct indexed keywords.
   size_t keyword_count() const { return postings_.size(); }
 
+  /// Number of indexed documents.
+  size_t document_count() const { return doc_tokens_.size(); }
+
   /// Number of postings for one keyword.
   size_t PostingCount(std::string_view keyword) const;
 
-  void Clear() { postings_.clear(); }
+  /// Visits every indexed keyword with its posting count (keyword order).
+  void ForEachKeyword(
+      const std::function<void(std::string_view, size_t)>& fn) const;
+
+  /// Intersects two sorted posting lists into `out` by galloping
+  /// (exponential + binary) search from the smaller into the larger.
+  /// Adds the number of postings probed in `b` to `*probes` (the CPU
+  /// accounting unit of the index search path). `a` should be the
+  /// smaller list; the result is correct either way.
+  static void Intersect(const std::vector<ObjectId>& a,
+                        const std::vector<ObjectId>& b,
+                        std::vector<ObjectId>* out, size_t* probes);
+
+  void Clear() {
+    postings_.clear();
+    doc_tokens_.clear();
+  }
 
  private:
-  std::map<std::string, std::set<ObjectId>, std::less<>> postings_;
+  std::map<std::string, std::vector<ObjectId>, std::less<>> postings_;
+  /// Deduplicated, sorted token list recorded per indexed object.
+  std::map<ObjectId, std::vector<std::string>> doc_tokens_;
 };
 
 }  // namespace bestpeer::storm

@@ -52,13 +52,7 @@ Result<std::unique_ptr<Storm>> Storm::Open(const StormOptions& options) {
                   break;
                 case WriteAheadLog::RecordType::kDelete:
                   if (storm->objects_->Contains(record.object_id)) {
-                    if (storm->options_.build_index) {
-                      auto data = storm->objects_->Get(record.object_id);
-                      if (data.ok()) {
-                        storm->index_.Remove(record.object_id,
-                                             ToString(data.value()));
-                      }
-                    }
+                    storm->index_.Remove(record.object_id);
                     BP_RETURN_IF_ERROR(
                         storm->objects_->Delete(record.object_id));
                   }
@@ -73,6 +67,15 @@ Result<std::unique_ptr<Storm>> Storm::Open(const StormOptions& options) {
   return storm;
 }
 
+void Storm::BumpEpoch() {
+  ++mutation_epoch_;
+  // Every cached entry was computed at an older epoch and can never be
+  // served again; dropping them now keeps dead results from counting
+  // toward query_cache_entries and evicting fresh entries.
+  query_cache_.clear();
+  if (mutation_listener_) mutation_listener_(mutation_epoch_);
+}
+
 Status Storm::Put(ObjectId id, const Bytes& data) {
   if (objects_->Contains(id)) {
     return Status::AlreadyExists("object " + std::to_string(id));
@@ -81,8 +84,7 @@ Status Storm::Put(ObjectId id, const Bytes& data) {
   if (wal_ != nullptr) BP_RETURN_IF_ERROR(wal_->AppendPut(id, data));
   BP_RETURN_IF_ERROR(objects_->Put(id, data));
   if (options_.build_index) index_.Add(id, ToString(data));
-  ++mutation_epoch_;
-  if (mutation_listener_) mutation_listener_(mutation_epoch_);
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -93,13 +95,9 @@ Status Storm::Delete(ObjectId id) {
     return Status::NotFound("object " + std::to_string(id));
   }
   if (wal_ != nullptr) BP_RETURN_IF_ERROR(wal_->AppendDelete(id));
-  if (options_.build_index) {
-    auto data = objects_->Get(id);
-    if (data.ok()) index_.Remove(id, ToString(data.value()));
-  }
+  index_.Remove(id);
   BP_RETURN_IF_ERROR(objects_->Delete(id));
-  ++mutation_epoch_;
-  if (mutation_listener_) mutation_listener_(mutation_epoch_);
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -107,8 +105,37 @@ Status Storm::Update(ObjectId id, const Bytes& data) {
   if (!objects_->Contains(id)) {
     return Status::NotFound("object " + std::to_string(id));
   }
-  BP_RETURN_IF_ERROR(Delete(id));
-  return Put(id, data);
+  // Reject payloads the store can never hold before touching anything,
+  // so the common Put failure mode cannot strand a half-applied update.
+  if (data.size() > ObjectStore::kChunkDataSize * 0xFFFF) {
+    return Status::InvalidArgument("object too large");
+  }
+  BP_ASSIGN_OR_RETURN(Bytes old_data, objects_->Get(id));
+  // Log before apply, matching Put/Delete: replay is idempotent and the
+  // delete+put pair converges the store to the new content.
+  if (wal_ != nullptr) {
+    BP_RETURN_IF_ERROR(wal_->AppendDelete(id));
+    BP_RETURN_IF_ERROR(wal_->AppendPut(id, data));
+  }
+  BP_RETURN_IF_ERROR(objects_->Delete(id));
+  Status put = objects_->Put(id, data);
+  if (!put.ok()) {
+    // Restore the old content so the failed update is a clean no-op
+    // with no epoch bump.
+    Status rollback = objects_->Put(id, old_data);
+    if (rollback.ok()) return put;
+    // Rollback also failed (pager I/O): the object is gone. Drop its
+    // postings so index and store agree, and report the one mutation
+    // that did happen.
+    index_.Remove(id);
+    BumpEpoch();
+    return put;
+  }
+  // Add() replaces the old postings of id wholesale, so the index never
+  // keeps tokens from the previous content.
+  if (options_.build_index) index_.Add(id, ToString(data));
+  BumpEpoch();
+  return Status::OK();
 }
 
 Result<Storm::ScanResult> Storm::ScanSearch(std::string_view query) {
@@ -118,14 +145,20 @@ Result<Storm::ScanResult> Storm::ScanSearch(std::string_view query) {
 
   if (options_.enable_query_cache) {
     auto it = query_cache_.find(canonical);
-    if (it != query_cache_.end() && it->second.epoch == mutation_epoch_) {
-      ++cache_hits_;
-      it->second.last_used = ++cache_clock_;
-      ScanResult cached;
-      cached.matches = it->second.matches;
-      cached.objects_scanned = 0;
-      cached.from_cache = true;
-      return cached;
+    if (it != query_cache_.end()) {
+      if (it->second.epoch == mutation_epoch_) {
+        ++cache_hits_;
+        it->second.last_used = ++cache_clock_;
+        ScanResult cached;
+        cached.matches = it->second.matches;
+        cached.objects_scanned = 0;
+        cached.from_cache = true;
+        return cached;
+      }
+      // Stale epoch: BumpEpoch() clears the cache eagerly so this should
+      // be unreachable, but purge defensively rather than let a dead
+      // entry occupy capacity.
+      query_cache_.erase(it);
     }
     ++cache_misses_;
   }
@@ -160,22 +193,42 @@ Result<Storm::ScanResult> Storm::ScanSearch(std::string_view query) {
 }
 
 Result<std::vector<ObjectId>> Storm::IndexSearch(
-    std::string_view query) const {
+    std::string_view query, size_t* postings_touched) const {
+  if (postings_touched != nullptr) *postings_touched = 0;
   if (!options_.build_index) {
     return Status::FailedPrecondition("keyword index disabled");
   }
   BP_ASSIGN_OR_RETURN(QueryExpr expr, QueryExpr::Parse(query));
   expr.Normalize();  // Dedup terms so no posting list intersects twice.
   std::set<ObjectId> results;
+  std::vector<ObjectId> acc;
+  std::vector<ObjectId> merged;
   for (const auto& branch : expr.dnf()) {
-    // Intersect the postings of every AND term.
-    std::vector<ObjectId> acc = index_.Search(branch.front());
-    for (size_t t = 1; t < branch.size() && !acc.empty(); ++t) {
-      std::vector<ObjectId> postings = index_.Search(branch[t]);
-      std::vector<ObjectId> merged;
-      std::set_intersection(acc.begin(), acc.end(), postings.begin(),
-                            postings.end(), std::back_inserter(merged));
-      acc = std::move(merged);
+    // Gather every AND term's posting list; a term with no postings
+    // empties the whole branch without touching any list.
+    std::vector<const std::vector<ObjectId>*> lists;
+    lists.reserve(branch.size());
+    bool dead_branch = false;
+    for (const auto& term : branch) {
+      const std::vector<ObjectId>* postings = index_.Postings(term);
+      if (postings == nullptr) {
+        dead_branch = true;
+        break;
+      }
+      lists.push_back(postings);
+    }
+    if (dead_branch || lists.empty()) continue;
+    // Intersect smallest-first: the accumulator can only shrink, so
+    // every later gallop runs from the rarest candidate set.
+    std::sort(lists.begin(), lists.end(),
+              [](const std::vector<ObjectId>* a, const std::vector<ObjectId>* b) {
+                return a->size() < b->size();
+              });
+    acc = *lists.front();
+    if (postings_touched != nullptr) *postings_touched += acc.size();
+    for (size_t t = 1; t < lists.size() && !acc.empty(); ++t) {
+      KeywordIndex::Intersect(acc, *lists[t], &merged, postings_touched);
+      acc.swap(merged);
     }
     results.insert(acc.begin(), acc.end());
   }

@@ -77,8 +77,10 @@ class Storm {
   /// Deletes an object.
   Status Delete(ObjectId id);
 
-  /// Replaces an existing object's content (delete + put, WAL-logged as
-  /// both). NotFound if the object does not exist.
+  /// Replaces an existing object's content as one atomic mutation: on
+  /// success the store holds the new content, on failure the old content
+  /// is retained untouched, and the mutation epoch bumps exactly once
+  /// (only on success). NotFound if the object does not exist.
   Status Update(ObjectId id, const Bytes& data);
 
   /// True iff the object exists.
@@ -93,14 +95,20 @@ class Storm {
   Result<ScanResult> ScanSearch(std::string_view query);
 
   /// Index-backed search (fast path; requires build_index). Evaluates
-  /// the same query language via posting intersections/unions.
-  Result<std::vector<ObjectId>> IndexSearch(std::string_view query) const;
+  /// the same query language via sorted-posting-list intersections
+  /// (smallest list first, galloping search) and unions. When
+  /// `postings_touched` is non-null it receives the number of postings
+  /// examined — the CPU accounting unit of the index path, the analogue
+  /// of ScanResult::objects_scanned.
+  Result<std::vector<ObjectId>> IndexSearch(
+      std::string_view query, size_t* postings_touched = nullptr) const;
 
   /// Monotone counter bumped by every Put/Delete (cache validity token).
   uint64_t mutation_epoch() const { return mutation_epoch_; }
 
-  /// Invoked with the new epoch after every Put/Delete bump (Update fires
-  /// twice). The node layer hooks this to invalidate result caches.
+  /// Invoked with the new epoch after every Put/Delete/Update bump (one
+  /// fire per logical mutation — Update counts as a single mutation).
+  /// The node layer hooks this to invalidate result caches.
   void SetMutationListener(std::function<void(uint64_t)> listener) {
     mutation_listener_ = std::move(listener);
   }
@@ -108,6 +116,9 @@ class Storm {
   /// Query-cache statistics.
   uint64_t query_cache_hits() const { return cache_hits_; }
   uint64_t query_cache_misses() const { return cache_misses_; }
+  /// Live query-cache entries. Stale-epoch entries are purged eagerly on
+  /// every mutation, so this never counts unreachable results.
+  size_t query_cache_size() const { return query_cache_.size(); }
 
   /// Writes all dirty state back to the pager.
   Status Flush();
@@ -126,6 +137,10 @@ class Storm {
 
  private:
   Storm() = default;
+
+  /// One logical mutation: bumps the epoch, drops the (now entirely
+  /// stale) query cache, and notifies the listener.
+  void BumpEpoch();
 
   struct CachedQuery {
     uint64_t epoch = 0;

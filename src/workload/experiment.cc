@@ -116,7 +116,10 @@ storm::StormOptions StoreOptions(const ExperimentOptions& options) {
   storm::StormOptions s;
   s.buffer_frames = 128;
   s.replacement = "lru";
-  s.build_index = false;  // Experiments use the scan path (the StorM agent).
+  // Default experiments use the scan path (the StorM agent); the index
+  // is built only when a path actually reads it.
+  s.build_index =
+      options.use_index_search || options.enable_content_summaries;
   s.enable_query_cache = options.enable_query_cache;
   return s;
 }
@@ -236,6 +239,8 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   // TTL would always expire replicas before the next query could benefit;
   // workload runs therefore map the option directly (0 = no expiry).
   config.replica_ttl = options.replica_ttl;
+  config.use_index_search = options.use_index_search;
+  config.enable_content_summaries = options.enable_content_summaries;
 
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   nodes.reserve(topo.node_count);
@@ -254,6 +259,11 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   for (const auto& [a, b] : topo.edges) {
     nodes[a]->AddDirectPeerLocal(ids[b]);
     nodes[b]->AddDirectPeerLocal(ids[a]);
+  }
+  if (options.enable_content_summaries) {
+    // Store population scheduled debounced summary pushes; edges are
+    // wired now, so draining here delivers every digest before query 1.
+    simulator.RunUntilIdle();
   }
   if (options.prewarm_code_cache) {
     for (NodeId id : ids) {
@@ -360,6 +370,7 @@ Result<ExperimentResult> RunCs(const ExperimentOptions& options) {
   config.single_thread = options.scheme == Scheme::kScs;
   config.codec = options.codec;
   config.ship_content = options.answer_mode == core::AnswerMode::kDirect;
+  config.use_index_search = options.use_index_search;
 
   std::vector<std::unique_ptr<baseline::CsNode>> nodes;
   CorpusGenerator corpus({options.object_size, 500, 0.8}, options.seed);

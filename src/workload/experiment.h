@@ -112,6 +112,16 @@ struct ExperimentOptions {
   size_t replica_top_k = 4;
   SimTime replica_ttl = 0;  ///< Receiver-side replica lifetime (0 = none).
 
+  /// Index-backed search: agents (and CS servers) answer from the StorM
+  /// keyword index, charged per posting touched. Forces build_index at
+  /// every store. Off keeps schedules bit-identical to the scan path.
+  bool use_index_search = false;
+
+  /// Per-peer content summaries (BestPeer schemes only): nodes exchange
+  /// Bloom digests of their stores and the base skips launching agents
+  /// toward direct peers that provably hold no match.
+  bool enable_content_summaries = false;
+
   /// Zipf-repeat query mode: when query_pool > 0, each query's keyword is
   /// "needle<rank>" with rank drawn from a ZipfSampler over the pool
   /// (skew query_zipf_skew, dedicated rng), and matching objects contain

@@ -82,7 +82,7 @@ TEST(StormEdgeTest, KeywordIndexPostingCounts) {
   EXPECT_EQ(index.PostingCount("ALPHA"), 2u);
   EXPECT_EQ(index.PostingCount("beta"), 1u);
   EXPECT_EQ(index.PostingCount("ghost"), 0u);
-  index.Remove(1, "alpha beta alpha");
+  index.Remove(1);
   EXPECT_EQ(index.PostingCount("alpha"), 1u);
   EXPECT_EQ(index.PostingCount("beta"), 0u);
   EXPECT_EQ(index.keyword_count(), 1u);

@@ -229,6 +229,85 @@ TEST(StormTest, UpdateReplacesContentAndIndex) {
   EXPECT_EQ(storm->object_count(), 1u);
 }
 
+TEST(StormTest, UpdateIsOneAtomicMutation) {
+  auto storm = Storm::Open({}).value();
+  ASSERT_TRUE(storm->Put(1, Content("needle old")).ok());
+
+  size_t listener_fires = 0;
+  uint64_t last_epoch = 0;
+  storm->SetMutationListener([&](uint64_t epoch) {
+    ++listener_fires;
+    last_epoch = epoch;
+  });
+
+  const uint64_t before = storm->mutation_epoch();
+  ASSERT_TRUE(storm->Update(1, Content("fresh text")).ok());
+  EXPECT_EQ(storm->mutation_epoch(), before + 1)
+      << "Update must bump the epoch exactly once, not delete+put twice";
+  EXPECT_EQ(listener_fires, 1u);
+  EXPECT_EQ(last_epoch, before + 1);
+
+  // A miss mutates nothing and stays silent.
+  EXPECT_TRUE(storm->Update(99, Content("x")).IsNotFound());
+  EXPECT_EQ(storm->mutation_epoch(), before + 1);
+  EXPECT_EQ(listener_fires, 1u);
+}
+
+TEST(StormTest, UpdateFailurePathKeepsOldObject) {
+  auto storm = Storm::Open({}).value();
+  ASSERT_TRUE(storm->Put(1, Content("needle old")).ok());
+  size_t listener_fires = 0;
+  storm->SetMutationListener([&](uint64_t) { ++listener_fires; });
+  const uint64_t before = storm->mutation_epoch();
+
+  // Oversized payload: more chunks than a record header can count. The
+  // update must fail cleanly with the old object fully retained and no
+  // epoch bump / listener fire (the old code lost the object here).
+  Bytes huge(ObjectStore::kChunkDataSize * 0x10000, 0);
+  Status update = storm->Update(1, huge);
+  EXPECT_TRUE(update.IsInvalidArgument()) << update.ToString();
+  EXPECT_TRUE(storm->Contains(1));
+  EXPECT_EQ(storm->Get(1).value(), Content("needle old"));
+  EXPECT_EQ(storm->IndexSearch("needle").value(),
+            (std::vector<ObjectId>{1}));
+  EXPECT_EQ(storm->mutation_epoch(), before);
+  EXPECT_EQ(listener_fires, 0u);
+}
+
+TEST(StormTest, QueryCacheDropsStaleEntriesEagerly) {
+  StormOptions options;
+  options.enable_query_cache = true;
+  options.query_cache_entries = 4;
+  auto storm = Storm::Open(options).value();
+  ASSERT_TRUE(storm->Put(1, Content("needle one")).ok());
+
+  // Fill the cache to capacity with distinct queries.
+  for (const char* q : {"needle", "one", "ghost", "gone"}) {
+    ASSERT_TRUE(storm->ScanSearch(q).ok());
+  }
+  EXPECT_EQ(storm->query_cache_size(), 4u);
+
+  // Any mutation makes every entry unreachable; they must be purged, not
+  // left to consume query_cache_entries capacity.
+  ASSERT_TRUE(storm->Put(2, Content("needle two")).ok());
+  EXPECT_EQ(storm->query_cache_size(), 0u);
+
+  // The freed capacity must serve fresh entries: four new queries all
+  // fit and all hit on repeat (with stale entries occupying slots, the
+  // O(n) LRU scan would have evicted fresh ones instead).
+  for (const char* q : {"needle", "one", "two", "fresh"}) {
+    ASSERT_TRUE(storm->ScanSearch(q).ok());
+  }
+  EXPECT_EQ(storm->query_cache_size(), 4u);
+  const uint64_t hits_before = storm->query_cache_hits();
+  for (const char* q : {"needle", "one", "two", "fresh"}) {
+    auto repeat = storm->ScanSearch(q);
+    ASSERT_TRUE(repeat.ok());
+    EXPECT_TRUE(repeat->from_cache) << q;
+  }
+  EXPECT_EQ(storm->query_cache_hits(), hits_before + 4);
+}
+
 TEST(StormTest, ThousandObjectWorkload) {
   // The paper's per-node setup: 1000 objects of 1 KB.
   StormOptions options;
