@@ -42,14 +42,17 @@ Bytes EncodeFrame(const FrameHeader& header, const Bytes& payload) {
   uint8_t* p = out.data();
   PutU32(p + 0, kFrameMagic);
   PutU16(p + 4, kFrameVersion);
-  PutU16(p + 6, 0);  // flags
+  PutU16(p + 6, header.flags);
   PutU32(p + 8, header.type);
   PutU32(p + 12, header.src);
   PutU32(p + 16, header.dst);
   PutU64(p + 20, header.flow);
   PutU32(p + 28, static_cast<uint32_t>(payload.size()));
   PutU32(p + 32, header.extra_wire);
-  // Bytes 36..63 stay zero (reserved).
+  if (header.sampled()) {
+    PutU64(p + 36, static_cast<uint64_t>(header.sent_at_us));
+  }
+  // Bytes 44..63 stay zero (reserved); 36..43 too on unsampled frames.
   if (!payload.empty()) {
     std::memcpy(out.data() + kFrameOverheadBytes, payload.data(),
                 payload.size());
@@ -68,19 +71,27 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t len,
   if (GetU16(data + 4) != kFrameVersion) {
     return Status::Corruption("unsupported frame version");
   }
-  if (GetU16(data + 6) != 0) {
-    return Status::Corruption("nonzero frame flags");
+  const uint16_t flags = GetU16(data + 6);
+  if ((flags & ~kFrameFlagsMask) != 0) {
+    return Status::Corruption("unknown frame flags");
   }
-  for (size_t i = 36; i < kFrameOverheadBytes; ++i) {
+  for (size_t i = 44; i < kFrameOverheadBytes; ++i) {
     if (data[i] != 0) return Status::Corruption("nonzero reserved bytes");
   }
   FrameHeader h;
+  h.flags = flags;
   h.type = GetU32(data + 8);
   h.src = GetU32(data + 12);
   h.dst = GetU32(data + 16);
   h.flow = GetU64(data + 20);
   h.payload_len = GetU32(data + 28);
   h.extra_wire = GetU32(data + 32);
+  h.sent_at_us = static_cast<int64_t>(GetU64(data + 36));
+  if (!h.sampled() && h.sent_at_us != 0) {
+    // The timestamp field is part of the sampled extension; on plain
+    // frames those bytes are still reserved-zero.
+    return Status::Corruption("nonzero reserved bytes");
+  }
   if (h.payload_len > max_payload) {
     return Status::Corruption("frame payload length over limit");
   }

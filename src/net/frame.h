@@ -18,21 +18,35 @@ namespace bestpeer::net {
 //   offset  size  field
 //        0     4  magic        "BPF1" (0x31465042 little-endian)
 //        4     2  version      kFrameVersion
-//        6     2  flags        reserved, must be zero
+//        6     2  flags        bit 0: trace-sampled; other bits must be zero
 //        8     4  type         protocol message type tag
 //       12     4  src          sender NodeId
 //       16     4  dst          destination NodeId
 //       20     8  flow         query/agent id for tracing (0 = none)
 //       28     4  payload_len  bytes following the header
 //       32     4  extra_wire   modelled-but-not-materialized bytes
-//       36    28  reserved     zero padding up to kFrameOverheadBytes
+//       36     8  sent_at_us   sender clock at encode; zero unless sampled
+//       44    20  reserved     zero padding up to kFrameOverheadBytes
 //
 // `extra_wire` carries the simulator's `extra_wire_bytes` accounting
 // (e.g. a shipped agent class) across the real wire without sending the
 // phantom bytes themselves; receivers add it to their rx byte counters.
+//
+// The sampled flag propagates the distributed-tracing head decision: the
+// process that originates a flow decides once (hash of the flow id vs
+// the sample rate) and every downstream process records spans for
+// exactly the flagged flows (DESIGN.md §12). `sent_at_us` rides along so
+// the receiver can attribute wire time; it must be zero on unsampled
+// frames, which keeps tracing-off wire bytes identical to version 1
+// frames that predate the field.
 
 constexpr uint32_t kFrameMagic = 0x31465042;  // "BPF1" in LE byte order.
 constexpr uint16_t kFrameVersion = 1;
+/// Frame flag bit 0: spans for this frame's flow are being recorded;
+/// receivers must record theirs too (head-based sampling propagation).
+constexpr uint16_t kFrameFlagSampled = 0x0001;
+/// Every defined flag; any other bit set is treated as corruption.
+constexpr uint16_t kFrameFlagsMask = kFrameFlagSampled;
 /// Upper bound on a frame payload; a length field above this is treated
 /// as stream corruption rather than an allocation request.
 constexpr size_t kMaxFramePayload = 64u * 1024 * 1024;
@@ -44,6 +58,12 @@ struct FrameHeader {
   FlowId flow = 0;
   uint32_t payload_len = 0;
   uint32_t extra_wire = 0;
+  uint16_t flags = 0;
+  /// Sender's clock (microseconds) at encode time; only carried on
+  /// sampled frames (zero otherwise, enforced by the decoder).
+  int64_t sent_at_us = 0;
+
+  bool sampled() const { return (flags & kFrameFlagSampled) != 0; }
 };
 
 /// Serializes one message as header + payload.

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -97,15 +98,32 @@ Clock& TcpTransport::clock() { return net_->clock(); }
 
 void TcpTransport::RunCpu(SimTime cost, std::function<void()> done,
                           const char* name, FlowId flow, CpuArgs args) {
-  (void)name;
-  (void)flow;
-  (void)args;
   Reactor& reactor = net_->reactor();
-  auto task = [this, cost, done = std::move(done)]() mutable {
+  auto task = [this, cost, done = std::move(done), name, flow,
+               args = std::move(args)]() mutable {
     // Serialize CPU work per node like sim::CpuModel: each task starts no
     // earlier than the previous one finished.
-    SimTime start = std::max(net_->reactor().now_us(), cpu_free_at_);
+    const SimTime now = net_->reactor().now_us();
+    SimTime start = std::max(now, cpu_free_at_);
     cpu_free_at_ = start + cost;
+    trace::TraceRecorder* recorder = net_->options().trace;
+    if (recorder != nullptr && name != nullptr &&
+        (flow != 0 ? recorder->Sampled(flow) : recorder->sample_all())) {
+      // Same span shape as sim::CpuModel::Submit, so critical-path
+      // analysis and bpstitch read both backends identically.
+      trace::Span span;
+      span.name = name;
+      span.cat = "cpu";
+      span.tid = node_;
+      span.ts = start;
+      span.dur = cost;
+      span.flow = flow;
+      span.args = std::move(args);
+      if (start > now) {
+        span.args.emplace_back("qwait", static_cast<uint64_t>(start - now));
+      }
+      recorder->RecordSpan(std::move(span));
+    }
     net_->reactor().AddTimerAt(cpu_free_at_, std::move(done));
   };
   if (reactor.OnReactorThread()) {
@@ -129,6 +147,10 @@ obs::FlightRecorder* TcpTransport::flight() const {
   return net_->options().flight;
 }
 
+trace::TraceRecorder* TcpTransport::trace() const {
+  return net_->options().trace;
+}
+
 void TcpTransport::RecordMsgEvent(obs::EventType event, obs::DropCause cause,
                                   uint32_t type, NodeId dst, FlowId flow,
                                   uint64_t a, uint64_t b) {
@@ -149,7 +171,7 @@ void TcpTransport::RecordMsgEvent(obs::EventType event, obs::DropCause cause,
 
 void TcpTransport::SendOnReactor(NodeId dst, uint32_t type, Bytes payload,
                                  size_t extra_wire_bytes, FlowId flow) {
-  if (dst >= net_->node_count() || !net_->IsOnline(dst) ||
+  if (!net_->Addressable(dst) || !net_->IsOnline(dst) ||
       !net_->IsOnline(node_) ||
       payload.size() > net_->options().max_frame_payload) {
     tx_dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -166,6 +188,20 @@ void TcpTransport::SendOnReactor(NodeId dst, uint32_t type, Bytes payload,
   header.dst = dst;
   header.flow = flow;
   header.extra_wire = static_cast<uint32_t>(extra_wire_bytes);
+  trace::TraceRecorder* recorder = net_->options().trace;
+  if (recorder != nullptr && flow != 0) {
+    bool first = false;
+    if (recorder->Sampled(flow, &first)) {
+      // Propagate the head-based decision: the receiving process sees the
+      // flag and records spans for this flow too (DESIGN.md §12).
+      header.flags |= kFrameFlagSampled;
+      header.sent_at_us = net_->reactor().now_us();
+      if (first) {
+        RecordMsgEvent(obs::EventType::kTraceSampled, obs::DropCause::kNone,
+                       type, dst, flow, /*a=*/0, /*b=*/0);
+      }
+    }
+  }
   Bytes frame = EncodeFrame(header, payload);
 
   auto [it, inserted] = peers_.try_emplace(dst);
@@ -251,7 +287,7 @@ void TcpTransport::OnInboundReadable(int fd) {
       frame_errors_c_->Increment();
       continue;
     }
-    if (!net_->IsOnline(node_) || header.src >= net_->node_count() ||
+    if (!net_->IsOnline(node_) || !net_->Addressable(header.src) ||
         !net_->IsOnline(header.src)) {
       rx_dropped_c_->Increment();
       continue;
@@ -433,6 +469,45 @@ void TcpTransport::Deliver(const FrameHeader& header, Bytes payload) {
     e.b = kFrameOverheadBytes + payload.size() + header.extra_wire;
     recorder->Record(e);
   }
+  trace::TraceRecorder* recorder = net_->options().trace;
+  if (recorder != nullptr && header.sampled() && header.flow != 0) {
+    if (recorder->ForceSample(header.flow)) {
+      // First sighting of this sampled flow in this process — cross-link
+      // it into the flight recorder (a = 1: forced by an inbound frame).
+      RecordMsgEvent(obs::EventType::kTraceSampled, obs::DropCause::kNone,
+                     header.type, header.src, header.flow, /*a=*/1, /*b=*/0);
+    }
+    trace::Span span;
+    auto name_it = type_names_.find(header.type);
+    if (name_it != type_names_.end()) {
+      span.name = name_it->second;
+    } else {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "msg:%08x", header.type);
+      span.name = buf;
+    }
+    span.cat = "net";
+    span.tid = node_;
+    span.flow = header.flow;
+    const SimTime now = net_->reactor().now_us();
+    if (net_->IsLocal(header.src) && header.sent_at_us > 0 &&
+        header.sent_at_us <= now) {
+      // Same process, same clock: the span covers queue + wire time.
+      span.ts = header.sent_at_us;
+      span.dur = now - header.sent_at_us;
+    } else {
+      // Cross-process: clocks differ, so record a point event at receipt
+      // and let bpstitch synthesize wire time from the sent_us arg.
+      span.ts = now;
+      span.dur = 0;
+    }
+    span.args = {
+        {"src", header.src},
+        {"dst", node_},
+        {"wire", kFrameOverheadBytes + payload.size() + header.extra_wire},
+        {"sent_us", static_cast<uint64_t>(header.sent_at_us)}};
+    recorder->RecordSpan(std::move(span));
+  }
   if (!handler_) return;
   Message msg;
   msg.src = header.src;
@@ -471,14 +546,21 @@ Result<TcpTransport*> TcpNet::AddNode() {
   if (fd < 0) return Status::IoError("socket() failed");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const NodeId id = options_.node_base + static_cast<NodeId>(nodes_.size());
   struct sockaddr_in addr = {};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // Kernel-assigned port.
+  // Under a fleet port plan every node's port is a pure function of its
+  // id, so other processes can dial it without any exchange; otherwise
+  // the kernel assigns one.
+  addr.sin_port =
+      options_.port_base != 0
+          ? htons(static_cast<uint16_t>(options_.port_base + id))
+          : 0;
   if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     ::close(fd);
-    return Status::IoError("bind(127.0.0.1:0) failed");
+    return Status::IoError("bind(127.0.0.1) failed");
   }
   if (::listen(fd, 128) != 0) {
     ::close(fd);
@@ -491,7 +573,6 @@ Result<TcpTransport*> TcpNet::AddNode() {
     return Status::IoError("getsockname() failed");
   }
   SetNonBlocking(fd);
-  NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.emplace_back(
       new TcpTransport(this, id, ntohs(addr.sin_port), fd));
   online_.emplace_back(true);
@@ -517,18 +598,36 @@ void TcpNet::Stop() {
 }
 
 void TcpNet::SetOnline(NodeId node, bool online) {
-  if (node < online_.size()) {
-    online_[node].store(online, std::memory_order_release);
+  if (IsLocal(node)) {
+    online_[node - options_.node_base].store(online,
+                                             std::memory_order_release);
   }
 }
 
 bool TcpNet::IsOnline(NodeId node) const {
-  return node < online_.size() &&
-         online_[node].load(std::memory_order_acquire);
+  if (IsLocal(node)) {
+    return online_[node - options_.node_base].load(std::memory_order_acquire);
+  }
+  // Remote fleet nodes are assumed up; their own process drops inbound
+  // traffic when they are marked offline there.
+  return options_.port_base != 0;
+}
+
+bool TcpNet::IsLocal(NodeId node) const {
+  return node >= options_.node_base &&
+         node - options_.node_base < nodes_.size();
+}
+
+bool TcpNet::Addressable(NodeId node) const {
+  return IsLocal(node) || options_.port_base != 0;
 }
 
 uint16_t TcpNet::PortOf(NodeId node) const {
-  return node < nodes_.size() ? nodes_[node]->port() : 0;
+  if (IsLocal(node)) return nodes_[node - options_.node_base]->port();
+  if (options_.port_base != 0) {
+    return static_cast<uint16_t>(options_.port_base + node);
+  }
+  return 0;
 }
 
 }  // namespace bestpeer::net

@@ -40,6 +40,21 @@ struct TcpOptions {
   /// events are recorded on the reactor thread only, so the ring stays
   /// single-threaded exactly like in the simulator.
   obs::FlightRecorder* flight = nullptr;
+  /// Distributed-tracing span recorder (not owned; may be nullptr).
+  /// Shared by every node on this fabric and touched only on the reactor
+  /// thread. When set, CPU tasks and frame deliveries of sampled flows
+  /// record spans, and outgoing frames of sampled flows carry the BPF1
+  /// sampled flag so downstream processes record theirs too.
+  trace::TraceRecorder* trace = nullptr;
+  /// First NodeId this fabric hosts locally. AddNode() hands out
+  /// node_base, node_base+1, ... — a multi-process fleet gives each
+  /// process a disjoint id range over one shared port plan.
+  NodeId node_base = 0;
+  /// When nonzero, node k listens on port_base + k and *every* node id —
+  /// local or not — is addressable at port_base + id on loopback. Zero
+  /// (the default) keeps the single-process behaviour: kernel-assigned
+  /// ports, only local nodes addressable.
+  uint16_t port_base = 0;
 };
 
 /// Transport over real loopback TCP sockets, one listening socket per
@@ -66,6 +81,7 @@ class TcpTransport final : public Transport {
   bool IsOnline(NodeId node) const override;
   LinkProfile link() const override;
   obs::FlightRecorder* flight() const override;
+  trace::TraceRecorder* trace() const override;
 
   /// The loopback TCP port this node listens on.
   uint16_t port() const { return port_; }
@@ -176,11 +192,21 @@ class TcpNet {
   void Run(std::function<void()> fn) { reactor_.Run(std::move(fn)); }
 
   /// Marks a node online/offline. Offline nodes drop traffic in both
-  /// directions (counted), like the simulator. Thread-safe.
+  /// directions (counted), like the simulator. Thread-safe; only local
+  /// nodes can be toggled — remote fleet nodes are always reported up
+  /// (their process drops inbound traffic itself when marked offline).
   void SetOnline(NodeId node, bool online);
   bool IsOnline(NodeId node) const;
 
+  /// True when `node` is hosted by this TcpNet (in
+  /// [node_base, node_base + node_count())).
+  bool IsLocal(NodeId node) const;
+  /// True when this fabric can put bytes on the wire toward `node`:
+  /// every local node, plus — under a fleet port plan — every id.
+  bool Addressable(NodeId node) const;
+
   uint16_t PortOf(NodeId node) const;
+  NodeId node_base() const { return options_.node_base; }
   size_t node_count() const { return nodes_.size(); }
   Reactor& reactor() { return reactor_; }
   TcpClock& clock() { return clock_; }

@@ -125,13 +125,13 @@ CriticalPathReport AnalyzeCriticalPaths(const trace::TraceRecorder& trace,
   // Group flow spans; query spans are the roots.
   std::map<uint64_t, std::vector<const trace::Span*>> by_flow;
   std::vector<const trace::Span*> roots;
-  for (const trace::Span& s : trace.spans()) {
+  trace.ForEachSpan([&](const trace::Span& s) {
     if (s.cat == "query") {
       roots.push_back(&s);
     } else if (s.flow != 0) {
       by_flow[s.flow].push_back(&s);
     }
-  }
+  });
 
   std::map<uint64_t, uint64_t> drops_by_flow;
   if (recorder != nullptr) {

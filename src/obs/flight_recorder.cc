@@ -42,6 +42,8 @@ std::string_view EventTypeName(EventType type) {
       return "replica_push";
     case EventType::kReplicaExpire:
       return "replica_expire";
+    case EventType::kTraceSampled:
+      return "trace_sampled";
   }
   return "unknown";
 }

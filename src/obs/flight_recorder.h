@@ -32,6 +32,10 @@ enum class EventType : uint8_t {
   kCacheInvalidate,  ///< Stale slice dropped (a = key hash, b = epoch).
   kReplicaPush,      ///< Hot answers pushed to a peer (a = objects).
   kReplicaExpire,    ///< Replica TTL fired; copy deleted (a = object id).
+  kTraceSampled,     ///< Flow picked up by the distributed tracer — this
+                     ///< process will record spans for `flow` (a = 1 when
+                     ///< forced by an inbound sampled frame, 0 when decided
+                     ///< locally by the head-based hash).
 };
 
 /// Stable lower_snake_case name used in the NDJSON dump.

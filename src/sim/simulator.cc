@@ -55,6 +55,12 @@ void Simulator::EnableTracing() {
   if (trace_ == nullptr) trace_ = std::make_shared<trace::TraceRecorder>();
 }
 
+void Simulator::EnableTracing(const trace::TraceRecorderOptions& options) {
+  if (trace_ == nullptr) {
+    trace_ = std::make_shared<trace::TraceRecorder>(options);
+  }
+}
+
 size_t Simulator::RunUntil(SimTime deadline) {
   size_t n = 0;
   while (!queue_.empty() && queue_.PeekTime() <= deadline) {

@@ -65,8 +65,11 @@ class Simulator {
   // skips span construction entirely, keeping the hot path overhead to a
   // single pointer test.
 
-  /// Starts recording spans (idempotent; keeps existing spans).
+  /// Starts recording spans (idempotent; keeps existing spans). The
+  /// default recorder samples everything into a ring large enough that
+  /// sim runs never wrap; pass options to bound it or sample.
   void EnableTracing();
+  void EnableTracing(const trace::TraceRecorderOptions& options);
 
   /// Stops recording and drops the recorder.
   void DisableTracing() { trace_.reset(); }

@@ -1,11 +1,18 @@
 #include "util/trace.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+
+#include "util/hash.h"
 
 namespace bestpeer::trace {
 
 namespace {
+
+/// Bound on the remembered-sampled-flow set; far above any realistic
+/// number of concurrently live queries.
+constexpr size_t kMaxRememberedFlows = 8192;
 
 /// Escapes the handful of characters that can appear in span names.
 void AppendEscaped(std::string* out, const std::string& s) {
@@ -17,12 +24,111 @@ void AppendEscaped(std::string* out, const std::string& s) {
 
 }  // namespace
 
+TraceRecorder::TraceRecorder(TraceRecorderOptions options)
+    : capacity_(options.ring_capacity == 0 ? 1 : options.ring_capacity),
+      sample_rate_(options.sample_rate) {
+  if (sample_rate_ < 0) sample_rate_ = 0;
+  if (sample_rate_ >= 1.0) {
+    sample_rate_ = 1.0;
+    sample_threshold_ = UINT64_MAX;
+  } else {
+    // The largest exactly-representable scale keeps the threshold a pure
+    // function of the rate on every platform.
+    sample_threshold_ = static_cast<uint64_t>(
+        std::ldexp(sample_rate_, 64 - 11) ) << 11;
+  }
+  if (options.metrics != nullptr) {
+    spans_recorded_c_ = options.metrics->GetCounter("trace.spans_recorded");
+    spans_dropped_c_ = options.metrics->GetCounter("trace.spans_dropped");
+    flows_sampled_c_ = options.metrics->GetCounter("trace.flows_sampled");
+  }
+}
+
+void TraceRecorder::RecordSpan(Span span) {
+  spans_recorded_c_->Increment();
+  if (spans_.size() < capacity_) {
+    spans_.push_back(std::move(span));
+    next_ = spans_.size() % capacity_;
+  } else {
+    spans_[next_] = std::move(span);
+    next_ = (next_ + 1) % capacity_;
+    spans_dropped_c_->Increment();
+  }
+  ++recorded_;
+}
+
+bool TraceRecorder::NoteSampledFlow(FlowId flow) {
+  if (!sampled_set_.insert(flow).second) return false;
+  sampled_fifo_.push_back(flow);
+  if (sampled_fifo_.size() > kMaxRememberedFlows) {
+    sampled_set_.erase(sampled_fifo_.front());
+    sampled_fifo_.pop_front();
+  }
+  ++flows_sampled_;
+  flows_sampled_c_->Increment();
+  return true;
+}
+
+bool TraceRecorder::Sampled(FlowId flow, bool* first_sighting) {
+  if (first_sighting != nullptr) *first_sighting = false;
+  if (flow == 0) return sample_rate_ >= 1.0;
+  bool verdict = sampled_set_.count(flow) != 0;
+  if (!verdict && Mix64(flow) <= sample_threshold_) verdict = true;
+  if (verdict) {
+    const bool first = NoteSampledFlow(flow);
+    if (first_sighting != nullptr) *first_sighting = first;
+  }
+  return verdict;
+}
+
+bool TraceRecorder::ForceSample(FlowId flow) {
+  if (flow == 0) return false;
+  return NoteSampledFlow(flow);
+}
+
+std::vector<Span> TraceRecorder::Spans() const {
+  std::vector<Span> out;
+  out.reserve(size());
+  ForEachSpan([&out](const Span& s) { out.push_back(s); });
+  return out;
+}
+
+std::vector<Span> TraceRecorder::SpansSince(uint64_t since,
+                                            uint64_t* next_seq) const {
+  // Sequence of the oldest span still in the ring.
+  const uint64_t oldest = recorded_ - size();
+  const uint64_t from = since < oldest ? oldest : since;
+  std::vector<Span> out;
+  if (from < recorded_) {
+    out.reserve(static_cast<size_t>(recorded_ - from));
+    const size_t start = wrapped() ? next_ : 0;
+    for (uint64_t seq = from; seq < recorded_; ++seq) {
+      const size_t idx =
+          (start + static_cast<size_t>(seq - oldest)) % spans_.size();
+      out.push_back(spans_[idx]);
+    }
+  }
+  if (next_seq != nullptr) *next_seq = recorded_;
+  return out;
+}
+
+std::vector<FlowId> TraceRecorder::SampledFlows() const {
+  return {sampled_fifo_.begin(), sampled_fifo_.end()};
+}
+
+void TraceRecorder::Clear() {
+  spans_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
 std::string TraceRecorder::ToChromeJson() const {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   char buf[128];
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    const Span& s = spans_[i];
-    out += i == 0 ? "\n" : ",\n";
+  bool first = true;
+  ForEachSpan([&](const Span& s) {
+    out += first ? "\n" : ",\n";
+    first = false;
     out += "  {\"name\": \"";
     AppendEscaped(&out, s.name);
     out += "\", \"cat\": \"";
@@ -42,7 +148,7 @@ std::string TraceRecorder::ToChromeJson() const {
       out += buf;
     }
     out += "}}";
-  }
+  });
   out += "\n]}\n";
   return out;
 }
@@ -50,7 +156,7 @@ std::string TraceRecorder::ToChromeJson() const {
 std::string TraceRecorder::ToFlatText() const {
   std::string out;
   char buf[160];
-  for (const Span& s : spans_) {
+  ForEachSpan([&](const Span& s) {
     std::snprintf(buf, sizeof(buf),
                   "%12" PRId64 " %10" PRId64 " node=%-4u %-6s %-20s flow=%" PRIu64,
                   s.ts, s.dur, s.tid, s.cat.c_str(), s.name.c_str(), s.flow);
@@ -60,7 +166,7 @@ std::string TraceRecorder::ToFlatText() const {
       out += buf;
     }
     out += '\n';
-  }
+  });
   return out;
 }
 

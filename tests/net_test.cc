@@ -69,9 +69,48 @@ TEST(FrameTest, RejectsBadVersion) {
   EXPECT_FALSE(DecodeFrameHeader(wire.data(), wire.size()).ok());
 }
 
-TEST(FrameTest, RejectsNonzeroFlags) {
-  Bytes wire = EncodeFrame(FrameHeader{}, Bytes{});
-  wire[6] = 1;
+TEST(FrameTest, RejectsUnknownFlags) {
+  // Every flag bit outside kFrameFlagsMask is reserved for future
+  // extensions and must be treated as corruption today.
+  for (int bit = 0; bit < 16; ++bit) {
+    const uint16_t flag = static_cast<uint16_t>(1u << bit);
+    if ((flag & kFrameFlagsMask) != 0) continue;
+    Bytes wire = EncodeFrame(FrameHeader{}, Bytes{});
+    wire[6] = static_cast<uint8_t>(flag);
+    wire[7] = static_cast<uint8_t>(flag >> 8);
+    EXPECT_FALSE(DecodeFrameHeader(wire.data(), wire.size()).ok())
+        << "bit " << bit;
+  }
+}
+
+TEST(FrameTest, SampledFlagAndTimestampRoundTrip) {
+  FrameHeader h;
+  h.type = 0x77;
+  h.src = 1;
+  h.dst = 2;
+  h.flow = 99;
+  h.flags = kFrameFlagSampled;
+  h.sent_at_us = 123456789;
+  Bytes wire = EncodeFrame(h, Bytes{});
+  auto back = DecodeFrameHeader(wire.data(), wire.size()).value();
+  EXPECT_TRUE(back.sampled());
+  EXPECT_EQ(back.sent_at_us, 123456789);
+  EXPECT_EQ(back.flow, 99u);
+}
+
+TEST(FrameTest, UnsampledFrameCarriesNoTimestampBytes) {
+  // Tracing-off frames must stay byte-identical to pre-tracing frames:
+  // the encoder ignores sent_at_us when the sampled flag is clear, and
+  // the decoder treats a nonzero timestamp without the flag as
+  // corruption.
+  FrameHeader h;
+  h.sent_at_us = 42;  // Set but not sampled: must not hit the wire.
+  Bytes wire = EncodeFrame(h, Bytes{});
+  for (size_t i = 36; i < 44; ++i) EXPECT_EQ(wire[i], 0u) << "byte " << i;
+  EXPECT_EQ(DecodeFrameHeader(wire.data(), wire.size()).value().sent_at_us,
+            0);
+
+  wire[36] = 0xAA;  // Timestamp bytes without the flag.
   EXPECT_FALSE(DecodeFrameHeader(wire.data(), wire.size()).ok());
 }
 

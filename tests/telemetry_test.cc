@@ -10,8 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/reactor.h"
@@ -314,6 +318,179 @@ TEST_F(TelemetryServerTest, ServesPrometheusFromRegistry) {
   EXPECT_TRUE(metrics::LintPrometheusText(got.value().body).ok());
   EXPECT_NE(got.value().body.find("demo_count 3"), std::string::npos);
   server.Stop();
+}
+
+// ------------------------------------------------------ HttpGet failures
+//
+// The client side of the plane (bptop, bpstitch, the loopback tests) has
+// to survive a hostile or half-dead server: refused connections, garbage
+// instead of a status line, truncated headers, unbounded bodies, and
+// servers that accept and then go silent.
+
+/// A raw TCP server that runs `conduct` once on the first accepted
+/// connection and closes. No HTTP anywhere — the point is byte-level
+/// control over what HttpGet reads.
+class OneShotServer {
+ public:
+  explicit OneShotServer(std::function<void(int fd)> conduct) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 1) != 0) {
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this, conduct = std::move(conduct)]() {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      // Drain the client's request first and end with a graceful FIN —
+      // closing with unread bytes in the receive buffer would RST the
+      // connection and turn every scripted scenario into ECONNRESET.
+      timeval tv{2, 0};
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      char buf[1024];
+      std::string request;
+      while (request.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) break;
+        request.append(buf, static_cast<size_t>(n));
+      }
+      conduct(fd);
+      ::shutdown(fd, SHUT_WR);
+      while (::read(fd, buf, sizeof(buf)) > 0) {
+      }
+      ::close(fd);
+    });
+  }
+
+  ~OneShotServer() {
+    // Unblock accept() if nothing ever connected.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+void SendAll(int fd, std::string_view text) {
+  size_t off = 0;
+  while (off < text.size()) {
+    // MSG_NOSIGNAL: the client hanging up early must fail the send, not
+    // SIGPIPE the test binary.
+    const ssize_t n = ::send(fd, text.data() + off, text.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+TEST(HttpGetTest, ConnectionRefused) {
+  // Bind a port, learn its number, close it: nothing listens there now.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(fd);
+
+  auto r = HttpGet("127.0.0.1", dead_port, "/metrics", 1000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("connect"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HttpGetTest, BadHostRejectedBeforeConnecting) {
+  auto r = HttpGet("not an ip", 80, "/");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("bad host"), std::string::npos);
+}
+
+TEST(HttpGetTest, GarbageStatusLineIsAnError) {
+  OneShotServer server(
+      [](int fd) { SendAll(fd, "SMTP-ish greeting, not http\r\n\r\nhi"); });
+  ASSERT_NE(server.port(), 0);
+  auto r = HttpGet("127.0.0.1", server.port(), "/", 2000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("malformed response status line"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HttpGetTest, TruncatedHeadersAreAnError) {
+  // A valid status line, then the connection dies mid-header: no
+  // \r\n\r\n terminator ever arrives.
+  OneShotServer server(
+      [](int fd) { SendAll(fd, "HTTP/1.0 200 OK\r\nContent-Type: te"); });
+  ASSERT_NE(server.port(), 0);
+  auto r = HttpGet("127.0.0.1", server.port(), "/", 2000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("no header terminator"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HttpGetTest, OversizedBodyAbortsInsteadOfBuffering) {
+  // Stream >64 MiB: the client must give up with ResourceExhausted, not
+  // buffer whatever a runaway server emits.
+  OneShotServer server([](int fd) {
+    SendAll(fd, "HTTP/1.0 200 OK\r\n\r\n");
+    const std::string chunk(1u << 20, 'x');
+    for (int i = 0; i < 66; ++i) SendAll(fd, chunk);
+  });
+  ASSERT_NE(server.port(), 0);
+  auto r = HttpGet("127.0.0.1", server.port(), "/", 10000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("response over 64 MiB"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HttpGetTest, SilentServerHitsReadTimeout) {
+  // Accepts, sends a partial response, then goes quiet without closing.
+  std::atomic<bool> done{false};
+  OneShotServer server([&done](int fd) {
+    SendAll(fd, "HTTP/1.0 200 OK\r\n");
+    while (!done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  ASSERT_NE(server.port(), 0);
+  auto r = HttpGet("127.0.0.1", server.port(), "/", 200);
+  done.store(true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("read timeout"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(HttpGetTest, SlowDribbleStillCompletes) {
+  // Bytes arriving in tiny bursts with pauses well under the deadline:
+  // each poll() round succeeds and the response assembles normally.
+  OneShotServer server([](int fd) {
+    const std::string response = "HTTP/1.0 200 OK\r\n\r\ndribble";
+    for (char c : response) {
+      SendAll(fd, std::string_view(&c, 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  ASSERT_NE(server.port(), 0);
+  auto r = HttpGet("127.0.0.1", server.port(), "/", 2000);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().status, 200);
+  EXPECT_EQ(r.value().body, "dribble");
 }
 
 // ------------------------------------------------------- stat frame codec

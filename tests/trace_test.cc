@@ -41,7 +41,7 @@ TEST(TraceE2eTest, StarQueryProducesNestedSpans) {
   ASSERT_TRUE(result.ok());
   const auto& run = result.value();
   ASSERT_NE(run.trace, nullptr);
-  const auto& spans = run.trace->spans();
+  const auto spans = run.trace->Spans();
   ASSERT_FALSE(spans.empty());
 
   // One top-level "query" span per issued query.
@@ -96,7 +96,7 @@ TEST(TraceE2eTest, NetSpansAccountForAllWireBytes) {
   const auto& run = result.value();
   ASSERT_NE(run.trace, nullptr);
   uint64_t traced_wire = 0;
-  for (const auto& s : run.trace->spans()) {
+  for (const auto& s : run.trace->Spans()) {
     if (s.cat != "net") continue;
     for (const auto& [key, value] : s.args) {
       if (key == "wire") traced_wire += value;
@@ -131,6 +131,129 @@ TEST(TraceE2eTest, ChromeJsonExportIsLoadable) {
 
   const std::string flat = result.value().trace->ToFlatText();
   EXPECT_NE(flat.find("agent.migrate"), std::string::npos);
+}
+
+trace::Span MakeSpan(uint64_t seq) {
+  trace::Span s;
+  s.name = "s" + std::to_string(seq);
+  s.cat = "cpu";
+  s.tid = 1;
+  s.ts = static_cast<SimTime>(seq);
+  s.dur = 1;
+  s.flow = seq;
+  return s;
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  trace::TraceRecorderOptions options;
+  options.ring_capacity = 4;
+  trace::TraceRecorder rec(options);
+  for (uint64_t i = 0; i < 10; ++i) rec.RecordSpan(MakeSpan(i));
+
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.spans_dropped(), 6u);
+
+  // The ring holds the newest four spans, oldest first, and every
+  // export path sees the same order.
+  const auto spans = rec.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spans[i].name, "s" + std::to_string(6 + i));
+  }
+  std::vector<std::string> visited;
+  rec.ForEachSpan([&](const trace::Span& s) { visited.push_back(s.name); });
+  EXPECT_EQ(visited, (std::vector<std::string>{"s6", "s7", "s8", "s9"}));
+  const std::string flat = rec.ToFlatText();
+  EXPECT_EQ(flat.find("s5"), std::string::npos);
+  EXPECT_LT(flat.find("s6"), flat.find("s9"));
+}
+
+TEST(TraceRecorderTest, SpansSinceActsAsDrainCursor) {
+  trace::TraceRecorderOptions options;
+  options.ring_capacity = 8;
+  trace::TraceRecorder rec(options);
+  for (uint64_t i = 0; i < 3; ++i) rec.RecordSpan(MakeSpan(i));
+
+  uint64_t cursor = 0;
+  auto batch = rec.SpansSince(cursor, &cursor);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(cursor, 3u);
+
+  // Nothing new: empty batch, cursor unchanged.
+  batch = rec.SpansSince(cursor, &cursor);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(cursor, 3u);
+
+  // Overflow past the cursor: spans that fell out of the ring are
+  // silently absent, the cursor still lands at recorded().
+  for (uint64_t i = 3; i < 15; ++i) rec.RecordSpan(MakeSpan(i));
+  batch = rec.SpansSince(cursor, &cursor);
+  ASSERT_EQ(batch.size(), 8u);  // Ring capacity, not 12.
+  EXPECT_EQ(batch.front().name, "s7");
+  EXPECT_EQ(batch.back().name, "s14");
+  EXPECT_EQ(cursor, 15u);
+}
+
+TEST(TraceRecorderTest, SamplingIsDeterministicPerFlow) {
+  trace::TraceRecorderOptions options;
+  options.sample_rate = 0.25;
+  trace::TraceRecorder a(options);
+  trace::TraceRecorder b(options);
+
+  // Two independent recorders (two "processes") agree on every flow, and
+  // a realistic rate samples neither none nor all.
+  size_t sampled = 0;
+  for (uint64_t flow = 1; flow <= 1000; ++flow) {
+    const bool va = a.Sampled(flow);
+    EXPECT_EQ(va, b.Sampled(flow)) << "flow " << flow;
+    if (va) ++sampled;
+  }
+  EXPECT_GT(sampled, 100u);
+  EXPECT_LT(sampled, 500u);
+  EXPECT_EQ(a.flows_sampled(), sampled);
+
+  // The verdict is sticky and first_sighting fires exactly once.
+  for (uint64_t flow = 1; flow <= 1000; ++flow) {
+    bool first = true;
+    const bool verdict = a.Sampled(flow, &first);
+    EXPECT_EQ(verdict, b.Sampled(flow));
+    EXPECT_FALSE(first);
+  }
+  EXPECT_EQ(a.flows_sampled(), sampled);
+}
+
+TEST(TraceRecorderTest, RateZeroSamplesNothingAndForceSampleOverrides) {
+  trace::TraceRecorderOptions options;
+  options.sample_rate = 0.0;
+  trace::TraceRecorder rec(options);
+  EXPECT_FALSE(rec.sample_all());
+  for (uint64_t flow = 1; flow <= 100; ++flow) {
+    EXPECT_FALSE(rec.Sampled(flow));
+  }
+  EXPECT_EQ(rec.flows_sampled(), 0u);
+
+  // The wire-propagated decision wins over the local rate.
+  EXPECT_TRUE(rec.ForceSample(42));
+  EXPECT_FALSE(rec.ForceSample(42));  // Only the first sighting reports.
+  EXPECT_TRUE(rec.Sampled(42));
+  EXPECT_EQ(rec.flows_sampled(), 1u);
+  const auto flows = rec.SampledFlows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0], 42u);
+
+  // Flow 0 has no identity: never sampled below rate 1.0, never forced.
+  EXPECT_FALSE(rec.Sampled(0));
+  EXPECT_FALSE(rec.ForceSample(0));
+}
+
+TEST(TraceRecorderTest, DefaultRecorderSamplesEverything) {
+  trace::TraceRecorder rec;
+  EXPECT_TRUE(rec.sample_all());
+  EXPECT_EQ(rec.sample_rate(), 1.0);
+  EXPECT_TRUE(rec.Sampled(7));
+  EXPECT_TRUE(rec.Sampled(0));  // Rate 1.0 covers unaffiliated spans too.
 }
 
 }  // namespace

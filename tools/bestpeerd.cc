@@ -11,12 +11,35 @@
 //
 // The live telemetry plane is opt-in via BP_TELEMETRY_ADDR=host:port:
 // an HTTP/1.0 server on the shared reactor serves /metrics (Prometheus),
-// /healthz, /peers, /cache, /flight?n=K and /fleet; every node pushes a
-// compact stat frame to the LIGLO node (the collector) every
-// BP_TELEMETRY_PUSH_MS milliseconds. --serve keeps the workload running
-// until SIGINT/SIGTERM, which drains cleanly: final metrics printed,
-// flight ring dumped to BP_FLIGHT_DUMP (when set), exit 0.
+// /healthz, /peers, /cache, /flight?n=K, /fleet, /traces and
+// /trace?flow=K; every node pushes a compact stat frame to the LIGLO
+// node (the collector) every BP_TELEMETRY_PUSH_MS milliseconds. --serve
+// keeps the workload running until SIGINT/SIGTERM, which drains cleanly:
+// final metrics printed, flight ring dumped to BP_FLIGHT_DUMP (when
+// set), exit 0.
+//
+// Distributed tracing is opt-in via BP_TRACE_SAMPLE=rate (0..1): the
+// process owns one trace::TraceRecorder (ring bounded by BP_TRACE_RING
+// spans), the transport stamps sampled flows into the BPF1 frame flags,
+// and the push timer drains new spans into the collector — locally on
+// the driver, as kTraceFrameMsgType pushes to global node 0 from
+// followers. tools/bpstitch scrapes /traces from every process and
+// stitches one Perfetto trace per flow (DESIGN.md §12).
+//
+// A fleet can span processes: --port-base=P pins node k's listener to
+// port P+k so any process can dial any node, --node-base=K starts this
+// process's node ids at K, and --fleet-size=F tells everyone how many
+// global nodes exist (node 0 = LIGLO + collector, 1..F-1 = BestPeer
+// nodes) so join-time IP resolution works without coordination.
+// --node-base=0 (the default) makes this process the driver: it hosts
+// LIGLO, the collectors and the query workload. --node-base>0 makes it
+// a follower: it hosts --nodes BestPeer nodes that join the driver's
+// LIGLO and serve agents until a signal arrives.
+//
+//   bestpeerd --nodes=4 --port-base=24100 --fleet-size=9 --serve &
+//   bestpeerd --nodes=4 --node-base=5 --port-base=24100 --fleet-size=9
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -37,7 +60,9 @@
 #include "obs/json_writer.h"
 #include "obs/stat_frame.h"
 #include "obs/telemetry_server.h"
+#include "obs/trace_frame.h"
 #include "util/metrics.h"
+#include "util/trace.h"
 #include "workload/corpus.h"
 
 namespace {
@@ -57,6 +82,10 @@ struct Flags {
   int64_t timeout_ms = 10000;
   bool serve = false;  ///< Keep issuing queries until SIGINT/SIGTERM.
   bool cache = false;  ///< Enable the result cache + hot replication.
+  // Multi-process fleet plan (all three set together, or none).
+  uint32_t node_base = 0;   ///< First global node id in this process.
+  uint16_t port_base = 0;   ///< Node k listens on port_base + k.
+  uint32_t fleet_size = 0;  ///< Global node count incl. the LIGLO node.
 };
 
 bool ParseFlag(const char* arg, const char* name, long* out) {
@@ -71,12 +100,18 @@ int Usage(const char* argv0) {
                "usage: %s [--nodes=N>=2] [--objects=N] [--matches=N] "
                "[--queries=N] [--seed=N] [--timeout-ms=N] [--serve] "
                "[--cache]\n"
+               "       [--node-base=K --port-base=P --fleet-size=F]  "
+               "multi-process fleet (K=0: driver, K>0: follower)\n"
                "env: BP_TELEMETRY_ADDR=host:port  enable the telemetry "
                "plane\n"
                "     BP_TELEMETRY_PUSH_MS=N       stat-frame push period "
                "(default 1000)\n"
                "     BP_FLIGHT_DUMP=path          write the flight ring as "
-               "NDJSON on exit\n",
+               "NDJSON on exit\n"
+               "     BP_TRACE_SAMPLE=R            record spans for fraction "
+               "R of flows (0..1)\n"
+               "     BP_TRACE_RING=N              span ring capacity "
+               "(default 1048576)\n",
                argv0);
   return 2;
 }
@@ -254,6 +289,12 @@ int main(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(v);
     } else if (ParseFlag(argv[i], "--timeout-ms", &v)) {
       flags.timeout_ms = v;
+    } else if (ParseFlag(argv[i], "--node-base", &v)) {
+      flags.node_base = static_cast<uint32_t>(v);
+    } else if (ParseFlag(argv[i], "--port-base", &v)) {
+      flags.port_base = static_cast<uint16_t>(v);
+    } else if (ParseFlag(argv[i], "--fleet-size", &v)) {
+      flags.fleet_size = static_cast<uint32_t>(v);
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       flags.serve = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
@@ -262,7 +303,22 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (flags.nodes < 2 || flags.matches > flags.objects) return Usage(argv[0]);
+  // A follower hosts only BestPeer nodes; the driver also hosts the
+  // LIGLO/collector node, so its local node count is flags.nodes + 1.
+  const bool follower = flags.node_base > 0;
+  const size_t local_nodes = flags.nodes + (follower ? 0 : 1);
+  if (flags.nodes < (follower ? 1u : 2u) || flags.matches > flags.objects) {
+    return Usage(argv[0]);
+  }
+  if (flags.node_base != 0 || flags.port_base != 0 ||
+      flags.fleet_size != 0) {
+    // Fleet mode: all three knobs are required and the plan must have
+    // room for this process's nodes.
+    if (flags.port_base == 0 || flags.fleet_size == 0 ||
+        flags.fleet_size < flags.node_base + local_nodes) {
+      return Usage(argv[0]);
+    }
+  }
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
@@ -279,6 +335,27 @@ int main(int argc, char** argv) {
   // flows; all instrument creation happens below, before Start().
   metrics::Registry registry;
 
+  // Distributed tracing (opt-in): one recorder per process, owned here
+  // and wired into the transport. Head-based sampling keyed on the flow
+  // id hash means every fleet process reaches the same verdict per
+  // query; the BPF1 sampled flag enforces it for mismatched rates.
+  std::unique_ptr<trace::TraceRecorder> tracer;
+  if (const char* env = std::getenv("BP_TRACE_SAMPLE")) {
+    const double rate = std::atof(env);
+    if (rate > 0) {
+      trace::TraceRecorderOptions trace_options;
+      trace_options.sample_rate = rate;
+      trace_options.metrics = &registry;
+      if (const char* ring = std::getenv("BP_TRACE_RING")) {
+        const long want = std::atol(ring);
+        if (want > 0) {
+          trace_options.ring_capacity = static_cast<size_t>(want);
+        }
+      }
+      tracer = std::make_unique<trace::TraceRecorder>(trace_options);
+    }
+  }
+
   // The flight recorder exists only when someone will read it (the
   // /flight endpoint or a final dump); otherwise the transport's
   // instrumentation stays a null-pointer test.
@@ -288,18 +365,29 @@ int main(int argc, char** argv) {
     flight = std::make_unique<obs::FlightRecorder>(
         obs::FlightRecorderOptions{.capacity = 8192, .auto_dump_path = ""});
     flight->RegisterTypeName(obs::kStatFrameMsgType, "stat_frame");
+    flight->RegisterTypeName(obs::kTraceFrameMsgType, "trace_frame");
   }
 
   net::TcpOptions tcp_options;
   tcp_options.metrics = &registry;
   tcp_options.flight = flight.get();
+  tcp_options.trace = tracer.get();
+  tcp_options.node_base = flags.node_base;
+  tcp_options.port_base = flags.port_base;
   net::TcpNet tcpnet(tcp_options);
 
-  auto server_transport = tcpnet.AddNode();
-  if (!server_transport.ok()) {
-    std::fprintf(stderr, "bestpeerd: %s\n",
-                 server_transport.status().ToString().c_str());
-    return 1;
+  // Global node 0 is the LIGLO server + collector; it lives in the
+  // driver process. Followers dial it by its fleet port.
+  constexpr NodeId kLigloNode = 0;
+  net::TcpTransport* server_transport = nullptr;
+  if (!follower) {
+    auto st = tcpnet.AddNode();
+    if (!st.ok()) {
+      std::fprintf(stderr, "bestpeerd: %s\n",
+                   st.status().ToString().c_str());
+      return 1;
+    }
+    server_transport = st.value();
   }
   std::vector<net::TcpTransport*> transports;
   for (size_t i = 0; i < flags.nodes; ++i) {
@@ -312,30 +400,68 @@ int main(int argc, char** argv) {
   }
 
   core::SharedInfra infra;
-  net::Dispatcher server_dispatcher(server_transport.value());
-  liglo::LigloServerOptions server_options;
-  server_options.initial_peer_count = 4;
-  server_options.sample_seed = flags.seed ^ 0x5EED;
-  liglo::LigloServer liglo_server(server_transport.value(),
-                                  &server_dispatcher, &infra.ip_directory,
-                                  server_options);
+  // Fleet IP plan: every process derives the same NodeId <-> IpAddress
+  // mapping (10.0.0.1 + id), so a peer entry minted by any process
+  // resolves in every other one without a directory exchange.
+  if (flags.fleet_size != 0) {
+    for (uint32_t id = 1; id < flags.fleet_size; ++id) {
+      Status st = infra.ip_directory.Assign(0x0A000001u + id, id);
+      if (!st.ok()) {
+        std::fprintf(stderr, "bestpeerd: ip plan: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
 
-  // The LIGLO node doubles as the fleet collector: nodes push stat frames
-  // to it over the same transport their protocol traffic uses.
+  constexpr uint32_t kInitialPeerCount = 4;
+  std::unique_ptr<net::Dispatcher> server_dispatcher;
+  std::unique_ptr<liglo::LigloServer> liglo_server;
   obs::FleetCollector collector;
-  server_dispatcher.Register(
-      obs::kStatFrameMsgType, [&](const net::Message& msg) {
-        auto frame = obs::DecodeStatFrame(msg.payload);
-        if (frame.ok()) {
-          collector.Absorb(std::move(frame).value(),
-                           tcpnet.reactor().now_us());
-        }
-      });
+  obs::TraceCollector trace_collector;
+  if (!follower) {
+    server_dispatcher = std::make_unique<net::Dispatcher>(server_transport);
+    liglo::LigloServerOptions server_options;
+    server_options.initial_peer_count = kInitialPeerCount;
+    server_options.sample_seed = flags.seed ^ 0x5EED;
+    liglo_server = std::make_unique<liglo::LigloServer>(
+        server_transport, server_dispatcher.get(), &infra.ip_directory,
+        server_options);
+
+    // The LIGLO node doubles as the fleet collector: nodes push stat and
+    // trace frames to it over the same transport their protocol traffic
+    // uses — from followers that means real cross-process BPF1 frames.
+    server_dispatcher->Register(
+        obs::kStatFrameMsgType, [&](const net::Message& msg) {
+          auto frame = obs::DecodeStatFrame(msg.payload);
+          if (frame.ok()) {
+            collector.Absorb(std::move(frame).value(),
+                             tcpnet.reactor().now_us());
+          }
+        });
+    server_dispatcher->Register(
+        obs::kTraceFrameMsgType, [&](const net::Message& msg) {
+          auto frame = obs::DecodeTraceFrame(msg.payload);
+          if (frame.ok()) {
+            trace_collector.Absorb(std::move(frame).value(),
+                                   tcpnet.reactor().now_us());
+          }
+        });
+  }
 
   core::BestPeerConfig config;
-  config.max_direct_peers = server_options.initial_peer_count + 2;
+  // In fleet mode leave room for every global peer: with the static
+  // "none" strategy an evicted back-link is never re-learned, which
+  // would strand the evictee outside the search graph.
+  config.max_direct_peers =
+      flags.fleet_size != 0
+          ? std::max<size_t>(kInitialPeerCount + 2, flags.fleet_size - 1)
+          : kInitialPeerCount + 2;
   config.strategy = "none";
-  config.default_ttl = static_cast<uint16_t>(flags.nodes);
+  // In fleet mode the query must be able to cross every global node, not
+  // just the ones in this process.
+  config.default_ttl = static_cast<uint16_t>(
+      flags.fleet_size != 0 ? flags.fleet_size : flags.nodes);
   config.metrics = &registry;
   if (flags.cache) {
     config.enable_result_cache = true;
@@ -357,10 +483,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     for (size_t o = 0; o < flags.objects; ++o) {
-      // Node 0 issues the queries; matches live on everyone else.
-      bool match = i != 0 && o < flags.matches;
-      st = node.value()->ShareObject((static_cast<uint64_t>(i) << 24) | o,
-                                     corpus.MakeObject(match));
+      // The driver's first BestPeer node issues the queries; matches live
+      // on every other node in the fleet. Object ids are derived from the
+      // global node id so they never collide across processes.
+      bool match = !(!follower && i == 0) && o < flags.matches;
+      st = node.value()->ShareObject(
+          (static_cast<uint64_t>(node.value()->node()) << 24) | o,
+          corpus.MakeObject(match));
       if (!st.ok()) {
         std::fprintf(stderr, "bestpeerd: %s\n", st.ToString().c_str());
         return 1;
@@ -376,9 +505,19 @@ int main(int argc, char** argv) {
   metrics::Counter* expected_c =
       registry.GetCounter("bestpeerd.answers_expected");
 
-  std::printf("bestpeerd: liglo on 127.0.0.1:%u, %zu nodes on ports %u..%u\n",
-              server_transport.value()->port(), flags.nodes,
-              transports.front()->port(), transports.back()->port());
+  if (follower) {
+    std::printf(
+        "bestpeerd: follower nodes %u..%u on ports %u..%u (fleet of %u)\n",
+        flags.node_base,
+        flags.node_base + static_cast<uint32_t>(flags.nodes) - 1,
+        transports.front()->port(), transports.back()->port(),
+        flags.fleet_size);
+  } else {
+    std::printf(
+        "bestpeerd: liglo on 127.0.0.1:%u, %zu nodes on ports %u..%u\n",
+        server_transport->port(), flags.nodes, transports.front()->port(),
+        transports.back()->port());
+  }
 
   tcpnet.Start();
 
@@ -430,6 +569,40 @@ int main(int argc, char** argv) {
       r.body = FlightJson(*flight, n);
       return r;
     });
+    // The trace endpoints serve this process's collector: the driver's
+    // holds the whole fleet's spans, a follower's only its own — bpstitch
+    // scrapes all of them and dedups by the local node-id range.
+    auto export_ctx = [&tcpnet, &flags, local_nodes]() {
+      obs::TraceExportContext ctx;
+      ctx.now_us = tcpnet.reactor().now_us();
+      ctx.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count();
+      ctx.node_base = flags.node_base;
+      ctx.node_count = static_cast<uint32_t>(local_nodes);
+      return ctx;
+    };
+    telemetry->AddHandler("/traces", [&, export_ctx](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = trace_collector.ToJson(export_ctx());
+      return r;
+    });
+    telemetry->AddHandler(
+        "/trace", [&, export_ctx](const obs::HttpRequest& req) {
+          obs::HttpResponse r;
+          r.content_type = "application/json";
+          const std::string param = obs::QueryParam(req.query, "flow");
+          if (param.empty()) {
+            r.status = 400;
+            r.content_type = "text/plain";
+            r.body = "missing ?flow=K\n";
+            return r;
+          }
+          r.body = trace_collector.FlowJson(
+              export_ctx(), std::strtoull(param.c_str(), nullptr, 10));
+          return r;
+        });
     Status st = telemetry->Start();
     if (!st.ok()) {
       std::fprintf(stderr, "bestpeerd: telemetry: %s\n",
@@ -440,16 +613,40 @@ int main(int argc, char** argv) {
     std::printf("bestpeerd: telemetry on %s:%u\n",
                 telemetry->host().c_str(), telemetry->port());
 
-    // Recurring stat push: every node sends its frame to the collector.
+    // Recurring push: every node sends its stat frame to the collector
+    // (global node 0), and the process drains freshly recorded trace
+    // spans — into the local collector always, and as trace frames to the
+    // driver when this process is a follower.
     const int64_t push_us = push_ms * 1000;
     auto push = std::make_shared<std::function<void()>>();
-    *push = [&nodes, &transports, &tcpnet, server_node =
-                 server_transport.value()->local(), push_us, push]() {
+    auto trace_cursor = std::make_shared<uint64_t>(0);
+    *push = [&, push_us, push, trace_cursor]() {
       const int64_t now = tcpnet.reactor().now_us();
       for (size_t i = 0; i < nodes.size(); ++i) {
         obs::StatFrame frame = BuildStatFrame(nodes[i].get(), now);
-        transports[i]->Send(server_node, obs::kStatFrameMsgType,
+        transports[i]->Send(kLigloNode, obs::kStatFrameMsgType,
                             obs::EncodeStatFrame(frame));
+      }
+      if (tracer != nullptr) {
+        uint64_t next = *trace_cursor;
+        std::vector<trace::Span> fresh =
+            tracer->SpansSince(*trace_cursor, &next);
+        *trace_cursor = next;
+        for (size_t off = 0; off < fresh.size();
+             off += obs::kTraceFrameMaxSpans) {
+          const size_t end =
+              std::min(fresh.size(), off + obs::kTraceFrameMaxSpans);
+          obs::TraceFrame frame;
+          frame.node = flags.node_base;
+          frame.sent_at_us = now;
+          frame.spans_dropped = tracer->spans_dropped();
+          frame.spans.assign(fresh.begin() + off, fresh.begin() + end);
+          if (follower) {
+            transports[0]->Send(kLigloNode, obs::kTraceFrameMsgType,
+                                obs::EncodeTraceFrame(frame));
+          }
+          trace_collector.Absorb(std::move(frame), now);
+        }
       }
       tcpnet.reactor().AddTimerAt(now + push_us, [push]() { (*push)(); });
     };
@@ -471,16 +668,20 @@ int main(int argc, char** argv) {
   };
 
   // Sequential joins, like a real deployment: each node registers with
-  // LIGLO and adopts a sample of the members already present.
+  // LIGLO (global node 0, possibly in another process) and adopts a
+  // sample of the members already present. In fleet mode the node's IP
+  // comes from the shared plan; standalone keeps minting fresh ones.
   for (auto& node : nodes) {
     bool joined = false;
     tcpnet.Run([&]() {
-      liglo::IpAddress ip = infra.ip_directory.AssignFresh(node->node());
-      node->JoinNetwork(server_transport.value()->local(), ip,
-                        [&joined](auto outcome) {
-                          (void)outcome;
-                          joined = true;
-                        });
+      liglo::IpAddress ip =
+          flags.fleet_size != 0
+              ? infra.ip_directory.AddressOf(node->node())
+              : infra.ip_directory.AssignFresh(node->node());
+      node->JoinNetwork(kLigloNode, ip, [&joined](auto outcome) {
+        (void)outcome;
+        joined = true;
+      });
     });
     if (!wait_until([&]() { return joined; }, flags.timeout_ms)) {
       if (g_signal != 0) break;
@@ -492,7 +693,39 @@ int main(int argc, char** argv) {
   }
   if (g_signal == 0) std::printf("bestpeerd: %zu nodes joined\n", flags.nodes);
 
-  const size_t expected = (flags.nodes - 1) * flags.matches;
+  // A follower's job ends here: its nodes serve agent traffic (and push
+  // stat/trace frames) until a signal arrives.
+  if (follower) {
+    while (g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  // The fleet driver waits for every remote node to register before
+  // issuing queries, so recall is measured against the whole fleet.
+  if (!follower && flags.fleet_size != 0 && g_signal == 0) {
+    const size_t want = flags.fleet_size - 1;
+    if (!wait_until(
+            [&]() { return liglo_server->registrations() >= want; },
+            flags.timeout_ms)) {
+      if (g_signal == 0) {
+        std::fprintf(stderr, "bestpeerd: fleet join timed out\n");
+        tcpnet.Stop();
+        return 1;
+      }
+    } else {
+      std::printf("bestpeerd: fleet of %zu nodes registered\n", want);
+      // Registration precedes peer adoption by a round trip; give the
+      // last joiner's back-links a moment before measuring recall.
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    }
+  }
+
+  // Every BestPeer node except the issuer holds `matches` matching
+  // objects; in fleet mode that spans all processes.
+  const size_t expected =
+      (flags.fleet_size != 0 ? flags.fleet_size - 2 : flags.nodes - 1) *
+      flags.matches;
   size_t received_total = 0;
   size_t queries_run = 0;
   double latency_sum_ms = 0, latency_max_ms = 0;
@@ -530,6 +763,21 @@ int main(int argc, char** argv) {
             ToMillis(s->completion_time() > 0
                          ? s->completion_time()
                          : tcpnet.clock().now() - s->start_time());
+        // Root span for the distributed trace: the same name/cat/flow
+        // convention the simulator's experiment driver uses, so the
+        // critical-path explain and bpstitch find their anchor.
+        if (tracer != nullptr && tracer->Sampled(query_id)) {
+          trace::Span span;
+          span.name = "query";
+          span.cat = "query";
+          span.tid = nodes[0]->node();
+          span.ts = s->start_time();
+          span.dur = s->completion_time() > 0
+                         ? s->completion_time()
+                         : tcpnet.clock().now() - s->start_time();
+          span.flow = query_id;
+          tracer->RecordSpan(std::move(span));
+        }
       }
       queries_done_c->Increment();
       answers_c->Add(answers);
@@ -592,6 +840,14 @@ int main(int argc, char** argv) {
                     telemetry->connections_rejected()),
                 collector.node_count(),
                 static_cast<unsigned long long>(collector.frames_received()));
+  }
+  if (tracer != nullptr) {
+    std::printf("trace: spans=%llu dropped=%llu flows_sampled=%llu "
+                "collected_flows=%zu collected_spans=%zu\n",
+                static_cast<unsigned long long>(tracer->recorded()),
+                static_cast<unsigned long long>(tracer->spans_dropped()),
+                static_cast<unsigned long long>(tracer->flows_sampled()),
+                trace_collector.flow_count(), trace_collector.span_count());
   }
   if (flight != nullptr && flight_dump != nullptr &&
       flight_dump[0] != '\0') {

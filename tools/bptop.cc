@@ -191,6 +191,15 @@ int main(int argc, char** argv) {
                 have_prev ? Rate(scrape, prev, "bestpeerd_queries", dt_s)
                           : 0.0,
                 expected > 0 ? answers / expected : 1.0);
+    if (Get(scrape, "trace_spans_recorded") > 0 ||
+        Get(scrape, "trace_flows_sampled") > 0) {
+      std::printf(
+          "trace flows_sampled=%.0f spans=%.0f spans/s=%.0f dropped=%.0f\n",
+          Get(scrape, "trace_flows_sampled"),
+          Get(scrape, "trace_spans_recorded"),
+          have_prev ? Rate(scrape, prev, "trace_spans_recorded", dt_s) : 0.0,
+          Get(scrape, "trace_spans_dropped"));
+    }
     std::printf(
         "net   tx=%.0fB rx=%.0fB tx/s=%.0fB rx/s=%.0fB drops=%.0f "
         "frame_errs=%.0f\n",
