@@ -5,11 +5,28 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "util/ids.h"
 #include "util/metrics.h"
 #include "util/sim_time.h"
 
 namespace bestpeer::cache {
+
+/// QoS vector for one replica-placement candidate, drawn from the
+/// telemetry the node already keeps per direct peer.
+struct PeerQoS {
+  /// Observed round-trip time of the peer's last query response (us);
+  /// 0 = never observed (treated as neutral, not as instant).
+  double rtt_us = 0;
+  /// Accumulated answer-benefit score (the reconfiguration score).
+  double benefit = 0;
+  /// Consecutive missed query deadlines (health/eviction history).
+  uint32_t failures = 0;
+  /// Link bandwidth toward the peer in bytes/us.
+  double bandwidth_bytes_per_us = 12.5;
+};
 
 struct ReplicaManagerOptions {
   /// Sketch frequency a query key must reach before its answers are
@@ -48,11 +65,27 @@ class ReplicaManager {
 
   uint64_t promotions() const { return promotions_; }
 
+  /// QoS placement score: higher is a better replica target. The formula
+  /// (documented in DESIGN.md §13) favors peers that answered well
+  /// (benefit), over fast links (rtt, bandwidth), and penalizes peers
+  /// with eviction-track-record (consecutive failures) quadratically:
+  ///
+  ///   score = (1 + benefit) * bandwidth
+  ///           / ((1 + failures)^2 * (1 + rtt_us / 1000))
+  static double Score(const PeerQoS& qos);
+
+  /// Picks up to `fanout` replica targets, ordered by Score descending
+  /// with node-id-ascending tie-break — fully deterministic, so the same
+  /// telemetry always yields the same placement.
+  static std::vector<NodeId> SelectTargets(
+      const std::vector<std::pair<NodeId, PeerQoS>>& candidates,
+      size_t fanout);
+
   // --- receiver side ----------------------------------------------------
 
-  /// Registers a stored replica; returns the generation its expiry timer
-  /// must carry.
-  uint64_t NoteStored(uint64_t object_id);
+  /// Registers a stored replica pushed by `source`; returns the
+  /// generation its expiry timer must carry.
+  uint64_t NoteStored(uint64_t object_id, NodeId source = 0);
 
   /// True iff the replica is still tracked at exactly `generation` —
   /// i.e. the timer that fires is the latest one armed.
@@ -61,21 +94,34 @@ class ReplicaManager {
   /// Forgets a replica (after expiry deletion).
   void Remove(uint64_t object_id);
 
+  /// Drops every lease whose pusher was `source` (evicted or
+  /// disconnected peer): returns the revoked object ids so the caller
+  /// can delete the copies. Counted in cache.leases_revoked.
+  std::vector<uint64_t> RevokeFrom(NodeId source);
+
   bool Tracks(uint64_t object_id) const {
     return replicas_.count(object_id) != 0;
   }
   size_t replica_count() const { return replicas_.size(); }
+  uint64_t leases_revoked() const { return leases_revoked_; }
 
  private:
+  struct Lease {
+    uint64_t generation = 0;
+    NodeId source = 0;
+  };
+
   ReplicaManagerOptions options_;
   /// key -> last promotion time.
   std::map<std::string, SimTime> promoted_;
-  /// object id -> latest expiry generation.
-  std::map<uint64_t, uint64_t> replicas_;
+  /// object id -> latest lease (expiry generation + pushing peer).
+  std::map<uint64_t, Lease> replicas_;
   uint64_t generation_counter_ = 0;
   uint64_t promotions_ = 0;
+  uint64_t leases_revoked_ = 0;
 
   metrics::Counter* promotions_c_ = metrics::Counter::Noop();
+  metrics::Counter* leases_revoked_c_ = nullptr;  ///< Lazily registered.
   metrics::Gauge* replicas_g_ = metrics::Gauge::Noop();
 };
 

@@ -159,6 +159,35 @@ const std::map<uint64_t, CachedSlice>* ResultCache::SlicesFor(
   return &it->second.slices;
 }
 
+size_t ResultCache::InvalidateSource(uint64_t source,
+                                     uint64_t current_epoch) {
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto slice_it = it->second.slices.find(source);
+    if (slice_it != it->second.slices.end() &&
+        slice_it->second.epoch < current_epoch) {
+      it->second.bytes -= slice_it->second.bytes;
+      bytes_used_ -= slice_it->second.bytes;
+      it->second.slices.erase(slice_it);
+      ++dropped;
+      ++invalidations_;
+      invalidations_c_->Increment();
+      Flight(obs::EventType::kCacheInvalidate, Fnv1a64(it->first),
+             current_epoch);
+      if (it->second.slices.empty()) {
+        it = entries_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  if (dropped > 0) {
+    bytes_g_->Set(static_cast<double>(bytes_used_));
+    entries_g_->Set(static_cast<double>(entries_.size()));
+  }
+  return dropped;
+}
+
 void ResultCache::DropSlice(std::string_view key, uint64_t source) {
   auto it = entries_.find(key);
   if (it == entries_.end()) return;

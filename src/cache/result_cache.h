@@ -87,6 +87,13 @@ class ResultCache {
   /// Drops one slice (no-op when absent).
   void DropSlice(std::string_view key, uint64_t source);
 
+  /// Drops every cached slice from `source` recorded before
+  /// `current_epoch` — the push half of invalidation, driven by a
+  /// gossiped epoch bump so the staleness never has to be probe-
+  /// discovered. Returns the number of slices dropped (each counted as
+  /// an invalidation).
+  size_t InvalidateSource(uint64_t source, uint64_t current_epoch);
+
   // --- stats ------------------------------------------------------------
 
   uint64_t hits() const { return hits_; }

@@ -151,6 +151,42 @@ struct BestPeerConfig {
   /// Minimum time between two pushes of the same hot key.
   SimTime replica_cooldown = Millis(500);
 
+  // --- gossip anti-entropy plane (opt-in) -------------------------------
+
+  /// Enables the per-node GossipAgent: seeded rumor-mongering push-pull
+  /// rounds disseminating IndexEpoch bumps and replica-lease digests
+  /// ahead of queries. Off (the default) constructs no agent, registers
+  /// no gossip.* metrics and schedules no timers — gossip-off schedules
+  /// stay bit-identical to a gossip-less build.
+  bool enable_gossip = false;
+
+  /// Peers contacted per gossip round.
+  size_t gossip_fanout = 2;
+
+  /// Interval between gossip rounds while rumors are hot.
+  SimTime gossip_interval = Millis(2);
+
+  /// Rounds a rumor stays hot (is re-pushed) before going quiescent.
+  uint32_t gossip_hot_rounds = 3;
+
+  /// Seed of the gossip peer-selection stream (mixed per node).
+  uint64_t gossip_seed = 1;
+
+  /// Scores replica-push targets by the QoS vector (observed RTT,
+  /// answer benefit, failure history, link bandwidth) and pushes to the
+  /// best `replica_fanout` peers instead of broadcasting to every direct
+  /// neighbor. Off keeps the PR-5 frequency-broadcast behavior.
+  bool qos_replica_placement = false;
+
+  /// Replica targets per promotion under QoS placement.
+  size_t replica_fanout = 2;
+
+  /// Counts stale cache probes (full replies that arrive for a probed
+  /// source whose epoch moved) in core.cache_stale_probes. Off by
+  /// default so existing metric snapshots stay byte-identical; counting
+  /// never affects scheduling.
+  bool count_stale_probes = false;
+
   // --- index-backed search & content summaries (opt-in) -----------------
 
   /// Routes the StorM search agent through Storm::IndexSearch (sorted

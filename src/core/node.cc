@@ -72,6 +72,12 @@ Status BestPeerNode::Init() {
     if (config_.enable_content_summaries) {
       summary_skips_c_ = reg->GetCounter("core.summary_skips");
     }
+    if (config_.enable_gossip && config_.enable_result_cache) {
+      gossip_invalidations_c_ = reg->GetCounter("core.gossip_invalidations");
+    }
+    if (config_.count_stale_probes) {
+      stale_probes_c_ = reg->GetCounter("core.cache_stale_probes");
+    }
   }
   if (config_.enable_result_cache) {
     cache::ResultCacheOptions rc;
@@ -180,6 +186,24 @@ Status BestPeerNode::Init() {
   dispatcher_->Register(kPeerSummaryType, [this](const net::Message& m) {
     OnPeerSummary(m);
   });
+
+  if (config_.enable_gossip) {
+    transport_->RegisterTypeName(gossip::kGossipMsgType, "gossip.frame");
+    gossip::GossipOptions go;
+    go.fanout = config_.gossip_fanout;
+    go.round_interval = config_.gossip_interval;
+    go.hot_rounds = config_.gossip_hot_rounds;
+    go.seed = config_.gossip_seed;
+    go.metrics = config_.metrics;
+    gossip_ = std::make_unique<gossip::GossipAgent>(transport_, go);
+    gossip_->SetPeerProvider([this]() { return peers_.Nodes(); });
+    gossip_->SetApplyHook(
+        [this](const gossip::GossipItem& item) { OnGossipApply(item); });
+    dispatcher_->Register(gossip::kGossipMsgType,
+                          [this](const net::Message& m) {
+                            gossip_->OnMessage(m);
+                          });
+  }
   return Status::OK();
 }
 
@@ -197,14 +221,18 @@ Status BestPeerNode::InitStorage(const storm::StormOptions& options) {
     opts.build_index = true;
   }
   BP_ASSIGN_OR_RETURN(storage_, storm::Storm::Open(opts));
-  if (result_cache_ != nullptr || config_.enable_content_summaries) {
+  if (result_cache_ != nullptr || config_.enable_content_summaries ||
+      gossip_ != nullptr) {
     // StorM epoch hook: every insert/delete bumps the mutation epoch, which
     // is what lazily invalidates cached slices (they carry the epoch they
     // were computed at). The gauge makes the bump observable. The summary
-    // plane rides the same hook to refresh what peers know about us.
+    // plane rides the same hook to refresh what peers know about us, and
+    // the gossip plane floods the bump so remote caches invalidate ahead
+    // of their next probe.
     storage_->SetMutationListener([this](uint64_t epoch) {
       index_epoch_g_->Set(epoch + 1);
       if (config_.enable_content_summaries) ScheduleSummaryRefresh();
+      if (gossip_ != nullptr) gossip_->AnnounceEpoch(epoch + 1);
     });
   }
   return Status::OK();
@@ -330,6 +358,7 @@ void BestPeerNode::JoinNetwork(NodeId liglo_server, liglo::IpAddress ip,
               SendSummaryTo(info.node);
             }
           }
+          NoteGossipPeersChanged();
         }
         if (callback) callback(std::move(outcome));
       });
@@ -379,6 +408,7 @@ void BestPeerNode::AddDirectPeerLocal(NodeId peer) {
   PeerInfo info;
   info.node = peer;
   peers_.Add(info, /*enforce_capacity=*/false);
+  NoteGossipPeersChanged();
 }
 
 void BestPeerNode::RemoveDirectPeerLocal(NodeId peer) {
@@ -397,13 +427,78 @@ void BestPeerNode::OnPeerConnect(const net::Message& msg) {
     // Answer with our summary so both link ends can prune (the opener
     // already sent theirs alongside the connect notice).
     SendSummaryTo(msg.src);
+    NoteGossipPeersChanged();
   }
 }
 
 void BestPeerNode::OnPeerDisconnect(const net::Message& msg) {
   peers_.Remove(msg.src);
   peer_summaries_.erase(msg.src);
+  RevokeLeasesFrom(msg.src);
   ReplenishPeersIfIsolated();
+}
+
+// ---------------------------------------------------------------- gossip
+
+void BestPeerNode::NoteGossipPeersChanged() {
+  if (gossip_ != nullptr) gossip_->NotifyPeersChanged();
+}
+
+void BestPeerNode::OnGossipApply(const gossip::GossipItem& item) {
+  switch (item.kind) {
+    case gossip::ItemKind::kIndexEpoch: {
+      if (item.origin == node_) break;
+      // The epoch bump arrived ahead of the next query: drop every slice
+      // this producer contributed before any probe can discover the
+      // staleness the expensive way (a full round trip).
+      if (result_cache_ != nullptr) {
+        size_t dropped =
+            result_cache_->InvalidateSource(item.origin, item.payload);
+        if (dropped > 0) {
+          gossip_invalidations_ += dropped;
+          gossip_invalidations_c_->Add(dropped);
+        }
+      }
+      break;
+    }
+    case gossip::ItemKind::kLeaseGrant:
+      // Grants are informational for third parties; the pusher's own
+      // lease book was updated synchronously at push time.
+      break;
+    case gossip::ItemKind::kLeaseExpire: {
+      // The holder's lease ended: stop treating it as freshly covered
+      // when scoring placement for the next promotion.
+      auto holder_it = lease_book_.find(item.origin);
+      if (holder_it != lease_book_.end()) {
+        holder_it->second.erase(item.subject);
+        if (holder_it->second.empty()) lease_book_.erase(holder_it);
+      }
+      break;
+    }
+  }
+}
+
+void BestPeerNode::RevokeLeasesFrom(NodeId peer) {
+  // Pusher role: forget every lease granted to the lost peer so the next
+  // promotion re-places those objects.
+  lease_book_.erase(peer);
+  // Receiver role: delete the copies the lost peer pushed here — a
+  // replica whose source is gone can never be refreshed, only go stale.
+  if (replica_mgr_ == nullptr) return;
+  std::vector<uint64_t> revoked = replica_mgr_->RevokeFrom(peer);
+  for (uint64_t id : revoked) {
+    if (storage_ != nullptr) storage_->Delete(id).ok();
+    if (auto* flight = transport_->flight()) {
+      obs::FlightEvent event;
+      event.ts = transport_->clock().now();
+      event.type = obs::EventType::kLeaseRevoke;
+      event.node = node_;
+      event.peer = peer;
+      event.a = id;
+      flight->Record(event);
+    }
+    if (gossip_ != nullptr) gossip_->AnnounceLeaseExpire(id, 0);
+  }
 }
 
 void BestPeerNode::ReplenishPeersIfIsolated(bool below_capacity) {
@@ -434,6 +529,7 @@ void BestPeerNode::ReplenishPeersIfIsolated(bool below_capacity) {
             SendSummaryTo(info.node);
           }
         }
+        NoteGossipPeersChanged();
       });
 }
 
@@ -597,6 +693,7 @@ void BestPeerNode::UpdatePeerHealth(const QuerySession& session) {
     // peer never sees it.
     peers_.Remove(peer);
     peer_summaries_.erase(peer);
+    RevokeLeasesFrom(peer);
     SendCompressed(peer, kPeerDisconnectType, Bytes{});
     ++peer_evictions_;
     peer_evictions_c_->Increment();
@@ -849,6 +946,9 @@ NodeTelemetry BestPeerNode::TelemetrySnapshot() const {
   t.replica_pushes = replica_pushes_;
   t.replicas_expired = replicas_expired_;
   t.replicas_stored = replicas_stored_;
+  if (replica_mgr_ != nullptr) {
+    t.leases_revoked = replica_mgr_->leases_revoked();
+  }
   return t;
 }
 
@@ -929,6 +1029,24 @@ void BestPeerNode::OnSearchResult(const net::Message& msg) {
   result_hops_->Observe(static_cast<double>(result->hops));
   if (result->responder_object_count > 0) {
     store_size_hints_[msg.src] = result->responder_object_count;
+  }
+
+  // A stale probe: we asked this responder "unchanged since epoch E?"
+  // and its answer came back at a different epoch — the conditional
+  // round trip was wasted. These are what gossiped epoch bumps eliminate
+  // (the slice is invalidated before the query launches, so no probe is
+  // armed for it). Counting is observational only.
+  if (config_.count_stale_probes && result->cache_epoch != 0 &&
+      !from_cache) {
+    auto snap_it = probe_snapshots_.find(result->query_id);
+    if (snap_it != probe_snapshots_.end()) {
+      auto s = snap_it->second.find(msg.src);
+      if (s != snap_it->second.end() &&
+          s->second.epoch != result->cache_epoch) {
+        ++cache_stale_probes_;
+        stale_probes_c_->Increment();
+      }
+    }
   }
 
   // A full reply from a cache-probing responder refreshes the base's
@@ -1012,11 +1130,58 @@ void BestPeerNode::PushHotReplicas(const std::vector<uint64_t>& ids) {
     push.items.push_back(std::move(item));
   }
   if (push.items.empty()) return;
+
+  std::vector<NodeId> targets;
+  if (config_.qos_replica_placement) {
+    // Placement-aware path: score candidates by the QoS telemetry the
+    // node already keeps per direct peer, and push only to the best
+    // `replica_fanout` of them — instead of broadcasting to every
+    // direct neighbor. Peers already holding a fresh lease on every
+    // object of this push are skipped outright (the gossiped lease book
+    // is what keeps that knowledge current across expiries).
+    std::vector<std::pair<NodeId, cache::PeerQoS>> candidates;
+    for (const PeerInfo& info : peers_.Snapshot()) {
+      bool fully_leased = false;
+      auto holder_it = lease_book_.find(info.node);
+      if (holder_it != lease_book_.end()) {
+        fully_leased = true;
+        for (const ResultItem& item : push.items) {
+          auto lease = holder_it->second.find(item.id);
+          if (lease == holder_it->second.end() ||
+              lease->second != push.source_epoch) {
+            fully_leased = false;
+            break;
+          }
+        }
+      }
+      if (fully_leased) continue;
+      cache::PeerQoS qos;
+      qos.rtt_us = static_cast<double>(info.last_response_time);
+      auto score = answer_scores_.find(info.node);
+      if (score != answer_scores_.end()) qos.benefit = score->second;
+      qos.failures = info.consecutive_failures;
+      qos.bandwidth_bytes_per_us = transport_->link().bytes_per_us;
+      candidates.emplace_back(info.node, qos);
+    }
+    targets = cache::ReplicaManager::SelectTargets(candidates,
+                                                   config_.replica_fanout);
+  } else {
+    targets = peers_.Nodes();
+  }
+
   Bytes encoded = push.Encode();
-  for (NodeId peer : peers_.Nodes()) {
+  for (NodeId peer : targets) {
     SendCompressed(peer, kCacheReplicaPushType, encoded);
     ++replica_pushes_;
     replica_pushes_c_->Increment();
+    if (config_.qos_replica_placement) {
+      for (const ResultItem& item : push.items) {
+        lease_book_[peer][item.id] = push.source_epoch;
+        if (gossip_ != nullptr) {
+          gossip_->AnnounceLeaseGrant(item.id, peer, push.source_epoch);
+        }
+      }
+    }
     if (obs::FlightRecorder* flight = transport_->flight()) {
       obs::FlightEvent e;
       e.ts = transport_->clock().now();
@@ -1043,7 +1208,8 @@ void BestPeerNode::OnCacheReplicaPush(const net::Message& msg) {
   auto items = std::make_shared<std::vector<ResultItem>>(
       std::move(push->items));
   int64_t ttl = push->ttl;
-  transport_->RunCpu(cost, [this, items, ttl]() {
+  NodeId source = msg.src;
+  transport_->RunCpu(cost, [this, items, ttl, source]() {
     for (const auto& item : *items) {
       if (storage_->Contains(item.id)) {
         // An object we own outright (the original, or a §6 replica)
@@ -1054,7 +1220,7 @@ void BestPeerNode::OnCacheReplicaPush(const net::Message& msg) {
         if (!storage_->Put(item.id, item.content).ok()) continue;
         ++replicas_stored_;
       }
-      uint64_t generation = replica_mgr_->NoteStored(item.id);
+      uint64_t generation = replica_mgr_->NoteStored(item.id, source);
       if (ttl > 0) {
         storm::ObjectId id = item.id;
         transport_->clock().ScheduleAfter(
@@ -1073,6 +1239,9 @@ void BestPeerNode::ExpireReplica(storm::ObjectId id, uint64_t generation) {
   storage_->Delete(id).ok();
   ++replicas_expired_;
   replicas_expired_c_->Increment();
+  // Tell the fleet (the pusher above all) that this lease ended, so the
+  // next promotion re-places the object instead of assuming coverage.
+  if (gossip_ != nullptr) gossip_->AnnounceLeaseExpire(id, generation);
   if (obs::FlightRecorder* flight = transport_->flight()) {
     obs::FlightEvent e;
     e.ts = transport_->clock().now();
@@ -1204,6 +1373,7 @@ void BestPeerNode::ApplyPeerSet(
     if (!keep) {
       peers_.Remove(old_peer);
       peer_summaries_.erase(old_peer);
+      RevokeLeasesFrom(old_peer);
       SendCompressed(old_peer, kPeerDisconnectType, Bytes{});
       changed = true;
       ++dropped;
@@ -1238,6 +1408,7 @@ void BestPeerNode::ApplyPeerSet(
     changed = true;
     ++adopted;
   }
+  if (adopted > 0) NoteGossipPeersChanged();
   if (changed) {
     ++reconfigurations_;
     reconfigurations_c_->Increment();

@@ -20,6 +20,7 @@
 #include "core/reconfig_strategy.h"
 #include "core/session.h"
 #include "core/shipping.h"
+#include "gossip/gossip.h"
 #include "liglo/liglo_client.h"
 #include "net/dispatcher.h"
 #include "net/transport.h"
@@ -65,6 +66,7 @@ struct NodeTelemetry {
   uint64_t replica_pushes = 0;
   uint64_t replicas_expired = 0;
   uint64_t replicas_stored = 0;
+  uint64_t leases_revoked = 0;
 };
 
 /// A node running the BestPeer software: storage (StorM), an agent
@@ -188,6 +190,23 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   uint64_t replica_pushes() const { return replica_pushes_; }
   /// Replicas this node deleted at their TTL.
   uint64_t replicas_expired() const { return replicas_expired_; }
+
+  // --- gossip anti-entropy plane ---------------------------------------------
+
+  /// The node's gossip agent (null unless config.enable_gossip).
+  gossip::GossipAgent* gossip_agent() { return gossip_.get(); }
+  const gossip::GossipAgent* gossip_agent() const { return gossip_.get(); }
+
+  /// Cached slices dropped ahead of a probe by a gossiped epoch bump.
+  uint64_t gossip_invalidations() const { return gossip_invalidations_; }
+  /// Full replies received for a probed source whose epoch had moved —
+  /// the stale-probe round trips gossip exists to eliminate (counted
+  /// only when config.count_stale_probes).
+  uint64_t cache_stale_probes() const { return cache_stale_probes_; }
+  /// Leases this node revoked because the pushing peer was lost.
+  uint64_t leases_revoked() const {
+    return replica_mgr_ ? replica_mgr_->leases_revoked() : 0;
+  }
 
   // --- content summaries -----------------------------------------------------
 
@@ -319,6 +338,16 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   void OnPeerDisconnect(const net::Message& msg);
   void OnPeerSummary(const net::Message& msg);
 
+  /// Reacts to a gossiped fact applied from a peer: epoch bumps
+  /// pre-invalidate cached slices, lease expiries clear the lease book.
+  void OnGossipApply(const gossip::GossipItem& item);
+  /// Re-arms the gossip round timer after the peer set gained members.
+  void NoteGossipPeersChanged();
+  /// Drops every replica lease tied to a lost peer, in both roles: as
+  /// receiver, deletes copies `peer` pushed here; as pusher, forgets
+  /// leases granted to `peer`.
+  void RevokeLeasesFrom(NodeId peer);
+
   /// This node's content summary at the current index epoch (rebuilt
   /// lazily when the epoch moves).
   const storm::ContentSummary& OwnSummary();
@@ -357,6 +386,7 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   std::unique_ptr<ReconfigStrategy> strategy_;
   std::unique_ptr<cache::ResultCache> result_cache_;
   std::unique_ptr<cache::ReplicaManager> replica_mgr_;
+  std::unique_ptr<gossip::GossipAgent> gossip_;
 
   PeerList peers_;
   FilterRegistry filters_;
@@ -389,6 +419,12 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   uint64_t cache_notmod_orphans_ = 0;
   uint64_t replica_pushes_ = 0;
   uint64_t replicas_expired_ = 0;
+  uint64_t gossip_invalidations_ = 0;
+  uint64_t cache_stale_probes_ = 0;
+  /// Pusher-side lease book: holder -> object -> source epoch at grant.
+  /// QoS placement skips holders already fresh-leased on an object;
+  /// gossiped/local expiries and peer loss clear entries.
+  std::map<NodeId, std::map<uint64_t, uint64_t>> lease_book_;
   std::set<NodeId> watchers_;
   std::map<NodeId, UpdateCallback> watching_;
   storm::ObjectId next_file_object_id_;
@@ -418,6 +454,8 @@ class BestPeerNode : public agent::AgentHost, public ComputeHost {
   metrics::Counter* replicas_expired_c_ = metrics::Counter::Noop();
   metrics::Gauge* index_epoch_g_ = metrics::Gauge::Noop();
   metrics::Counter* summary_skips_c_ = metrics::Counter::Noop();
+  metrics::Counter* gossip_invalidations_c_ = metrics::Counter::Noop();
+  metrics::Counter* stale_probes_c_ = metrics::Counter::Noop();
 };
 
 }  // namespace bestpeer::core

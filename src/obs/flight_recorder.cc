@@ -44,6 +44,12 @@ std::string_view EventTypeName(EventType type) {
       return "replica_expire";
     case EventType::kTraceSampled:
       return "trace_sampled";
+    case EventType::kGossipSend:
+      return "gossip_send";
+    case EventType::kGossipApply:
+      return "gossip_apply";
+    case EventType::kLeaseRevoke:
+      return "lease_revoke";
   }
   return "unknown";
 }

@@ -36,6 +36,9 @@ enum class EventType : uint8_t {
                      ///< process will record spans for `flow` (a = 1 when
                      ///< forced by an inbound sampled frame, 0 when decided
                      ///< locally by the head-based hash).
+  kGossipSend,       ///< Gossip frame pushed to a peer (a = items, b = round).
+  kGossipApply,      ///< Gossiped item applied (a = origin, b = version).
+  kLeaseRevoke,      ///< Replica lease revoked on peer loss (a = object id).
 };
 
 /// Stable lower_snake_case name used in the NDJSON dump.

@@ -11,6 +11,7 @@
 #include "baseline/gnutella.h"
 #include "core/node.h"
 #include "core/search_agent.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "util/logging.h"
 
@@ -209,6 +210,16 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   if (TraceRequested(options)) simulator.EnableTracing();
   MaybeEnableFlight(&simulator, options);
   Sampling sampling(&simulator, &registry, options);
+  if (options.message_loss > 0) {
+    // Must precede SimNetwork construction so the network binds to the
+    // injector. Zero probabilities consume no randomness, which is why
+    // loss-free runs stay bit-identical without this block.
+    sim::FaultOptions fo;
+    fo.seed = options.seed ^ 0xFA17;
+    fo.message_loss = options.message_loss;
+    fo.metrics = &registry;
+    simulator.EnableFaults(fo);
+  }
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
@@ -241,6 +252,13 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   config.replica_ttl = options.replica_ttl;
   config.use_index_search = options.use_index_search;
   config.enable_content_summaries = options.enable_content_summaries;
+  config.enable_gossip = options.enable_gossip;
+  config.gossip_fanout = options.gossip_fanout;
+  config.gossip_interval = options.gossip_interval;
+  config.gossip_seed = options.seed;
+  config.qos_replica_placement = options.qos_replica_placement;
+  config.replica_fanout = options.replica_fanout;
+  config.count_stale_probes = options.count_stale_probes;
 
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   nodes.reserve(topo.node_count);

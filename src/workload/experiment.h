@@ -112,6 +112,26 @@ struct ExperimentOptions {
   size_t replica_top_k = 4;
   SimTime replica_ttl = 0;  ///< Receiver-side replica lifetime (0 = none).
 
+  /// Gossip anti-entropy plane (maps onto BestPeerConfig::enable_gossip
+  /// and friends). Off keeps schedules bit-identical to a gossip-less
+  /// build.
+  bool enable_gossip = false;
+  size_t gossip_fanout = 2;
+  SimTime gossip_interval = Millis(2);
+
+  /// QoS-scored replica placement (replica_fanout best peers instead of
+  /// a direct-neighbor broadcast).
+  bool qos_replica_placement = false;
+  size_t replica_fanout = 2;
+
+  /// Count stale cache probes in core.cache_stale_probes (observational;
+  /// never affects scheduling).
+  bool count_stale_probes = false;
+
+  /// Probabilistic in-flight message loss (fault plane; 0 keeps the
+  /// fault machinery entirely out of the run — bit-identical schedules).
+  double message_loss = 0;
+
   /// Index-backed search: agents (and CS servers) answer from the StorM
   /// keyword index, charged per posting touched. Forces build_index at
   /// every store. Off keeps schedules bit-identical to the scan path.

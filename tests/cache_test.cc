@@ -254,6 +254,83 @@ TEST(ReplicaManagerTest, ExpiryGenerationGuard) {
   EXPECT_EQ(mgr.replica_count(), 0u);
 }
 
+TEST(ReplicaManagerTest, QosScoreOrdersByBenefitRttAndFailures) {
+  PeerQoS base;  // Neutral: no history, default bandwidth.
+  const double neutral = ReplicaManager::Score(base);
+  EXPECT_GT(neutral, 0.0);
+
+  PeerQoS good = base;
+  good.benefit = 4;
+  EXPECT_GT(ReplicaManager::Score(good), neutral)
+      << "answer-benefit must raise the placement score";
+
+  PeerQoS slow = base;
+  slow.rtt_us = 5000;
+  EXPECT_LT(ReplicaManager::Score(slow), neutral)
+      << "observed RTT must lower the placement score";
+
+  PeerQoS flaky = base;
+  flaky.failures = 1;
+  PeerQoS flakier = base;
+  flakier.failures = 2;
+  EXPECT_LT(ReplicaManager::Score(flaky), neutral);
+  // The penalty is quadratic in consecutive failures.
+  EXPECT_LT(ReplicaManager::Score(flakier) * 2,
+            ReplicaManager::Score(flaky));
+
+  PeerQoS narrow = base;
+  narrow.bandwidth_bytes_per_us = base.bandwidth_bytes_per_us / 4;
+  EXPECT_LT(ReplicaManager::Score(narrow), neutral);
+}
+
+TEST(ReplicaManagerTest, SelectTargetsIsDeterministicTopByScore) {
+  PeerQoS strong;
+  strong.benefit = 10;
+  PeerQoS weak;
+  weak.rtt_us = 20000;
+  weak.failures = 3;
+  PeerQoS neutral;
+
+  std::vector<std::pair<NodeId, PeerQoS>> candidates = {
+      {9, weak}, {4, neutral}, {2, strong}, {7, neutral}};
+  std::vector<NodeId> picked =
+      ReplicaManager::SelectTargets(candidates, /*fanout=*/3);
+  // Best score first; the equal-score pair breaks the tie by node id.
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0], 2u);
+  EXPECT_EQ(picked[1], 4u);
+  EXPECT_EQ(picked[2], 7u);
+
+  // Input order must not matter, and fanout may exceed the pool.
+  std::vector<std::pair<NodeId, PeerQoS>> shuffled = {
+      {7, neutral}, {2, strong}, {9, weak}, {4, neutral}};
+  EXPECT_EQ(ReplicaManager::SelectTargets(shuffled, 3), picked);
+  EXPECT_EQ(ReplicaManager::SelectTargets(candidates, 99).size(), 4u);
+  EXPECT_TRUE(ReplicaManager::SelectTargets({}, 2).empty());
+}
+
+TEST(ReplicaManagerTest, RevokeFromDropsOnlyThatSourcesLeases) {
+  ReplicaManager mgr({});
+  mgr.NoteStored(0xA1, /*source=*/5);
+  const uint64_t b_gen = mgr.NoteStored(0xB2, /*source=*/6);
+  mgr.NoteStored(0xC3, /*source=*/5);
+
+  std::vector<uint64_t> revoked = mgr.RevokeFrom(5);
+  ASSERT_EQ(revoked.size(), 2u);
+  EXPECT_EQ(mgr.leases_revoked(), 2u);
+  EXPECT_FALSE(mgr.Tracks(0xA1));
+  EXPECT_FALSE(mgr.Tracks(0xC3));
+  EXPECT_TRUE(mgr.Tracks(0xB2))
+      << "a different pusher's lease must survive the revocation";
+  EXPECT_TRUE(mgr.ShouldExpire(0xB2, b_gen));
+
+  // Re-pushing a revoked object from a new source re-arms it cleanly.
+  const uint64_t regen = mgr.NoteStored(0xA1, /*source=*/6);
+  EXPECT_TRUE(mgr.ShouldExpire(0xA1, regen));
+  EXPECT_TRUE(mgr.RevokeFrom(5).empty());
+  EXPECT_EQ(mgr.leases_revoked(), 2u);
+}
+
 // --- query normalization (the shared cache key) ---------------------------
 
 TEST(QueryNormalizationTest, OrderCaseAndDuplicatesCollapse) {

@@ -11,7 +11,7 @@
 //
 // The live telemetry plane is opt-in via BP_TELEMETRY_ADDR=host:port:
 // an HTTP/1.0 server on the shared reactor serves /metrics (Prometheus),
-// /healthz, /peers, /cache, /flight?n=K, /fleet, /traces and
+// /healthz, /peers, /cache, /gossip, /flight?n=K, /fleet, /traces and
 // /trace?flow=K; every node pushes a compact stat frame to the LIGLO
 // node (the collector) every BP_TELEMETRY_PUSH_MS milliseconds. --serve
 // keeps the workload running until SIGINT/SIGTERM, which drains cleanly:
@@ -80,8 +80,9 @@ struct Flags {
   size_t queries = 4;
   uint64_t seed = 1;
   int64_t timeout_ms = 10000;
-  bool serve = false;  ///< Keep issuing queries until SIGINT/SIGTERM.
-  bool cache = false;  ///< Enable the result cache + hot replication.
+  bool serve = false;   ///< Keep issuing queries until SIGINT/SIGTERM.
+  bool cache = false;   ///< Enable the result cache + hot replication.
+  bool gossip = false;  ///< Enable the gossip anti-entropy plane.
   // Multi-process fleet plan (all three set together, or none).
   uint32_t node_base = 0;   ///< First global node id in this process.
   uint16_t port_base = 0;   ///< Node k listens on port_base + k.
@@ -99,11 +100,17 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes=N>=2] [--objects=N] [--matches=N] "
                "[--queries=N] [--seed=N] [--timeout-ms=N] [--serve] "
-               "[--cache]\n"
+               "[--cache] [--gossip]\n"
                "       [--node-base=K --port-base=P --fleet-size=F]  "
                "multi-process fleet (K=0: driver, K>0: follower)\n"
                "env: BP_TELEMETRY_ADDR=host:port  enable the telemetry "
                "plane\n"
+               "     BP_GOSSIP_INTERVAL_MS=N      gossip round period "
+               "(default 25)\n"
+               "     BP_GOSSIP_FANOUT=N           peers pushed per round "
+               "(default 2)\n"
+               "     BP_GOSSIP_HOT_ROUNDS=N       rounds an item stays hot "
+               "(default 3)\n"
                "     BP_TELEMETRY_PUSH_MS=N       stat-frame push period "
                "(default 1000)\n"
                "     BP_FLIGHT_DUMP=path          write the flight ring as "
@@ -190,6 +197,46 @@ std::string CacheJson(
            ", \"slices\": " + obs::JsonNumber(cache->slice_count()) +
            ", \"remote_hits\": " + obs::JsonNumber(node->cache_remote_hits()) +
            "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+/// JSON for the /gossip endpoint: every node's anti-entropy agent state —
+/// round/frame/apply counters plus the epoch map it has converged on
+/// (nodes without an agent report enabled=false).
+std::string GossipJson(
+    const std::vector<std::unique_ptr<core::BestPeerNode>>& nodes) {
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& node : nodes) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + obs::JsonNumber(node->node()) + "\": ";
+    const gossip::GossipAgent* agent = node->gossip_agent();
+    if (agent == nullptr) {
+      out += "{\"enabled\": false}";
+      continue;
+    }
+    out += "{\"enabled\": true, \"rounds\": " +
+           obs::JsonNumber(agent->rounds()) +
+           ", \"frames_sent\": " + obs::JsonNumber(agent->frames_sent()) +
+           ", \"frames_received\": " +
+           obs::JsonNumber(agent->frames_received()) +
+           ", \"items_applied\": " + obs::JsonNumber(agent->items_applied()) +
+           ", \"duplicates\": " + obs::JsonNumber(agent->duplicates()) +
+           ", \"decode_errors\": " + obs::JsonNumber(agent->decode_errors()) +
+           ", \"known_items\": " + obs::JsonNumber(agent->known_items()) +
+           ", \"quiescent\": " +
+           std::string(agent->quiescent() ? "true" : "false") +
+           ",\n    \"epochs\": {";
+    bool first_epoch = true;
+    for (const auto& [origin, epoch] : agent->KnownEpochs()) {
+      if (!first_epoch) out += ", ";
+      first_epoch = false;
+      out += "\"" + obs::JsonNumber(origin) + "\": " + obs::JsonNumber(epoch);
+    }
+    out += "}}";
   }
   out += "\n}\n";
   return out;
@@ -299,6 +346,8 @@ int main(int argc, char** argv) {
       flags.serve = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       flags.cache = true;
+    } else if (std::strcmp(argv[i], "--gossip") == 0) {
+      flags.gossip = true;
     } else {
       return Usage(argv[0]);
     }
@@ -467,6 +516,26 @@ int main(int argc, char** argv) {
     config.enable_result_cache = true;
     config.enable_replication = true;
   }
+  if (flags.gossip) {
+    config.enable_gossip = true;
+    config.gossip_seed = flags.seed;
+    // Live-runtime pacing: the reactor clock ticks in real microseconds,
+    // so the simulator's 2ms default would spin; 25ms converges a small
+    // fleet well inside one telemetry push period.
+    config.gossip_interval = Millis(25);
+    if (const char* env = std::getenv("BP_GOSSIP_INTERVAL_MS")) {
+      const long v = std::atol(env);
+      if (v > 0) config.gossip_interval = Millis(v);
+    }
+    if (const char* env = std::getenv("BP_GOSSIP_FANOUT")) {
+      const long v = std::atol(env);
+      if (v > 0) config.gossip_fanout = static_cast<size_t>(v);
+    }
+    if (const char* env = std::getenv("BP_GOSSIP_HOT_ROUNDS")) {
+      const long v = std::atol(env);
+      if (v > 0) config.gossip_hot_rounds = static_cast<uint32_t>(v);
+    }
+  }
 
   workload::CorpusGenerator corpus({512, 300, 0.8}, flags.seed);
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
@@ -549,6 +618,12 @@ int main(int argc, char** argv) {
       obs::HttpResponse r;
       r.content_type = "application/json";
       r.body = CacheJson(nodes);
+      return r;
+    });
+    telemetry->AddHandler("/gossip", [&](const obs::HttpRequest&) {
+      obs::HttpResponse r;
+      r.content_type = "application/json";
+      r.body = GossipJson(nodes);
       return r;
     });
     telemetry->AddHandler("/fleet", [&](const obs::HttpRequest&) {

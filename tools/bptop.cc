@@ -191,6 +191,16 @@ int main(int argc, char** argv) {
                 have_prev ? Rate(scrape, prev, "bestpeerd_queries", dt_s)
                           : 0.0,
                 expected > 0 ? answers / expected : 1.0);
+    if (Get(scrape, "gossip_rounds") > 0) {
+      std::printf(
+          "gossip rounds=%.0f frames=%.0f applied=%.0f dups=%.0f "
+          "known=%.0f frames/s=%.0f\n",
+          Get(scrape, "gossip_rounds"), Get(scrape, "gossip_frames_sent"),
+          Get(scrape, "gossip_items_applied"),
+          Get(scrape, "gossip_duplicates"),
+          Get(scrape, "gossip_known_items"),
+          have_prev ? Rate(scrape, prev, "gossip_frames_sent", dt_s) : 0.0);
+    }
     if (Get(scrape, "trace_spans_recorded") > 0 ||
         Get(scrape, "trace_flows_sampled") > 0) {
       std::printf(
