@@ -49,7 +49,7 @@ workload::ExperimentOptions PlacementWorkload() {
   // moving, so probe-discovered invalidation pays a round trip each time.
   o.mutate_every = 2;
   // Faults on: the lossy wire every arm must survive.
-  o.message_loss = 0.02;
+  o.fault.message_loss = 0.02;
   // All arms run cache + replication; the arms differ only in placement
   // and epoch dissemination.
   o.enable_result_cache = true;

@@ -133,10 +133,13 @@ class BenchReport {
   }
 
   /// Attaches the run's `timeseries` and (when tracing was on) a
-  /// `critical_path` section computed from its spans. Later attachments
-  /// replace earlier ones: benches typically attach their headline
+  /// `critical_path` section computed from its spans. Works for any
+  /// result type carrying `timeseries`/`trace`/`flight` members
+  /// (experiment, churn, scenario runs). Later attachments replace
+  /// earlier ones: benches typically attach their headline
   /// configuration's run.
-  void AttachObservability(const workload::ExperimentResult& result) {
+  template <typename ResultT>
+  void AttachObservability(const ResultT& result) {
     if (!result.timeseries.empty()) {
       timeseries_json_ = result.timeseries.ToJson(2);
     }
@@ -147,17 +150,9 @@ class BenchReport {
     }
   }
 
-  /// Same, for churn experiments.
-  void AttachObservability(const workload::ChurnResult& result) {
-    if (!result.timeseries.empty()) {
-      timeseries_json_ = result.timeseries.ToJson(2);
-    }
-    if (result.trace != nullptr) {
-      obs::CriticalPathReport cp =
-          obs::AnalyzeCriticalPaths(*result.trace, result.flight.get());
-      if (!cp.empty()) critical_path_json_ = cp.ToJson(2);
-    }
-  }
+  /// Folds wire bytes from a run that doesn't go through Absorb's
+  /// ExperimentResult overload (e.g. a scenario run).
+  void AddWireBytes(uint64_t bytes) { wire_bytes_ += bytes; }
 
   void Write() {
     if (written_) return;

@@ -55,10 +55,10 @@ ChurnOptions BaseOptions() {
 }
 
 ChurnOptions WithRecovery(ChurnOptions o) {
-  o.liglo_retries = 3;
-  o.query_deadline = Seconds(1);
-  o.peer_failure_threshold = 2;
-  o.agent_seen_expiry = Seconds(10);
+  o.fault.liglo_retries = 3;
+  o.fault.query_deadline = Seconds(1);
+  o.fault.peer_failure_threshold = 2;
+  o.fault.agent_seen_expiry = Seconds(10);
   return o;
 }
 
@@ -113,11 +113,11 @@ int main() {
                   "rec ms"});
   for (double loss : losses) {
     ChurnOptions norec = BaseOptions();
-    norec.message_loss = loss;
+    norec.fault.message_loss = loss;
     RunOutcome plain = Run(norec);
 
     ChurnOptions rec = WithRecovery(BaseOptions());
-    rec.message_loss = loss;
+    rec.fault.message_loss = loss;
     RunOutcome recovered = Run(rec);
     report.Absorb(recovered.metrics);
     report.AttachObservability(recovered.churn);

@@ -1,0 +1,31 @@
+#ifndef BESTPEER_SCENARIO_ARRIVAL_H_
+#define BESTPEER_SCENARIO_ARRIVAL_H_
+
+#include <vector>
+
+#include "scenario/spec.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::scenario {
+
+/// Instantaneous arrival rate (queries/second) of `spec` at `t_ms` into
+/// the phase. Drives both arrival generation (thinning) and scnlint's
+/// resolved-timeline output.
+double RateAt(const ArrivalSpec& spec, double t_ms);
+
+/// Expected number of arrivals over a phase of `duration_ms` — the
+/// integral of RateAt. Exact (closed-form) for every process.
+double ExpectedArrivals(const ArrivalSpec& spec, double duration_ms);
+
+/// Generates the phase's arrival times as absolute sim times, sorted
+/// ascending, all in [phase_start, phase_start + duration). kConstant is
+/// evenly spaced and draws nothing from `rng`; the stochastic processes
+/// are nonhomogeneous Poisson via thinning (Lewis & Shedler), so the
+/// draw count itself is deterministic per (spec, rng state).
+std::vector<SimTime> GenerateArrivalTimes(const PhaseSpec& phase,
+                                          SimTime phase_start, Rng& rng);
+
+}  // namespace bestpeer::scenario
+
+#endif  // BESTPEER_SCENARIO_ARRIVAL_H_

@@ -1,0 +1,41 @@
+#ifndef BESTPEER_SCENARIO_QUERY_TRACE_H_
+#define BESTPEER_SCENARIO_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/sim_time.h"
+
+namespace bestpeer::scenario {
+
+/// One replayable query: issue time, issuing node index and keyword.
+struct TracedQuery {
+  SimTime at = 0;
+  size_t node = 0;
+  std::string keyword;
+};
+
+/// A recorded query schedule: what a scenario run actually issued
+/// (suppressed arrivals — offline issuers — are not recorded). Replaying
+/// it against the same spec + seed reproduces the generating run's
+/// per-query answer counts exactly, because the churn/fault randomness
+/// lives on streams the replay path never touches.
+struct QueryTrace {
+  std::string scenario;
+  uint64_t seed = 0;
+  std::vector<TracedQuery> queries;
+};
+
+/// NDJSON: a header line {"v":1,"scenario":...,"seed":...,"queries":N}
+/// followed by N lines {"at_us":...,"node":...,"keyword":...}.
+Status WriteQueryTrace(const QueryTrace& trace, const std::string& path);
+
+/// Strict reader: malformed lines, wrong-typed fields, unknown keys, a
+/// version or count mismatch, and out-of-order times are all fatal.
+Result<QueryTrace> ReadQueryTrace(const std::string& path);
+
+}  // namespace bestpeer::scenario
+
+#endif  // BESTPEER_SCENARIO_QUERY_TRACE_H_

@@ -77,6 +77,24 @@ SimTime SimNetwork::TxTime(size_t bytes) const {
       std::ceil(static_cast<double>(bytes) / options_.bytes_per_us));
 }
 
+SimTime SimNetwork::NodeTxTime(NodeId node, size_t bytes) const {
+  assert(node < nodes_.size());
+  const double rate = nodes_[node].profile.bytes_per_us;
+  if (rate <= 0) return TxTime(bytes);
+  return static_cast<SimTime>(std::ceil(static_cast<double>(bytes) / rate));
+}
+
+void SimNetwork::SetLinkProfile(NodeId node, const LinkProfile& profile) {
+  assert(node < nodes_.size());
+  assert(profile.bytes_per_us >= 0 && profile.extra_latency >= 0);
+  nodes_[node].profile = profile;
+}
+
+const LinkProfile& SimNetwork::link_profile(NodeId node) const {
+  assert(node < nodes_.size());
+  return nodes_[node].profile;
+}
+
 void SimNetwork::FlightMessage(obs::EventType type, const SimMessage& msg,
                                obs::DropCause cause, uint64_t b) {
   obs::FlightRecorder* flight = sim_->flight();
@@ -140,7 +158,7 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
   msg->flow = flow;
 
   Node& sender = nodes_[src];
-  const SimTime tx = TxTime(msg->wire_size);
+  const SimTime tx = NodeTxTime(src, msg->wire_size);
   const SimTime send_time = sim_->now();
 
   // A crashed/offline sender transmits nothing: its queued sends (e.g.
@@ -172,7 +190,10 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
                 msg->id);
   const SimTime up_wait = up_start - send_time;
 
-  SimTime arrival = up_done + options_.latency;
+  // Both endpoints' extra propagation delay applies: a slow link is slow
+  // in either direction, whichever side of the transfer it sits on.
+  SimTime arrival = up_done + options_.latency + sender.profile.extra_latency +
+                    nodes_[dst].profile.extra_latency;
 
   // Single fault decision point: probabilistic in-flight loss and latency
   // spikes. The sender already paid for the uplink — the bytes were
@@ -196,8 +217,11 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
 
   // Propagate, then serialize on the receiver's downlink. The downlink
   // reservation must happen at arrival time (other packets may arrive in
-  // between), so it is done inside the arrival event.
-  sim_->ScheduleAt(arrival, [this, msg, tx, send_time, up_wait]() {
+  // between), so it is done inside the arrival event. The receiver's NIC
+  // rate is captured now — in-flight messages keep the profile they were
+  // sent under.
+  const SimTime rx_tx = NodeTxTime(dst, msg->wire_size);
+  sim_->ScheduleAt(arrival, [this, msg, rx_tx, send_time, up_wait]() {
     Node& receiver = nodes_[msg->dst];
     if (!receiver.online) {
       ++messages_dropped_;
@@ -208,7 +232,7 @@ void SimNetwork::Send(NodeId src, NodeId dst, uint32_t type, Bytes payload,
       return;
     }
     SimTime rx_start = std::max(sim_->now(), receiver.downlink_free_at);
-    SimTime rx_done = rx_start + tx;
+    SimTime rx_done = rx_start + rx_tx;
     receiver.downlink_free_at = rx_done;
     // The receiver's queue-wait charge is deferred to delivery time: a
     // receiver that dies between the downlink reservation and rx_done

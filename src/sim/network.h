@@ -29,6 +29,19 @@ using bestpeer::kInvalidNode;
 using bestpeer::NodeId;
 using SimMessage = net::Message;
 
+/// Per-node link override for heterogeneous fleets (scenario engine):
+/// a node's NIC bandwidth and an extra propagation delay its messages
+/// pay, modelling e.g. a DSL or mobile peer on an otherwise fast LAN.
+/// Default-constructed profiles change nothing, so homogeneous runs stay
+/// byte-identical to a network without profiles.
+struct LinkProfile {
+  /// NIC bandwidth in bytes/µs; 0 uses the network's default.
+  double bytes_per_us = 0;
+  /// Extra one-way propagation latency added to every message this node
+  /// sends or receives.
+  SimTime extra_latency = 0;
+};
+
 /// Cost parameters of the simulated LAN; see DESIGN.md section 4.
 struct NetworkOptions {
   /// One-way propagation latency per physical hop.
@@ -90,6 +103,12 @@ class SimNetwork {
   void SetOnline(NodeId node, bool online);
   bool IsOnline(NodeId node) const;
 
+  /// Installs a per-node link override (heterogeneous fleets). Affects
+  /// messages sent and received from now on; in-flight reservations keep
+  /// the profile they were made under.
+  void SetLinkProfile(NodeId node, const LinkProfile& profile);
+  const LinkProfile& link_profile(NodeId node) const;
+
   /// The node's CPU (submit work to consume simulated time).
   CpuModel& Cpu(NodeId node);
 
@@ -121,13 +140,18 @@ class SimNetwork {
   /// convergecast patterns (31 answers into one base node) produce.
   SimTime node_queue_wait(NodeId node) const;
 
-  /// Transmission time of `bytes` through one NIC.
+  /// Transmission time of `bytes` through one NIC at the default rate.
   SimTime TxTime(size_t bytes) const;
+
+  /// Transmission time of `bytes` through `node`'s NIC (honours its link
+  /// profile; equal to TxTime when no profile is set).
+  SimTime NodeTxTime(NodeId node, size_t bytes) const;
 
  private:
   struct Node {
     SimTime uplink_free_at = 0;
     SimTime downlink_free_at = 0;
+    LinkProfile profile;
     std::unique_ptr<CpuModel> cpu;
     Handler handler;
     bool online = true;

@@ -97,15 +97,7 @@ Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
     sampler_driver =
         std::make_unique<obs::SamplerDriver>(&simulator, sampler.get());
   }
-  if (options.message_loss > 0) {
-    // Must precede SimNetwork construction so crash scheduling can hook
-    // node state; loss decisions are seeded, so runs stay deterministic.
-    sim::FaultOptions fault_options;
-    fault_options.seed = options.seed ^ 0xFA17;
-    fault_options.message_loss = options.message_loss;
-    fault_options.metrics = options.metrics;
-    simulator.EnableFaults(fault_options);
-  }
+  options.fault.EnableOn(&simulator, options.seed, options.metrics);
   sim::NetworkOptions net_options;
   net_options.metrics = options.metrics;
   sim::SimNetwork network(&simulator, net_options);
@@ -128,10 +120,7 @@ Result<ChurnResult> RunChurnExperiment(const ChurnOptions& options) {
   config.max_direct_peers = options.starter_peers + 2;
   config.strategy = options.reconfigure ? "maxcount" : "none";
   config.default_ttl = static_cast<uint16_t>(options.ttl);
-  config.query_deadline = options.query_deadline;
-  config.peer_failure_threshold = options.peer_failure_threshold;
-  config.liglo_max_retries = options.liglo_retries;
-  config.agent_seen_expiry = options.agent_seen_expiry;
+  options.fault.ApplyTo(&config);
   config.metrics = options.metrics;
 
   CorpusGenerator corpus({512, 300, 0.8}, options.seed);

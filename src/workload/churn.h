@@ -11,6 +11,7 @@
 #include "util/result.h"
 #include "util/sim_time.h"
 #include "util/trace.h"
+#include "workload/fault_options.h"
 
 namespace bestpeer::workload {
 
@@ -38,24 +39,8 @@ struct ChurnOptions {
 
   // --- fault injection & recovery (defaults keep both off) --------------
 
-  /// Probability that any message is lost in flight (fault injector;
-  /// seeded from `seed`, so runs stay deterministic).
-  double message_loss = 0.0;
-
-  /// Per-query deadline: sessions finalize with partial answers and late
-  /// results are dropped. 0 = queries wait forever (lossless default).
-  SimTime query_deadline = 0;
-
-  /// LIGLO client resends after timeout (join/rejoin/discover survive
-  /// loss). 0 = single attempt.
-  int liglo_retries = 0;
-
-  /// Consecutive missed deadlines before a direct peer is evicted and
-  /// replaced (only observable when query_deadline > 0).
-  uint32_t peer_failure_threshold = 3;
-
-  /// Agent duplicate-table expiry (0 = never forget lost agents).
-  SimTime agent_seen_expiry = 0;
+  /// Shared fault-injection/recovery knob block (see fault_options.h).
+  FaultRecoveryOptions fault;
 
   /// Optional metrics sink: receives net.*, fault.*, liglo.* and core.*
   /// counters from the run (not owned; must outlive the call).

@@ -210,16 +210,7 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   if (TraceRequested(options)) simulator.EnableTracing();
   MaybeEnableFlight(&simulator, options);
   Sampling sampling(&simulator, &registry, options);
-  if (options.message_loss > 0) {
-    // Must precede SimNetwork construction so the network binds to the
-    // injector. Zero probabilities consume no randomness, which is why
-    // loss-free runs stay bit-identical without this block.
-    sim::FaultOptions fo;
-    fo.seed = options.seed ^ 0xFA17;
-    fo.message_loss = options.message_loss;
-    fo.metrics = &registry;
-    simulator.EnableFaults(fo);
-  }
+  options.fault.EnableOn(&simulator, options.seed, &registry);
   sim::NetworkOptions net_options = options.net;
   net_options.metrics = &registry;
   sim::SimNetwork network(&simulator, net_options);
@@ -259,6 +250,7 @@ Result<ExperimentResult> RunBestPeer(const ExperimentOptions& options) {
   config.qos_replica_placement = options.qos_replica_placement;
   config.replica_fanout = options.replica_fanout;
   config.count_stale_probes = options.count_stale_probes;
+  options.fault.ApplyTo(&config);
 
   std::vector<std::unique_ptr<core::BestPeerNode>> nodes;
   nodes.reserve(topo.node_count);

@@ -16,6 +16,7 @@
 #include "util/sim_time.h"
 #include "util/trace.h"
 #include "workload/corpus.h"
+#include "workload/fault_options.h"
 #include "workload/topology.h"
 
 namespace bestpeer::workload {
@@ -128,9 +129,9 @@ struct ExperimentOptions {
   /// never affects scheduling).
   bool count_stale_probes = false;
 
-  /// Probabilistic in-flight message loss (fault plane; 0 keeps the
+  /// Fault injection & recovery (shared knob block; defaults keep the
   /// fault machinery entirely out of the run — bit-identical schedules).
-  double message_loss = 0;
+  FaultRecoveryOptions fault;
 
   /// Index-backed search: agents (and CS servers) answer from the StorM
   /// keyword index, charged per posting touched. Forces build_index at

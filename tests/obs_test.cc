@@ -239,9 +239,9 @@ workload::ChurnOptions FaultyChurn(metrics::Registry* registry) {
   o.objects_per_node = 30;
   o.matches_per_node = 3;
   o.rounds = 3;
-  o.message_loss = 0.15;
-  o.liglo_retries = 2;
-  o.query_deadline = Seconds(1);
+  o.fault.message_loss = 0.15;
+  o.fault.liglo_retries = 2;
+  o.fault.query_deadline = Seconds(1);
   o.seed = 7;
   o.metrics = registry;
   o.trace = true;

@@ -210,6 +210,50 @@ TEST(SimNetworkTest, DownlinkSerializesConcurrentReceives) {
   EXPECT_EQ(deliveries[1], 3500);
 }
 
+TEST(SimNetworkTest, LinkProfileSlowsOneNodeBothWays) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  NodeId c = net.AddNode();
+  LinkProfile slow;
+  slow.bytes_per_us = 0.625;  // Half the default rate: 1250 bytes = 2000us.
+  slow.extra_latency = Micros(100);
+  net.SetLinkProfile(b, slow);
+  std::vector<SimTime> deliveries;
+  auto handler = [&](const SimMessage&) { deliveries.push_back(sim.now()); };
+  net.SetHandler(b, handler);
+  net.SetHandler(c, handler);
+  // Into the slow node: uplink 1000 @ a + latency 500+100 + downlink 2000 @ b.
+  net.Send(a, b, 1, Bytes(1250, 0));
+  sim.RunUntilIdle();
+  // Out of the slow node: uplink 2000 @ b + latency 500+100 + downlink 1000 @ c.
+  net.Send(b, c, 1, Bytes(1250, 0));
+  sim.RunUntilIdle();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], 3600);
+  EXPECT_EQ(deliveries[1], 3600 + 3600);
+  EXPECT_EQ(net.NodeTxTime(b, 1250), 2000);
+  EXPECT_EQ(net.NodeTxTime(a, 1250), net.TxTime(1250));
+}
+
+TEST(SimNetworkTest, DefaultLinkProfileChangesNothing) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet());
+  NodeId a = net.AddNode();
+  NodeId b = net.AddNode();
+  // A default-constructed profile must leave the schedule identical to
+  // DeliversWithLatencyAndBandwidth — the scenario engine's homogeneous
+  // fleets rely on this for byte-identical baselines.
+  net.SetLinkProfile(a, LinkProfile{});
+  net.SetLinkProfile(b, LinkProfile{});
+  SimTime delivered = -1;
+  net.SetHandler(b, [&](const SimMessage&) { delivered = sim.now(); });
+  net.Send(a, b, 7, Bytes(1250, 0));
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 2500);
+}
+
 TEST(SimNetworkTest, QueueWaitChargesSenderUplink) {
   metrics::Registry registry;
   Simulator sim;

@@ -101,10 +101,10 @@ TEST(ChurnTest, LossyRunWithRecoveryIsDeterministic) {
   ChurnOptions o = SmallChurn();
   o.leave_fraction = 0.25;
   o.rejoin_fraction = 0.5;
-  o.message_loss = 0.1;
-  o.liglo_retries = 2;
-  o.query_deadline = 1000000;  // 1s in sim microseconds.
-  o.peer_failure_threshold = 2;
+  o.fault.message_loss = 0.1;
+  o.fault.liglo_retries = 2;
+  o.fault.query_deadline = 1000000;  // 1s in sim microseconds.
+  o.fault.peer_failure_threshold = 2;
   auto a = RunChurnExperiment(o).value();
   auto b = RunChurnExperiment(o).value();
   ASSERT_EQ(a.rounds.size(), b.rounds.size());
